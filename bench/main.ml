@@ -1,0 +1,42 @@
+(* Bench harness entry point.
+
+   Regenerates every table and worked example of the paper plus the
+   quantitative experiments indexed in DESIGN.md / EXPERIMENTS.md, then
+   runs the Bechamel microbenchmarks.
+
+     dune exec bench/main.exe                 # everything
+     dune exec bench/main.exe -- tables       # just the paper tables
+     dune exec bench/main.exe -- e2_epsilon   # one experiment
+     dune exec bench/main.exe -- micro        # just the microbenches
+     dune exec bench/main.exe -- list         # list available targets *)
+
+let targets =
+  [ ("tables", Esr_bench.Tables.run_all) ]
+  @ Esr_bench.Experiments.all
+  @ [ ("micro", Micro.run_all) ]
+
+let list_targets () =
+  print_endline "available bench targets:";
+  List.iter (fun (name, _) -> Printf.printf "  %s\n" name) targets
+
+let run_target name =
+  match List.assoc_opt name targets with
+  | Some f -> f ()
+  | None ->
+      Printf.eprintf "unknown bench target %S\n" name;
+      list_targets ();
+      exit 1
+
+let () =
+  match Array.to_list Sys.argv with
+  | _ :: [] ->
+      print_endline
+        "Replica Control in Distributed Systems: An Asynchronous Approach \
+         (Pu & Leff, 1991)";
+      print_endline
+        "Reproduction bench harness - all tables, experiments, microbenches.";
+      print_newline ();
+      List.iter (fun (_, f) -> f ()) targets
+  | _ :: [ "list" ] -> list_targets ()
+  | _ :: args -> List.iter run_target args
+  | [] -> assert false

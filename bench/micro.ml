@@ -1,0 +1,114 @@
+(* Bechamel microbenchmarks of the hot paths: the ESR checker, the lock
+   manager, the simulation engine, the stores, and the PRNG. *)
+
+open Bechamel
+open Toolkit
+module Op = Esr_store.Op
+module Value = Esr_store.Value
+module Store = Esr_store.Store
+module Mvstore = Esr_store.Mvstore
+module Gtime = Esr_clock.Gtime
+module Et = Esr_core.Et
+module Hist = Esr_core.Hist
+module Esr_check = Esr_core.Esr_check
+module Lock_table = Esr_cc.Lock_table
+module Lock_mgr = Esr_cc.Lock_mgr
+module Engine = Esr_sim.Engine
+module Prng = Esr_util.Prng
+
+(* A representative mixed history: 12 ETs, 6 keys, 120 operations. *)
+let bench_history =
+  let prng = Prng.create 7 in
+  let actions =
+    List.init 120 (fun i ->
+        let et = 1 + Prng.int prng 12 in
+        let key = String.make 1 (Char.chr (Char.code 'a' + Prng.int prng 6)) in
+        let op = if Prng.bool prng then Op.Read else Op.Write (Value.int i) in
+        Et.action ~et ~key op)
+  in
+  Hist.of_actions actions
+
+let test_esr_checker =
+  Test.make ~name:"esr_check/is_epsilon_serial (120 ops)"
+    (Staged.stage (fun () -> ignore (Esr_check.is_epsilon_serial bench_history)))
+
+let test_overlap =
+  Test.make ~name:"esr_check/max_overlap (120 ops)"
+    (Staged.stage (fun () -> ignore (Esr_check.max_overlap bench_history)))
+
+let test_lock_mgr =
+  Test.make ~name:"lock_mgr/acquire+release x8"
+    (Staged.stage (fun () ->
+         let m = Lock_mgr.create ~table:Lock_table.ordup () in
+         for txn = 1 to 8 do
+           ignore
+             (Lock_mgr.acquire m ~txn ~key:"k" ~mode:Lock_table.R_q ~op:Op.Read ())
+         done;
+         for txn = 1 to 8 do
+           Lock_mgr.release_all m ~txn
+         done))
+
+let test_engine =
+  Test.make ~name:"engine/schedule+run 1000 events"
+    (Staged.stage (fun () ->
+         let e = Engine.create () in
+         for i = 0 to 999 do
+           ignore (Engine.schedule e ~delay:(float_of_int (i mod 97)) (fun () -> ()))
+         done;
+         Engine.run e))
+
+let test_store_apply =
+  Test.make ~name:"store/apply Incr x100"
+    (Staged.stage (fun () ->
+         let s = Store.create () in
+         for i = 1 to 100 do
+           ignore (Store.apply s "x" (Op.Incr i))
+         done))
+
+let test_mvstore =
+  Test.make ~name:"mvstore/append+read x50"
+    (Staged.stage (fun () ->
+         let m = Mvstore.create () in
+         for i = 1 to 50 do
+           ignore
+             (Mvstore.append m "x" ~ts:(Gtime.make ~counter:i ~site:0) (Value.int i))
+         done;
+         ignore (Mvstore.read_latest m "x")))
+
+let test_prng =
+  Test.make ~name:"prng/bits64 x1000"
+    (Staged.stage
+       (let prng = Prng.create 1 in
+        fun () ->
+          for _ = 1 to 1000 do
+            ignore (Prng.bits64 prng)
+          done))
+
+let benchmarks =
+  [
+    test_esr_checker; test_overlap; test_lock_mgr; test_engine;
+    test_store_apply; test_mvstore; test_prng;
+  ]
+
+let run_all () =
+  print_endline "== Microbenchmarks (Bechamel OLS, monotonic clock) ==";
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~kde:None () in
+  List.iter
+    (fun test ->
+      let raw = Benchmark.all cfg [ Instance.monotonic_clock ] test in
+      let stats = Analyze.all ols Instance.monotonic_clock raw in
+      let rows =
+        Hashtbl.fold (fun name result acc -> (name, result) :: acc) stats []
+        |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+      in
+      List.iter
+        (fun (name, result) ->
+          match Analyze.OLS.estimates result with
+          | Some (est :: _) -> Printf.printf "  %-44s %12.1f ns/run\n" name est
+          | Some [] | None -> Printf.printf "  %-44s (no estimate)\n" name)
+        rows)
+    benchmarks;
+  print_newline ()

@@ -1,0 +1,283 @@
+(* esrsim — command-line front end to the epsilon-serializability replica
+   control simulator.
+
+     esrsim methods                      list replica-control methods (Table 1)
+     esrsim run --method COMMU ...       run one workload, print the summary
+     esrsim check "R1(a) W1(b) ..."      ESR-check a history in paper notation
+     esrsim overlap "..." --query 3      overlap of one query ET *)
+
+open Cmdliner
+module Stats = Esr_util.Stats
+module Tablefmt = Esr_util.Tablefmt
+module Net = Esr_sim.Net
+module Dist = Esr_util.Dist
+module Epsilon = Esr_core.Epsilon
+module Hist = Esr_core.Hist
+module Esr_check = Esr_core.Esr_check
+module Intf = Esr_replica.Intf
+module Registry = Esr_replica.Registry
+module Spec = Esr_workload.Spec
+module Scenario = Esr_workload.Scenario
+
+(* --- tables / experiments --- *)
+
+let tables_cmd =
+  let doc = "Regenerate the paper's tables and worked examples from the implementation." in
+  Cmd.v (Cmd.info "tables" ~doc) Term.(const Esr_bench.Tables.run_all $ const ())
+
+let experiment_cmd =
+  let doc = "Run one of the quantitative experiments (or 'all'); see 'esrsim experiment list'." in
+  let target =
+    Arg.(value & pos 0 string "list" & info [] ~docv:"ID" ~doc:"Experiment id, 'all', or 'list'.")
+  in
+  let run target =
+    match target with
+    | "list" ->
+        print_endline "experiments:";
+        List.iter (fun (name, _) -> Printf.printf "  %s\n" name) Esr_bench.Experiments.all
+    | "all" -> Esr_bench.Experiments.run_all ()
+    | id -> (
+        match List.assoc_opt id Esr_bench.Experiments.all with
+        | Some f -> f ()
+        | None ->
+            Printf.eprintf "unknown experiment %S (try 'esrsim experiment list')\n" id;
+            exit 1)
+  in
+  Cmd.v (Cmd.info "experiment" ~doc) Term.(const run $ target)
+
+(* --- methods --- *)
+
+let methods_cmd =
+  let doc = "List the replica-control methods and their Table 1 characteristics." in
+  let run () =
+    let t =
+      Tablefmt.create ~title:"Replica-control methods"
+        ~headers:[ "Method"; "Family"; "Restriction"; "Async propagation"; "Sorting time" ]
+    in
+    List.iter
+      (fun (m : Intf.meta) ->
+        Tablefmt.add_row t
+          [
+            m.Intf.name;
+            Intf.family_to_string m.Intf.family;
+            m.Intf.restriction;
+            m.Intf.async_propagation;
+            m.Intf.sorting_time;
+          ])
+      Registry.metas;
+    Tablefmt.print t
+  in
+  Cmd.v (Cmd.info "methods" ~doc) Term.(const run $ const ())
+
+(* --- run --- *)
+
+let method_arg =
+  let doc = "Replica control method: ORDUP, COMMU, RITU, COMPE, 2PC, QUORUM, QUASI." in
+  Arg.(value & opt string "COMMU" & info [ "m"; "method" ] ~docv:"METHOD" ~doc)
+
+let sites_arg =
+  Arg.(value & opt int 4 & info [ "s"; "sites" ] ~docv:"N" ~doc:"Number of replica sites.")
+
+let duration_arg =
+  Arg.(value & opt float 2_000.0 & info [ "duration" ] ~docv:"MS" ~doc:"Virtual ms of workload arrivals.")
+
+let update_rate_arg =
+  Arg.(value & opt float 0.05 & info [ "update-rate" ] ~docv:"R" ~doc:"Update ETs per virtual ms.")
+
+let query_rate_arg =
+  Arg.(value & opt float 0.05 & info [ "query-rate" ] ~docv:"R" ~doc:"Query ETs per virtual ms.")
+
+let keys_arg =
+  Arg.(value & opt int 32 & info [ "keys" ] ~docv:"K" ~doc:"Size of the keyspace.")
+
+let theta_arg =
+  Arg.(value & opt float 0.6 & info [ "theta" ] ~docv:"T" ~doc:"Zipf skew (0 = uniform).")
+
+let epsilon_arg =
+  Arg.(value & opt int (-1) & info [ "e"; "epsilon" ] ~docv:"E" ~doc:"Per-query inconsistency limit; negative = unlimited.")
+
+let profile_arg =
+  let doc =
+    "Operation profile: auto (match the method's restriction), additive, \
+     blind-set, or mixed:FRAC (FRAC = Mul share)."
+  in
+  Arg.(value & opt string "auto" & info [ "profile" ] ~docv:"P" ~doc)
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Deterministic run seed.")
+
+let loss_arg =
+  Arg.(value & opt float 0.0 & info [ "loss" ] ~docv:"P" ~doc:"Message loss probability.")
+
+let latency_arg =
+  Arg.(value & opt float 10.0 & info [ "latency" ] ~docv:"MS" ~doc:"Mean one-way link latency (exponential).")
+
+let ordering_arg =
+  Arg.(value & opt string "sequencer" & info [ "ordup-ordering" ] ~doc:"ORDUP order source: sequencer or lamport.")
+
+let ritu_mode_arg =
+  Arg.(value & opt string "single" & info [ "ritu-mode" ] ~doc:"RITU version mode: single or multi.")
+
+let abort_arg =
+  Arg.(value & opt float 0.0 & info [ "abort-probability" ] ~doc:"COMPE global abort probability.")
+
+let parse_profile ~meth s =
+  match String.lowercase_ascii s with
+  | "auto" -> (
+      match String.uppercase_ascii meth with
+      | "RITU" | "QUORUM" -> Ok Spec.Blind_set
+      | _ -> Ok Spec.Additive)
+  | "additive" -> Ok Spec.Additive
+  | "blind-set" | "blind_set" | "set" -> Ok Spec.Blind_set
+  | other ->
+      if String.length other > 6 && String.sub other 0 6 = "mixed:" then
+        match float_of_string_opt (String.sub other 6 (String.length other - 6)) with
+        | Some f when f >= 0.0 && f <= 1.0 -> Ok (Spec.Mixed_arith f)
+        | Some _ | None -> Error (`Msg "mixed:FRAC needs FRAC in [0,1]")
+      else Error (`Msg (Printf.sprintf "unknown profile %S" s))
+
+let run_cmd =
+  let doc = "Run one workload against one method and print the metrics." in
+  let run meth sites duration update_rate query_rate keys theta epsilon profile
+      seed loss latency ordering ritu_mode abort_p =
+    match parse_profile ~meth profile with
+    | Error (`Msg m) ->
+        prerr_endline m;
+        exit 1
+    | Ok profile ->
+        let spec =
+          {
+            Spec.duration;
+            update_rate;
+            query_rate;
+            n_keys = keys;
+            zipf_theta = theta;
+            ops_per_update =
+              (if String.uppercase_ascii meth = "QUORUM" then 1 else 2);
+            keys_per_query = 2;
+            epsilon = Epsilon.spec_of_int epsilon;
+            profile;
+          }
+        in
+        let net_config =
+          {
+            Net.latency = Dist.Exponential latency;
+            drop_probability = loss;
+            duplicate_probability = 0.0;
+          }
+        in
+        let config =
+          {
+            Intf.default_config with
+            Intf.ordup_ordering =
+              (if String.lowercase_ascii ordering = "lamport" then `Lamport
+               else `Sequencer);
+            ritu_mode =
+              (if String.lowercase_ascii ritu_mode = "multi" then `Multi
+               else `Single);
+            compe_abort_probability = abort_p;
+          }
+        in
+        let r = Scenario.run ~seed ~config ~net_config ~sites ~method_name:meth spec in
+        let t =
+          Tablefmt.create
+            ~title:(Printf.sprintf "%s on %d sites (seed %d)" meth sites seed)
+            ~headers:[ "Metric"; "Value" ]
+        in
+        let add name v = Tablefmt.add_row t [ name; v ] in
+        add "spec" (Format.asprintf "%a" Spec.pp spec);
+        add "updates committed" (Printf.sprintf "%d / %d" r.Scenario.committed r.Scenario.submitted_updates);
+        add "updates rejected" (string_of_int r.Scenario.rejected);
+        add "queries served" (Printf.sprintf "%d / %d" r.Scenario.served r.Scenario.submitted_queries);
+        add "update latency p50/p95 (ms)"
+          (Printf.sprintf "%.1f / %.1f"
+             (Stats.median r.Scenario.update_latency)
+             (Stats.percentile r.Scenario.update_latency 95.0));
+        add "query latency p50/p95 (ms)"
+          (Printf.sprintf "%.1f / %.1f"
+             (Stats.median r.Scenario.query_latency)
+             (Stats.percentile r.Scenario.query_latency 95.0));
+        add "query inconsistency units mean/max"
+          (Printf.sprintf "%.2f / %.0f"
+             (Stats.mean r.Scenario.charged)
+             (if Stats.count r.Scenario.charged = 0 then 0.0 else Stats.max r.Scenario.charged));
+        add "query value error mean" (Printf.sprintf "%.2f" (Stats.mean r.Scenario.value_error));
+        add "SR-path queries" (string_of_int r.Scenario.fallback_queries);
+        add "throughput (upd/s)" (Printf.sprintf "%.1f" (Scenario.throughput r));
+        add "quiesce time (ms)" (Printf.sprintf "%.1f" r.Scenario.quiesce_time);
+        add "settled / converged"
+          (Printf.sprintf "%s / %s"
+             (Tablefmt.cell_bool r.Scenario.settled)
+             (Tablefmt.cell_bool r.Scenario.converged));
+        List.iter (fun (k, v) -> add ("method: " ^ k) (Tablefmt.cell_float v)) r.Scenario.method_stats;
+        Tablefmt.print t;
+        if not r.Scenario.converged then exit 2
+  in
+  Cmd.v (Cmd.info "run" ~doc)
+    Term.(
+      const run $ method_arg $ sites_arg $ duration_arg $ update_rate_arg
+      $ query_rate_arg $ keys_arg $ theta_arg $ epsilon_arg $ profile_arg
+      $ seed_arg $ loss_arg $ latency_arg $ ordering_arg $ ritu_mode_arg
+      $ abort_arg)
+
+(* --- check --- *)
+
+let log_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"LOG" ~doc:"History in paper notation, e.g. \"R1(a) W1(b) W2(b)\".")
+
+let check_cmd =
+  let doc = "Check a history for serializability and epsilon-serializability." in
+  let run log =
+    match Hist.of_string log with
+    | exception Invalid_argument m ->
+        prerr_endline m;
+        exit 1
+    | h ->
+        let t = Tablefmt.create ~title:"ESR check" ~headers:[ "Property"; "Value" ] in
+        Tablefmt.add_row t [ "log"; Hist.to_string h ];
+        Tablefmt.add_row t [ "conflict-SR"; Tablefmt.cell_bool (Esr_check.is_sr h) ];
+        Tablefmt.add_row t
+          [ "epsilon-serial"; Tablefmt.cell_bool (Esr_check.is_epsilon_serial h) ];
+        Tablefmt.add_row t
+          [ "update subhistory"; Hist.to_string (Esr_check.update_subhistory h) ];
+        (match Esr_check.serial_witness h with
+        | Some order ->
+            Tablefmt.add_row t
+              [ "serial witness"; String.concat " ; " (List.map string_of_int order) ]
+        | None -> Tablefmt.add_row t [ "serial witness"; "(cyclic)" ]);
+        Tablefmt.add_row t
+          [ "max query overlap"; Tablefmt.cell_int (Esr_check.max_overlap h) ];
+        Tablefmt.print t;
+        if not (Esr_check.is_epsilon_serial h) then exit 2
+  in
+  Cmd.v (Cmd.info "check" ~doc) Term.(const run $ log_arg)
+
+let query_arg =
+  Arg.(required & opt (some int) None & info [ "q"; "query" ] ~docv:"ET" ~doc:"Query ET id.")
+
+let overlap_cmd =
+  let doc = "Compute the overlap (inconsistency bound) of one query ET." in
+  let run log query =
+    match Hist.of_string log with
+    | exception Invalid_argument m ->
+        prerr_endline m;
+        exit 1
+    | h -> (
+        match Esr_check.overlap h ~query with
+        | exception Invalid_argument m ->
+            prerr_endline m;
+            exit 1
+        | overlap ->
+            Printf.printf "overlap(Q%d) = {%s}  bound = %d\n" query
+              (String.concat ", " (List.map (Printf.sprintf "U%d") overlap))
+              (List.length overlap))
+  in
+  Cmd.v (Cmd.info "overlap" ~doc) Term.(const run $ log_arg $ query_arg)
+
+let main_cmd =
+  let doc = "epsilon-serializability replica control simulator (Pu & Leff 1991)" in
+  let info = Cmd.info "esrsim" ~version:"1.0.0" ~doc in
+  Cmd.group info
+    [ methods_cmd; run_cmd; check_cmd; overlap_cmd; tables_cmd; experiment_cmd ]
+
+let () = exit (Cmd.eval main_cmd)

@@ -1,0 +1,853 @@
+(* Quantitative experiments: the measured counterpart of the paper's
+   claims.  Each function regenerates one row-set of EXPERIMENTS.md.
+
+   The paper (a design paper) reports no absolute numbers, so the check
+   is the *shape*: who wins, what is bounded, where behaviour changes.
+   All runs are deterministic given the seed printed in the header. *)
+
+module Tablefmt = Esr_util.Tablefmt
+module Stats = Esr_util.Stats
+module Dist = Esr_util.Dist
+module Prng = Esr_util.Prng
+module Net = Esr_sim.Net
+module Engine = Esr_sim.Engine
+module Squeue = Esr_squeue.Squeue
+module Epsilon = Esr_core.Epsilon
+module Intf = Esr_replica.Intf
+module Spec = Esr_workload.Spec
+module Scenario = Esr_workload.Scenario
+
+let seed = 20260704
+
+(* The "very slow links / moderately high latency" regime of §2.4. *)
+let wan = Net.wan_config
+
+let fmt_ms v = Printf.sprintf "%.1f" v
+let fmt_pct num den =
+  if den = 0 then "n/a" else Printf.sprintf "%.0f%%" (100.0 *. float_of_int num /. float_of_int den)
+
+let profile_for name =
+  match name with
+  | "RITU" | "QUORUM" -> Spec.Blind_set
+  | _ -> Spec.Additive
+
+let stat r name = Option.value (Scenario.method_stat r name) ~default:0.0
+
+(* ------------------------------------------------------------------ *)
+(* E1: scalability — asynchronous methods vs synchronous baselines     *)
+(* ------------------------------------------------------------------ *)
+
+let e1_scalability () =
+  let t =
+    Tablefmt.create
+      ~title:
+        "E1: scaling the number of replicas (WAN links; update latency and \
+         success; paper claim Sec 1/2.4: synchronous methods degrade with \
+         size, asynchronous methods do not)"
+      ~headers:
+        [ "Method"; "Sites"; "Committed"; "Rejected"; "Upd lat p50 (ms)";
+          "Upd lat p95 (ms)"; "Query lat p50 (ms)"; "Throughput (upd/s)" ]
+  in
+  let methods = [ "ORDUP"; "COMMU"; "RITU"; "COMPE"; "2PC"; "QUORUM"; "QUASI" ] in
+  List.iter
+    (fun name ->
+      List.iter
+        (fun sites ->
+          let spec =
+            {
+              Spec.default with
+              Spec.duration = 4_000.0;
+              update_rate = 0.02;
+              query_rate = 0.02;
+              n_keys = 24;
+              ops_per_update = 1;
+              keys_per_query = 1;
+              profile = profile_for name;
+              epsilon = Epsilon.Unlimited;
+            }
+          in
+          let r = Scenario.run ~seed ~net_config:wan ~sites ~method_name:name spec in
+          Tablefmt.add_row t
+            [
+              name;
+              Tablefmt.cell_int sites;
+              Tablefmt.cell_int r.Scenario.committed;
+              Tablefmt.cell_int r.Scenario.rejected;
+              fmt_ms (Stats.median r.Scenario.update_latency);
+              fmt_ms (Stats.percentile r.Scenario.update_latency 95.0);
+              fmt_ms (Stats.median r.Scenario.query_latency);
+              Printf.sprintf "%.1f" (Scenario.throughput r);
+            ])
+        [ 2; 4; 8; 16 ];
+      Tablefmt.add_separator t)
+    methods;
+  Tablefmt.print t
+
+(* ------------------------------------------------------------------ *)
+(* E2: the epsilon dial — bounded inconsistency, SR in the limit       *)
+(* ------------------------------------------------------------------ *)
+
+let e2_epsilon () =
+  let t =
+    Tablefmt.create
+      ~title:
+        "E2: query inconsistency vs epsilon (ORDUP, 6 sites, WAN; paper \
+         claim Sec 2.2/3.1: error bounded by overlap, eps=0 recovers SR)"
+      ~headers:
+        [ "Epsilon"; "Max units charged"; "Mean units"; "Mean value error";
+          "Max value error"; "SR fallbacks"; "Query lat p50 (ms)"; "Query lat p95 (ms)" ]
+  in
+  List.iter
+    (fun eps ->
+      let spec =
+        {
+          Spec.default with
+          Spec.duration = 4_000.0;
+          update_rate = 0.05;
+          query_rate = 0.05;
+          n_keys = 8;
+          zipf_theta = 0.9;
+          ops_per_update = 2;
+          keys_per_query = 2;
+          epsilon = eps;
+        }
+      in
+      let r = Scenario.run ~seed ~net_config:wan ~sites:6 ~method_name:"ORDUP" spec in
+      let charged = r.Scenario.charged in
+      Tablefmt.add_row t
+        [
+          Epsilon.spec_to_string eps;
+          Tablefmt.cell_float (if Stats.count charged = 0 then 0.0 else Stats.max charged);
+          Printf.sprintf "%.2f" (Stats.mean charged);
+          Printf.sprintf "%.2f" (Stats.mean r.Scenario.value_error);
+          Tablefmt.cell_float
+            (if Stats.count r.Scenario.value_error = 0 then 0.0
+             else Stats.max r.Scenario.value_error);
+          Tablefmt.cell_int r.Scenario.fallback_queries;
+          fmt_ms (Stats.median r.Scenario.query_latency);
+          fmt_ms (Stats.percentile r.Scenario.query_latency 95.0);
+        ])
+    [
+      Epsilon.Limit 0; Epsilon.Limit 1; Epsilon.Limit 2; Epsilon.Limit 4;
+      Epsilon.Limit 8; Epsilon.Unlimited;
+    ];
+  Tablefmt.print t
+
+(* ------------------------------------------------------------------ *)
+(* E3: convergence at quiescence under a hostile network               *)
+(* ------------------------------------------------------------------ *)
+
+let e3_convergence () =
+  let t =
+    Tablefmt.create
+      ~title:
+        "E3: convergence at quiescence (8% loss, 5% duplication, heavy \
+         reordering; paper claim Sec 2.2: replicas converge to 1SR when \
+         queued MSets are processed)"
+      ~headers:
+        [ "Method"; "Committed"; "Settled"; "Replicas equal"; "Quiesce time (ms)";
+          "Messages sent"; "Messages lost" ]
+  in
+  let chaos =
+    { Net.latency = Dist.Uniform (2.0, 150.0); drop_probability = 0.08; duplicate_probability = 0.05 }
+  in
+  List.iter
+    (fun name ->
+      let spec =
+        {
+          Spec.default with
+          Spec.duration = 3_000.0;
+          update_rate = 0.04;
+          query_rate = 0.02;
+          n_keys = 16;
+          ops_per_update = (if name = "QUORUM" then 1 else 2);
+          profile = profile_for name;
+        }
+      in
+      let r = Scenario.run ~seed ~net_config:chaos ~sites:5 ~method_name:name spec in
+      Tablefmt.add_row t
+        [
+          name;
+          Tablefmt.cell_int r.Scenario.committed;
+          Tablefmt.cell_bool r.Scenario.settled;
+          Tablefmt.cell_bool r.Scenario.converged;
+          fmt_ms r.Scenario.quiesce_time;
+          Tablefmt.cell_int r.Scenario.net_counters.Net.sent;
+          Tablefmt.cell_int r.Scenario.net_counters.Net.lost;
+        ])
+    [ "ORDUP"; "COMMU"; "RITU"; "COMPE"; "2PC"; "QUORUM"; "QUASI" ];
+  Tablefmt.print t
+
+(* ------------------------------------------------------------------ *)
+(* E4: availability under a network partition                          *)
+(* ------------------------------------------------------------------ *)
+
+let e4_partition () =
+  let t =
+    Tablefmt.create
+      ~title:
+        "E4: availability during a 2+2 partition, 1200ms window (paper \
+         claim Sec 1/5.3: asynchronous methods keep serving; synchronous \
+         ones stall)"
+      ~headers:
+        [ "Method"; "Updates committed in window"; "Updates submitted";
+          "Update availability"; "Queries served in window"; "Query availability";
+          "Converged after heal" ]
+  in
+  let partition =
+    { Scenario.p_start = 1_000.0; p_end = 2_200.0; groups = [ [ 0; 1 ]; [ 2; 3 ] ] }
+  in
+  List.iter
+    (fun name ->
+      let spec =
+        {
+          Spec.default with
+          Spec.duration = 3_000.0;
+          update_rate = 0.03;
+          query_rate = 0.03;
+          n_keys = 16;
+          ops_per_update = 1;
+          keys_per_query = 1;
+          profile = profile_for name;
+        }
+      in
+      let config = { Intf.default_config with Intf.twopc_timeout = 20_000.0 } in
+      let r =
+        Scenario.run ~seed ~config ~sites:4 ~method_name:name ~partition spec
+      in
+      let w = Option.get r.Scenario.window in
+      Tablefmt.add_row t
+        [
+          name;
+          Tablefmt.cell_int w.Scenario.w_updates_committed;
+          Tablefmt.cell_int w.Scenario.w_updates_submitted;
+          fmt_pct w.Scenario.w_updates_committed w.Scenario.w_updates_submitted;
+          Tablefmt.cell_int w.Scenario.w_queries_served;
+          fmt_pct w.Scenario.w_queries_served w.Scenario.w_queries_submitted;
+          Tablefmt.cell_bool r.Scenario.converged;
+        ])
+    [ "ORDUP"; "COMMU"; "RITU"; "COMPE"; "2PC"; "QUORUM"; "QUASI" ];
+  Tablefmt.print t
+
+(* ------------------------------------------------------------------ *)
+(* E5: the cost of backward replica control (COMPE)                    *)
+(* ------------------------------------------------------------------ *)
+
+let e5_compensation () =
+  let t =
+    Tablefmt.create
+      ~title:
+        "E5: compensation cost vs abort rate and operation mix (COMPE, 4 \
+         sites; paper Sec 4: commutative logs compensate in place, \
+         non-commutative logs need undo/redo of the tail)"
+      ~headers:
+        [ "Mix"; "Abort rate"; "Aborts"; "Fast comps"; "Full rollbacks";
+          "Mean rollback depth"; "Replayed ops"; "Tainted queries";
+          "Forced charges"; "Converged" ]
+  in
+  let mixes =
+    [ ("commutative (Add)", Spec.Additive); ("30% Mul (non-comm.)", Spec.Mixed_arith 0.3) ]
+  in
+  List.iter
+    (fun (mix_name, profile) ->
+      List.iter
+        (fun abort_p ->
+          let spec =
+            {
+              Spec.default with
+              Spec.duration = 4_000.0;
+              update_rate = 0.04;
+              query_rate = 0.03;
+              n_keys = 10;
+              ops_per_update = 1;
+              profile;
+            }
+          in
+          let config =
+            {
+              Intf.default_config with
+              Intf.compe_abort_probability = abort_p;
+              compe_decision_delay = 120.0;
+            }
+          in
+          let r = Scenario.run ~seed ~config ~net_config:wan ~sites:4 ~method_name:"COMPE" spec in
+          let full = stat r "full_rollbacks" in
+          let depth =
+            if full = 0.0 then 0.0 else stat r "rollback_depth_total" /. full
+          in
+          Tablefmt.add_row t
+            [
+              mix_name;
+              Printf.sprintf "%.0f%%" (abort_p *. 100.0);
+              Tablefmt.cell_float (stat r "aborts");
+              Tablefmt.cell_float (stat r "fast_compensations");
+              Tablefmt.cell_float full;
+              Printf.sprintf "%.1f" depth;
+              Tablefmt.cell_float (stat r "replayed_ops");
+              Tablefmt.cell_float (stat r "tainted_queries");
+              Tablefmt.cell_float (stat r "forced_charges");
+              Tablefmt.cell_bool r.Scenario.converged;
+            ])
+        [ 0.0; 0.1; 0.2; 0.3 ];
+      Tablefmt.add_separator t)
+    mixes;
+  Tablefmt.print t
+
+(* ------------------------------------------------------------------ *)
+(* E6: RITU multiversion — freshness vs consistency at the VTNC        *)
+(* ------------------------------------------------------------------ *)
+
+let e6_ritu_vtnc () =
+  let t =
+    Tablefmt.create
+      ~title:
+        "E6: RITU multiversion reads vs epsilon (5 sites, WAN; paper Sec \
+         3.3: reads above the VTNC cost inconsistency units; eps=0 reads \
+         the stable prefix)"
+      ~headers:
+        [ "Epsilon"; "Fresh reads (above VTNC)"; "VTNC reads"; "Mean units";
+          "Mean staleness (mismatched keys)"; "Converged" ]
+  in
+  List.iter
+    (fun eps ->
+      let spec =
+        {
+          Spec.duration = 4_000.0;
+          update_rate = 0.05;
+          query_rate = 0.05;
+          n_keys = 8;
+          zipf_theta = 0.9;
+          ops_per_update = 1;
+          keys_per_query = 2;
+          profile = Spec.Blind_set;
+          epsilon = eps;
+        }
+      in
+      let config = { Intf.default_config with Intf.ritu_mode = `Multi } in
+      let r = Scenario.run ~seed ~config ~net_config:wan ~sites:5 ~method_name:"RITU" spec in
+      Tablefmt.add_row t
+        [
+          Epsilon.spec_to_string eps;
+          Tablefmt.cell_float (stat r "fresh_reads");
+          Tablefmt.cell_float (stat r "vtnc_reads");
+          Printf.sprintf "%.2f" (Stats.mean r.Scenario.charged);
+          Printf.sprintf "%.2f" (Stats.mean r.Scenario.value_error);
+          Tablefmt.cell_bool r.Scenario.converged;
+        ])
+    [ Epsilon.Limit 0; Epsilon.Limit 1; Epsilon.Limit 2; Epsilon.Unlimited ];
+  Tablefmt.print t
+
+(* ------------------------------------------------------------------ *)
+(* E7: COMMU lock-counter back-pressure                                *)
+(* ------------------------------------------------------------------ *)
+
+let e7_lock_counter () =
+  let t =
+    Tablefmt.create
+      ~title:
+        "E7: COMMU update-side lock-counter limit (4 sites, WAN, hot key; \
+         paper Sec 3.2: limiting the counter trades update waiting for \
+         query admissibility)"
+      ~headers:
+        [ "Limit"; "Update waits"; "Upd lat p50 (ms)"; "Upd lat p95 (ms)";
+          "Mean query units"; "Max query units"; "Query waits"; "Committed" ]
+  in
+  List.iter
+    (fun limit ->
+      let spec =
+        {
+          Spec.default with
+          Spec.duration = 4_000.0;
+          update_rate = 0.06;
+          query_rate = 0.04;
+          n_keys = 4;
+          zipf_theta = 1.1;
+          ops_per_update = 1;
+          keys_per_query = 1;
+          epsilon = Epsilon.Limit 4;
+        }
+      in
+      let config =
+        {
+          Intf.default_config with
+          Intf.commu_update_limit = limit;
+          commu_limit_policy = `Wait;
+        }
+      in
+      let r = Scenario.run ~seed ~config ~net_config:wan ~sites:4 ~method_name:"COMMU" spec in
+      Tablefmt.add_row t
+        [
+          (match limit with None -> "inf" | Some l -> string_of_int l);
+          Tablefmt.cell_float (stat r "update_waits");
+          fmt_ms (Stats.median r.Scenario.update_latency);
+          fmt_ms (Stats.percentile r.Scenario.update_latency 95.0);
+          Printf.sprintf "%.2f" (Stats.mean r.Scenario.charged);
+          Tablefmt.cell_float
+            (if Stats.count r.Scenario.charged = 0 then 0.0 else Stats.max r.Scenario.charged);
+          Tablefmt.cell_float (stat r "query_waits");
+          Tablefmt.cell_int r.Scenario.committed;
+        ])
+    [ None; Some 8; Some 4; Some 2; Some 1 ];
+  Tablefmt.print t
+
+(* ------------------------------------------------------------------ *)
+(* E8: site crash and recovery                                         *)
+(* ------------------------------------------------------------------ *)
+
+let e8_crash_recovery () =
+  let t =
+    Tablefmt.create
+      ~title:
+        "E8: one of 4 sites crashes for a window, then recovers (paper \
+         Sec 2.2: stable queues make replica control robust to site \
+         failures); updates continue at live sites"
+      ~headers:
+        [ "Method"; "Crash window (ms)"; "Committed"; "Settled";
+          "Converged after recovery"; "Retx-heavy? (msgs sent)" ]
+  in
+  let methods = [ "ORDUP"; "COMMU"; "RITU"; "COMPE"; "2PC"; "QUORUM"; "QUASI" ] in
+  List.iter
+    (fun name ->
+      List.iter
+        (fun window ->
+          let module Harness = Esr_replica.Harness in
+          let config = { Intf.default_config with Intf.twopc_timeout = 30_000.0 } in
+          let h = Harness.create ~config ~seed ~sites:4 ~method_name:name () in
+          let engine = Harness.engine h in
+          let net = Harness.net h in
+          let committed = ref 0 in
+          let prng = Prng.create (seed + 3) in
+          for i = 0 to 59 do
+            ignore
+              (Engine.schedule_at engine
+                 ~time:(float_of_int i *. 40.0)
+                 (fun () ->
+                   let origin =
+                     let candidate = Prng.int prng 4 in
+                     if Net.site_up net candidate then candidate else 0
+                   in
+                   let intents =
+                     match name with
+                     | "RITU" | "QUORUM" -> [ Intf.Set ("k", Esr_store.Value.Int i) ]
+                     | _ -> [ Intf.Add ("k", 1) ]
+                   in
+                   Harness.submit_update h ~origin intents (function
+                     | Intf.Committed _ -> incr committed
+                     | Intf.Rejected _ -> ())))
+          done;
+          ignore (Engine.schedule_at engine ~time:400.0 (fun () -> Net.crash net 2));
+          ignore
+            (Engine.schedule_at engine ~time:(400.0 +. window) (fun () ->
+                 Net.recover net 2));
+          let settled = Harness.settle h in
+          Tablefmt.add_row t
+            [
+              name;
+              Tablefmt.cell_float window;
+              Tablefmt.cell_int !committed;
+              Tablefmt.cell_bool settled;
+              Tablefmt.cell_bool (Harness.converged h);
+              Tablefmt.cell_int (Net.counters net).Net.sent;
+            ])
+        [ 500.0; 2_000.0 ];
+      Tablefmt.add_separator t)
+    methods;
+  Tablefmt.print t
+
+(* ------------------------------------------------------------------ *)
+(* E9: saga-scoped lock-counters                                       *)
+(* ------------------------------------------------------------------ *)
+
+let e9_sagas () =
+  let t =
+    Tablefmt.create
+      ~title:
+        "E9: sagas vs independent updates (COMPE, 3 sites; paper Sec 4.2: \
+         holding lock-counters to saga end gives queries a conservative \
+         upper bound on the saga's total potential inconsistency)"
+      ~headers:
+        [ "Workload"; "Abort rate"; "Committed"; "Mean query units";
+          "Max query units"; "Revokes"; "Converged" ]
+  in
+  let module Compe = Esr_replica.Compe in
+  let module Harness = Esr_replica.Harness in
+  let run ~label ~as_saga ~abort_p =
+    let config =
+      {
+        Intf.default_config with
+        Intf.compe_abort_probability = abort_p;
+        compe_decision_delay = 100.0;
+      }
+    in
+    let engine = Engine.create () in
+    let prng = Prng.create seed in
+    let net =
+      Net.create ~config:wan engine ~sites:3 ~prng:(Prng.split prng)
+    in
+    let env = Intf.make_env ~config ~engine ~net ~prng () in
+    let sys = Compe.create env in
+    let committed = ref 0 in
+    let units = Stats.create () in
+    let steps i = [ [ Intf.Add ("a", i) ]; [ Intf.Add ("b", i) ]; [ Intf.Add ("c", i) ] ] in
+    for i = 1 to 40 do
+      ignore
+        (Engine.schedule_at engine
+           ~time:(float_of_int i *. 150.0)
+           (fun () ->
+             let count = function
+               | Intf.Committed _ -> incr committed
+               | Intf.Rejected _ -> ()
+             in
+             if as_saga then Compe.submit_saga sys ~origin:(i mod 3) (steps i) count
+             else
+               List.iter
+                 (fun step -> Compe.submit_update sys ~origin:(i mod 3) step count)
+                 (steps i)))
+    done;
+    for i = 1 to 30 do
+      ignore
+        (Engine.schedule_at engine
+           ~time:((float_of_int i *. 200.0) +. 90.0)
+           (fun () ->
+             Compe.submit_query sys ~site:(i mod 3) ~keys:[ "a"; "b"; "c" ]
+               ~epsilon:Esr_core.Epsilon.Unlimited (fun o ->
+                 Stats.add units (float_of_int o.Intf.charged))))
+    done;
+    let rec settle n =
+      if n = 0 then false
+      else begin
+        Engine.run engine;
+        if Compe.quiescent sys then true
+        else begin
+          Compe.flush sys;
+          settle (n - 1)
+        end
+      end
+    in
+    let settled = settle 10 in
+    let stat name =
+      Option.value (List.assoc_opt name (Compe.stats sys)) ~default:0.0
+    in
+    Tablefmt.add_row t
+      [
+        label;
+        Printf.sprintf "%.0f%%" (abort_p *. 100.0);
+        Tablefmt.cell_int !committed;
+        Printf.sprintf "%.2f" (Stats.mean units);
+        Tablefmt.cell_float (if Stats.count units = 0 then 0.0 else Stats.max units);
+        Tablefmt.cell_float (stat "revokes");
+        Tablefmt.cell_bool (settled && Compe.converged sys);
+      ]
+  in
+  List.iter
+    (fun abort_p ->
+      run ~label:"3-step sagas" ~as_saga:true ~abort_p;
+      run ~label:"3 independent updates" ~as_saga:false ~abort_p;
+      Tablefmt.add_separator t)
+    [ 0.0; 0.15 ];
+  Tablefmt.print t
+
+(* ------------------------------------------------------------------ *)
+(* E10: value-bounded divergence (COMMU)                               *)
+(* ------------------------------------------------------------------ *)
+
+let e10_value_bound () =
+  let sites = 4 in
+  let t =
+    Tablefmt.create
+      ~title:
+        (Printf.sprintf
+           "E10: value-bounded divergence (COMMU, %d sites, WAN; Sec 5.1's \
+            'data value changed asynchronously' criterion): per-key query \
+            error is bounded by (sites-1) x limit"
+           sites)
+      ~headers:
+        [ "Value limit L"; "Bound (n-1)L"; "Max query error"; "Mean query error";
+          "Bound holds"; "Update waits"; "Upd lat p95 (ms)"; "Committed" ]
+  in
+  List.iter
+    (fun limit ->
+      let spec =
+        {
+          Spec.default with
+          Spec.duration = 4_000.0;
+          update_rate = 0.06;
+          query_rate = 0.05;
+          n_keys = 4;
+          zipf_theta = 1.0;
+          ops_per_update = 1;
+          keys_per_query = 1;
+          epsilon = Epsilon.Unlimited;
+        }
+      in
+      let config =
+        {
+          Intf.default_config with
+          Intf.commu_value_limit = limit;
+          commu_limit_policy = `Wait;
+        }
+      in
+      let r = Scenario.run ~seed ~config ~net_config:wan ~sites ~method_name:"COMMU" spec in
+      let worst =
+        if Stats.count r.Scenario.value_error = 0 then 0.0
+        else Stats.max r.Scenario.value_error
+      in
+      let bound =
+        match limit with
+        | None -> infinity
+        | Some l -> float_of_int (sites - 1) *. l
+      in
+      Tablefmt.add_row t
+        [
+          (match limit with None -> "inf" | Some l -> Printf.sprintf "%.0f" l);
+          (match limit with None -> "inf" | Some _ -> Printf.sprintf "%.0f" bound);
+          Printf.sprintf "%.0f" worst;
+          Printf.sprintf "%.2f" (Stats.mean r.Scenario.value_error);
+          Tablefmt.cell_bool (worst <= bound);
+          Tablefmt.cell_float (stat r "update_waits");
+          fmt_ms (Stats.percentile r.Scenario.update_latency 95.0);
+          Tablefmt.cell_int r.Scenario.committed;
+        ])
+    [ None; Some 50.0; Some 25.0; Some 10.0; Some 5.0 ];
+  Tablefmt.print t
+
+(* ------------------------------------------------------------------ *)
+(* E11: quasi-copies closeness conditions (Sec 5.2 comparator)         *)
+(* ------------------------------------------------------------------ *)
+
+let e11_quasi () =
+  let t =
+    Tablefmt.create
+      ~title:
+        "E11: quasi-copies coherency conditions (QUASI comparator, 4 \
+         sites, WAN; Sec 5.2: inconsistency comes only from propagation \
+         lag, tuned by the closeness spec - at the price of refresh \
+         traffic and no per-query dial)"
+      ~headers:
+        [ "Closeness spec"; "Refreshes"; "Messages sent"; "Mean query error";
+          "Max query error"; "Upd lat p50 (ms)"; "Converged" ]
+  in
+  List.iter
+    (fun (label, refresh) ->
+      let spec =
+        {
+          Spec.default with
+          Spec.duration = 4_000.0;
+          update_rate = 0.05;
+          query_rate = 0.05;
+          n_keys = 8;
+          zipf_theta = 0.9;
+          ops_per_update = 1;
+          keys_per_query = 1;
+        }
+      in
+      let config = { Intf.default_config with Intf.quasi_refresh = refresh } in
+      let r = Scenario.run ~seed ~config ~net_config:wan ~sites:4 ~method_name:"QUASI" spec in
+      Tablefmt.add_row t
+        [
+          label;
+          Tablefmt.cell_float (stat r "refreshes");
+          Tablefmt.cell_int r.Scenario.net_counters.Net.sent;
+          Printf.sprintf "%.2f" (Stats.mean r.Scenario.value_error);
+          Tablefmt.cell_float
+            (if Stats.count r.Scenario.value_error = 0 then 0.0
+             else Stats.max r.Scenario.value_error);
+          fmt_ms (Stats.median r.Scenario.update_latency);
+          Tablefmt.cell_bool r.Scenario.converged;
+        ])
+    [
+      ("immediate", `Immediate);
+      ("periodic 100ms", `Periodic 100.0);
+      ("periodic 500ms", `Periodic 500.0);
+      ("drift 10", `Drift 10.0);
+      ("drift 50", `Drift 50.0);
+    ];
+  Tablefmt.print t
+
+(* ------------------------------------------------------------------ *)
+(* E12: partition length — ESR dynamic control vs off-line log merge   *)
+(* ------------------------------------------------------------------ *)
+
+let e12_partition_merge () =
+  let t =
+    Tablefmt.create
+      ~title:
+        "E12: prolonged partitions (Sec 5.3): ESR methods control \
+         divergence while partitioned and just drain queues at heal; \
+         optimistic-1SR reconciliation merges logs off-line and must roll \
+         back conflicting work that grows with partition length (mixed \
+         30% overwrite workload)"
+      ~headers:
+        [ "Partition (ms)"; "COMMU catch-up after heal (ms)"; "COMMU rolled back";
+          "Merge: minority ETs"; "Merge: rolled back"; "Merge: conflict keys" ]
+  in
+  List.iter
+    (fun duration ->
+      (* (a) ESR dynamic: COMMU runs straight through the partition. *)
+      let partition =
+        { Scenario.p_start = 500.0; p_end = 500.0 +. duration; groups = [ [ 0; 1 ]; [ 2; 3 ] ] }
+      in
+      let spec =
+        {
+          Spec.default with
+          Spec.duration = (500.0 +. duration +. 500.0);
+          update_rate = 0.05;
+          query_rate = 0.01;
+          n_keys = 8;
+          ops_per_update = 1;
+        }
+      in
+      let r =
+        Scenario.run ~seed ~sites:4 ~method_name:"COMMU" ~partition spec
+      in
+      let catch_up = Float.max 0.0 (r.Scenario.quiesce_time -. (500.0 +. duration)) in
+      (* (b) off-line merge: two partition-side logs of the same length,
+         mixed commutative/overwrite operations on shared keys. *)
+      let module Et = Esr_core.Et in
+      let module Op = Esr_store.Op in
+      let module Logmerge = Esr_core.Logmerge in
+      let gen_log offset prng =
+        let n = int_of_float (duration *. 0.05 /. 2.0) in
+        Esr_core.Hist.of_actions
+          (List.init n (fun i ->
+               let key = Printf.sprintf "k%d" (Prng.int prng 8) in
+               let op =
+                 if Prng.bernoulli prng 0.3 then
+                   Op.Write (Esr_store.Value.Int (Prng.int prng 100))
+                 else Op.Incr (1 + Prng.int prng 9)
+               in
+               Et.action ~et:(offset + i) ~key op))
+      in
+      let prng = Prng.create (seed + int_of_float duration) in
+      let log_a = gen_log 1 prng and log_b = gen_log 100_000 prng in
+      let m = Logmerge.merge ~majority:log_a ~minority:log_b in
+      let minority_ets = List.length (Esr_core.Hist.ets log_b) in
+      Tablefmt.add_row t
+        [
+          Printf.sprintf "%.0f" duration;
+          fmt_ms catch_up;
+          "0";
+          Tablefmt.cell_int minority_ets;
+          Tablefmt.cell_int (List.length m.Logmerge.rolled_back);
+          Tablefmt.cell_int (List.length m.Logmerge.conflict_keys);
+        ])
+    [ 500.0; 1_000.0; 2_000.0; 4_000.0 ];
+  Tablefmt.print t
+
+(* ------------------------------------------------------------------ *)
+(* A1: ablation — ORDUP ordering source                                *)
+(* ------------------------------------------------------------------ *)
+
+let a1_ordup_ordering () =
+  let t =
+    Tablefmt.create
+      ~title:
+        "A1 (ablation): ORDUP order source — central sequencer vs Lamport \
+         timestamps (paper Sec 3.1: with timestamps, MSets must wait until \
+         no earlier stamp can arrive)"
+      ~headers:
+        [ "Ordering"; "Sites"; "Upd lat p50 (ms)"; "Upd lat p95 (ms)";
+          "Quiesce time (ms)"; "Committed" ]
+  in
+  List.iter
+    (fun (label, ordering, flush_every) ->
+      List.iter
+        (fun sites ->
+          let spec =
+            {
+              Spec.default with
+              Spec.duration = 3_000.0;
+              update_rate = 0.03;
+              query_rate = 0.01;
+              n_keys = 16;
+              ops_per_update = 1;
+            }
+          in
+          let config = { Intf.default_config with Intf.ordup_ordering = ordering } in
+          let r =
+            Scenario.run ~seed ~config ~net_config:wan ?flush_every ~sites
+              ~method_name:"ORDUP" spec
+          in
+          Tablefmt.add_row t
+            [
+              label;
+              Tablefmt.cell_int sites;
+              fmt_ms (Stats.median r.Scenario.update_latency);
+              fmt_ms (Stats.percentile r.Scenario.update_latency 95.0);
+              fmt_ms r.Scenario.quiesce_time;
+              Tablefmt.cell_int r.Scenario.committed;
+            ])
+        [ 4; 8 ];
+      Tablefmt.add_separator t)
+    [
+      ("sequencer", `Sequencer, None);
+      ("lamport", `Lamport, None);
+      ("lamport + 50ms heartbeats", `Lamport, Some 50.0);
+    ];
+  Tablefmt.print t
+
+(* ------------------------------------------------------------------ *)
+(* A2: ablation — stable-queue retry interval vs loss                  *)
+(* ------------------------------------------------------------------ *)
+
+let a2_squeue_retry () =
+  let t =
+    Tablefmt.create
+      ~title:
+        "A2 (ablation): stable-queue retry interval vs link loss — time to \
+         drain 200 broadcast MSets (4 sites, 10ms links)"
+      ~headers:
+        [ "Loss"; "Retry interval (ms)"; "Drain time (ms)"; "Retransmissions";
+          "Duplicates suppressed" ]
+  in
+  List.iter
+    (fun drop ->
+      List.iter
+        (fun retry ->
+          let engine = Engine.create () in
+          let config = { Net.default_config with Net.drop_probability = drop } in
+          let net = Net.create ~config engine ~sites:4 ~prng:(Prng.create seed) in
+          let delivered = ref 0 in
+          let q =
+            Squeue.create ~retry_interval:retry net
+              ~handler:(fun ~site:_ ~src:_ () -> incr delivered)
+          in
+          for i = 0 to 199 do
+            ignore
+              (Engine.schedule engine ~delay:(float_of_int i) (fun () ->
+                   Squeue.send q ~src:(i mod 4) ~dst:((i + 1) mod 4) ()))
+          done;
+          Engine.run engine;
+          let c = Squeue.counters q in
+          Tablefmt.add_row t
+            [
+              Printf.sprintf "%.0f%%" (drop *. 100.0);
+              Tablefmt.cell_float retry;
+              fmt_ms (Engine.now engine);
+              Tablefmt.cell_int c.Squeue.retransmissions;
+              Tablefmt.cell_int c.Squeue.duplicates_suppressed;
+            ])
+        [ 25.0; 50.0; 100.0; 200.0 ];
+      Tablefmt.add_separator t)
+    [ 0.0; 0.05; 0.1; 0.2 ];
+  Tablefmt.print t
+
+let all =
+  [
+    ("e1_scalability", e1_scalability);
+    ("e2_epsilon", e2_epsilon);
+    ("e3_convergence", e3_convergence);
+    ("e4_partition", e4_partition);
+    ("e5_compensation", e5_compensation);
+    ("e6_ritu_vtnc", e6_ritu_vtnc);
+    ("e7_lock_counter", e7_lock_counter);
+    ("e8_crash_recovery", e8_crash_recovery);
+    ("e9_sagas", e9_sagas);
+    ("e10_value_bound", e10_value_bound);
+    ("e11_quasi", e11_quasi);
+    ("e12_partition_merge", e12_partition_merge);
+    ("a1_ordup_ordering", a1_ordup_ordering);
+    ("a2_squeue_retry", a2_squeue_retry);
+  ]
+
+let run_all () = List.iter (fun (_, f) -> f ()) all

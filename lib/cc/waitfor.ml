@@ -1,0 +1,44 @@
+type t = { edges : (int, (int, unit) Hashtbl.t) Hashtbl.t }
+
+let create () = { edges = Hashtbl.create 32 }
+
+let successors t node =
+  match Hashtbl.find_opt t.edges node with
+  | Some set -> set
+  | None ->
+      let set = Hashtbl.create 4 in
+      Hashtbl.replace t.edges node set;
+      set
+
+let reachable t ~src ~dst =
+  let visited = Hashtbl.create 16 in
+  let rec walk node =
+    if node = dst then true
+    else if Hashtbl.mem visited node then false
+    else begin
+      Hashtbl.replace visited node ();
+      match Hashtbl.find_opt t.edges node with
+      | None -> false
+      | Some set -> Hashtbl.fold (fun next () found -> found || walk next) set false
+    end
+  in
+  walk src
+
+let add_edge t ~waiter ~holder =
+  if waiter = holder then false
+  else if reachable t ~src:holder ~dst:waiter then false
+  else begin
+    Hashtbl.replace (successors t waiter) holder ();
+    true
+  end
+
+let remove_edges_from t ~waiter = Hashtbl.remove t.edges waiter
+
+let remove_node t node =
+  Hashtbl.remove t.edges node;
+  Hashtbl.iter (fun _ set -> Hashtbl.remove set node) t.edges
+
+let waits_on t ~waiter =
+  match Hashtbl.find_opt t.edges waiter with
+  | None -> []
+  | Some set -> Hashtbl.fold (fun n () acc -> n :: acc) set [] |> List.sort compare

@@ -1,0 +1,20 @@
+(** Wait-for graph with cycle detection, used for deadlock detection in
+    {!Lock_mgr} and exposed for direct testing. *)
+
+type t
+
+val create : unit -> t
+
+val add_edge : t -> waiter:int -> holder:int -> bool
+(** [add_edge t ~waiter ~holder] records that [waiter] waits on [holder].
+    Returns [false] — and does {e not} add the edge — when doing so would
+    close a cycle (i.e. the edge would cause a deadlock).  Self-edges are
+    rejected the same way. *)
+
+val remove_edges_from : t -> waiter:int -> unit
+val remove_node : t -> int -> unit
+(** Drop the node and every edge touching it. *)
+
+val waits_on : t -> waiter:int -> int list
+val reachable : t -> src:int -> dst:int -> bool
+(** Transitive reachability along wait edges. *)

@@ -1,0 +1,15 @@
+type t = { counter : int; site : int }
+
+let make ~counter ~site = { counter; site }
+
+let compare a b =
+  match Int.compare a.counter b.counter with
+  | 0 -> Int.compare a.site b.site
+  | c -> c
+
+let equal a b = compare a b = 0
+let zero = { counter = 0; site = -1 }
+let next clock ~site = { counter = Lamport.tick clock; site }
+let witness clock t = ignore (Lamport.witness clock t.counter)
+let pp ppf t = Format.fprintf ppf "%d.%d" t.counter t.site
+let to_string t = Printf.sprintf "%d.%d" t.counter t.site

@@ -1,0 +1,26 @@
+(** Globally unique, totally ordered timestamps.
+
+    A [Gtime.t] pairs a Lamport counter with the originating site id, which
+    breaks counter ties deterministically.  This is the "global timestamp"
+    that ORDUP attaches to update MSets so every replica executes them in
+    the same order, and the version timestamp RITU uses for
+    latest-writer-wins blind writes. *)
+
+type t = { counter : int; site : int }
+
+val make : counter:int -> site:int -> t
+val compare : t -> t -> int
+(** Lexicographic on (counter, site); a strict total order. *)
+
+val equal : t -> t -> bool
+val zero : t
+(** Smaller than every timestamp produced by [next]. *)
+
+val next : Lamport.t -> site:int -> t
+(** Tick the site's Lamport clock and stamp. *)
+
+val witness : Lamport.t -> t -> unit
+(** Merge a received timestamp into the local clock. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

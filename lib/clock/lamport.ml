@@ -1,0 +1,13 @@
+type t = { mutable value : int }
+
+let create () = { value = 0 }
+
+let tick t =
+  t.value <- t.value + 1;
+  t.value
+
+let witness t remote =
+  t.value <- Stdlib.max t.value remote + 1;
+  t.value
+
+let peek t = t.value

@@ -1,0 +1,19 @@
+(** Lamport scalar clocks [Lamport 1978], used by ORDUP and RITU to
+    generate a distributed total order over update MSets (§3.1 of the
+    paper: "we may use a Lamport-style global timestamp to mark the
+    ordering"). *)
+
+type t
+(** One process's clock.  Mutable. *)
+
+val create : unit -> t
+
+val tick : t -> int
+(** Local event: advance and return the new value. *)
+
+val witness : t -> int -> int
+(** [witness t remote] merges a timestamp received in a message
+    ([max local remote + 1]) and returns the new local value. *)
+
+val peek : t -> int
+(** Current value without advancing. *)

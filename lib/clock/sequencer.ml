@@ -1,0 +1,9 @@
+type t = { mutable last : int }
+
+let create () = { last = 0 }
+
+let next t =
+  t.last <- t.last + 1;
+  t.last
+
+let issued t = t.last

@@ -1,0 +1,16 @@
+(** Centralized order server (§3.1: "such ordering can be generated easily
+    by a centralized order server").  Hands out a dense sequence 1, 2, 3, …
+    so replicas can execute update MSets strictly in ticket order, with no
+    gaps to wait on.
+
+    The alternative decentralized ordering source is {!Gtime} (Lamport
+    timestamps); the ablation experiment A1 compares the two. *)
+
+type t
+
+val create : unit -> t
+val next : t -> int
+(** Strictly increasing from 1, no gaps. *)
+
+val issued : t -> int
+(** Number of tickets issued so far. *)

@@ -1,0 +1,45 @@
+type t = int array
+
+let create ~sites =
+  if sites <= 0 then invalid_arg "Vclock.create: sites must be positive";
+  Array.make sites 0
+
+let check_compatible a b =
+  if Array.length a <> Array.length b then
+    invalid_arg "Vclock: vectors of different size"
+
+let tick t ~site =
+  let t' = Array.copy t in
+  t'.(site) <- t'.(site) + 1;
+  t'
+
+let merge a b =
+  check_compatible a b;
+  Array.init (Array.length a) (fun i -> Stdlib.max a.(i) b.(i))
+
+let get t ~site = t.(site)
+
+type relation = Before | After | Equal | Concurrent
+
+let leq a b =
+  check_compatible a b;
+  let ok = ref true in
+  Array.iteri (fun i ai -> if ai > b.(i) then ok := false) a;
+  !ok
+
+let equal a b =
+  check_compatible a b;
+  a = b
+
+let relate a b =
+  match (leq a b, leq b a) with
+  | true, true -> Equal
+  | true, false -> Before
+  | false, true -> After
+  | false, false -> Concurrent
+
+let size t = Array.length t
+
+let pp ppf t =
+  Format.fprintf ppf "[%s]"
+    (String.concat ";" (Array.to_list (Array.map string_of_int t)))

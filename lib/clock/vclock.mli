@@ -1,0 +1,29 @@
+(** Vector clocks: the causal partial order over events.
+
+    Used by the convergence checker to verify that replica states at
+    quiescence dominate every update that was issued, and by the stable
+    queue tests to characterise delivery reordering. *)
+
+type t
+(** Immutable vector of per-site counters. *)
+
+val create : sites:int -> t
+(** All-zero vector over [sites] components. *)
+
+val tick : t -> site:int -> t
+(** Increment one component. *)
+
+val merge : t -> t -> t
+(** Component-wise max. *)
+
+val get : t -> site:int -> int
+
+type relation = Before | After | Equal | Concurrent
+
+val relate : t -> t -> relation
+val leq : t -> t -> bool
+(** [leq a b] iff every component of [a] is [<=] the one of [b]. *)
+
+val equal : t -> t -> bool
+val size : t -> int
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,38 @@
+type spec = Unlimited | Limit of int
+
+let spec_of_int n = if n < 0 then Unlimited else Limit n
+
+let spec_to_string = function
+  | Unlimited -> "inf"
+  | Limit n -> string_of_int n
+
+let pp_spec ppf s = Format.pp_print_string ppf (spec_to_string s)
+
+type counter = { spec : spec; mutable value : int }
+
+let create spec = { spec; value = 0 }
+let spec c = c.spec
+let value c = c.value
+
+let try_charge c n =
+  if n <= 0 then invalid_arg "Epsilon.try_charge: non-positive charge";
+  match c.spec with
+  | Unlimited ->
+      c.value <- c.value + n;
+      true
+  | Limit limit ->
+      if c.value + n <= limit then begin
+        c.value <- c.value + n;
+        true
+      end
+      else false
+
+let charge_forced c n = c.value <- c.value + n
+
+let exhausted c =
+  match c.spec with Unlimited -> false | Limit limit -> c.value >= limit
+
+let remaining c =
+  match c.spec with
+  | Unlimited -> None
+  | Limit limit -> Some (Stdlib.max 0 (limit - c.value))

@@ -1,0 +1,40 @@
+(** Epsilon specifications and inconsistency counters.
+
+    Every query ET carries an inconsistency counter; each time divergence
+    control lets it observe the effect of an uncommitted/overlapping
+    update, the counter is charged one unit.  The epsilon specification is
+    the limit: once reached, further inconsistent observations are denied
+    and the query must fall back to the consistent path (wait for global
+    order, read at the VTNC, …).  [epsilon = 0] yields strictly SR
+    queries; [unlimited] lets the error grow with the overlap (which
+    still bounds it). *)
+
+type spec = Unlimited | Limit of int
+
+val spec_of_int : int -> spec
+(** Negative means [Unlimited]. *)
+
+val spec_to_string : spec -> string
+val pp_spec : Format.formatter -> spec -> unit
+
+type counter
+
+val create : spec -> counter
+val spec : counter -> spec
+val value : counter -> int
+(** Inconsistency accumulated so far. *)
+
+val try_charge : counter -> int -> bool
+(** [try_charge c n] adds [n] units if the limit allows and returns
+    [true]; otherwise leaves the counter unchanged and returns [false].
+    [n <= 0] raises [Invalid_argument]. *)
+
+val charge_forced : counter -> int -> unit
+(** Unconditional charge — used by backward methods (§4.2): compensations
+    add inconsistency to conflicting queries whether or not they asked. *)
+
+val exhausted : counter -> bool
+(** No further unit can be charged. *)
+
+val remaining : counter -> int option
+(** [None] for [Unlimited]. *)

@@ -1,0 +1,52 @@
+module Op = Esr_store.Op
+
+let is_sr ?(mode = Conflict.Classic) hist =
+  Sergraph.is_acyclic (Sergraph.of_history ~mode hist)
+
+let serial_witness ?(mode = Conflict.Classic) hist =
+  Sergraph.topological_order (Sergraph.of_history ~mode hist)
+
+let update_subhistory hist =
+  let kinds = Hist.ets hist in
+  Hist.filter_ets hist ~keep:(fun id ->
+      match List.assoc_opt id kinds with
+      | Some Et.Update -> true
+      | Some Et.Query | None -> false)
+
+let is_epsilon_serial ?(mode = Conflict.Classic) hist =
+  is_sr ~mode (update_subhistory hist)
+
+let overlap hist ~query =
+  (match Hist.kind_of hist query with
+  | Et.Query -> ()
+  | Et.Update -> invalid_arg (Printf.sprintf "Esr_check.overlap: ET%d is an update ET" query)
+  | exception Not_found ->
+      invalid_arg (Printf.sprintf "Esr_check.overlap: ET%d not in history" query));
+  let q_first = Hist.first_pos hist query in
+  let q_last = Hist.last_pos hist query in
+  let q_keys = Hist.keys_of hist query in
+  let overlaps_in_time id =
+    let u_first = Hist.first_pos hist id and u_last = Hist.last_pos hist id in
+    (* Unfinished at the query's first operation, or started during it. *)
+    (u_first <= q_first && u_last >= q_first)
+    || (u_first >= q_first && u_first <= q_last)
+  in
+  let touches_query_keys id =
+    List.exists (fun k -> List.mem k q_keys) (Hist.keys_of hist id)
+  in
+  Hist.ets hist
+  |> List.filter_map (fun (id, kind) ->
+         match kind with
+         | Et.Update when overlaps_in_time id && touches_query_keys id -> Some id
+         | Et.Update | Et.Query -> None)
+
+let overlap_bound hist ~query = List.length (overlap hist ~query)
+
+let max_overlap hist =
+  Hist.ets hist
+  |> List.fold_left
+       (fun acc (id, kind) ->
+         match kind with
+         | Et.Query -> Stdlib.max acc (overlap_bound hist ~query:id)
+         | Et.Update -> acc)
+       0

@@ -1,0 +1,36 @@
+(** The ESR correctness checker (§2.1–2.2).
+
+    These are the executable definitions the integration tests use to
+    validate the replica-control methods: methods emit the histories they
+    actually scheduled, and the checker decides SR / ε-serial membership
+    and computes overlaps. *)
+
+val is_sr : ?mode:Conflict.mode -> Hist.t -> bool
+(** Conflict-serializability of the whole history. *)
+
+val serial_witness : ?mode:Conflict.mode -> Hist.t -> Et.id list option
+(** An equivalent serial order, when one exists. *)
+
+val is_epsilon_serial : ?mode:Conflict.mode -> Hist.t -> bool
+(** "A log … is an ε-serial log if, after deleting query ETs from the
+    log, the remaining update ETs form an SR log."  Vacuously true for a
+    query-only history. *)
+
+val update_subhistory : Hist.t -> Hist.t
+(** The history with all query-ET operations deleted. *)
+
+val overlap : Hist.t -> query:Et.id -> Et.id list
+(** The overlap of a query ET (§2.1): update ETs that had not finished at
+    the query's first operation or started during the query, restricted
+    to updates with an R/W dependency on objects the query accesses.
+    Raises [Invalid_argument] if [query] is not a query ET of the
+    history. *)
+
+val overlap_bound : Hist.t -> query:Et.id -> int
+(** [List.length (overlap ...)] — the paper's upper bound on the query's
+    accumulated inconsistency. *)
+
+val max_overlap : Hist.t -> int
+(** Maximum overlap bound across all query ETs; 0 for an update-only
+    history.  A history with [max_overlap = 0] whose update subhistory is
+    SR is fully SR. *)

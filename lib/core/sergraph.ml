@@ -1,0 +1,111 @@
+module IntMap = Map.Make (Int)
+module IntSet = Set.Make (Int)
+
+type t = { nodes : IntSet.t; succ : IntSet.t IntMap.t }
+
+let of_history ?(mode = Conflict.Classic) hist =
+  let nodes =
+    List.fold_left (fun s (id, _) -> IntSet.add id s) IntSet.empty (Hist.ets hist)
+  in
+  let succ =
+    List.fold_left
+      (fun m (e : Conflict.edge) ->
+        let existing = Option.value (IntMap.find_opt e.from_et m) ~default:IntSet.empty in
+        IntMap.add e.from_et (IntSet.add e.to_et existing) m)
+      IntMap.empty
+      (Conflict.edges ~mode hist)
+  in
+  { nodes; succ }
+
+let nodes t = IntSet.elements t.nodes
+
+let succ t id =
+  match IntMap.find_opt id t.succ with
+  | Some s -> IntSet.elements s
+  | None -> []
+
+let has_edge t a b =
+  match IntMap.find_opt a t.succ with
+  | Some s -> IntSet.mem b s
+  | None -> false
+
+(* Iterative-enough DFS with colouring; histories have few ETs compared to
+   operations so recursion depth is safe. *)
+let find_cycle t =
+  let color = Hashtbl.create 16 in
+  (* 0 = white (absent), 1 = grey, 2 = black *)
+  let rec visit path node =
+    match Hashtbl.find_opt color node with
+    | Some 2 -> None
+    | Some 1 ->
+        (* Found a back edge.  [path] is newest-first and starts with the
+           re-visited node itself; the cycle is the segment from just
+           below the head down to the first earlier occurrence. *)
+        let rec cut = function
+          | [] -> []
+          | x :: rest -> if x = node then [ x ] else x :: cut rest
+        in
+        let tail = match path with [] -> [] | _ :: rest -> rest in
+        Some (List.rev (cut tail))
+    | Some _ | None ->
+        Hashtbl.replace color node 1;
+        let result =
+          List.fold_left
+            (fun found next ->
+              match found with
+              | Some _ -> found
+              | None -> visit (next :: path) next)
+            None (succ t node)
+        in
+        (match result with None -> Hashtbl.replace color node 2 | Some _ -> ());
+        result
+  in
+  IntSet.fold
+    (fun node found ->
+      match found with Some _ -> found | None -> visit [ node ] node)
+    t.nodes None
+
+let is_acyclic t = Option.is_none (find_cycle t)
+
+let topological_order t =
+  if not (is_acyclic t) then None
+  else begin
+    let indegree = Hashtbl.create 16 in
+    IntSet.iter (fun n -> Hashtbl.replace indegree n 0) t.nodes;
+    IntMap.iter
+      (fun _ targets ->
+        IntSet.iter
+          (fun b ->
+            Hashtbl.replace indegree b
+              (Option.value (Hashtbl.find_opt indegree b) ~default:0 + 1))
+          targets)
+      t.succ;
+    (* Kahn's algorithm with a sorted frontier for determinism. *)
+    let ready () =
+      Hashtbl.fold (fun n d acc -> if d = 0 then n :: acc else acc) indegree []
+      |> List.sort Int.compare
+    in
+    let rec loop acc =
+      match ready () with
+      | [] -> List.rev acc
+      | node :: _ ->
+          Hashtbl.remove indegree node;
+          List.iter
+            (fun b ->
+              match Hashtbl.find_opt indegree b with
+              | Some d -> Hashtbl.replace indegree b (d - 1)
+              | None -> ())
+            (succ t node);
+          loop (node :: acc)
+    in
+    Some (loop [])
+  end
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun n ->
+      Format.fprintf ppf "ET%d -> {%s}@," n
+        (String.concat "," (List.map string_of_int (succ t n))))
+    (nodes t);
+  Format.fprintf ppf "@]"

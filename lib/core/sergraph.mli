@@ -1,0 +1,24 @@
+(** Serialization graphs and the conflict-serializability test.
+
+    Nodes are ETs; an edge [a -> b] means some operation of [a] precedes
+    and conflicts with an operation of [b].  A history is (conflict-)
+    serializable iff its graph is acyclic; a topological order of the
+    acyclic graph is an equivalent serial order witness. *)
+
+type t
+
+val of_history : ?mode:Conflict.mode -> Hist.t -> t
+val nodes : t -> Et.id list
+val succ : t -> Et.id -> Et.id list
+val has_edge : t -> Et.id -> Et.id -> bool
+
+val find_cycle : t -> Et.id list option
+(** A witness cycle (first node not repeated), or [None] if acyclic. *)
+
+val is_acyclic : t -> bool
+
+val topological_order : t -> Et.id list option
+(** Some equivalent serial order, or [None] when cyclic.  Ties broken by
+    ascending ET id, so the witness is deterministic. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,347 @@
+(** COMMU — commutative operations (paper §3.2).
+
+    Update MSets contain only mutually commutative operations (additive
+    deltas here), so replicas may apply them in any arrival order and
+    still converge: updates are ordered "at their completion time".
+    Both queries and updates propagate asynchronously (Table 1).
+
+    Divergence bounding uses per-object lock-counters: a site increments
+    an object's counter when it applies an update MSet and decrements it
+    when the update ET *completes* globally (all replicas applied it — the
+    origin collects acks and broadcasts a completion notice).  A non-zero
+    counter is in-flight inconsistency: a query reading the object is
+    charged that many units, and an exhausted epsilon makes it wait for
+    the counters to drain.  An optional update-side limit (§3.2's "the
+    update ET trying to write must either wait or abort") gives
+    back-pressure, swept by experiment E7. *)
+
+module Op = Esr_store.Op
+module Store = Esr_store.Store
+module Hist = Esr_core.Hist
+module Et = Esr_core.Et
+module Epsilon = Esr_core.Epsilon
+module Lock_counter = Esr_cc.Lock_counter
+module Engine = Esr_sim.Engine
+module Squeue = Esr_squeue.Squeue
+
+type mset = { et : Et.id; ops : (string * Op.t) list; origin : int }
+
+(* Pending |delta| an operation contributes to its object's weight. *)
+let op_weight = function
+  | Op.Incr d -> Float.abs (float_of_int d)
+  | Op.Read | Op.Write _ | Op.Mult _ | Op.Div _ | Op.Timed_write _ | Op.Append _
+    -> 0.0
+
+type msg =
+  | Apply of mset
+  | Applied of { et : Et.id; by : int }  (** ack back to the origin *)
+  | Complete of { et : Et.id; charges : (string * float) list }
+
+type site = {
+  id : int;
+  store : Store.t;
+  mutable hist : Hist.t;
+  counters : Lock_counter.t;
+  mutable parked_queries : (unit -> unit) list;
+  mutable parked_updates : (unit -> unit) list;
+}
+
+(* Origin-side record of an update ET awaiting acks from all replicas. *)
+type inflight = { charges : (string * float) list; mutable waiting_acks : int }
+
+type t = {
+  env : Intf.env;
+  sites : site array;
+  fabric : msg Squeue.t;
+  inflight : (Et.id, inflight) Hashtbl.t;
+  mutable n_updates : int;
+  mutable n_queries : int;
+  mutable n_rejected : int;
+  mutable n_query_waits : int;
+  mutable n_update_waits : int;
+  mutable n_charged_units : int;
+}
+
+let meta =
+  {
+    Intf.name = "COMMU";
+    family = Intf.Forward;
+    restriction = "operation semantics";
+    async_propagation = "Query & Update";
+    sorting_time = "doesn't matter";
+  }
+
+let log_action site ~et ~key op =
+  site.hist <- Hist.append site.hist (Et.action ~et ~key op)
+
+let wake_queries site =
+  let waiting = List.rev site.parked_queries in
+  site.parked_queries <- [];
+  List.iter (fun resume -> resume ()) waiting
+
+let wake_updates site =
+  let waiting = List.rev site.parked_updates in
+  site.parked_updates <- [];
+  List.iter (fun resume -> resume ()) waiting
+
+let apply_mset site mset =
+  List.iter
+    (fun (key, op) ->
+      ignore (Lock_counter.incr site.counters key);
+      ignore (Lock_counter.add_weight site.counters key (op_weight op));
+      (match Store.apply site.store key op with
+      | Ok _ -> ()
+      | Error _ -> invalid_arg "COMMU: commutative op failed to apply");
+      log_action site ~et:mset.et ~key op)
+    mset.ops
+
+let charges_of ops = List.map (fun (key, op) -> (key, op_weight op)) ops
+
+let complete_at site charges =
+  List.iter
+    (fun (key, w) ->
+      ignore (Lock_counter.decr site.counters key);
+      ignore (Lock_counter.remove_weight site.counters key w))
+    charges;
+  wake_queries site;
+  wake_updates site
+
+let receive t ~site:site_id msg =
+  let site = t.sites.(site_id) in
+  match msg with
+  | Apply mset ->
+      apply_mset site mset;
+      Squeue.send t.fabric ~src:site_id ~dst:mset.origin
+        (Applied { et = mset.et; by = site_id })
+  | Applied { et; by = _ } -> (
+      match Hashtbl.find_opt t.inflight et with
+      | None -> ()
+      | Some record ->
+          record.waiting_acks <- record.waiting_acks - 1;
+          if record.waiting_acks = 0 then begin
+            Hashtbl.remove t.inflight et;
+            Squeue.broadcast t.fabric ~src:site_id
+              (Complete { et; charges = record.charges });
+            complete_at site record.charges
+          end)
+  | Complete { et = _; charges } -> complete_at site charges
+
+let create (env : Intf.env) =
+  let rec t =
+    lazy
+      (let fabric =
+         Squeue.create ~mode:Squeue.Unordered
+           ~retry_interval:env.Intf.config.Intf.retry_interval env.Intf.net
+           ~handler:(fun ~site ~src:_ msg -> receive (Lazy.force t) ~site msg)
+       in
+       {
+         env;
+         sites =
+           Array.init env.Intf.sites (fun id ->
+               {
+                 id;
+                 store = Store.create ();
+                 hist = Hist.empty;
+                 counters = Lock_counter.create ();
+                 parked_queries = [];
+                 parked_updates = [];
+               });
+         fabric;
+         inflight = Hashtbl.create 32;
+         n_updates = 0;
+         n_queries = 0;
+         n_rejected = 0;
+         n_query_waits = 0;
+         n_update_waits = 0;
+         n_charged_units = 0;
+       })
+  in
+  Lazy.force t
+
+let intent_to_op = function
+  | Intf.Add (k, d) -> Ok (k, Op.Incr d)
+  | Intf.Set (k, _) ->
+      Error (Printf.sprintf "COMMU: Set on %s is not commutative" k)
+  | Intf.Mul (k, _) ->
+      Error
+        (Printf.sprintf
+           "COMMU: Mul on %s does not commute with the additive class" k)
+
+let submit_update t ~origin intents k =
+  let translated = List.map intent_to_op intents in
+  match List.find_opt Result.is_error translated with
+  | Some (Error message) ->
+      t.n_rejected <- t.n_rejected + 1;
+      k (Intf.Rejected message)
+  | Some (Ok _) | None ->
+      if intents = [] then k (Intf.Rejected "empty update ET")
+      else begin
+        t.n_updates <- t.n_updates + 1;
+        let ops = List.map Result.get_ok translated in
+        let et = t.env.Intf.next_et () in
+        let site = t.sites.(origin) in
+        let keys = List.map fst ops in
+        let charges = charges_of ops in
+        (* An ET whose own |delta| exceeds the value limit can never be
+           admitted; waiting would hang it forever. *)
+        let impossible =
+          match t.env.Intf.config.Intf.commu_value_limit with
+          | None -> false
+          | Some limit -> List.exists (fun (_, w) -> w > limit +. 1e-9) charges
+        in
+        if impossible then begin
+          t.n_rejected <- t.n_rejected + 1;
+          k (Intf.Rejected "COMMU: update exceeds the value limit outright")
+        end
+        else
+        let rec attempt () =
+          let count_exceeds =
+            match t.env.Intf.config.Intf.commu_update_limit with
+            | None -> false
+            | Some limit ->
+                List.exists
+                  (fun key -> Lock_counter.would_exceed site.counters key ~limit)
+                  keys
+          in
+          let value_exceeds =
+            match t.env.Intf.config.Intf.commu_value_limit with
+            | None -> false
+            | Some limit ->
+                List.exists
+                  (fun (key, w) ->
+                    Lock_counter.weight_would_exceed site.counters key ~added:w
+                      ~limit)
+                  charges
+          in
+          if count_exceeds || value_exceeds then
+            match t.env.Intf.config.Intf.commu_limit_policy with
+            | `Abort ->
+                t.n_rejected <- t.n_rejected + 1;
+                k
+                  (Intf.Rejected
+                     (if value_exceeds then "COMMU: value limit reached"
+                      else "COMMU: lock-counter limit reached"))
+            | `Wait ->
+                t.n_update_waits <- t.n_update_waits + 1;
+                site.parked_updates <- attempt :: site.parked_updates
+          else begin
+            let mset = { et; ops; origin } in
+            apply_mset site mset;
+            if t.env.Intf.sites > 1 then begin
+              Hashtbl.replace t.inflight et
+                { charges; waiting_acks = t.env.Intf.sites - 1 };
+              Squeue.broadcast t.fabric ~src:origin (Apply mset)
+            end
+            else complete_at site charges;
+            (* The update ET commits locally and propagates asynchronously. *)
+            k (Intf.Committed { committed_at = Engine.now t.env.engine })
+          end
+        in
+        attempt ()
+      end
+
+let submit_query t ~site:site_id ~keys ~epsilon k =
+  t.n_queries <- t.n_queries + 1;
+  let site = t.sites.(site_id) in
+  let et = t.env.Intf.next_et () in
+  let eps = Epsilon.create epsilon in
+  let started_at = Engine.now t.env.engine in
+  let waited = ref false in
+  let values = ref [] in
+  (* A strictly serializable query must see an atomic snapshot: since
+     MSets apply atomically per site, it suffices to wait until every key
+     is simultaneously free of in-flight updates and read them all in one
+     event (stepping key by key would splice different serialization
+     points together). *)
+  if epsilon = Epsilon.Limit 0 then begin
+    let rec strict_attempt () =
+      if List.for_all (fun key -> Lock_counter.count site.counters key = 0) keys
+      then begin
+        let snapshot =
+          List.map
+            (fun key ->
+              log_action site ~et ~key Op.Read;
+              (key, Store.get site.store key))
+            keys
+        in
+        k
+          {
+            Intf.values = snapshot;
+            charged = 0;
+            consistent_path = !waited;
+            started_at;
+            served_at = Engine.now t.env.engine;
+          }
+      end
+      else begin
+        waited := true;
+        t.n_query_waits <- t.n_query_waits + 1;
+        site.parked_queries <- strict_attempt :: site.parked_queries
+      end
+    in
+    strict_attempt ()
+  end
+  else
+  let rec step remaining =
+    match remaining with
+    | [] ->
+        k
+          {
+            Intf.values = List.rev !values;
+            charged = Epsilon.value eps;
+            consistent_path = !waited;
+            started_at;
+            served_at = Engine.now t.env.engine;
+          }
+    | key :: rest ->
+        let pending = Lock_counter.count site.counters key in
+        let admissible = pending = 0 || Epsilon.try_charge eps pending in
+        if admissible then begin
+          if pending > 0 then t.n_charged_units <- t.n_charged_units + pending;
+          log_action site ~et ~key Op.Read;
+          values := (key, Store.get site.store key) :: !values;
+          if rest = [] then step []
+          else
+            ignore
+              (Engine.schedule t.env.engine
+                 ~delay:t.env.Intf.config.Intf.query_step_delay (fun () ->
+                   step rest))
+        end
+        else begin
+          (* Too much in-flight inconsistency on this object: wait for
+             completions to drain the counter. *)
+          waited := true;
+          t.n_query_waits <- t.n_query_waits + 1;
+          site.parked_queries <-
+            (fun () -> step remaining) :: site.parked_queries
+        end
+  in
+  step keys
+
+let flush _ = ()
+
+let quiescent t =
+  Hashtbl.length t.inflight = 0
+  && Array.for_all
+       (fun site ->
+         site.parked_queries = [] && site.parked_updates = []
+         && Lock_counter.total_nonzero site.counters = 0)
+       t.sites
+
+let store t ~site = t.sites.(site).store
+let mvstore _ ~site:_ = None
+let history t ~site = t.sites.(site).hist
+
+let converged t =
+  let reference = t.sites.(0).store in
+  Array.for_all (fun site -> Store.equal site.store reference) t.sites
+
+let stats t =
+  [
+    ("updates", float_of_int t.n_updates);
+    ("queries", float_of_int t.n_queries);
+    ("rejected", float_of_int t.n_rejected);
+    ("query_waits", float_of_int t.n_query_waits);
+    ("update_waits", float_of_int t.n_update_waits);
+    ("charged_units", float_of_int t.n_charged_units);
+  ]

@@ -1,0 +1,35 @@
+(** COMMU — commutative operations (paper §3.2).
+
+    Update MSets contain only mutually commutative operations, so
+    replicas apply them in any arrival order and still converge.
+    Divergence bounding uses per-object lock-counters over each update's
+    in-flight window (apply → global completion); queries are charged the
+    counters they read through, wait when their epsilon is exhausted, and
+    with [epsilon = Limit 0] take an atomic all-keys-quiet snapshot.
+    Optional update-side limits ([commu_update_limit] on the operation
+    count, [commu_value_limit] on the pending |delta|, §3.2/§5.1) give
+    back-pressure with a Wait or Abort policy. *)
+
+type t
+
+val meta : Intf.meta
+val create : Intf.env -> t
+
+val submit_update :
+  t -> origin:int -> Intf.intent list -> (Intf.update_outcome -> unit) -> unit
+
+val submit_query :
+  t ->
+  site:int ->
+  keys:string list ->
+  epsilon:Esr_core.Epsilon.spec ->
+  (Intf.query_outcome -> unit) ->
+  unit
+
+val flush : t -> unit
+val quiescent : t -> bool
+val store : t -> site:int -> Esr_store.Store.t
+val mvstore : t -> site:int -> Esr_store.Mvstore.t option
+val history : t -> site:int -> Esr_core.Hist.t
+val converged : t -> bool
+val stats : t -> (string * float) list

@@ -1,0 +1,74 @@
+(** Replicated-system harness: wires an engine, a network, and one
+    replica-control method together, and knows how to drive the system to
+    quiescence (the state in which the paper's convergence guarantee is
+    stated: "replicas converge to the same 1SR value when the update
+    MSets queued at individual sites are processed"). *)
+
+module Engine = Esr_sim.Engine
+module Net = Esr_sim.Net
+module Prng = Esr_util.Prng
+
+type t = {
+  engine : Engine.t;
+  net : Net.t;
+  env : Intf.env;
+  system : Intf.boxed;
+  seed : int;
+}
+
+let create ?(config = Intf.default_config) ?net_config ?(seed = 42) ~sites
+    ~method_name () =
+  let engine = Engine.create () in
+  let prng = Prng.create seed in
+  let net_prng = Prng.split prng in
+  let net = Net.create ?config:net_config engine ~sites ~prng:net_prng in
+  let env = Intf.make_env ~config ~engine ~net ~prng () in
+  let system = Registry.make ~name:method_name env in
+  { engine; net; env; system; seed }
+
+let engine t = t.engine
+let net t = t.net
+let env t = t.env
+let system t = t.system
+
+let now t = Engine.now t.engine
+
+let run_for t duration = Engine.run ~until:(now t +. duration) t.engine
+
+(** Drain everything: repeatedly run the event loop and flush the method
+    until both the engine and the protocol report quiescence.  Returns
+    [false] if [max_rounds] flush rounds were not enough (e.g. a network
+    partition is still in force). *)
+let settle ?(max_rounds = 10) t =
+  let rec loop rounds =
+    if rounds = 0 then false
+    else begin
+      Engine.run t.engine;
+      if Intf.boxed_quiescent t.system then true
+      else begin
+        Intf.boxed_flush t.system;
+        loop (rounds - 1)
+      end
+    end
+  in
+  Intf.boxed_flush t.system;
+  loop max_rounds
+
+let converged t = Intf.boxed_converged t.system
+
+(** All per-site states equal and the protocol quiescent — the paper's
+    convergence property, checked exactly. *)
+let check_convergence t =
+  if not (settle t) then Error "system did not reach quiescence"
+  else if not (converged t) then Error "replicas diverge at quiescence"
+  else Ok ()
+
+let submit_update t ~origin intents k =
+  Intf.boxed_submit_update t.system ~origin intents k
+
+let submit_query t ~site ~keys ~epsilon k =
+  Intf.boxed_submit_query t.system ~site ~keys ~epsilon k
+
+let store t ~site = Intf.boxed_store t.system ~site
+let history t ~site = Intf.boxed_history t.system ~site
+let stats t = Intf.boxed_stats t.system

@@ -1,0 +1,194 @@
+(** Shared vocabulary of the replica-control methods.
+
+    Every protocol — the paper's four asynchronous methods and the two
+    synchronous 1SR baselines — implements {!module-type-S}, so the
+    harness, the workload driver, and the bench tables treat them
+    uniformly.  The Table 1 metadata ({!meta}) lives on the module, which
+    is what lets the bench harness derive the paper's Table 1 from the
+    registry instead of hard-coding it. *)
+
+module Op = Esr_store.Op
+module Value = Esr_store.Value
+module Store = Esr_store.Store
+module Mvstore = Esr_store.Mvstore
+module Epsilon = Esr_core.Epsilon
+module Hist = Esr_core.Hist
+
+(** What a client wants an update ET to do, before the method translates
+    it into the operations it supports.  Methods whose restriction
+    excludes an intent refuse the update (making Table 1's "kind of
+    restriction" row executable). *)
+type intent =
+  | Set of string * Value.t  (** overwrite; RITU turns it into a timestamped blind write *)
+  | Add of string * int  (** commutative increment *)
+  | Mul of string * int  (** commutative multiplication (COMPE's §4.1 example) *)
+
+let pp_intent ppf = function
+  | Set (k, v) -> Format.fprintf ppf "set %s=%a" k Value.pp v
+  | Add (k, d) -> Format.fprintf ppf "add %s+=%d" k d
+  | Mul (k, f) -> Format.fprintf ppf "mul %s*=%d" k f
+
+let intent_key = function Set (k, _) | Add (k, _) | Mul (k, _) -> k
+
+type update_outcome =
+  | Committed of { committed_at : float }
+  | Rejected of string
+
+type query_outcome = {
+  values : (string * Value.t) list;
+  charged : int;  (** inconsistency units accumulated (≤ the epsilon spec) *)
+  consistent_path : bool;  (** true when the query fell back to the SR path *)
+  started_at : float;
+  served_at : float;
+}
+
+(** Family and Table 1 characteristics of a method. *)
+type family = Forward | Backward | Synchronous
+
+let family_to_string = function
+  | Forward -> "Forwards"
+  | Backward -> "Backwards"
+  | Synchronous -> "Synchronous"
+
+type meta = {
+  name : string;
+  family : family;
+  restriction : string;  (** Table 1 "kind of restriction" *)
+  async_propagation : string;  (** Table 1 "asynchronous propagation" *)
+  sorting_time : string;  (** Table 1 "sorting time" *)
+}
+
+(** Per-run tuning knobs; each method reads the fields it cares about. *)
+type config = {
+  ordup_ordering : [ `Sequencer | `Lamport ];
+  ritu_mode : [ `Single | `Multi ];
+  commu_update_limit : int option;
+      (** §3.2 update-side lock-counter limit; [None] = unlimited *)
+  commu_value_limit : float option;
+      (** update-side bound on the pending |delta| per object — the
+          "data value changed asynchronously" criterion of §5.1;
+          [None] = unlimited *)
+  commu_limit_policy : [ `Wait | `Abort ];
+  compe_abort_probability : float;
+      (** chance the global transaction aborts after optimistic apply *)
+  compe_decision_delay : float;
+      (** virtual ms between optimistic apply and global commit/abort *)
+  retry_interval : float;  (** stable-queue retransmission period *)
+  query_step_delay : float;
+      (** virtual ms between successive reads of a multi-key query
+          (lets update MSets interleave with the query) *)
+  quorum_reads : int option;  (** read quorum; default majority *)
+  quorum_writes : int option;  (** write quorum; default majority *)
+  twopc_timeout : float;
+      (** coordinator aborts an update ET still undecided after this many
+          virtual ms (covers distributed deadlocks and partitions) *)
+  quasi_refresh : [ `Immediate | `Periodic of float | `Drift of float ];
+      (** QUASI coherency condition ("closeness" spec of quasi-copies,
+          §5.2): push every primary update, push dirty keys every τ ms,
+          or push a key once its value drifts more than α from the last
+          propagated image *)
+}
+
+let default_config =
+  {
+    ordup_ordering = `Sequencer;
+    ritu_mode = `Single;
+    commu_update_limit = None;
+    commu_value_limit = None;
+    commu_limit_policy = `Wait;
+    compe_abort_probability = 0.0;
+    compe_decision_delay = 100.0;
+    retry_interval = 50.0;
+    query_step_delay = 1.0;
+    quorum_reads = None;
+    quorum_writes = None;
+    twopc_timeout = 2_000.0;
+    quasi_refresh = `Immediate;
+  }
+
+(** Everything a method needs to instantiate a replicated system. *)
+type env = {
+  engine : Esr_sim.Engine.t;
+  net : Esr_sim.Net.t;
+  prng : Esr_util.Prng.t;
+  sites : int;
+  config : config;
+  next_et : unit -> Esr_core.Et.id;  (** shared ET id allocator *)
+}
+
+let make_env ?(config = default_config) ~engine ~net ~prng () =
+  let counter = ref 0 in
+  {
+    engine;
+    net;
+    prng;
+    sites = Esr_sim.Net.sites net;
+    config;
+    next_et =
+      (fun () ->
+        incr counter;
+        !counter);
+  }
+
+(** The uniform replica-control method interface. *)
+module type S = sig
+  type t
+
+  val meta : meta
+  val create : env -> t
+
+  val submit_update :
+    t -> origin:int -> intent list -> (update_outcome -> unit) -> unit
+  (** Asynchronous: the callback fires at commit (or rejection) virtual
+      time.  Rejection is immediate when the intents violate the method's
+      restriction. *)
+
+  val submit_query :
+    t ->
+    site:int ->
+    keys:string list ->
+    epsilon:Epsilon.spec ->
+    (query_outcome -> unit) ->
+    unit
+
+  val flush : t -> unit
+  (** Emit whatever end-of-run traffic quiescence needs (watermark
+      heartbeats, pending decisions).  Idempotent. *)
+
+  val quiescent : t -> bool
+  (** Protocol-level quiescence (beyond the transport): no buffered MSets
+      waiting for order, no undecided provisional updates, no parked
+      queries. *)
+
+  val store : t -> site:int -> Store.t
+  (** Site-local single-version state, for convergence checks. *)
+
+  val mvstore : t -> site:int -> Mvstore.t option
+  (** RITU-multiversion state when the method keeps one. *)
+
+  val history : t -> site:int -> Hist.t
+  (** The operation log the site actually executed, for the ESR checker. *)
+
+  val converged : t -> bool
+  (** All replicas hold equal state. *)
+
+  val stats : t -> (string * float) list
+  (** Method-specific counters for the experiment tables. *)
+end
+
+type boxed = B : (module S with type t = 'a) * 'a -> boxed
+
+let boxed_meta (B ((module M), _)) = M.meta
+let boxed_flush (B ((module M), sys)) = M.flush sys
+let boxed_quiescent (B ((module M), sys)) = M.quiescent sys
+let boxed_converged (B ((module M), sys)) = M.converged sys
+let boxed_store (B ((module M), sys)) ~site = M.store sys ~site
+let boxed_mvstore (B ((module M), sys)) ~site = M.mvstore sys ~site
+let boxed_history (B ((module M), sys)) ~site = M.history sys ~site
+let boxed_stats (B ((module M), sys)) = M.stats sys
+
+let boxed_submit_update (B ((module M), sys)) ~origin intents k =
+  M.submit_update sys ~origin intents k
+
+let boxed_submit_query (B ((module M), sys)) ~site ~keys ~epsilon k =
+  M.submit_query sys ~site ~keys ~epsilon k

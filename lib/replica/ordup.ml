@@ -1,0 +1,401 @@
+(** ORDUP — ordered updates (paper §3.1).
+
+    Update MSets carry a global order; every replica executes them in that
+    order (asynchronously, buffering out-of-order arrivals), so update ETs
+    are SR by construction.  Query ETs read local state freely; their
+    inconsistency is the overlap with update ETs not yet executed locally
+    (or executed past the query's serialization point), charged against
+    the query's epsilon counter.  An exhausted counter forces the query
+    onto the consistent path: it acquires its own slot in the global order
+    and waits until the replica has executed exactly up to that slot —
+    "the query ET is allowed to proceed only when it is running in the
+    global order".
+
+    Two ordering sources (ablation A1):
+    - [`Sequencer]: a central order server issues dense tickets; a replica
+      can execute ticket [t+1] the moment it arrives.
+    - [`Lamport]: decentralized timestamps; a replica may execute an MSet
+      only once per-origin watermarks prove no earlier-stamped MSet can
+      still arrive (the delivery-order cost the paper warns about). *)
+
+module Op = Esr_store.Op
+module Value = Esr_store.Value
+module Store = Esr_store.Store
+module Hist = Esr_core.Hist
+module Et = Esr_core.Et
+module Epsilon = Esr_core.Epsilon
+module Gtime = Esr_clock.Gtime
+module Lamport = Esr_clock.Lamport
+module Sequencer = Esr_clock.Sequencer
+module Engine = Esr_sim.Engine
+module Squeue = Esr_squeue.Squeue
+
+type order = Ticket of int | Stamp of Gtime.t
+
+let order_leq a b =
+  match (a, b) with
+  | Ticket x, Ticket y -> x <= y
+  | Stamp x, Stamp y -> Gtime.compare x y <= 0
+  | Ticket _, Stamp _ | Stamp _, Ticket _ ->
+      invalid_arg "Ordup: mixed order kinds"
+
+type mset = {
+  et : Et.id;
+  order : order;
+  ops : (string * Op.t) list;
+  origin : int;
+}
+
+type msg = Update of mset | Watermark of Gtime.t
+
+type active_query = {
+  aq_order : order;
+  aq_keys : string list;
+  aq_eps : Epsilon.counter;
+  mutable aq_failed : bool;  (* a charge was refused; fall back to SR path *)
+}
+
+type parked_query = { pq_target : order; pq_resume : unit -> unit }
+
+type site = {
+  id : int;
+  store : Store.t;
+  mutable hist : Hist.t;
+  (* sequencer mode *)
+  mutable last_exec : int;
+  seq_buffer : (int, mset) Hashtbl.t;
+  (* lamport mode *)
+  clock : Lamport.t;
+  mutable lam_buffer : mset list;  (* ascending stamp order *)
+  watermarks : Gtime.t array;
+  mutable active : active_query list;
+  mutable parked : parked_query list;
+}
+
+type t = {
+  env : Intf.env;
+  mode : [ `Sequencer | `Lamport ];
+  sequencer : Sequencer.t;
+  sites : site array;
+  fabric : msg Squeue.t;
+  pending_commits : (Et.id, Intf.update_outcome -> unit) Hashtbl.t;
+  mutable n_fallbacks : int;
+  mutable n_charged_units : int;
+  mutable n_updates : int;
+  mutable n_queries : int;
+}
+
+let meta =
+  {
+    Intf.name = "ORDUP";
+    family = Intf.Forward;
+    restriction = "message delivery";
+    async_propagation = "Query only";
+    sorting_time = "at update";
+  }
+
+(* --- execution at a site --- *)
+
+let log_action site ~et ~key op =
+  site.hist <- Hist.append site.hist (Et.action ~et ~key op)
+
+let apply_mset t site mset =
+  List.iter
+    (fun (key, op) ->
+      (match Store.apply site.store key op with
+      | Ok _ -> ()
+      | Error _ ->
+          (* ORDUP imposes no operation restriction; type errors are a
+             workload bug, surfaced loudly. *)
+          invalid_arg
+            (Printf.sprintf "ORDUP: op %s failed on %s" (Op.to_string op) key));
+      log_action site ~et:mset.et ~key op)
+    mset.ops;
+  (* Charge active queries that this update interleaves: it executes after
+     the query's serialization point and touches its keys. *)
+  List.iter
+    (fun aq ->
+      if
+        (not aq.aq_failed)
+        && (not (order_leq mset.order aq.aq_order))
+        && List.exists (fun (k, _) -> List.mem k aq.aq_keys) mset.ops
+      then
+        if Epsilon.try_charge aq.aq_eps 1 then
+          t.n_charged_units <- t.n_charged_units + 1
+        else aq.aq_failed <- true)
+    site.active;
+  if mset.origin = site.id then
+    match Hashtbl.find_opt t.pending_commits mset.et with
+    | Some k ->
+        Hashtbl.remove t.pending_commits mset.et;
+        k (Intf.Committed { committed_at = Engine.now t.env.engine })
+    | None -> ()
+
+let order_reached site = function
+  | Ticket n -> site.last_exec >= n
+  | Stamp ts ->
+      (* Every buffered MSet at or below the stamp is executed, and the
+         watermarks prove nothing earlier can still arrive. *)
+      Array.for_all (fun w -> Gtime.compare w ts >= 0) site.watermarks
+      && not
+           (List.exists (fun m ->
+                match m.order with
+                | Stamp s -> Gtime.compare s ts <= 0
+                | Ticket _ -> false)
+              site.lam_buffer)
+
+let wake_parked site =
+  let ready, still =
+    List.partition (fun pq -> order_reached site pq.pq_target) site.parked
+  in
+  site.parked <- still;
+  List.iter (fun pq -> pq.pq_resume ()) ready
+
+let rec drain_sequencer t site =
+  match Hashtbl.find_opt site.seq_buffer (site.last_exec + 1) with
+  | None -> ()
+  | Some mset ->
+      Hashtbl.remove site.seq_buffer (site.last_exec + 1);
+      site.last_exec <- site.last_exec + 1;
+      apply_mset t site mset;
+      drain_sequencer t site
+
+let lam_executable site mset =
+  match mset.order with
+  | Stamp ts -> Array.for_all (fun w -> Gtime.compare ts w <= 0) site.watermarks
+  | Ticket _ -> false
+
+let rec drain_lamport t site =
+  match site.lam_buffer with
+  | head :: rest when lam_executable site head ->
+      site.lam_buffer <- rest;
+      apply_mset t site head;
+      drain_lamport t site
+  | _ :: _ | [] -> ()
+
+let update_watermark site ~origin ts =
+  if Gtime.compare ts site.watermarks.(origin) > 0 then
+    site.watermarks.(origin) <- ts;
+  (* The site's own watermark follows its clock: its next stamp will be
+     strictly larger than the current peek. *)
+  Gtime.witness site.clock ts;
+  site.watermarks.(site.id) <-
+    Gtime.make ~counter:(Lamport.peek site.clock) ~site:site.id
+
+let insert_sorted mset buffer =
+  let stamp m =
+    match m.order with Stamp s -> s | Ticket _ -> assert false
+  in
+  let rec insert = function
+    | [] -> [ mset ]
+    | head :: rest as all ->
+        if Gtime.compare (stamp mset) (stamp head) < 0 then mset :: all
+        else head :: insert rest
+  in
+  insert buffer
+
+let receive t ~site:site_id msg =
+  let site = t.sites.(site_id) in
+  (match msg with
+  | Update mset ->
+      (match (t.mode, mset.order) with
+      | `Sequencer, Ticket n ->
+          Hashtbl.replace site.seq_buffer n mset;
+          drain_sequencer t site
+      | `Lamport, Stamp ts ->
+          update_watermark site ~origin:mset.origin ts;
+          site.lam_buffer <- insert_sorted mset site.lam_buffer;
+          drain_lamport t site
+      | (`Sequencer | `Lamport), _ -> assert false)
+  | Watermark ts ->
+      update_watermark site ~origin:ts.Gtime.site ts;
+      drain_lamport t site);
+  wake_parked site
+
+(* --- public interface --- *)
+
+let create (env : Intf.env) =
+  let rec t =
+    lazy
+      (let fabric =
+         Squeue.create ~mode:Squeue.Fifo
+           ~retry_interval:env.Intf.config.Intf.retry_interval env.Intf.net
+           ~handler:(fun ~site ~src:_ msg -> receive (Lazy.force t) ~site msg)
+       in
+       {
+         env;
+         mode = env.Intf.config.Intf.ordup_ordering;
+         sequencer = Sequencer.create ();
+         sites =
+           Array.init env.Intf.sites (fun id ->
+               {
+                 id;
+                 store = Store.create ();
+                 hist = Hist.empty;
+                 last_exec = 0;
+                 seq_buffer = Hashtbl.create 32;
+                 clock = Lamport.create ();
+                 lam_buffer = [];
+                 watermarks = Array.make env.Intf.sites Gtime.zero;
+                 active = [];
+                 parked = [];
+               });
+         fabric;
+         pending_commits = Hashtbl.create 32;
+         n_fallbacks = 0;
+         n_charged_units = 0;
+         n_updates = 0;
+         n_queries = 0;
+       })
+  in
+  Lazy.force t
+
+let intent_to_op = function
+  | Intf.Set (k, v) -> (k, Op.Write v)
+  | Intf.Add (k, d) -> (k, Op.Incr d)
+  | Intf.Mul (k, f) -> (k, Op.Mult f)
+
+let submit_update t ~origin intents k =
+  if intents = [] then k (Intf.Rejected "empty update ET")
+  else begin
+    t.n_updates <- t.n_updates + 1;
+    let et = t.env.Intf.next_et () in
+    let ops = List.map intent_to_op intents in
+    let site = t.sites.(origin) in
+    let order =
+      match t.mode with
+      | `Sequencer -> Ticket (Sequencer.next t.sequencer)
+      | `Lamport -> Stamp (Gtime.next site.clock ~site:origin)
+    in
+    let mset = { et; order; ops; origin } in
+    Hashtbl.replace t.pending_commits et k;
+    (* Remote replicas get the MSet through the stable queues; the origin
+       buffers it directly (local enqueue is not subject to the network). *)
+    Squeue.broadcast t.fabric ~src:origin (Update mset);
+    receive t ~site:origin (Update mset)
+  end
+
+(* The query's serialization point: everything ordered at or before this
+   is "the past" the query should see. *)
+let query_order t site =
+  match t.mode with
+  | `Sequencer -> Ticket (Sequencer.issued t.sequencer)
+  | `Lamport -> Stamp (Gtime.make ~counter:(Lamport.peek site.clock) ~site:site.id)
+
+(* Updates ordered before the query's point but not yet executed locally:
+   the query's initial overlap. *)
+let missing_before site = function
+  | Ticket n -> Stdlib.max 0 (n - site.last_exec)
+  | Stamp ts ->
+      List.length
+        (List.filter
+           (fun m ->
+             match m.order with
+             | Stamp s -> Gtime.compare s ts <= 0
+             | Ticket _ -> false)
+           site.lam_buffer)
+
+let read_all site ~et keys =
+  List.map
+    (fun key ->
+      log_action site ~et ~key Op.Read;
+      (key, Store.get site.store key))
+    keys
+
+let submit_query t ~site:site_id ~keys ~epsilon k =
+  t.n_queries <- t.n_queries + 1;
+  let site = t.sites.(site_id) in
+  let et = t.env.Intf.next_et () in
+  let eps = Epsilon.create epsilon in
+  let started_at = Engine.now t.env.engine in
+  let finish ~charged ~consistent values =
+    k
+      {
+        Intf.values;
+        charged;
+        consistent_path = consistent;
+        started_at;
+        served_at = Engine.now t.env.engine;
+      }
+  in
+  let consistent_path () =
+    t.n_fallbacks <- t.n_fallbacks + 1;
+    let target = query_order t site in
+    let resume () =
+      finish ~charged:(Epsilon.value eps) ~consistent:true
+        (read_all site ~et keys)
+    in
+    if order_reached site target then resume ()
+    else site.parked <- { pq_target = target; pq_resume = resume } :: site.parked
+  in
+  let q_order = query_order t site in
+  let missing = missing_before site q_order in
+  let can_start = missing = 0 || Epsilon.try_charge eps missing in
+  if not can_start then consistent_path ()
+  else begin
+    t.n_charged_units <- t.n_charged_units + missing;
+    let aq = { aq_order = q_order; aq_keys = keys; aq_eps = eps; aq_failed = false } in
+    site.active <- aq :: site.active;
+    let values = ref [] in
+    let rec step remaining =
+      if aq.aq_failed then begin
+        site.active <- List.filter (fun a -> a != aq) site.active;
+        consistent_path ()
+      end
+      else
+        match remaining with
+        | [] ->
+            site.active <- List.filter (fun a -> a != aq) site.active;
+            finish ~charged:(Epsilon.value eps) ~consistent:false
+              (List.rev !values)
+        | key :: rest ->
+            log_action site ~et ~key Op.Read;
+            values := (key, Store.get site.store key) :: !values;
+            if rest = [] then step []
+            else
+              ignore
+                (Engine.schedule t.env.engine
+                   ~delay:t.env.Intf.config.Intf.query_step_delay (fun () ->
+                     step rest))
+    in
+    step keys
+  end
+
+let flush t =
+  match t.mode with
+  | `Sequencer -> ()
+  | `Lamport ->
+      Array.iter
+        (fun site ->
+          let ts =
+            Gtime.make ~counter:(Lamport.peek site.clock) ~site:site.id
+          in
+          site.watermarks.(site.id) <- ts;
+          Squeue.broadcast t.fabric ~src:site.id (Watermark ts);
+          drain_lamport t site;
+          wake_parked site)
+        t.sites
+
+let quiescent t =
+  Array.for_all
+    (fun site ->
+      Hashtbl.length site.seq_buffer = 0
+      && site.lam_buffer = [] && site.parked = [] && site.active = [])
+    t.sites
+  && Hashtbl.length t.pending_commits = 0
+
+let store t ~site = t.sites.(site).store
+let mvstore _ ~site:_ = None
+let history t ~site = t.sites.(site).hist
+
+let converged t =
+  let reference = t.sites.(0).store in
+  Array.for_all (fun site -> Store.equal site.store reference) t.sites
+
+let stats t =
+  [
+    ("updates", float_of_int t.n_updates);
+    ("queries", float_of_int t.n_queries);
+    ("consistent_fallbacks", float_of_int t.n_fallbacks);
+    ("charged_units", float_of_int t.n_charged_units);
+  ]

@@ -1,0 +1,34 @@
+(** ORDUP — ordered updates (paper §3.1).
+
+    Update MSets carry a global order (central sequencer tickets or
+    Lamport timestamps, per [Intf.config.ordup_ordering]); every replica
+    executes them in that order, so update ETs are SR by construction.
+    Query ETs read local state freely, charged one inconsistency unit per
+    update ET that overlaps their serialization point; an exhausted
+    epsilon routes the query onto the consistent path, where it acquires
+    its own slot in the global order ("the query ET is allowed to proceed
+    only when it is running in the global order"). *)
+
+type t
+
+val meta : Intf.meta
+val create : Intf.env -> t
+
+val submit_update :
+  t -> origin:int -> Intf.intent list -> (Intf.update_outcome -> unit) -> unit
+
+val submit_query :
+  t ->
+  site:int ->
+  keys:string list ->
+  epsilon:Esr_core.Epsilon.spec ->
+  (Intf.query_outcome -> unit) ->
+  unit
+
+val flush : t -> unit
+val quiescent : t -> bool
+val store : t -> site:int -> Esr_store.Store.t
+val mvstore : t -> site:int -> Esr_store.Mvstore.t option
+val history : t -> site:int -> Esr_core.Hist.t
+val converged : t -> bool
+val stats : t -> (string * float) list

@@ -1,0 +1,310 @@
+(** QUASI — quasi-copies baseline (Alonso, Barbará & Garcia-Molina,
+    discussed in the paper's §5.2 "Read-only Redundancy").
+
+    All updates execute at a single primary site under local 1SR; the
+    other replicas hold *quasi-copies* that the primary refreshes
+    according to a coherency ("closeness") condition:
+
+    - [`Immediate]: push every update as it commits;
+    - [`Periodic tau]: push the dirty keys every [tau] ms;
+    - [`Drift alpha]: push a key once its value drifts more than [alpha]
+      from the last propagated image (the arithmetic closeness predicate
+      of quasi-copies).
+
+    Queries read the local quasi-copy free of charge — inconsistency is
+    governed by the closeness spec, not by per-query counters — except
+    that a query with [epsilon = Limit 0] is routed to the primary for a
+    strictly serializable answer (one round trip), mirroring the
+    quasi-copies option of consulting the central copy.
+
+    This is a *comparator*, not one of the paper's replica-control
+    methods: it shows what §5.2 contrasts ESR against — all updates 1SR
+    at a primary, inconsistency only from propagation lag, and no
+    per-query inconsistency dial. *)
+
+module Op = Esr_store.Op
+module Value = Esr_store.Value
+module Store = Esr_store.Store
+module Hist = Esr_core.Hist
+module Et = Esr_core.Et
+module Epsilon = Esr_core.Epsilon
+module Engine = Esr_sim.Engine
+module Squeue = Esr_squeue.Squeue
+
+let primary = 0
+
+type msg =
+  | Do_update of { et : Et.id; ops : (string * Op.t) list; origin : int }
+  | Update_done of { et : Et.id }
+  | Refresh of { key : string; value : Value.t; version : int }
+  | Do_query of { qid : int; keys : string list; origin : int }
+  | Query_reply of { qid : int; values : (string * Value.t) list }
+
+type site = {
+  id : int;
+  store : Store.t;
+  mutable hist : Hist.t;
+  versions : (string, int) Hashtbl.t;  (* refresh versions seen *)
+}
+
+type t = {
+  env : Intf.env;
+  sites : site array;
+  fabric : msg Squeue.t;
+  refresh : [ `Immediate | `Periodic of float | `Drift of float ];
+  (* primary-side propagation state *)
+  last_pushed : (string, Value.t) Hashtbl.t;
+  mutable dirty : string list;
+  mutable timer_armed : bool;
+  mutable next_version : int;
+  outcomes : (Et.id, Intf.update_outcome -> unit) Hashtbl.t;
+  query_replies : (int, (string * Value.t) list -> unit) Hashtbl.t;
+  mutable next_qid : int;
+  mutable n_updates : int;
+  mutable n_queries : int;
+  mutable n_refreshes : int;
+  mutable n_primary_reads : int;
+}
+
+let meta =
+  {
+    Intf.name = "QUASI";
+    family = Intf.Synchronous;
+    restriction = "primary-copy updates";
+    async_propagation = "Query only";
+    sorting_time = "at primary";
+  }
+
+let log_action site ~et ~key op =
+  site.hist <- Hist.append site.hist (Et.action ~et ~key op)
+
+let value_drift a b =
+  match (a, b) with
+  | Value.Int x, Value.Int y -> Float.abs (float_of_int (x - y))
+  | a, b -> if Value.equal a b then 0.0 else infinity
+
+let push_key t key =
+  let p = t.sites.(primary) in
+  let value = Store.get p.store key in
+  Hashtbl.replace t.last_pushed key value;
+  t.next_version <- t.next_version + 1;
+  t.n_refreshes <- t.n_refreshes + 1;
+  Squeue.broadcast t.fabric ~src:primary
+    (Refresh { key; value; version = t.next_version })
+
+let rec arm_timer t tau =
+  if not t.timer_armed then begin
+    t.timer_armed <- true;
+    ignore
+      (Engine.schedule t.env.engine ~delay:tau (fun () ->
+           t.timer_armed <- false;
+           let dirty = List.sort_uniq String.compare t.dirty in
+           t.dirty <- [];
+           List.iter (push_key t) dirty;
+           (* Re-arm only while there is still work: keeps the event
+              queue drainable at quiescence. *)
+           if t.dirty <> [] then arm_timer t tau))
+  end
+
+let after_primary_update t keys =
+  match t.refresh with
+  | `Immediate -> List.iter (push_key t) (List.sort_uniq String.compare keys)
+  | `Periodic tau ->
+      t.dirty <- keys @ t.dirty;
+      arm_timer t tau
+  | `Drift alpha ->
+      List.iter
+        (fun key ->
+          let current = Store.get t.sites.(primary).store key in
+          let last =
+            Option.value (Hashtbl.find_opt t.last_pushed key) ~default:Value.zero
+          in
+          if value_drift current last > alpha then push_key t key)
+        keys
+
+let rec receive t ~site:site_id msg =
+  let site = t.sites.(site_id) in
+  match msg with
+  | Do_update { et; ops; origin } ->
+      (* Only the primary processes updates, serially: local 1SR. *)
+      List.iter
+        (fun (key, op) ->
+          (match Store.apply site.store key op with
+          | Ok _ -> ()
+          | Error _ -> invalid_arg "QUASI: op failed at primary");
+          log_action site ~et ~key op)
+        ops;
+      after_primary_update t (List.map fst ops);
+      let reply = Update_done { et } in
+      if origin = site_id then receive t ~site:origin reply
+      else Squeue.send t.fabric ~src:site_id ~dst:origin reply
+  | Update_done { et } -> (
+      match Hashtbl.find_opt t.outcomes et with
+      | Some notify ->
+          Hashtbl.remove t.outcomes et;
+          notify (Intf.Committed { committed_at = Engine.now t.env.engine })
+      | None -> ())
+  | Refresh { key; value; version } ->
+      let seen = Option.value (Hashtbl.find_opt site.versions key) ~default:0 in
+      if version > seen then begin
+        Hashtbl.replace site.versions key version;
+        Store.set site.store key value;
+        log_action site ~et:(t.env.Intf.next_et ()) ~key (Op.Write value)
+      end
+  | Do_query { qid; keys; origin } ->
+      let query_et = t.env.Intf.next_et () in
+      let values =
+        List.map
+          (fun key ->
+            log_action site ~et:query_et ~key Op.Read;
+            (key, Store.get site.store key))
+          keys
+      in
+      let reply = Query_reply { qid; values } in
+      if origin = site_id then receive t ~site:origin reply
+      else Squeue.send t.fabric ~src:site_id ~dst:origin reply
+  | Query_reply { qid; values } -> (
+      match Hashtbl.find_opt t.query_replies qid with
+      | Some notify ->
+          Hashtbl.remove t.query_replies qid;
+          notify values
+      | None -> ())
+
+let create (env : Intf.env) =
+  let rec t =
+    lazy
+      (let fabric =
+         Squeue.create ~mode:Squeue.Unordered
+           ~retry_interval:env.Intf.config.Intf.retry_interval env.Intf.net
+           ~handler:(fun ~site ~src:_ msg -> receive (Lazy.force t) ~site msg)
+       in
+       {
+         env;
+         sites =
+           Array.init env.Intf.sites (fun id ->
+               {
+                 id;
+                 store = Store.create ();
+                 hist = Hist.empty;
+                 versions = Hashtbl.create 32;
+               });
+         fabric;
+         refresh = env.Intf.config.Intf.quasi_refresh;
+         last_pushed = Hashtbl.create 32;
+         dirty = [];
+         timer_armed = false;
+         next_version = 0;
+         outcomes = Hashtbl.create 32;
+         query_replies = Hashtbl.create 32;
+         next_qid = 0;
+         n_updates = 0;
+         n_queries = 0;
+         n_refreshes = 0;
+         n_primary_reads = 0;
+       })
+  in
+  Lazy.force t
+
+let intent_to_op = function
+  | Intf.Set (k, v) -> (k, Op.Write v)
+  | Intf.Add (k, d) -> (k, Op.Incr d)
+  | Intf.Mul (k, f) -> (k, Op.Mult f)
+
+let submit_update t ~origin intents k =
+  if intents = [] then k (Intf.Rejected "empty update ET")
+  else begin
+    t.n_updates <- t.n_updates + 1;
+    let et = t.env.Intf.next_et () in
+    let ops = List.map intent_to_op intents in
+    Hashtbl.replace t.outcomes et k;
+    let msg = Do_update { et; ops; origin } in
+    if origin = primary then receive t ~site:primary msg
+    else Squeue.send t.fabric ~src:origin ~dst:primary msg
+  end
+
+let submit_query t ~site:site_id ~keys ~epsilon k =
+  t.n_queries <- t.n_queries + 1;
+  let started_at = Engine.now t.env.engine in
+  let finish ~consistent values =
+    k
+      {
+        Intf.values;
+        charged = 0;
+        consistent_path = consistent;
+        started_at;
+        served_at = Engine.now t.env.engine;
+      }
+  in
+  let strict = epsilon = Epsilon.Limit 0 in
+  if strict && site_id <> primary then begin
+    (* Consult the central copy, as quasi-copies applications do when the
+       local copy is not close enough. *)
+    t.n_primary_reads <- t.n_primary_reads + 1;
+    t.next_qid <- t.next_qid + 1;
+    let qid = t.next_qid in
+    Hashtbl.replace t.query_replies qid (finish ~consistent:true);
+    Squeue.send t.fabric ~src:site_id ~dst:primary
+      (Do_query { qid; keys; origin = site_id })
+  end
+  else begin
+    let site = t.sites.(site_id) in
+    let query_et = t.env.Intf.next_et () in
+    let values =
+      List.map
+        (fun key ->
+          log_action site ~et:query_et ~key Op.Read;
+          (key, Store.get site.store key))
+        keys
+    in
+    finish ~consistent:(site_id = primary) values
+  end
+
+let flush t =
+  (* Push everything outstanding so quasi-copies converge at quiescence. *)
+  let dirty = List.sort_uniq String.compare t.dirty in
+  t.dirty <- [];
+  List.iter (push_key t) dirty;
+  match t.refresh with
+  | `Drift _ ->
+      (* Keys within the drift band were never pushed; final flush
+         reconciles them. *)
+      List.iter
+        (fun key ->
+          let current = Store.get t.sites.(primary).store key in
+          let last =
+            Option.value (Hashtbl.find_opt t.last_pushed key) ~default:Value.zero
+          in
+          if not (Value.equal current last) then push_key t key)
+        (Store.keys t.sites.(primary).store)
+  | `Immediate | `Periodic _ -> ()
+
+let quiescent t =
+  Hashtbl.length t.outcomes = 0
+  && Hashtbl.length t.query_replies = 0
+  && t.dirty = []
+  &&
+  match t.refresh with
+  | `Drift _ ->
+      List.for_all
+        (fun key ->
+          Value.equal
+            (Store.get t.sites.(primary).store key)
+            (Option.value (Hashtbl.find_opt t.last_pushed key) ~default:Value.zero))
+        (Store.keys t.sites.(primary).store)
+  | `Immediate | `Periodic _ -> true
+
+let store t ~site = t.sites.(site).store
+let mvstore _ ~site:_ = None
+let history t ~site = t.sites.(site).hist
+
+let converged t =
+  let reference = t.sites.(primary).store in
+  Array.for_all (fun site -> Store.equal site.store reference) t.sites
+
+let stats t =
+  [
+    ("updates", float_of_int t.n_updates);
+    ("queries", float_of_int t.n_queries);
+    ("refreshes", float_of_int t.n_refreshes);
+    ("primary_reads", float_of_int t.n_primary_reads);
+  ]

@@ -1,0 +1,29 @@
+(** QUASI — quasi-copies comparator (paper §5.2): all updates 1SR at a
+    primary site; replicas refresh under a closeness condition
+    ([quasi_refresh]: immediate, periodic, or value-drift).  Queries read
+    the local quasi-copy uncharged; [epsilon = Limit 0] routes to the
+    primary. *)
+
+type t
+
+val meta : Intf.meta
+val create : Intf.env -> t
+
+val submit_update :
+  t -> origin:int -> Intf.intent list -> (Intf.update_outcome -> unit) -> unit
+
+val submit_query :
+  t ->
+  site:int ->
+  keys:string list ->
+  epsilon:Esr_core.Epsilon.spec ->
+  (Intf.query_outcome -> unit) ->
+  unit
+
+val flush : t -> unit
+val quiescent : t -> bool
+val store : t -> site:int -> Esr_store.Store.t
+val mvstore : t -> site:int -> Esr_store.Mvstore.t option
+val history : t -> site:int -> Esr_core.Hist.t
+val converged : t -> bool
+val stats : t -> (string * float) list

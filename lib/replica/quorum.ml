@@ -1,0 +1,248 @@
+(** QUORUM — synchronous baseline in the weighted-voting style
+    (Gifford [15], simplified to version-number voting à la Thomas).
+
+    Every copy carries a version number.  An update reads versions from a
+    write quorum [w], picks [max+1], and writes value+version back to [w]
+    sites; a query reads from a read quorum [r] and returns the
+    highest-version value.  With [r + w > n] every read quorum intersects
+    every write quorum, so queries always see the latest committed
+    update.  Both operations cost at least one WAN round trip and stall
+    whenever a quorum is unreachable — the availability/latency cost the
+    paper's asynchronous methods avoid.
+
+    Simplifications (documented in DESIGN.md): update ETs are single-key
+    blind writes (no cross-key atomicity, hence no distributed locks);
+    writes are broadcast to all sites but acknowledged by the quorum, so
+    replicas converge once the stable queues drain. *)
+
+module Op = Esr_store.Op
+module Value = Esr_store.Value
+module Store = Esr_store.Store
+module Hist = Esr_core.Hist
+module Et = Esr_core.Et
+module Engine = Esr_sim.Engine
+module Squeue = Esr_squeue.Squeue
+
+type version = { v : int; writer : int }
+
+let version_compare a b =
+  match Int.compare a.v b.v with 0 -> Int.compare a.writer b.writer | c -> c
+
+let version_zero = { v = 0; writer = -1 }
+
+type msg =
+  | Version_req of { rid : int; et : Et.id; key : string; requester : int }
+  | Version_reply of { rid : int; key : string; version : version; value : Value.t }
+  | Write_req of { wid : int; et : Et.id; key : string; value : Value.t; version : version }
+  | Write_ack of { wid : int }
+
+type read_round = {
+  r_needed : int;
+  mutable r_replies : int;
+  mutable r_best : version * Value.t;
+  r_done : version * Value.t -> unit;
+}
+
+type write_round = { w_needed : int; mutable w_acks : int; w_done : unit -> unit }
+
+type site = {
+  id : int;
+  store : Store.t;
+  versions : (string, version) Hashtbl.t;
+  mutable hist : Hist.t;
+}
+
+type t = {
+  env : Intf.env;
+  sites : site array;
+  fabric : msg Squeue.t;
+  reads : (int, read_round) Hashtbl.t;
+  writes : (int, write_round) Hashtbl.t;
+  read_quorum : int;
+  write_quorum : int;
+  mutable next_round : int;
+  mutable n_updates : int;
+  mutable n_queries : int;
+  mutable n_rejected : int;
+}
+
+let meta =
+  {
+    Intf.name = "QUORUM";
+    family = Intf.Synchronous;
+    restriction = "quorum intersection";
+    async_propagation = "None";
+    sorting_time = "at access";
+  }
+
+let log_action site ~et ~key op =
+  site.hist <- Hist.append site.hist (Et.action ~et ~key op)
+
+let local_version site key =
+  Option.value (Hashtbl.find_opt site.versions key) ~default:version_zero
+
+let rec receive t ~site:site_id msg =
+  let site = t.sites.(site_id) in
+  match msg with
+  | Version_req { rid; et; key; requester } ->
+      log_action site ~et ~key Op.Read;
+      post t ~src:site_id ~dst:requester
+        (Version_reply
+           { rid; key; version = local_version site key; value = Store.get site.store key })
+  | Version_reply { rid; key = _; version; value } -> (
+      match Hashtbl.find_opt t.reads rid with
+      | None -> ()  (* straggler after the quorum completed *)
+      | Some round ->
+          round.r_replies <- round.r_replies + 1;
+          let best_version, _ = round.r_best in
+          if version_compare version best_version > 0 then
+            round.r_best <- (version, value);
+          if round.r_replies >= round.r_needed then begin
+            Hashtbl.remove t.reads rid;
+            round.r_done round.r_best
+          end)
+  | Write_req { wid; et; key; value; version } ->
+      if version_compare version (local_version site key) > 0 then begin
+        Hashtbl.replace site.versions key version;
+        Store.set site.store key value;
+        log_action site ~et ~key (Op.Write value)
+      end;
+      (* Acks flow back to the writer regardless: the quorum counts
+         participation, not freshness. *)
+      post t ~src:site_id ~dst:version.writer (Write_ack { wid })
+  | Write_ack { wid } -> (
+      match Hashtbl.find_opt t.writes wid with
+      | None -> ()
+      | Some round ->
+          round.w_acks <- round.w_acks + 1;
+          if round.w_acks >= round.w_needed then begin
+            Hashtbl.remove t.writes wid;
+            round.w_done ()
+          end)
+
+and post t ~src ~dst msg =
+  if src = dst then receive t ~site:dst msg
+  else Squeue.send t.fabric ~src ~dst msg
+
+let read_round t ~origin ~et ~key ~needed ~done_ =
+  let rid = t.next_round in
+  t.next_round <- rid + 1;
+  Hashtbl.replace t.reads rid
+    { r_needed = needed; r_replies = 0; r_best = (version_zero, Value.zero); r_done = done_ };
+  for dst = 0 to t.env.Intf.sites - 1 do
+    post t ~src:origin ~dst (Version_req { rid; et; key; requester = origin })
+  done
+
+let write_round t ~origin ~et ~key ~value ~version ~done_ =
+  let wid = t.next_round in
+  t.next_round <- wid + 1;
+  Hashtbl.replace t.writes wid
+    { w_needed = t.write_quorum; w_acks = 0; w_done = done_ };
+  for dst = 0 to t.env.Intf.sites - 1 do
+    post t ~src:origin ~dst (Write_req { wid; et; key; value; version })
+  done
+
+let create (env : Intf.env) =
+  let n = env.Intf.sites in
+  let majority = (n / 2) + 1 in
+  let read_quorum = Option.value env.Intf.config.Intf.quorum_reads ~default:majority in
+  let write_quorum = Option.value env.Intf.config.Intf.quorum_writes ~default:majority in
+  if read_quorum + write_quorum <= n then
+    invalid_arg "Quorum.create: r + w must exceed the number of sites";
+  let rec t =
+    lazy
+      (let fabric =
+         Squeue.create ~mode:Squeue.Unordered
+           ~retry_interval:env.Intf.config.Intf.retry_interval env.Intf.net
+           ~handler:(fun ~site ~src:_ msg -> receive (Lazy.force t) ~site msg)
+       in
+       {
+         env;
+         sites =
+           Array.init n (fun id ->
+               {
+                 id;
+                 store = Store.create ();
+                 versions = Hashtbl.create 32;
+                 hist = Hist.empty;
+               });
+         fabric;
+         reads = Hashtbl.create 32;
+         writes = Hashtbl.create 32;
+         read_quorum;
+         write_quorum;
+         next_round = 0;
+         n_updates = 0;
+         n_queries = 0;
+         n_rejected = 0;
+       })
+  in
+  Lazy.force t
+
+let submit_update t ~origin intents notify =
+  match intents with
+  | [ Intf.Set (key, value) ] ->
+      t.n_updates <- t.n_updates + 1;
+      let et = t.env.Intf.next_et () in
+      (* Round 1: learn the highest version from a write quorum. *)
+      read_round t ~origin ~et ~key ~needed:t.write_quorum
+        ~done_:(fun (best_version, _) ->
+          let version = { v = best_version.v + 1; writer = origin } in
+          (* Round 2: install value+version at a write quorum. *)
+          write_round t ~origin ~et ~key ~value ~version ~done_:(fun () ->
+              notify (Intf.Committed { committed_at = Engine.now t.env.engine })))
+  | [] -> notify (Intf.Rejected "empty update ET")
+  | [ (Intf.Add _ | Intf.Mul _) ] ->
+      t.n_rejected <- t.n_rejected + 1;
+      notify
+        (Intf.Rejected
+           "QUORUM: read-modify-write intents need distributed locking; \
+            only single-key Set is supported")
+  | _ :: _ :: _ ->
+      t.n_rejected <- t.n_rejected + 1;
+      notify (Intf.Rejected "QUORUM: multi-key update ETs are not atomic here")
+
+let submit_query t ~site:site_id ~keys ~epsilon k =
+  ignore epsilon;
+  t.n_queries <- t.n_queries + 1;
+  let et = t.env.Intf.next_et () in
+  let started_at = Engine.now t.env.engine in
+  let total = List.length keys in
+  let collected = ref [] in
+  let finished = ref 0 in
+  List.iter
+    (fun key ->
+      read_round t ~origin:site_id ~et ~key ~needed:t.read_quorum
+        ~done_:(fun (_, value) ->
+          collected := (key, value) :: !collected;
+          incr finished;
+          if !finished = total then
+            k
+              {
+                Intf.values =
+                  List.sort (fun (a, _) (b, _) -> String.compare a b) !collected;
+                charged = 0;
+                consistent_path = true;
+                started_at;
+                served_at = Engine.now t.env.engine;
+              }))
+    keys
+
+let flush _ = ()
+
+let quiescent t = Hashtbl.length t.reads = 0 && Hashtbl.length t.writes = 0
+
+let store t ~site = t.sites.(site).store
+let mvstore _ ~site:_ = None
+let history t ~site = t.sites.(site).hist
+
+let converged t =
+  let reference = t.sites.(0).store in
+  Array.for_all (fun site -> Store.equal site.store reference) t.sites
+
+let stats t =
+  [
+    ("updates", float_of_int t.n_updates);
+    ("queries", float_of_int t.n_queries);
+    ("rejected", float_of_int t.n_rejected);
+  ]

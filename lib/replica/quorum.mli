@@ -1,0 +1,29 @@
+(** QUORUM — synchronous baseline in the weighted-voting style
+    (Gifford, simplified to version-number voting): updates read versions
+    from a write quorum and install max+1 at a write quorum; queries read
+    a read quorum and return the highest version.  Single-key blind
+    writes only (documented in DESIGN.md). *)
+
+type t
+
+val meta : Intf.meta
+val create : Intf.env -> t
+
+val submit_update :
+  t -> origin:int -> Intf.intent list -> (Intf.update_outcome -> unit) -> unit
+
+val submit_query :
+  t ->
+  site:int ->
+  keys:string list ->
+  epsilon:Esr_core.Epsilon.spec ->
+  (Intf.query_outcome -> unit) ->
+  unit
+
+val flush : t -> unit
+val quiescent : t -> bool
+val store : t -> site:int -> Esr_store.Store.t
+val mvstore : t -> site:int -> Esr_store.Mvstore.t option
+val history : t -> site:int -> Esr_core.Hist.t
+val converged : t -> bool
+val stats : t -> (string * float) list

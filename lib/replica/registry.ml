@@ -1,0 +1,36 @@
+(** Registry of every replica-control method, async and synchronous.
+
+    The bench harness derives the paper's Table 1 from [metas]; the
+    workload driver instantiates systems by name through [make]. *)
+
+let modules : (module Intf.S) list =
+  [
+    (module Ordup);
+    (module Commu);
+    (module Ritu);
+    (module Compe);
+    (module Twopc);
+    (module Quorum);
+    (module Quasi);
+  ]
+
+let asynchronous = [ "ORDUP"; "COMMU"; "RITU"; "COMPE" ]
+let synchronous = [ "2PC"; "QUORUM"; "QUASI" ]
+
+let metas = List.map (fun (module M : Intf.S) -> M.meta) modules
+
+let names = List.map (fun (m : Intf.meta) -> m.Intf.name) metas
+
+let find name =
+  List.find_opt
+    (fun (module M : Intf.S) ->
+      String.lowercase_ascii M.meta.Intf.name = String.lowercase_ascii name)
+    modules
+
+let make ~name env =
+  match find name with
+  | Some (module M : Intf.S) -> Intf.B ((module M), M.create env)
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Registry.make: unknown method %S (known: %s)" name
+           (String.concat ", " names))

@@ -1,0 +1,26 @@
+(** Registry of every replica-control method.
+
+    The bench harness derives the paper's Table 1 from {!metas}; drivers
+    instantiate systems by name through {!make}. *)
+
+val modules : (module Intf.S) list
+(** The four asynchronous methods (ORDUP, COMMU, RITU, COMPE) followed by
+    the two synchronous baselines (2PC, QUORUM). *)
+
+val asynchronous : string list
+(** Names of the paper's methods. *)
+
+val synchronous : string list
+(** Names of the baseline comparators. *)
+
+val metas : Intf.meta list
+(** Table 1 rows, in {!modules} order. *)
+
+val names : string list
+
+val find : string -> (module Intf.S) option
+(** Case-insensitive lookup. *)
+
+val make : name:string -> Intf.env -> Intf.boxed
+(** Instantiate a replicated system.  Raises [Invalid_argument] for an
+    unknown name (the message lists the known ones). *)

@@ -1,0 +1,253 @@
+(** RITU — read-independent timestamped updates (paper §3.3).
+
+    Update MSets are timestamped blind writes: their effect does not
+    depend on the current value, so replicas can apply them in any order —
+    a stale write is simply ignored ([`Single] mode, latest-writer-wins)
+    or becomes one more immutable version ([`Multi] mode).
+
+    [`Single] ("RITU reduces to COMMU"): queries read the latest local
+    value, charge-free by definition — the latest version is the desired
+    datum.
+
+    [`Multi] keeps all versions and a VTNC (visible transaction number
+    counter, after the Modular Synchronization Method): the largest
+    timestamp below which no new version can arrive, derived from
+    per-origin FIFO watermarks.  Reading at the VTNC is SR; reading a
+    version above it costs one unit of the query's epsilon budget —
+    experiment E6 sweeps this freshness/consistency trade-off. *)
+
+module Op = Esr_store.Op
+module Value = Esr_store.Value
+module Store = Esr_store.Store
+module Mvstore = Esr_store.Mvstore
+module Hist = Esr_core.Hist
+module Et = Esr_core.Et
+module Epsilon = Esr_core.Epsilon
+module Gtime = Esr_clock.Gtime
+module Lamport = Esr_clock.Lamport
+module Engine = Esr_sim.Engine
+module Squeue = Esr_squeue.Squeue
+
+type mset = {
+  et : Et.id;
+  stamp : Gtime.t;
+  writes : (string * Value.t) list;
+  origin : int;
+}
+
+type msg = Update of mset | Watermark of Gtime.t
+
+type site = {
+  id : int;
+  store : Store.t;  (* latest-version view (both modes) *)
+  mv : Mvstore.t;  (* populated in `Multi mode *)
+  mutable hist : Hist.t;
+  clock : Lamport.t;
+  watermarks : Gtime.t array;
+}
+
+type t = {
+  env : Intf.env;
+  mode : [ `Single | `Multi ];
+  sites : site array;
+  fabric : msg Squeue.t;
+  mutable n_updates : int;
+  mutable n_queries : int;
+  mutable n_rejected : int;
+  mutable n_stale_ignored : int;
+  mutable n_fresh_reads : int;  (* reads above the VTNC (charged) *)
+  mutable n_vtnc_reads : int;  (* reads clamped to the VTNC *)
+}
+
+let meta =
+  {
+    Intf.name = "RITU";
+    family = Intf.Forward;
+    restriction = "operation semantics";
+    async_propagation = "Query & Update";
+    sorting_time = "at read";
+  }
+
+let log_action site ~et ~key op =
+  site.hist <- Hist.append site.hist (Et.action ~et ~key op)
+
+let refresh_vtnc site =
+  let low = Array.fold_left Gtime.(fun acc w -> if compare w acc < 0 then w else acc)
+      site.watermarks.(0) site.watermarks
+  in
+  Mvstore.advance_vtnc site.mv low
+
+let note_watermark site ~origin ts =
+  if Gtime.compare ts site.watermarks.(origin) > 0 then
+    site.watermarks.(origin) <- ts;
+  Gtime.witness site.clock ts;
+  site.watermarks.(site.id) <-
+    Gtime.make ~counter:(Lamport.peek site.clock) ~site:site.id;
+  refresh_vtnc site
+
+let apply_mset t site mset =
+  note_watermark site ~origin:mset.origin mset.stamp;
+  List.iter
+    (fun (key, value) ->
+      let op =
+        match t.mode with
+        | `Single -> Op.Timed_write { ts = mset.stamp; value }
+        | `Multi -> Op.Append { ts = mset.stamp; value }
+      in
+      (match t.mode with
+      | `Single -> (
+          match Store.apply site.store key op with
+          | Ok undo -> if not undo.Store.applied then t.n_stale_ignored <- t.n_stale_ignored + 1
+          | Error _ -> invalid_arg "RITU: blind write failed")
+      | `Multi ->
+          ignore (Mvstore.append site.mv key ~ts:mset.stamp value);
+          (* Maintain the latest-version view for convergence checks. *)
+          ignore
+            (Store.apply site.store key
+               (Op.Timed_write { ts = mset.stamp; value })));
+      log_action site ~et:mset.et ~key op)
+    mset.writes
+
+let receive t ~site:site_id msg =
+  let site = t.sites.(site_id) in
+  match msg with
+  | Update mset -> apply_mset t site mset
+  | Watermark ts -> note_watermark site ~origin:ts.Gtime.site ts
+
+let create (env : Intf.env) =
+  let rec t =
+    lazy
+      (let fabric =
+         Squeue.create ~mode:Squeue.Fifo
+           ~retry_interval:env.Intf.config.Intf.retry_interval env.Intf.net
+           ~handler:(fun ~site ~src:_ msg -> receive (Lazy.force t) ~site msg)
+       in
+       {
+         env;
+         mode = env.Intf.config.Intf.ritu_mode;
+         sites =
+           Array.init env.Intf.sites (fun id ->
+               {
+                 id;
+                 store = Store.create ();
+                 mv = Mvstore.create ();
+                 hist = Hist.empty;
+                 clock = Lamport.create ();
+                 watermarks = Array.make env.Intf.sites Gtime.zero;
+               });
+         fabric;
+         n_updates = 0;
+         n_queries = 0;
+         n_rejected = 0;
+         n_stale_ignored = 0;
+         n_fresh_reads = 0;
+         n_vtnc_reads = 0;
+       })
+  in
+  Lazy.force t
+
+let submit_update t ~origin intents k =
+  let writes =
+    List.filter_map
+      (function Intf.Set (key, v) -> Some (key, v) | Intf.Add _ | Intf.Mul _ -> None)
+      intents
+  in
+  if intents = [] then k (Intf.Rejected "empty update ET")
+  else if List.length writes <> List.length intents then begin
+    (* Add/Mul read the current value: not read-independent, so outside
+       RITU's restriction (Table 1). *)
+    t.n_rejected <- t.n_rejected + 1;
+    k (Intf.Rejected "RITU: only blind writes (Set) are read-independent")
+  end
+  else begin
+    t.n_updates <- t.n_updates + 1;
+    let et = t.env.Intf.next_et () in
+    let site = t.sites.(origin) in
+    let stamp = Gtime.next site.clock ~site:origin in
+    let mset = { et; stamp; writes; origin } in
+    apply_mset t site mset;
+    Squeue.broadcast t.fabric ~src:origin (Update mset);
+    k (Intf.Committed { committed_at = Engine.now t.env.engine })
+  end
+
+let submit_query t ~site:site_id ~keys ~epsilon k =
+  t.n_queries <- t.n_queries + 1;
+  let site = t.sites.(site_id) in
+  let et = t.env.Intf.next_et () in
+  let eps = Epsilon.create epsilon in
+  let started_at = Engine.now t.env.engine in
+  let read_single key =
+    log_action site ~et ~key Op.Read;
+    (key, Store.get site.store key)
+  in
+  let read_multi key =
+    log_action site ~et ~key Op.Read;
+    let vtnc = Mvstore.vtnc site.mv in
+    let value =
+      match Mvstore.read_latest site.mv key with
+      | Some latest when Gtime.compare latest.Mvstore.ts vtnc > 0 ->
+          (* Fresh but unstable: reading it costs one inconsistency unit. *)
+          if Epsilon.try_charge eps 1 then begin
+            t.n_fresh_reads <- t.n_fresh_reads + 1;
+            Some latest.Mvstore.value
+          end
+          else begin
+            t.n_vtnc_reads <- t.n_vtnc_reads + 1;
+            Option.map (fun v -> v.Mvstore.value) (Mvstore.read_visible site.mv key)
+          end
+      | Some latest -> Some latest.Mvstore.value
+      | None -> None
+    in
+    (key, Option.value value ~default:Value.zero)
+  in
+  let reader = match t.mode with `Single -> read_single | `Multi -> read_multi in
+  let values = List.map reader keys in
+  k
+    {
+      Intf.values;
+      charged = Epsilon.value eps;
+      consistent_path = Epsilon.value eps = 0;
+      started_at;
+      served_at = Engine.now t.env.engine;
+    }
+
+let flush t =
+  match t.mode with
+  | `Single -> ()
+  | `Multi ->
+      Array.iter
+        (fun site ->
+          let ts = Gtime.make ~counter:(Lamport.peek site.clock) ~site:site.id in
+          site.watermarks.(site.id) <- ts;
+          refresh_vtnc site;
+          Squeue.broadcast t.fabric ~src:site.id (Watermark ts))
+        t.sites
+
+let quiescent _ = true
+(* RITU keeps no protocol state beyond the transport: once the stable
+   queues drain, the system is quiescent. *)
+
+let store t ~site = t.sites.(site).store
+
+let mvstore t ~site =
+  match t.mode with `Single -> None | `Multi -> Some t.sites.(site).mv
+
+let history t ~site = t.sites.(site).hist
+
+let converged t =
+  let reference = t.sites.(0) in
+  Array.for_all
+    (fun site ->
+      Store.equal site.store reference.store
+      && (t.mode = `Single || Mvstore.equal site.mv reference.mv))
+    t.sites
+
+let stats t =
+  [
+    ("updates", float_of_int t.n_updates);
+    ("queries", float_of_int t.n_queries);
+    ("rejected", float_of_int t.n_rejected);
+    ("stale_writes_ignored", float_of_int t.n_stale_ignored);
+    ("fresh_reads", float_of_int t.n_fresh_reads);
+    ("vtnc_reads", float_of_int t.n_vtnc_reads);
+  ]

@@ -1,0 +1,31 @@
+(** RITU — read-independent timestamped updates (paper §3.3).
+
+    Update MSets are timestamped blind writes applied in any order:
+    [`Single] mode keeps the latest-timestamp version per object;
+    [`Multi] mode keeps every version and derives a VTNC (visible
+    transaction number counter) from per-origin FIFO watermarks — reads
+    at the VTNC are SR, reads above it cost one epsilon unit each. *)
+
+type t
+
+val meta : Intf.meta
+val create : Intf.env -> t
+
+val submit_update :
+  t -> origin:int -> Intf.intent list -> (Intf.update_outcome -> unit) -> unit
+
+val submit_query :
+  t ->
+  site:int ->
+  keys:string list ->
+  epsilon:Esr_core.Epsilon.spec ->
+  (Intf.query_outcome -> unit) ->
+  unit
+
+val flush : t -> unit
+val quiescent : t -> bool
+val store : t -> site:int -> Esr_store.Store.t
+val mvstore : t -> site:int -> Esr_store.Mvstore.t option
+val history : t -> site:int -> Esr_core.Hist.t
+val converged : t -> bool
+val stats : t -> (string * float) list

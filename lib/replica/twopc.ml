@@ -1,0 +1,341 @@
+(** TWOPC — synchronous 1SR baseline: read-one/write-all with two-phase
+    commit and strict 2PL at every replica.
+
+    This is the "traditional coherency control" the paper positions
+    against (§2.4): every update ET is a distributed transaction that
+    write-locks all copies and runs a commit agreement protocol, so its
+    latency includes two WAN round trips plus lock waits, and a network
+    partition blocks updates entirely (prepared participants keep their
+    locks until the coordinator's decision gets through).  Queries lock
+    and read the local copy only (read-one), so they stay available — but
+    they block behind prepared writers on hot keys.
+
+    Update ETs first serialize at a global lock service on site 0
+    (primary-site 2PL in the Alsberg–Day style), acquiring their keys in
+    sorted order — a total acquisition order in one lock space, so
+    update/update deadlocks cannot form even across sites.  Participant
+    W-locks can still collide with local query R-locks; those local
+    deadlocks are detected, making the participant vote no (the update
+    aborts and is reported [Rejected]) or the query retry.  A coordinator
+    timeout (presumed abort) is the backstop for partitions.
+
+    Coordinator failure is not modelled (sites only partition in the
+    experiments); decisions are always eventually delivered by the stable
+    queues, so participants never block forever once connectivity
+    returns. *)
+
+module Op = Esr_store.Op
+module Store = Esr_store.Store
+module Hist = Esr_core.Hist
+module Et = Esr_core.Et
+module Lock_table = Esr_cc.Lock_table
+module Lock_mgr = Esr_cc.Lock_mgr
+module Engine = Esr_sim.Engine
+module Squeue = Esr_squeue.Squeue
+
+type msg =
+  | Lock_req of { et : Et.id; keys : string list; coordinator : int }
+      (** global-lock acquisition at the lock-service site (site 0) *)
+  | Lock_granted of { et : Et.id }
+  | Prepare of { et : Et.id; ops : (string * Op.t) list; coordinator : int }
+  | Vote of { et : Et.id; yes : bool }
+  | Decision of { et : Et.id; commit : bool; coordinator : int }
+  | Done of { et : Et.id }
+
+type coord_state = {
+  c_et : Et.id;
+  c_site : int;  (* the coordinator's site id *)
+  c_ops : (string * Op.t) list;
+  mutable c_votes : int;  (* votes still awaited *)
+  mutable c_acks : int;  (* completion acks still awaited *)
+  mutable c_aborted : bool;
+  mutable c_decided : bool;
+  c_notify : Intf.update_outcome -> unit;
+}
+
+type site = {
+  id : int;
+  store : Store.t;
+  mutable hist : Hist.t;
+  locks : Lock_mgr.t;
+  prepared : (Et.id, (string * Op.t) list) Hashtbl.t;
+  aborted : (Et.id, unit) Hashtbl.t;
+      (* aborts decided while this site's prepare was still waiting for
+         locks: when the late grant finally lands, release immediately *)
+}
+
+type t = {
+  env : Intf.env;
+  sites : site array;
+  fabric : msg Squeue.t;
+  coords : (Et.id, coord_state) Hashtbl.t;
+  global_locks : Lock_mgr.t;
+      (* the lock service at site 0: serializes update ETs globally, in
+         sorted key order, so update/update distributed deadlocks cannot
+         form (primary-site 2PL à la Alsberg–Day) *)
+  mutable n_updates : int;
+  mutable n_queries : int;
+  mutable n_aborted : int;
+  mutable n_lock_waits : int;
+}
+
+let meta =
+  {
+    Intf.name = "2PC";
+    family = Intf.Synchronous;
+    restriction = "atomic commitment";
+    async_propagation = "None";
+    sorting_time = "at commit";
+  }
+
+let log_action site ~et ~key op =
+  site.hist <- Hist.append site.hist (Et.action ~et ~key op)
+
+(* Acquire [requests] one at a time on [locks]; [fail] runs on a deadlock
+   refusal (locks already granted to [txn] are released). *)
+let acquire_all t locks ~txn requests ~ok ~fail =
+  let rec next = function
+    | [] -> ok ()
+    | (key, mode, op) :: rest -> (
+        let continue () = next rest in
+        match Lock_mgr.acquire locks ~txn ~key ~mode ?op ~on_grant:continue () with
+        | Lock_mgr.Granted -> continue ()
+        | Lock_mgr.Blocked -> t.n_lock_waits <- t.n_lock_waits + 1
+        | Lock_mgr.Deadlock ->
+            Lock_mgr.release_all locks ~txn;
+            fail ())
+  in
+  next requests
+
+let rec receive t ~site:site_id msg =
+  let site = t.sites.(site_id) in
+  match msg with
+  | Lock_req { et; keys; coordinator } ->
+      (* Global locks are acquired in sorted key order with FIFO queues:
+         a total acquisition order over a single lock space admits no
+         cycles among update ETs. *)
+      let requests =
+        List.map
+          (fun key -> (key, Lock_table.W, None))
+          (List.sort_uniq String.compare keys)
+      in
+      acquire_all t t.global_locks ~txn:et requests
+        ~ok:(fun () -> post t ~src:site_id ~dst:coordinator (Lock_granted { et }))
+        ~fail:(fun () ->
+          (* Cannot happen with ordered acquisition, but stay safe. *)
+          post t ~src:site_id ~dst:coordinator (Vote { et; yes = false }))
+  | Lock_granted { et } -> (
+      match Hashtbl.find_opt t.coords et with
+      | None -> ()
+      | Some coord ->
+          if not coord.c_decided then
+            (* Phase 1 proper: prepare everywhere, coordinator included. *)
+            for dst = 0 to Array.length t.sites - 1 do
+              post t ~src:coord.c_site ~dst
+                (Prepare { et; ops = coord.c_ops; coordinator = coord.c_site })
+            done)
+  | Prepare { et; ops; coordinator } ->
+      let requests =
+        List.map (fun (key, op) -> (key, Lock_table.W, Some op)) ops
+      in
+      acquire_all t site.locks ~txn:et requests
+        ~ok:(fun () ->
+          if Hashtbl.mem site.aborted et then begin
+            (* The coordinator gave up (timeout) while we were waiting for
+               locks; drop them right away. *)
+            Hashtbl.remove site.aborted et;
+            Lock_mgr.release_all site.locks ~txn:et
+          end
+          else begin
+            Hashtbl.replace site.prepared et ops;
+            post t ~src:site_id ~dst:coordinator (Vote { et; yes = true })
+          end)
+        ~fail:(fun () ->
+          post t ~src:site_id ~dst:coordinator (Vote { et; yes = false }))
+  | Vote { et; yes } -> coordinator_vote t et yes
+  | Decision { et; commit; coordinator } ->
+      (* The lock service lives at site 0: any decision ends the update
+         ET's global locks (release also cancels a still-queued request). *)
+      if site_id = 0 then Lock_mgr.release_all t.global_locks ~txn:et;
+      (match Hashtbl.find_opt site.prepared et with
+      | None ->
+          (* Either we voted no (nothing held) or our prepare is still
+             queued on locks; tombstone aborts so the late grant releases. *)
+          if not commit then Hashtbl.replace site.aborted et ()
+      | Some ops ->
+          Hashtbl.remove site.prepared et;
+          if commit then
+            List.iter
+              (fun (key, op) ->
+                (match Store.apply site.store key op with
+                | Ok _ -> ()
+                | Error _ -> invalid_arg "2PC: op failed to apply");
+                log_action site ~et ~key op)
+              ops;
+          Lock_mgr.release_all site.locks ~txn:et);
+      post t ~src:site_id ~dst:coordinator (Done { et })
+  | Done { et } -> coordinator_done t et
+
+(* Same-site messages shortcut the network (a site talking to itself). *)
+and post t ~src ~dst msg =
+  if src = dst then receive t ~site:dst msg
+  else Squeue.send t.fabric ~src ~dst msg
+
+and coordinator_vote t et yes =
+  match Hashtbl.find_opt t.coords et with
+  | None -> ()
+  | Some coord ->
+      if coord.c_decided then ()
+      else begin
+        if not yes then coord.c_aborted <- true;
+        coord.c_votes <- coord.c_votes - 1;
+        if coord.c_votes = 0 then begin
+          coord.c_decided <- true;
+          let commit = not coord.c_aborted in
+          if commit then
+            coord.c_notify
+              (Intf.Committed { committed_at = Engine.now t.env.engine })
+          else begin
+            t.n_aborted <- t.n_aborted + 1;
+            coord.c_notify (Intf.Rejected "2PC: aborted (deadlock vote)")
+          end;
+          (* Phase 2: route the decision to every participant. *)
+          for dst = 0 to Array.length t.sites - 1 do
+            post t ~src:coord.c_site ~dst
+              (Decision { et = coord.c_et; commit; coordinator = coord.c_site })
+          done
+        end
+      end
+
+and coordinator_done t et =
+  match Hashtbl.find_opt t.coords et with
+  | None -> ()
+  | Some coord ->
+      coord.c_acks <- coord.c_acks - 1;
+      if coord.c_acks = 0 then Hashtbl.remove t.coords et
+
+let create (env : Intf.env) =
+  let rec t =
+    lazy
+      (let fabric =
+         Squeue.create ~mode:Squeue.Unordered
+           ~retry_interval:env.Intf.config.Intf.retry_interval env.Intf.net
+           ~handler:(fun ~site ~src:_ msg -> receive (Lazy.force t) ~site msg)
+       in
+       {
+         env;
+         sites =
+           Array.init env.Intf.sites (fun id ->
+               {
+                 id;
+                 store = Store.create ();
+                 hist = Hist.empty;
+                 locks = Lock_mgr.create ~table:Lock_table.standard ();
+                 prepared = Hashtbl.create 16;
+                 aborted = Hashtbl.create 16;
+               });
+         fabric;
+         coords = Hashtbl.create 32;
+         global_locks = Lock_mgr.create ~table:Lock_table.standard ();
+         n_updates = 0;
+         n_queries = 0;
+         n_aborted = 0;
+         n_lock_waits = 0;
+       })
+  in
+  Lazy.force t
+
+let intent_to_op = function
+  | Intf.Set (k, v) -> (k, Op.Write v)
+  | Intf.Add (k, d) -> (k, Op.Incr d)
+  | Intf.Mul (k, f) -> (k, Op.Mult f)
+
+let submit_update t ~origin intents notify =
+  if intents = [] then notify (Intf.Rejected "empty update ET")
+  else begin
+    t.n_updates <- t.n_updates + 1;
+    let et = t.env.Intf.next_et () in
+    let ops = List.map intent_to_op intents in
+    let n = t.env.Intf.sites in
+    let coord =
+      {
+        c_et = et;
+        c_site = origin;
+        c_ops = ops;
+        c_votes = n;
+        c_acks = n;
+        c_aborted = false;
+        c_decided = false;
+        c_notify = notify;
+      }
+    in
+    Hashtbl.replace t.coords et coord;
+    (* Phase 0: serialize against other update ETs at the lock service;
+       the prepares fan out once the global locks are granted. *)
+    post t ~src:origin ~dst:0 (Lock_req { et; keys = List.map fst ops; coordinator = origin });
+    (* Presumed abort on timeout: covers distributed deadlocks (no global
+       wait-for graph exists) and partitions that outlast patience. *)
+    ignore
+      (Engine.schedule t.env.engine ~delay:t.env.Intf.config.Intf.twopc_timeout
+         (fun () ->
+           if not coord.c_decided then begin
+             coord.c_decided <- true;
+             t.n_aborted <- t.n_aborted + 1;
+             coord.c_notify (Intf.Rejected "2PC: aborted (timeout)");
+             for dst = 0 to n - 1 do
+               post t ~src:origin ~dst
+                 (Decision { et; commit = false; coordinator = origin })
+             done
+           end))
+  end
+
+let submit_query t ~site:site_id ~keys ~epsilon k =
+  ignore epsilon;
+  t.n_queries <- t.n_queries + 1;
+  let site = t.sites.(site_id) in
+  let started_at = Engine.now t.env.engine in
+  let rec attempt () =
+    let et = t.env.Intf.next_et () in
+    let requests = List.map (fun key -> (key, Lock_table.R, None)) keys in
+    acquire_all t site.locks ~txn:et requests
+      ~ok:(fun () ->
+        let values =
+          List.map
+            (fun key ->
+              log_action site ~et ~key Op.Read;
+              (key, Store.get site.store key))
+            keys
+        in
+        Lock_mgr.release_all site.locks ~txn:et;
+        k
+          {
+            Intf.values;
+            charged = 0;
+            consistent_path = true;
+            started_at;
+            served_at = Engine.now t.env.engine;
+          })
+      ~fail:(fun () ->
+        (* Deadlocked against prepared writers: retry after a beat. *)
+        ignore (Engine.schedule t.env.engine ~delay:5.0 attempt))
+  in
+  attempt ()
+
+let flush _ = ()
+let quiescent t = Hashtbl.length t.coords = 0
+
+let store t ~site = t.sites.(site).store
+let mvstore _ ~site:_ = None
+let history t ~site = t.sites.(site).hist
+
+let converged t =
+  let reference = t.sites.(0).store in
+  Array.for_all (fun site -> Store.equal site.store reference) t.sites
+
+let stats t =
+  [
+    ("updates", float_of_int t.n_updates);
+    ("queries", float_of_int t.n_queries);
+    ("aborted", float_of_int t.n_aborted);
+    ("lock_waits", float_of_int t.n_lock_waits);
+  ]

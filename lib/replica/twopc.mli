@@ -1,0 +1,30 @@
+(** TWOPC — synchronous 1SR baseline: primary-site 2PL (a global lock
+    service at site 0, sorted-key acquisition, hence no update/update
+    deadlocks) plus two-phase commit across all replicas, with
+    presumed-abort coordinator timeouts.  Queries lock and read the local
+    copy (read-one/write-all).  The "traditional coherency control" the
+    paper positions ESR against (§2.4). *)
+
+type t
+
+val meta : Intf.meta
+val create : Intf.env -> t
+
+val submit_update :
+  t -> origin:int -> Intf.intent list -> (Intf.update_outcome -> unit) -> unit
+
+val submit_query :
+  t ->
+  site:int ->
+  keys:string list ->
+  epsilon:Esr_core.Epsilon.spec ->
+  (Intf.query_outcome -> unit) ->
+  unit
+
+val flush : t -> unit
+val quiescent : t -> bool
+val store : t -> site:int -> Esr_store.Store.t
+val mvstore : t -> site:int -> Esr_store.Mvstore.t option
+val history : t -> site:int -> Esr_core.Hist.t
+val converged : t -> bool
+val stats : t -> (string * float) list

@@ -1,0 +1,78 @@
+type event = { id : int; body : unit -> unit }
+
+type t = {
+  heap : event Heap.t;
+  cancelled : (int, unit) Hashtbl.t;
+  mutable clock : float;
+  mutable next_seq : int;
+  mutable live : int;
+  mutable executed : int;
+}
+
+type event_id = int
+
+let create () =
+  {
+    heap = Heap.create ();
+    cancelled = Hashtbl.create 64;
+    clock = 0.0;
+    next_seq = 0;
+    live = 0;
+    executed = 0;
+  }
+
+let now t = t.clock
+
+let schedule_at t ~time body =
+  if time < t.clock then
+    invalid_arg
+      (Printf.sprintf "Engine.schedule_at: time %g is before now %g" time
+         t.clock);
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  Heap.push t.heap ~time ~seq { id = seq; body };
+  t.live <- t.live + 1;
+  seq
+
+let schedule t ~delay body =
+  if delay < 0.0 then invalid_arg "Engine.schedule: negative delay";
+  schedule_at t ~time:(t.clock +. delay) body
+
+let cancel t id =
+  (* Lazy deletion: the entry stays in the heap and is skipped at pop. *)
+  if not (Hashtbl.mem t.cancelled id) then begin
+    Hashtbl.replace t.cancelled id ();
+    t.live <- t.live - 1
+  end
+
+let rec step t =
+  match Heap.pop t.heap with
+  | None -> false
+  | Some (time, _, event) ->
+      if Hashtbl.mem t.cancelled event.id then begin
+        Hashtbl.remove t.cancelled event.id;
+        step t
+      end
+      else begin
+        t.clock <- time;
+        t.live <- t.live - 1;
+        t.executed <- t.executed + 1;
+        event.body ();
+        true
+      end
+
+let run ?until t =
+  match until with
+  | None -> while step t do () done
+  | Some limit ->
+      let continue = ref true in
+      while !continue do
+        match Heap.peek t.heap with
+        | None -> continue := false
+        | Some (time, _, _) ->
+            if time > limit then continue := false else ignore (step t)
+      done;
+      if t.clock < limit then t.clock <- limit
+
+let pending t = t.live
+let processed t = t.executed

@@ -1,0 +1,44 @@
+(** Discrete-event simulation engine.
+
+    Virtual time is a [float] in abstract milliseconds.  Events are
+    closures scheduled at a future instant; [run] executes them in
+    timestamp order (FIFO among ties), which makes whole-system executions
+    deterministic given deterministic event bodies.
+
+    The engine replaces a real async runtime (the container has no Lwt):
+    the paper's protocols only care about message *ordering and delay*,
+    which virtual time models exactly. *)
+
+type t
+
+type event_id
+(** Handle for cancellation. *)
+
+val create : unit -> t
+
+val now : t -> float
+(** Current virtual time. *)
+
+val schedule : t -> delay:float -> (unit -> unit) -> event_id
+(** [schedule t ~delay f] runs [f] at [now t +. delay].  Negative delays
+    raise [Invalid_argument]. *)
+
+val schedule_at : t -> time:float -> (unit -> unit) -> event_id
+(** Absolute-time variant; times in the past raise [Invalid_argument]. *)
+
+val cancel : t -> event_id -> unit
+(** Cancelling an already-fired or unknown event is a no-op. *)
+
+val step : t -> bool
+(** Execute the next event.  [false] when the queue is empty. *)
+
+val run : ?until:float -> t -> unit
+(** Drain the event queue.  With [~until], stops (leaving events queued)
+    once the next event would fire strictly after [until] and advances the
+    clock to [until]. *)
+
+val pending : t -> int
+(** Number of scheduled (uncancelled) events. *)
+
+val processed : t -> int
+(** Total events executed so far. *)

@@ -1,0 +1,18 @@
+(** Binary min-heap keyed by [(time, sequence)].
+
+    The sequence number makes the ordering of simultaneous events stable
+    (FIFO among equal timestamps), which the simulator needs for
+    determinism. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val size : 'a t -> int
+val is_empty : 'a t -> bool
+
+val push : 'a t -> time:float -> seq:int -> 'a -> unit
+
+val pop : 'a t -> (float * int * 'a) option
+(** Remove and return the minimum element. *)
+
+val peek : 'a t -> (float * int * 'a) option

@@ -1,0 +1,147 @@
+module Dist = Esr_util.Dist
+module Prng = Esr_util.Prng
+
+type config = {
+  latency : Dist.t;
+  drop_probability : float;
+  duplicate_probability : float;
+}
+
+let default_config =
+  { latency = Dist.Constant 10.0; drop_probability = 0.0; duplicate_probability = 0.0 }
+
+let wan_config =
+  {
+    latency = Dist.Lognormal (3.6, 0.35);
+    drop_probability = 0.01;
+    duplicate_probability = 0.0;
+  }
+
+type counters = {
+  sent : int;
+  delivered : int;
+  lost : int;
+  blocked : int;
+  duplicated : int;
+}
+
+type t = {
+  engine : Engine.t;
+  config : config;
+  prng : Prng.t;
+  n_sites : int;
+  group : int array;  (* partition group per site *)
+  up : bool array;
+  mutable sent : int;
+  mutable delivered : int;
+  mutable lost : int;
+  mutable blocked : int;
+  mutable duplicated : int;
+  mutable trace : (src:int -> dst:int -> delivered:bool -> unit) option;
+}
+
+let create ?(config = default_config) engine ~sites ~prng =
+  if sites <= 0 then invalid_arg "Net.create: sites must be positive";
+  {
+    engine;
+    config;
+    prng;
+    n_sites = sites;
+    group = Array.make sites 0;
+    up = Array.make sites true;
+    sent = 0;
+    delivered = 0;
+    lost = 0;
+    blocked = 0;
+    duplicated = 0;
+    trace = None;
+  }
+
+let engine t = t.engine
+let sites t = t.n_sites
+
+let check_site t s =
+  if s < 0 || s >= t.n_sites then
+    invalid_arg (Printf.sprintf "Net: site %d out of range [0,%d)" s t.n_sites)
+
+let reachable t a b =
+  check_site t a;
+  check_site t b;
+  t.group.(a) = t.group.(b)
+
+let site_up t s =
+  check_site t s;
+  t.up.(s)
+
+let deliver_later t ~dst callback =
+  let latency = Dist.sample t.config.latency t.prng in
+  ignore
+    (Engine.schedule t.engine ~delay:latency (fun () ->
+         if t.up.(dst) then begin
+           t.delivered <- t.delivered + 1;
+           callback ()
+         end
+         else t.blocked <- t.blocked + 1))
+
+let send t ~src ~dst callback =
+  check_site t src;
+  check_site t dst;
+  t.sent <- t.sent + 1;
+  let attempt delivered =
+    match t.trace with
+    | Some hook -> hook ~src ~dst ~delivered
+    | None -> ()
+  in
+  if not (t.up.(src) && reachable t src dst) then begin
+    t.blocked <- t.blocked + 1;
+    attempt false
+  end
+  else if Prng.bernoulli t.prng t.config.drop_probability then begin
+    t.lost <- t.lost + 1;
+    attempt false
+  end
+  else begin
+    deliver_later t ~dst callback;
+    if Prng.bernoulli t.prng t.config.duplicate_probability then begin
+      t.duplicated <- t.duplicated + 1;
+      deliver_later t ~dst callback
+    end;
+    attempt true
+  end
+
+let partition t groups =
+  let seen = Array.make t.n_sites false in
+  List.iteri
+    (fun gid members ->
+      List.iter
+        (fun s ->
+          check_site t s;
+          if seen.(s) then
+            invalid_arg (Printf.sprintf "Net.partition: site %d listed twice" s);
+          seen.(s) <- true;
+          (* Group 0 is reserved for the implicit leftover group. *)
+          t.group.(s) <- gid + 1)
+        members)
+    groups;
+  Array.iteri (fun s listed -> if not listed then t.group.(s) <- 0) seen
+
+let heal t = Array.fill t.group 0 t.n_sites 0
+
+let crash t s =
+  check_site t s;
+  t.up.(s) <- false
+
+let recover t s =
+  check_site t s;
+  t.up.(s) <- true
+
+let counters t =
+  {
+    sent = t.sent;
+    delivered = t.delivered;
+    lost = t.lost;
+    blocked = t.blocked;
+    duplicated = t.duplicated;
+  }
+
+let set_trace t hook = t.trace <- Some hook

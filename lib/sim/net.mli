@@ -1,0 +1,65 @@
+(** Network model over the simulation engine.
+
+    Sites are numbered [0 .. sites-1].  Each message samples a latency from
+    the configured distribution and may be dropped or duplicated.  Links
+    can be severed wholesale by {!partition}; sites can {!crash} and
+    {!recover}.  Reliability on top of this lossy substrate is the job of
+    {!Esr_squeue} — exactly the paper's split between raw links and stable
+    queues (§2.2). *)
+
+type config = {
+  latency : Esr_util.Dist.t;  (** one-way delay distribution *)
+  drop_probability : float;  (** iid message loss *)
+  duplicate_probability : float;  (** iid duplicate delivery *)
+}
+
+val default_config : config
+(** 10ms constant latency, no loss, no duplicates. *)
+
+val wan_config : config
+(** Lognormal latency around ~40ms with 1% loss — the "very slow links"
+    regime the paper targets. *)
+
+type t
+
+val create :
+  ?config:config -> Engine.t -> sites:int -> prng:Esr_util.Prng.t -> t
+
+val engine : t -> Engine.t
+val sites : t -> int
+
+val send : t -> src:int -> dst:int -> (unit -> unit) -> unit
+(** Deliver [callback] at [dst] after a sampled latency, unless the message
+    is lost, the two sites are partitioned at send time, or [dst] is down
+    at arrival time.  Sending from a crashed site is a silent drop. *)
+
+(** {2 Failure injection} *)
+
+val partition : t -> int list list -> unit
+(** [partition t groups] makes sites reachable only within their group.
+    Sites absent from every group form one extra implicit group together.
+    Raises [Invalid_argument] if a site appears twice. *)
+
+val heal : t -> unit
+(** Remove all partitions. *)
+
+val reachable : t -> int -> int -> bool
+
+val crash : t -> int -> unit
+val recover : t -> int -> unit
+val site_up : t -> int -> bool
+
+(** {2 Introspection} *)
+
+type counters = {
+  sent : int;
+  delivered : int;
+  lost : int;  (** random loss *)
+  blocked : int;  (** partition or crashed endpoint *)
+  duplicated : int;
+}
+
+val counters : t -> counters
+
+val set_trace : t -> (src:int -> dst:int -> delivered:bool -> unit) -> unit
+(** Invoke a hook on every send attempt (delivered = scheduled). *)

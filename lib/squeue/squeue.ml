@@ -1,0 +1,161 @@
+module Net = Esr_sim.Net
+module Engine = Esr_sim.Engine
+
+type mode = Unordered | Fifo
+
+(* Sender-side state of one src->dst channel.  [unacked] is the journal: it
+   survives crashes of the sender (stable storage) and drives retry.  Each
+   entry remembers when it was last transmitted so a timer tick only
+   retransmits messages that have actually been waiting a full interval. *)
+type 'a pending_msg = { payload : 'a; mutable last_sent : float }
+
+type 'a chan = {
+  mutable next_seq : int;
+  unacked : (int, 'a pending_msg) Hashtbl.t;
+  mutable timer_active : bool;
+}
+
+(* Receiver-side state of one src->dst channel. *)
+type 'a recv = {
+  seen : (int, unit) Hashtbl.t;  (* for Unordered dedup *)
+  mutable next_expected : int;  (* for Fifo *)
+  reorder : (int, 'a) Hashtbl.t;  (* Fifo gap buffer *)
+}
+
+type counters = {
+  enqueued : int;
+  delivered_first : int;
+  duplicates_suppressed : int;
+  retransmissions : int;
+  acks_received : int;
+}
+
+type 'a t = {
+  net : Net.t;
+  mode : mode;
+  retry_interval : float;
+  handler : site:int -> src:int -> 'a -> unit;
+  chans : 'a chan array array;  (* [src].(dst) *)
+  recvs : 'a recv array array;  (* [dst].(src) *)
+  mutable n_enqueued : int;
+  mutable n_delivered : int;
+  mutable n_dup : int;
+  mutable n_retx : int;
+  mutable n_acks : int;
+  mutable n_pending : int;
+}
+
+let create ?(mode = Unordered) ?(retry_interval = 50.0) net ~handler =
+  let n = Net.sites net in
+  let fresh_chan _ = { next_seq = 0; unacked = Hashtbl.create 8; timer_active = false } in
+  let fresh_recv _ =
+    { seen = Hashtbl.create 8; next_expected = 0; reorder = Hashtbl.create 8 }
+  in
+  {
+    net;
+    mode;
+    retry_interval;
+    handler;
+    chans = Array.init n (fun _ -> Array.init n fresh_chan);
+    recvs = Array.init n (fun _ -> Array.init n fresh_recv);
+    n_enqueued = 0;
+    n_delivered = 0;
+    n_dup = 0;
+    n_retx = 0;
+    n_acks = 0;
+    n_pending = 0;
+  }
+
+let deliver t ~dst ~src seq payload =
+  let recv = t.recvs.(dst).(src) in
+  match t.mode with
+  | Unordered ->
+      if Hashtbl.mem recv.seen seq then t.n_dup <- t.n_dup + 1
+      else begin
+        Hashtbl.replace recv.seen seq ();
+        t.n_delivered <- t.n_delivered + 1;
+        t.handler ~site:dst ~src payload
+      end
+  | Fifo ->
+      if seq < recv.next_expected || Hashtbl.mem recv.reorder seq then
+        t.n_dup <- t.n_dup + 1
+      else begin
+        Hashtbl.replace recv.reorder seq payload;
+        (* Hand up the contiguous prefix. *)
+        let rec drain () =
+          match Hashtbl.find_opt recv.reorder recv.next_expected with
+          | None -> ()
+          | Some p ->
+              Hashtbl.remove recv.reorder recv.next_expected;
+              recv.next_expected <- recv.next_expected + 1;
+              t.n_delivered <- t.n_delivered + 1;
+              t.handler ~site:dst ~src p;
+              drain ()
+        in
+        drain ()
+      end
+
+let ack t ~src ~dst seq =
+  let chan = t.chans.(src).(dst) in
+  if Hashtbl.mem chan.unacked seq then begin
+    Hashtbl.remove chan.unacked seq;
+    t.n_acks <- t.n_acks + 1;
+    t.n_pending <- t.n_pending - 1
+  end
+
+let transmit t ~src ~dst seq payload =
+  (* The data message carries its own ack round trip as a closure chain:
+     arrival at [dst] delivers (with dedup) and fires an ack back. *)
+  Net.send t.net ~src ~dst (fun () ->
+      deliver t ~dst ~src seq payload;
+      Net.send t.net ~src:dst ~dst:src (fun () -> ack t ~src ~dst seq))
+
+let rec arm_timer t ~src ~dst =
+  let chan = t.chans.(src).(dst) in
+  if not chan.timer_active then begin
+    chan.timer_active <- true;
+    ignore
+      (Engine.schedule (Net.engine t.net) ~delay:t.retry_interval (fun () ->
+           chan.timer_active <- false;
+           if Hashtbl.length chan.unacked > 0 then begin
+             let now = Engine.now (Net.engine t.net) in
+             Hashtbl.iter
+               (fun seq pending ->
+                 (* Only retransmit messages that have waited a full
+                    interval; fresher ones may still be acked in flight. *)
+                 if now -. pending.last_sent >= t.retry_interval -. 1e-9 then begin
+                   t.n_retx <- t.n_retx + 1;
+                   pending.last_sent <- now;
+                   transmit t ~src ~dst seq pending.payload
+                 end)
+               chan.unacked;
+             arm_timer t ~src ~dst
+           end))
+  end
+
+let send t ~src ~dst payload =
+  let chan = t.chans.(src).(dst) in
+  let seq = chan.next_seq in
+  chan.next_seq <- seq + 1;
+  Hashtbl.replace chan.unacked seq
+    { payload; last_sent = Engine.now (Net.engine t.net) };
+  t.n_enqueued <- t.n_enqueued + 1;
+  t.n_pending <- t.n_pending + 1;
+  transmit t ~src ~dst seq payload;
+  arm_timer t ~src ~dst
+
+let broadcast t ~src payload =
+  for dst = 0 to Net.sites t.net - 1 do
+    if dst <> src then send t ~src ~dst payload
+  done
+
+let pending t = t.n_pending
+
+let counters t =
+  {
+    enqueued = t.n_enqueued;
+    delivered_first = t.n_delivered;
+    duplicates_suppressed = t.n_dup;
+    retransmissions = t.n_retx;
+    acks_received = t.n_acks;
+  }

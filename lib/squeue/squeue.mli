@@ -1,0 +1,53 @@
+(** Stable queues: reliable asynchronous MSet transport.
+
+    The paper factors message loss out of replica control by assuming
+    "stable queues which persistently retry message delivery until
+    successful" (§2.2, citing Bernstein et al.'s recoverable requests and
+    persistent pipes).  This module implements that contract on top of the
+    lossy {!Esr_sim.Net}:
+
+    - every enqueued message is retried until acknowledged;
+    - receivers deduplicate by per-channel sequence number, so the
+      application sees each message exactly once;
+    - delivery order is configurable: [Unordered] (a message is handed up
+      as soon as it first arrives — what ORDUP/COMMU/RITU assume, since
+      they order by content, not by arrival) or [Fifo] (per-channel send
+      order, buffering gaps);
+    - queue state models stable storage: it survives simulated site
+      crashes, and retransmission resumes on recovery.
+
+    A {!t} is a fabric covering all sites of one simulated system. *)
+
+type mode = Unordered | Fifo
+
+type 'a t
+
+val create :
+  ?mode:mode ->
+  ?retry_interval:float ->
+  Esr_sim.Net.t ->
+  handler:(site:int -> src:int -> 'a -> unit) ->
+  'a t
+(** [handler ~site ~src msg] is invoked exactly once per message, at the
+    destination [site], when the message (from [src]) is first deliverable.
+    [retry_interval] defaults to 50.0 (5x the default link latency). *)
+
+val send : 'a t -> src:int -> dst:int -> 'a -> unit
+(** Enqueue a message.  Returns immediately; transport is asynchronous. *)
+
+val broadcast : 'a t -> src:int -> 'a -> unit
+(** [send] to every site except [src]. *)
+
+val pending : 'a t -> int
+(** Messages enqueued but not yet acknowledged, across all channels.  Zero
+    means the fabric is quiescent: nothing more will be delivered. *)
+
+type counters = {
+  enqueued : int;
+  delivered_first : int;  (** messages handed to the handler *)
+  duplicates_suppressed : int;
+  retransmissions : int;
+  acks_received : int;
+}
+
+val counters : 'a t -> counters

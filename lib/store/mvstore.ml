@@ -1,0 +1,98 @@
+module Gtime = Esr_clock.Gtime
+
+type key = string
+
+type version = { ts : Gtime.t; value : Value.t }
+
+type t = {
+  table : (key, version list ref) Hashtbl.t;  (* newest first *)
+  mutable vtnc : Gtime.t;
+}
+
+let create () = { table = Hashtbl.create 64; vtnc = Gtime.zero }
+
+let versions_ref t key =
+  match Hashtbl.find_opt t.table key with
+  | Some r -> r
+  | None ->
+      let r = ref [] in
+      Hashtbl.replace t.table key r;
+      r
+
+(* Insert keeping newest-first order; duplicates (same ts) rejected. *)
+let append t key ~ts value =
+  let r = versions_ref t key in
+  let rec insert = function
+    | [] -> Some [ { ts; value } ]
+    | v :: rest as all ->
+        let c = Gtime.compare ts v.ts in
+        if c > 0 then Some ({ ts; value } :: all)
+        else if c = 0 then None
+        else Option.map (fun inserted -> v :: inserted) (insert rest)
+  in
+  match insert !r with
+  | Some updated ->
+      r := updated;
+      true
+  | None -> false
+
+let remove_version t key ~ts =
+  match Hashtbl.find_opt t.table key with
+  | None -> false
+  | Some r ->
+      let before = List.length !r in
+      r := List.filter (fun v -> not (Gtime.equal v.ts ts)) !r;
+      List.length !r < before
+
+let vtnc t = t.vtnc
+
+let advance_vtnc t ts = if Gtime.compare ts t.vtnc > 0 then t.vtnc <- ts
+
+let read_at t key ~as_of =
+  match Hashtbl.find_opt t.table key with
+  | None -> None
+  | Some r -> List.find_opt (fun v -> Gtime.compare v.ts as_of <= 0) !r
+
+let read_visible t key = read_at t key ~as_of:t.vtnc
+
+let read_latest t key =
+  match Hashtbl.find_opt t.table key with
+  | None -> None
+  | Some r -> ( match !r with [] -> None | newest :: _ -> Some newest)
+
+let versions_above_vtnc t key =
+  match Hashtbl.find_opt t.table key with
+  | None -> 0
+  | Some r ->
+      List.length (List.filter (fun v -> Gtime.compare v.ts t.vtnc > 0) !r)
+
+let versions t key =
+  match Hashtbl.find_opt t.table key with
+  | None -> []
+  | Some r -> List.rev !r
+
+let keys t =
+  Hashtbl.fold (fun k _ acc -> k :: acc) t.table [] |> List.sort String.compare
+
+let equal a b =
+  let same_versions k =
+    let va = versions a k and vb = versions b k in
+    List.length va = List.length vb
+    && List.for_all2
+         (fun x y -> Gtime.equal x.ts y.ts && Value.equal x.value y.value)
+         va vb
+  in
+  let all = List.sort_uniq String.compare (keys a @ keys b) in
+  List.for_all same_versions all
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>vtnc=%a@," Gtime.pp t.vtnc;
+  List.iter
+    (fun k ->
+      Format.fprintf ppf "%s:" k;
+      List.iter
+        (fun v -> Format.fprintf ppf " %a=%a" Gtime.pp v.ts Value.pp v.value)
+        (versions t k);
+      Format.fprintf ppf "@,")
+    (keys t);
+  Format.fprintf ppf "@]"

@@ -1,0 +1,55 @@
+(** Multiversion store with VTNC visibility (paper §3.3).
+
+    Each key holds an append-only list of immutable versions ordered by
+    global timestamp.  Visibility follows the Modular Synchronization
+    Method: a *visible transaction number counter* (VTNC) marks the prefix
+    of versions that are stable — no active or future transaction can
+    create a version at or below it.  SR queries read at the VTNC; an
+    epsilon query may read versions *above* the VTNC, paying one unit of
+    inconsistency per such read (enforced by the caller's inconsistency
+    counter, see {!Esr_core.Epsilon}). *)
+
+type key = string
+
+type version = { ts : Esr_clock.Gtime.t; value : Value.t }
+
+type t
+
+val create : unit -> t
+
+val append : t -> key -> ts:Esr_clock.Gtime.t -> Value.t -> bool
+(** Insert a version.  Returns [false] (no-op) if a version with that
+    timestamp already exists — appends are idempotent, which makes RITU
+    multiversion MSets safely retryable. *)
+
+val remove_version : t -> key -> ts:Esr_clock.Gtime.t -> bool
+(** COMPE compensation for an append (§4.2: "multiple versions can support
+    compensation by deleting the version").  [false] if absent. *)
+
+val vtnc : t -> Esr_clock.Gtime.t
+val advance_vtnc : t -> Esr_clock.Gtime.t -> unit
+(** Monotone: attempts to move the VTNC backwards are ignored. *)
+
+val read_at : t -> key -> as_of:Esr_clock.Gtime.t -> version option
+(** Latest version with [ts <= as_of]; [None] when no such version (the
+    key reads as unwritten). *)
+
+val read_visible : t -> key -> version option
+(** [read_at] the current VTNC — the strictly consistent read. *)
+
+val read_latest : t -> key -> version option
+(** Newest version regardless of VTNC — the maximally fresh, maximally
+    inconsistent read. *)
+
+val versions_above_vtnc : t -> key -> int
+(** How many versions a freshest read would see beyond the stable prefix
+    (each one costs a unit of query inconsistency). *)
+
+val versions : t -> key -> version list
+(** All versions, oldest first. *)
+
+val keys : t -> key list
+val equal : t -> t -> bool
+(** Same keys with identical version lists. *)
+
+val pp : Format.formatter -> t -> unit

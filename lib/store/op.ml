@@ -1,0 +1,84 @@
+module Gtime = Esr_clock.Gtime
+
+type t =
+  | Read
+  | Write of Value.t
+  | Incr of int
+  | Mult of int
+  | Div of int
+  | Timed_write of { ts : Gtime.t; value : Value.t }
+  | Append of { ts : Gtime.t; value : Value.t }
+
+let is_read = function
+  | Read -> true
+  | Write _ | Incr _ | Mult _ | Div _ | Timed_write _ | Append _ -> false
+
+let is_update op = not (is_read op)
+
+(* Commutativity classes: additive deltas commute among themselves,
+   multiplicative ops among themselves, latest-wins blind writes among
+   themselves (the final state is determined by the max timestamp), and
+   version appends among themselves (set union).  Everything else conflicts
+   conservatively. *)
+let commutes a b =
+  match (a, b) with
+  | Read, Read -> true
+  | Incr _, Incr _ -> true
+  | (Mult _ | Div _), (Mult _ | Div _) -> true
+  | Timed_write _, Timed_write _ -> true
+  | Append _, Append _ -> true
+  | ( (Read | Write _ | Incr _ | Mult _ | Div _ | Timed_write _ | Append _),
+      (Read | Write _ | Incr _ | Mult _ | Div _ | Timed_write _ | Append _) ) ->
+      false
+
+let read_independent = function
+  | Timed_write _ | Append _ -> true
+  | Read | Write _ | Incr _ | Mult _ | Div _ -> false
+
+let inverse = function
+  | Incr d -> Some (Incr (-d))
+  | Mult k -> Some (Div k)
+  | Div k -> Some (Mult k)
+  | Append { ts; value = _ } ->
+      (* Compensating an append deletes that version; encoded as appending
+         nothing is impossible, so the store exposes remove_version and
+         COMPE uses it directly.  No value-level inverse. *)
+      ignore ts;
+      None
+  | Read | Write _ | Timed_write _ -> None
+
+let compensatable = function
+  | Read -> false
+  | Write _ | Incr _ | Mult _ | Div _ | Timed_write _ | Append _ -> true
+
+type apply_error = Type_mismatch of string | Division_error of string
+
+let apply_value op value =
+  match (op, value) with
+  | Read, v -> Ok v
+  | Write v, _ -> Ok v
+  | Incr d, Value.Int i -> Ok (Value.Int (i + d))
+  | Incr _, Value.Str _ -> Error (Type_mismatch "Incr on string value")
+  | Mult k, Value.Int i -> Ok (Value.Int (i * k))
+  | Mult _, Value.Str _ -> Error (Type_mismatch "Mult on string value")
+  | Div 0, Value.Int _ -> Error (Division_error "Div by zero")
+  | Div k, Value.Int i ->
+      if i mod k <> 0 then
+        Error (Division_error (Printf.sprintf "%d not divisible by %d" i k))
+      else Ok (Value.Int (i / k))
+  | Div _, Value.Str _ -> Error (Type_mismatch "Div on string value")
+  | Timed_write { value = v; _ }, _ -> Ok v
+  | Append { value = v; _ }, _ -> Ok v
+
+let pp ppf = function
+  | Read -> Format.fprintf ppf "R"
+  | Write v -> Format.fprintf ppf "W(%a)" Value.pp v
+  | Incr d -> Format.fprintf ppf "Inc(%d)" d
+  | Mult k -> Format.fprintf ppf "Mul(%d)" k
+  | Div k -> Format.fprintf ppf "Div(%d)" k
+  | Timed_write { ts; value } ->
+      Format.fprintf ppf "TW@%a(%a)" Gtime.pp ts Value.pp value
+  | Append { ts; value } ->
+      Format.fprintf ppf "App@%a(%a)" Gtime.pp ts Value.pp value
+
+let to_string op = Format.asprintf "%a" pp op

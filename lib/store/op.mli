@@ -1,0 +1,61 @@
+(** Operations as first-class values with semantic metadata.
+
+    Replica control methods differ precisely in which *properties* of
+    operations they exploit (Table 1's "kind of restriction" row):
+
+    - COMMU requires {!commutes};
+    - RITU requires {!read_independent} (timestamped blind writes);
+    - COMPE requires {!compensatable} (a logical {!inverse}, or a recorded
+      before-value for physical undo);
+    - ORDUP requires nothing of the operations and restricts delivery
+      order instead.
+
+    Making the metadata executable is what lets the bench harness *derive*
+    Tables 1 and 3 from the implementation rather than hard-coding them. *)
+
+type t =
+  | Read
+  | Write of Value.t  (** plain overwrite — neither commutative nor blind-timestamped *)
+  | Incr of int  (** commutative delta; the paper's [Inc(x, d)] *)
+  | Mult of int  (** commutative (multiplicatively); the paper's [Mul(x, k)] *)
+  | Div of int  (** exact inverse of [Mult]; the paper's [Div(x, k)] *)
+  | Timed_write of { ts : Esr_clock.Gtime.t; value : Value.t }
+      (** RITU blind write; latest timestamp wins, older ones are ignored *)
+  | Append of { ts : Esr_clock.Gtime.t; value : Value.t }
+      (** RITU multiversion: add an immutable version *)
+
+val is_read : t -> bool
+val is_update : t -> bool
+
+val commutes : t -> t -> bool
+(** Executable commutativity relation: [commutes a b] iff applying [a]
+    then [b] always yields the same state as [b] then [a].  Conservative
+    (false when in doubt).  Reads commute with reads. *)
+
+val read_independent : t -> bool
+(** True when the operation's effect does not depend on the current value
+    (a "blind write" in the paper's §3.3 sense). *)
+
+val inverse : t -> t option
+(** Logical compensation where one exists ([Incr d ↦ Incr (-d)],
+    [Mult k ↦ Div k], …).  [Write]/[Timed_write] return [None]: undoing
+    them needs the recorded before-value (paper §4.2: "to rollback RITU
+    with overwrite we must also record the value being overwritten"). *)
+
+val compensatable : t -> bool
+(** The operation can run under COMPE: it has a logical inverse or its
+    undo information can be journaled (true for everything but [Read],
+    which needs no compensation). *)
+
+type apply_error =
+  | Type_mismatch of string  (** e.g. [Incr] on a [Str] *)
+  | Division_error of string  (** [Div] by zero or non-exact *)
+
+val apply_value : t -> Value.t -> (Value.t, apply_error) result
+(** Pure state transition for value-level operations.  [Read] leaves the
+    value unchanged.  [Timed_write]/[Append] are store-level (they consult
+    timestamps/version lists) and here behave like their value part, which
+    is what the store uses after deciding the timestamp comparison. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,83 @@
+module Gtime = Esr_clock.Gtime
+
+type key = string
+
+type cell = { mutable value : Value.t; mutable ts : Gtime.t }
+
+type undo = { key : key; before : Value.t; before_ts : Gtime.t; applied : bool }
+
+type t = (key, cell) Hashtbl.t
+
+let create () = Hashtbl.create 64
+
+let mem t key = Hashtbl.mem t key
+
+let cell t key =
+  match Hashtbl.find_opt t key with
+  | Some c -> c
+  | None ->
+      let c = { value = Value.zero; ts = Gtime.zero } in
+      Hashtbl.replace t key c;
+      c
+
+let get t key =
+  match Hashtbl.find_opt t key with Some c -> c.value | None -> Value.zero
+
+let get_ts t key =
+  match Hashtbl.find_opt t key with Some c -> c.ts | None -> Gtime.zero
+
+let set t key value = (cell t key).value <- value
+
+let set_with_ts t key value ts =
+  let c = cell t key in
+  c.value <- value;
+  c.ts <- ts
+
+let apply t key op =
+  let c = cell t key in
+  let undo = { key; before = c.value; before_ts = c.ts; applied = true } in
+  match op with
+  | Op.Timed_write { ts; value } ->
+      if Gtime.compare ts c.ts > 0 then begin
+        c.value <- value;
+        c.ts <- ts;
+        Ok undo
+      end
+      else Ok { undo with applied = false }
+  | Op.Read -> Ok { undo with applied = false }
+  | Op.Write _ | Op.Incr _ | Op.Mult _ | Op.Div _ | Op.Append _ -> (
+      match Op.apply_value op c.value with
+      | Ok v ->
+          c.value <- v;
+          Ok undo
+      | Error e -> Error e)
+
+let rollback t undo =
+  let c = cell t undo.key in
+  if undo.applied then begin
+    c.value <- undo.before;
+    c.ts <- undo.before_ts
+  end
+
+let keys t =
+  Hashtbl.fold (fun k _ acc -> k :: acc) t [] |> List.sort String.compare
+
+let snapshot t = List.map (fun k -> (k, get t k)) (keys t)
+
+let equal a b =
+  let all_keys =
+    List.sort_uniq String.compare (List.rev_append (keys a) (keys b))
+  in
+  List.for_all (fun k -> Value.equal (get a k) (get b k)) all_keys
+
+let copy t =
+  let fresh = create () in
+  Hashtbl.iter (fun k c -> Hashtbl.replace fresh k { value = c.value; ts = c.ts }) t;
+  fresh
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun (k, v) -> Format.fprintf ppf "%s = %a@," k Value.pp v)
+    (snapshot t);
+  Format.fprintf ppf "@]"

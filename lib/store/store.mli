@@ -1,0 +1,54 @@
+(** Single-version keyed object store — one replica's local state.
+
+    Each key holds a {!Value.t} plus the timestamp of the last RITU blind
+    write, so [Timed_write] implements latest-writer-wins ("an RITU update
+    trying to overwrite a newer version is ignored", §3.3).
+
+    [apply] returns an {!undo} record; COMPE journals these to support
+    physical rollback of operations that have no logical inverse. *)
+
+type key = string
+
+type undo = {
+  key : key;
+  before : Value.t;
+  before_ts : Esr_clock.Gtime.t;
+  applied : bool;  (** false when a stale [Timed_write] was ignored *)
+}
+
+type t
+
+val create : unit -> t
+val mem : t -> key -> bool
+
+val get : t -> key -> Value.t
+(** Missing keys read as {!Value.zero} — object creation is implicit, as
+    in the paper's counter examples. *)
+
+val get_ts : t -> key -> Esr_clock.Gtime.t
+
+val set : t -> key -> Value.t -> unit
+(** Raw assignment, bypassing operation semantics (used for rollback). *)
+
+val set_with_ts : t -> key -> Value.t -> Esr_clock.Gtime.t -> unit
+
+val apply : t -> key -> Op.t -> (undo, Op.apply_error) result
+(** Apply one operation.  [Timed_write] compares timestamps; a stale write
+    is a successful no-op with [applied = false]. *)
+
+val rollback : t -> undo -> unit
+(** Restore the before-image recorded by [apply]. *)
+
+val keys : t -> key list
+(** Sorted, for deterministic iteration. *)
+
+val snapshot : t -> (key * Value.t) list
+(** Sorted association list of all keys — the basis of replica
+    state-equality checks. *)
+
+val equal : t -> t -> bool
+(** Value equality over all keys (keys missing on one side compare as
+    {!Value.zero}). *)
+
+val copy : t -> t
+val pp : Format.formatter -> t -> unit

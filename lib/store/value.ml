@@ -1,0 +1,25 @@
+type t = Int of int | Str of string
+
+let int i = Int i
+let str s = Str s
+let zero = Int 0
+let as_int = function Int i -> Some i | Str _ -> None
+
+let equal a b =
+  match (a, b) with
+  | Int x, Int y -> x = y
+  | Str x, Str y -> String.equal x y
+  | Int _, Str _ | Str _, Int _ -> false
+
+let compare a b =
+  match (a, b) with
+  | Int x, Int y -> Int.compare x y
+  | Str x, Str y -> String.compare x y
+  | Int _, Str _ -> -1
+  | Str _, Int _ -> 1
+
+let pp ppf = function
+  | Int i -> Format.fprintf ppf "%d" i
+  | Str s -> Format.fprintf ppf "%S" s
+
+let to_string = function Int i -> string_of_int i | Str s -> s

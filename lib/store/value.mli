@@ -1,0 +1,17 @@
+(** Object values.
+
+    The paper's example domains need integers (bank balances, the Inc/Mul
+    compensation example of §4.1) and opaque strings (directory entries à
+    la Grapevine/Clearinghouse). *)
+
+type t = Int of int | Str of string
+
+val int : int -> t
+val str : string -> t
+val zero : t
+
+val as_int : t -> int option
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

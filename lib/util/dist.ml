@@ -1,0 +1,78 @@
+type t =
+  | Constant of float
+  | Uniform of float * float
+  | Exponential of float
+  | Normal of float * float
+  | Lognormal of float * float
+  | Pareto of float * float
+
+let sample_normal prng mu sigma =
+  (* Box–Muller; one draw per call keeps the stream deterministic. *)
+  let u1 = max 1e-12 (Prng.float prng 1.0) in
+  let u2 = Prng.float prng 1.0 in
+  let z = sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2) in
+  mu +. (sigma *. z)
+
+let sample t prng =
+  let v =
+    match t with
+    | Constant c -> c
+    | Uniform (lo, hi) -> lo +. Prng.float prng (hi -. lo)
+    | Exponential mean ->
+        let u = max 1e-12 (Prng.float prng 1.0) in
+        -.mean *. log u
+    | Normal (mu, sigma) -> sample_normal prng mu sigma
+    | Lognormal (mu, sigma) -> exp (sample_normal prng mu sigma)
+    | Pareto (xm, alpha) ->
+        let u = max 1e-12 (Prng.float prng 1.0) in
+        xm /. (u ** (1.0 /. alpha))
+  in
+  Float.max 0.0 v
+
+let mean = function
+  | Constant c -> c
+  | Uniform (lo, hi) -> (lo +. hi) /. 2.0
+  | Exponential m -> m
+  | Normal (mu, _) -> mu
+  | Lognormal (mu, sigma) -> exp (mu +. (sigma *. sigma /. 2.0))
+  | Pareto (xm, alpha) ->
+      if alpha <= 1.0 then infinity else alpha *. xm /. (alpha -. 1.0)
+
+let pp ppf = function
+  | Constant c -> Format.fprintf ppf "const(%g)" c
+  | Uniform (lo, hi) -> Format.fprintf ppf "uniform(%g,%g)" lo hi
+  | Exponential m -> Format.fprintf ppf "exp(mean=%g)" m
+  | Normal (mu, sigma) -> Format.fprintf ppf "normal(%g,%g)" mu sigma
+  | Lognormal (mu, sigma) -> Format.fprintf ppf "lognormal(%g,%g)" mu sigma
+  | Pareto (xm, alpha) -> Format.fprintf ppf "pareto(%g,%g)" xm alpha
+
+module Zipf = struct
+  (* Inverse-CDF sampling over the precomputed cumulative weights.  O(log n)
+     per sample, exact, and deterministic — preferable here to the usual
+     rejection method because the key spaces are modest (<= 1e6). *)
+  type gen = { cumulative : float array }
+
+  let create ~n ~theta =
+    if n <= 0 then invalid_arg "Zipf.create: n must be positive";
+    let cumulative = Array.make n 0.0 in
+    let total = ref 0.0 in
+    for i = 0 to n - 1 do
+      total := !total +. (1.0 /. (float_of_int (i + 1) ** theta));
+      cumulative.(i) <- !total
+    done;
+    for i = 0 to n - 1 do
+      cumulative.(i) <- cumulative.(i) /. !total
+    done;
+    { cumulative }
+
+  let sample g prng =
+    let u = Prng.float prng 1.0 in
+    let n = Array.length g.cumulative in
+    let rec search lo hi =
+      if lo >= hi then lo
+      else
+        let mid = (lo + hi) / 2 in
+        if g.cumulative.(mid) < u then search (mid + 1) hi else search lo mid
+    in
+    search 0 (n - 1)
+end

@@ -1,0 +1,31 @@
+(** Sampling distributions used by workloads and the network model. *)
+
+type t =
+  | Constant of float  (** always the same value *)
+  | Uniform of float * float  (** uniform in [\[lo, hi)] *)
+  | Exponential of float  (** mean given; classic M/M queueing arrivals *)
+  | Normal of float * float  (** mean, stddev; truncated at 0 *)
+  | Lognormal of float * float
+      (** [mu], [sigma] of the underlying normal; heavy-ish WAN tail *)
+  | Pareto of float * float  (** scale [x_m], shape [alpha]; heavy tail *)
+
+val sample : t -> Prng.t -> float
+(** Draw one value.  All distributions are clamped to be non-negative since
+    they model durations. *)
+
+val mean : t -> float
+(** Analytic mean (infinite Pareto means clamp to [infinity]). *)
+
+val pp : Format.formatter -> t -> unit
+
+(** Zipfian ranks for skewed key popularity. *)
+module Zipf : sig
+  type gen
+
+  val create : n:int -> theta:float -> gen
+  (** [create ~n ~theta] prepares a Zipf sampler over ranks [0..n-1].
+      [theta = 0.] degenerates to uniform; typical hot-key skew is
+      [theta = 0.99] as in YCSB. *)
+
+  val sample : gen -> Prng.t -> int
+end

@@ -1,0 +1,74 @@
+type line = Row of string list | Separator
+
+type t = { title : string; headers : string list; mutable lines : line list }
+
+let create ~title ~headers = { title; headers; lines = [] }
+
+let add_row t cells =
+  let n_headers = List.length t.headers in
+  let n_cells = List.length cells in
+  if n_cells > n_headers then
+    invalid_arg
+      (Printf.sprintf "Tablefmt.add_row: %d cells for %d columns" n_cells
+         n_headers);
+  let padded =
+    if n_cells = n_headers then cells
+    else cells @ List.init (n_headers - n_cells) (fun _ -> "")
+  in
+  t.lines <- Row padded :: t.lines
+
+let add_separator t = t.lines <- Separator :: t.lines
+
+let render t =
+  (* A trailing separator would double the closing rule; drop it. *)
+  let rec drop_leading_separators = function
+    | Separator :: rest -> drop_leading_separators rest
+    | rows -> rows
+  in
+  let rows = List.rev (drop_leading_separators t.lines) in
+  let widths = Array.of_list (List.map String.length t.headers) in
+  let measure = function
+    | Separator -> ()
+    | Row cells ->
+        List.iteri
+          (fun i c -> if String.length c > widths.(i) then widths.(i) <- String.length c)
+          cells
+  in
+  List.iter measure rows;
+  let buf = Buffer.create 1024 in
+  let pad s w =
+    let s = s ^ String.make (w - String.length s) ' ' in
+    s
+  in
+  let rule () =
+    Array.iter (fun w -> Buffer.add_string buf ("+" ^ String.make (w + 2) '-')) widths;
+    Buffer.add_string buf "+\n"
+  in
+  let emit cells =
+    List.iteri
+      (fun i c ->
+        Buffer.add_string buf "| ";
+        Buffer.add_string buf (pad c widths.(i));
+        Buffer.add_char buf ' ')
+      cells;
+    Buffer.add_string buf "|\n"
+  in
+  Buffer.add_string buf ("== " ^ t.title ^ " ==\n");
+  rule ();
+  emit t.headers;
+  rule ();
+  List.iter (function Separator -> rule () | Row cells -> emit cells) rows;
+  rule ();
+  Buffer.contents buf
+
+let print t =
+  print_string (render t);
+  print_newline ()
+
+let cell_float f =
+  if Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.2f" f
+
+let cell_int = string_of_int
+let cell_bool b = if b then "yes" else "no"

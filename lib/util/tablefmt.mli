@@ -1,0 +1,25 @@
+(** Fixed-width ASCII table rendering for the bench harness.
+
+    Every table/figure reproduced from the paper is printed through this
+    module so the output stays uniform and diffable. *)
+
+type t
+
+val create : title:string -> headers:string list -> t
+val add_row : t -> string list -> unit
+(** Rows shorter than the header are padded with empty cells; longer rows
+    raise [Invalid_argument]. *)
+
+val add_separator : t -> unit
+(** Horizontal rule between row groups. *)
+
+val render : t -> string
+val print : t -> unit
+(** [render] followed by [print_string] and a flush. *)
+
+val cell_float : float -> string
+(** Canonical float formatting ("%.2f", trailing-zero trimmed). *)
+
+val cell_int : int -> string
+val cell_bool : bool -> string
+(** "yes" / "no". *)

@@ -1,0 +1,51 @@
+(** Committed-prefix oracle: the value every key "should" have if all
+    updates committed so far were visible instantly.
+
+    Intents are applied to the oracle at commit-callback time, so a
+    query's value error — the distance between what it read and the
+    oracle at serve time — measures the staleness the asynchronous
+    propagation exposed.  The epsilon *units* guarantee is checked
+    separately against the charge counters; the oracle gives the
+    complementary value-level view reported by experiment E2. *)
+
+module Value = Esr_store.Value
+module Intf = Esr_replica.Intf
+
+type t = (string, Value.t) Hashtbl.t
+
+let create () = Hashtbl.create 64
+
+let get t key = Option.value (Hashtbl.find_opt t key) ~default:Value.zero
+
+let apply_intent t intent =
+  let key = Intf.intent_key intent in
+  let current = get t key in
+  let next =
+    match (intent, current) with
+    | Intf.Set (_, v), _ -> v
+    | Intf.Add (_, d), Value.Int i -> Value.Int (i + d)
+    | Intf.Mul (_, f), Value.Int i -> Value.Int (i * f)
+    | (Intf.Add _ | Intf.Mul _), Value.Str _ ->
+        invalid_arg "Oracle: arithmetic intent on string value"
+  in
+  Hashtbl.replace t key next
+
+let apply t intents = List.iter (apply_intent t) intents
+
+(** Distance between a query answer and the oracle, summed over the keys
+    read.  [`Distance] takes the absolute numeric difference (meaningful
+    for additive workloads, where it counts missed increments);
+    [`Mismatch] counts 0/1 per key (meaningful for blind overwrites,
+    where any stale value is simply "one version behind"). *)
+let error ?(metric = `Distance) t values =
+  List.fold_left
+    (fun acc (key, read) ->
+      let expected = get t key in
+      let delta =
+        match (metric, read, expected) with
+        | `Distance, Value.Int a, Value.Int b -> float_of_int (abs (a - b))
+        | `Distance, a, b | `Mismatch, a, b ->
+            if Value.equal a b then 0.0 else 1.0
+      in
+      acc +. delta)
+    0.0 values

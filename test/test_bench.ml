@@ -1,0 +1,45 @@
+(* Smoke tests for the esr_bench library: the table generators and the
+   cheapest experiments must run without raising (their numeric content
+   is validated by the unit/integration suites; here we guard the
+   generators themselves, which dune runtest would otherwise never
+   execute). *)
+
+let run_silently f () =
+  (* The generators print their tables; divert stdout so test output
+     stays readable. *)
+  let saved = Unix.dup Unix.stdout in
+  let devnull = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
+  Unix.dup2 devnull Unix.stdout;
+  let finish () =
+    flush stdout;
+    Unix.dup2 saved Unix.stdout;
+    Unix.close saved;
+    Unix.close devnull
+  in
+  (try f ()
+   with exn ->
+     finish ();
+     raise exn);
+  finish ()
+
+let () =
+  Alcotest.run "esr_bench"
+    [
+      ( "generators",
+        [
+          Alcotest.test_case "paper tables" `Quick
+            (run_silently Esr_bench.Tables.run_all);
+          Alcotest.test_case "a2 squeue ablation" `Quick
+            (run_silently (fun () ->
+                 match List.assoc_opt "a2_squeue_retry" Esr_bench.Experiments.all with
+                 | Some f -> f ()
+                 | None -> Alcotest.fail "a2 target missing"));
+          Alcotest.test_case "e12 partition merge" `Slow
+            (run_silently (fun () ->
+                 match
+                   List.assoc_opt "e12_partition_merge" Esr_bench.Experiments.all
+                 with
+                 | Some f -> f ()
+                 | None -> Alcotest.fail "e12 target missing"));
+        ] );
+    ]

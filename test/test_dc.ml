@@ -1,0 +1,437 @@
+(* Tests for Esr_dc.Scheduler: divergence control over interleaved ETs —
+   strict 2PL, the paper's Table 2/3 disciplines, and basic timestamp
+   ordering with ESR query reads. *)
+
+module Op = Esr_store.Op
+module Value = Esr_store.Value
+module Store = Esr_store.Store
+module Lock_table = Esr_cc.Lock_table
+module Et = Esr_core.Et
+module Epsilon = Esr_core.Epsilon
+module Conflict = Esr_core.Conflict
+module Esr_check = Esr_core.Esr_check
+module Scheduler = Esr_dc.Scheduler
+module Prng = Esr_util.Prng
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let value_t = Alcotest.testable Value.pp Value.equal
+
+let executed = function
+  | Scheduler.Executed v -> v
+  | Scheduler.Wait -> Alcotest.fail "unexpected Wait"
+  | Scheduler.Refused_stale -> Alcotest.fail "unexpected stale refusal"
+  | Scheduler.Refused_epsilon -> Alcotest.fail "unexpected epsilon refusal"
+  | Scheduler.Refused_deadlock -> Alcotest.fail "unexpected deadlock"
+
+let mk ?discipline () = Scheduler.create ?discipline (Store.create ())
+
+(* --- strict 2PL (standard table) --- *)
+
+let test_2pl_serial_execution () =
+  let s = mk () in
+  let t1 = Scheduler.begin_et s ~kind:Et.Update () in
+  ignore (executed (Scheduler.submit s t1 ~key:"x" (Op.Write (Value.int 5)) ()));
+  ignore (executed (Scheduler.submit s t1 ~key:"x" (Op.Incr 2) ()));
+  Scheduler.commit s t1;
+  let t2 = Scheduler.begin_et s ~kind:Et.Query () in
+  Alcotest.check value_t "reads committed state" (Value.int 7)
+    (executed (Scheduler.submit s t2 ~key:"x" Op.Read ()));
+  Scheduler.commit s t2;
+  checkb "history SR" true (Esr_check.is_sr (Scheduler.history s))
+
+let test_2pl_conflicting_blocks_until_commit () =
+  let s = mk () in
+  let t1 = Scheduler.begin_et s ~kind:Et.Update () in
+  ignore (executed (Scheduler.submit s t1 ~key:"x" (Op.Write (Value.int 1)) ()));
+  let t2 = Scheduler.begin_et s ~kind:Et.Update () in
+  let late = ref None in
+  let outcome =
+    Scheduler.submit s t2 ~key:"x" (Op.Incr 1)
+      ~k:(fun o -> late := Some o) ()
+  in
+  checkb "second writer waits" true (outcome = Scheduler.Wait);
+  checkb "t2 marked waiting" true (Scheduler.status t2 = Scheduler.Waiting);
+  Scheduler.commit s t1;
+  (match !late with
+  | Some (Scheduler.Executed v) -> Alcotest.check value_t "saw t1's write" (Value.int 2) v
+  | _ -> Alcotest.fail "t2's op should have executed on release");
+  Scheduler.commit s t2;
+  checkb "history SR" true (Esr_check.is_sr (Scheduler.history s))
+
+let test_2pl_deadlock_victim_rolled_back () =
+  let s = mk () in
+  let t1 = Scheduler.begin_et s ~kind:Et.Update () in
+  let t2 = Scheduler.begin_et s ~kind:Et.Update () in
+  ignore (executed (Scheduler.submit s t1 ~key:"x" (Op.Write (Value.int 10)) ()));
+  ignore (executed (Scheduler.submit s t2 ~key:"y" (Op.Write (Value.int 20)) ()));
+  checkb "t1 waits on y" true
+    (Scheduler.submit s t1 ~key:"y" (Op.Write (Value.int 11)) () = Scheduler.Wait);
+  let outcome = Scheduler.submit s t2 ~key:"x" (Op.Write (Value.int 21)) () in
+  checkb "t2 refused (deadlock)" true (outcome = Scheduler.Refused_deadlock);
+  checkb "t2 aborted" true (Scheduler.status t2 = Scheduler.Aborted);
+  (* t2's write to y is rolled back, and t1 proceeds. *)
+  Alcotest.check value_t "y restored then overwritten by t1" (Value.int 11)
+    (Store.get (Scheduler.store s) "y");
+  Scheduler.commit s t1;
+  checki "one deadlock abort" 1 (Scheduler.counters s).Scheduler.deadlock_aborts
+
+let test_2pl_abort_rolls_back () =
+  let s = mk () in
+  let t1 = Scheduler.begin_et s ~kind:Et.Update () in
+  ignore (executed (Scheduler.submit s t1 ~key:"x" (Op.Write (Value.int 9)) ()));
+  Scheduler.abort s t1;
+  Alcotest.check value_t "x restored" Value.zero (Store.get (Scheduler.store s) "x");
+  checkb "aborted ET absent from history" true
+    (Esr_core.Hist.length (Scheduler.history s) = 0)
+
+let test_query_cannot_write () =
+  let s = mk () in
+  let q = Scheduler.begin_et s ~kind:Et.Query () in
+  checkb "raises" true
+    (try
+       ignore (Scheduler.submit s q ~key:"x" (Op.Incr 1) ());
+       false
+     with Invalid_argument _ -> true)
+
+let test_commit_with_waiting_op_raises () =
+  let s = mk () in
+  let t1 = Scheduler.begin_et s ~kind:Et.Update () in
+  ignore (executed (Scheduler.submit s t1 ~key:"x" (Op.Write (Value.int 1)) ()));
+  let t2 = Scheduler.begin_et s ~kind:Et.Update () in
+  ignore (Scheduler.submit s t2 ~key:"x" (Op.Incr 1) ());
+  checkb "raises" true
+    (try
+       Scheduler.commit s t2;
+       false
+     with Invalid_argument _ -> true);
+  Scheduler.commit s t1
+
+let test_finished_et_rejected () =
+  let s = mk () in
+  let t1 = Scheduler.begin_et s ~kind:Et.Update () in
+  Scheduler.commit s t1;
+  checkb "submit after commit raises" true
+    (try
+       ignore (Scheduler.submit s t1 ~key:"x" (Op.Incr 1) ());
+       false
+     with Invalid_argument _ -> true)
+
+(* --- Table 2 discipline (ORDUP ETs) --- *)
+
+let ordup () = Scheduler.create ~discipline:(Scheduler.Two_phase Lock_table.ordup) (Store.create ())
+
+let test_ordup_query_reads_through_writer () =
+  let s = ordup () in
+  let u = Scheduler.begin_et s ~kind:Et.Update () in
+  ignore (executed (Scheduler.submit s u ~key:"x" (Op.Write (Value.int 42)) ()));
+  (* The query read sails through the W_u lock (Table 2) but is charged
+     one unit for the uncommitted writer it reads through. *)
+  let q = Scheduler.begin_et s ~kind:Et.Query ~epsilon:(Epsilon.Limit 1) () in
+  Alcotest.check value_t "dirty read" (Value.int 42)
+    (executed (Scheduler.submit s q ~key:"x" Op.Read ()));
+  checki "charged one unit" 1 (Scheduler.charged q);
+  Scheduler.commit s q;
+  Scheduler.commit s u
+
+let test_ordup_strict_query_refused_while_writer_active () =
+  let s = ordup () in
+  let u = Scheduler.begin_et s ~kind:Et.Update () in
+  ignore (executed (Scheduler.submit s u ~key:"x" (Op.Write (Value.int 1)) ()));
+  let q = Scheduler.begin_et s ~kind:Et.Query ~epsilon:(Epsilon.Limit 0) () in
+  checkb "refused" true
+    (Scheduler.submit s q ~key:"x" Op.Read () = Scheduler.Refused_epsilon);
+  Scheduler.commit s u;
+  (* Once the writer committed, the strict query is admissible. *)
+  Alcotest.check value_t "clean read" (Value.int 1)
+    (executed (Scheduler.submit s q ~key:"x" Op.Read ()));
+  checki "never charged" 0 (Scheduler.charged q);
+  Scheduler.commit s q
+
+let test_ordup_updates_still_conflict () =
+  let s = ordup () in
+  let u1 = Scheduler.begin_et s ~kind:Et.Update () in
+  ignore (executed (Scheduler.submit s u1 ~key:"x" (Op.Write (Value.int 1)) ()));
+  let u2 = Scheduler.begin_et s ~kind:Et.Update () in
+  checkb "W_u/W_u conflicts" true
+    (Scheduler.submit s u2 ~key:"x" (Op.Write (Value.int 2)) () = Scheduler.Wait);
+  Scheduler.commit s u1
+
+(* Reconstruct the paper's log (1) shape through the scheduler: a query
+   interleaves two update ETs such that the full history is not SR, yet
+   the discipline admits it and the result is ε-serial. *)
+let test_ordup_non_sr_but_epsilon_serial () =
+  let s = ordup () in
+  let u1 = Scheduler.begin_et s ~kind:Et.Update () in
+  ignore (executed (Scheduler.submit s u1 ~key:"a" Op.Read ()));
+  ignore (executed (Scheduler.submit s u1 ~key:"b" (Op.Write (Value.int 1)) ()));
+  Scheduler.commit s u1;
+  let u2 = Scheduler.begin_et s ~kind:Et.Update () in
+  ignore (executed (Scheduler.submit s u2 ~key:"b" (Op.Write (Value.int 2)) ()));
+  let q = Scheduler.begin_et s ~kind:Et.Query ~epsilon:(Epsilon.Limit 2) () in
+  ignore (executed (Scheduler.submit s q ~key:"a" Op.Read ()));
+  ignore (executed (Scheduler.submit s u2 ~key:"a" (Op.Write (Value.int 3)) ()));
+  ignore (executed (Scheduler.submit s q ~key:"b" Op.Read ()));
+  Scheduler.commit s u2;
+  Scheduler.commit s q;
+  let h = Scheduler.history s in
+  checkb "whole history not SR" false (Esr_check.is_sr h);
+  checkb "but ε-serial" true (Esr_check.is_epsilon_serial h)
+
+let test_ordup_query_overlap_two_writers () =
+  let s = ordup () in
+  let u1 = Scheduler.begin_et s ~kind:Et.Update () in
+  let u2 = Scheduler.begin_et s ~kind:Et.Update () in
+  ignore (executed (Scheduler.submit s u1 ~key:"a" (Op.Write (Value.int 1)) ()));
+  ignore (executed (Scheduler.submit s u2 ~key:"b" (Op.Write (Value.int 2)) ()));
+  let q = Scheduler.begin_et s ~kind:Et.Query ~epsilon:(Epsilon.Limit 2) () in
+  ignore (executed (Scheduler.submit s q ~key:"a" Op.Read ()));
+  ignore (executed (Scheduler.submit s q ~key:"b" Op.Read ()));
+  checki "charged once per writer" 2 (Scheduler.charged q);
+  Scheduler.commit s u1;
+  Scheduler.commit s u2;
+  Scheduler.commit s q;
+  let h = Scheduler.history s in
+  checkb "ε-serial" true (Esr_check.is_epsilon_serial h)
+
+(* --- Table 3 discipline (COMMU ETs) --- *)
+
+let commu () = Scheduler.create ~discipline:(Scheduler.Two_phase Lock_table.commu) (Store.create ())
+
+let test_commu_commuting_writers_interleave () =
+  let s = commu () in
+  let u1 = Scheduler.begin_et s ~kind:Et.Update () in
+  let u2 = Scheduler.begin_et s ~kind:Et.Update () in
+  ignore (executed (Scheduler.submit s u1 ~key:"x" (Op.Incr 5) ()));
+  (* Table 3: W_u/W_u compatible when the operations commute. *)
+  Alcotest.check value_t "second incr executes immediately" (Value.int 8)
+    (executed (Scheduler.submit s u2 ~key:"x" (Op.Incr 3) ()));
+  Scheduler.commit s u1;
+  Scheduler.commit s u2;
+  Alcotest.check value_t "both applied" (Value.int 8)
+    (Store.get (Scheduler.store s) "x");
+  checkb "semantic ε-serial" true
+    (Esr_check.is_epsilon_serial ~mode:Conflict.Semantic (Scheduler.history s))
+
+let test_commu_abort_preserves_concurrent_effect () =
+  (* The logical-inverse abort: rolling T1 back must not erase T2's
+     commuting increment. *)
+  let s = commu () in
+  let u1 = Scheduler.begin_et s ~kind:Et.Update () in
+  let u2 = Scheduler.begin_et s ~kind:Et.Update () in
+  ignore (executed (Scheduler.submit s u1 ~key:"x" (Op.Incr 5) ()));
+  ignore (executed (Scheduler.submit s u2 ~key:"x" (Op.Incr 3) ()));
+  Scheduler.abort s u1;
+  Alcotest.check value_t "t2's effect survives" (Value.int 3)
+    (Store.get (Scheduler.store s) "x");
+  Scheduler.commit s u2;
+  Alcotest.check value_t "final" (Value.int 3) (Store.get (Scheduler.store s) "x")
+
+let test_commu_non_commuting_blocks () =
+  let s = commu () in
+  let u1 = Scheduler.begin_et s ~kind:Et.Update () in
+  ignore (executed (Scheduler.submit s u1 ~key:"x" (Op.Incr 5) ()));
+  let u2 = Scheduler.begin_et s ~kind:Et.Update () in
+  checkb "Mult blocks behind Incr" true
+    (Scheduler.submit s u2 ~key:"x" (Op.Mult 2) () = Scheduler.Wait);
+  Scheduler.commit s u1
+
+let test_commu_query_charged_per_writer () =
+  let s = commu () in
+  let u1 = Scheduler.begin_et s ~kind:Et.Update () in
+  let u2 = Scheduler.begin_et s ~kind:Et.Update () in
+  ignore (executed (Scheduler.submit s u1 ~key:"x" (Op.Incr 1) ()));
+  ignore (executed (Scheduler.submit s u2 ~key:"x" (Op.Incr 1) ()));
+  let q = Scheduler.begin_et s ~kind:Et.Query ~epsilon:(Epsilon.Limit 1) () in
+  checkb "two writers exceed eps=1" true
+    (Scheduler.submit s q ~key:"x" Op.Read () = Scheduler.Refused_epsilon);
+  Scheduler.commit s u1;
+  Alcotest.check value_t "one writer left: admissible" (Value.int 2)
+    (executed (Scheduler.submit s q ~key:"x" Op.Read ()));
+  checki "charged one" 1 (Scheduler.charged q);
+  Scheduler.commit s u2;
+  Scheduler.commit s q
+
+(* --- Timestamp ordering with ESR query reads --- *)
+
+let tso () = Scheduler.create ~discipline:Scheduler.Timestamp_esr (Store.create ())
+
+let test_tso_in_order_accepted () =
+  let s = tso () in
+  let t1 = Scheduler.begin_et s ~kind:Et.Update () in
+  let t2 = Scheduler.begin_et s ~kind:Et.Update () in
+  ignore (executed (Scheduler.submit s t1 ~key:"x" (Op.Write (Value.int 1)) ()));
+  ignore (executed (Scheduler.submit s t2 ~key:"x" (Op.Write (Value.int 2)) ()));
+  Scheduler.commit s t1;
+  Scheduler.commit s t2;
+  Alcotest.check value_t "ts order" (Value.int 2) (Store.get (Scheduler.store s) "x")
+
+let test_tso_stale_write_aborts () =
+  let s = tso () in
+  let t1 = Scheduler.begin_et s ~kind:Et.Update () in
+  let t2 = Scheduler.begin_et s ~kind:Et.Update () in
+  (* The younger transaction writes first; the older one is now stale. *)
+  ignore (executed (Scheduler.submit s t2 ~key:"x" (Op.Write (Value.int 2)) ()));
+  checkb "stale" true
+    (Scheduler.submit s t1 ~key:"x" (Op.Write (Value.int 1)) ()
+     = Scheduler.Refused_stale);
+  checkb "t1 aborted" true (Scheduler.status t1 = Scheduler.Aborted);
+  Scheduler.commit s t2;
+  checki "stale abort counted" 1 (Scheduler.counters s).Scheduler.stale_aborts
+
+let test_tso_query_out_of_order_charged () =
+  let s = tso () in
+  let q = Scheduler.begin_et s ~kind:Et.Query ~epsilon:(Epsilon.Limit 1) () in
+  let u = Scheduler.begin_et s ~kind:Et.Update () in
+  ignore (executed (Scheduler.submit s u ~key:"x" (Op.Write (Value.int 7)) ()));
+  (* The query is older than the write it now reads: out of order. *)
+  Alcotest.check value_t "admitted with charge" (Value.int 7)
+    (executed (Scheduler.submit s q ~key:"x" Op.Read ()));
+  checki "charged" 1 (Scheduler.charged q);
+  Scheduler.commit s u;
+  Scheduler.commit s q
+
+let test_tso_query_epsilon_zero_refused () =
+  let s = tso () in
+  let q = Scheduler.begin_et s ~kind:Et.Query ~epsilon:(Epsilon.Limit 0) () in
+  let u = Scheduler.begin_et s ~kind:Et.Update () in
+  ignore (executed (Scheduler.submit s u ~key:"x" (Op.Write (Value.int 7)) ()));
+  checkb "refused" true
+    (Scheduler.submit s q ~key:"x" Op.Read () = Scheduler.Refused_epsilon);
+  checkb "query still alive" true (Scheduler.status q = Scheduler.Running);
+  Scheduler.commit s u;
+  Scheduler.commit s q
+
+let test_tso_stale_abort_rolls_back_effects () =
+  let s = tso () in
+  let t1 = Scheduler.begin_et s ~kind:Et.Update () in
+  let t2 = Scheduler.begin_et s ~kind:Et.Update () in
+  ignore (executed (Scheduler.submit s t1 ~key:"a" (Op.Write (Value.int 1)) ()));
+  ignore (executed (Scheduler.submit s t2 ~key:"b" (Op.Write (Value.int 2)) ()));
+  (* t1 now touches b, where t2 (younger) already wrote: stale → abort,
+     and t1's earlier write to a must be rolled back. *)
+  checkb "stale" true
+    (Scheduler.submit s t1 ~key:"b" (Op.Write (Value.int 9)) ()
+     = Scheduler.Refused_stale);
+  Alcotest.check value_t "a rolled back" Value.zero (Store.get (Scheduler.store s) "a");
+  Scheduler.commit s t2
+
+(* --- randomized schedules: whatever the discipline admits is ε-serial --- *)
+
+let run_random_workload ~discipline ~check_mode ~seed =
+  let s = Scheduler.create ~discipline (Store.create ()) in
+  let prng = Prng.create seed in
+  let keys = [| "a"; "b"; "c" |] in
+  let live = ref [] in
+  for _ = 0 to 120 do
+    (* Maybe start a new ET. *)
+    if List.length !live < 4 && Prng.bernoulli prng 0.4 then begin
+      let kind = if Prng.bernoulli prng 0.4 then Et.Query else Et.Update in
+      let epsilon =
+        if Prng.bernoulli prng 0.5 then Epsilon.Unlimited
+        else Epsilon.Limit (Prng.int prng 3)
+      in
+      live := Scheduler.begin_et s ~kind ~epsilon () :: !live
+    end;
+    (* Drive a random live ET. *)
+    match !live with
+    | [] -> ()
+    | ets ->
+        let h = List.nth ets (Prng.int prng (List.length ets)) in
+        if Scheduler.status h = Scheduler.Aborted then
+          live := List.filter (fun x -> x != h) !live
+        else if Scheduler.status h = Scheduler.Waiting then ()
+        else if Prng.bernoulli prng 0.25 then begin
+          (* Try to finish it. *)
+          (try Scheduler.commit s h
+           with Invalid_argument _ -> Scheduler.abort s h);
+          live := List.filter (fun x -> x != h) !live
+        end
+        else begin
+          let key = Prng.choose prng keys in
+          (* Queries may only read; update ETs mix reads, commutative
+             increments, and plain writes. *)
+          let op =
+            if Scheduler.kind h = Et.Query || Prng.bernoulli prng 0.5 then Op.Read
+            else if Prng.bernoulli prng 0.6 then Op.Incr (1 + Prng.int prng 5)
+            else Op.Write (Value.int (Prng.int prng 100))
+          in
+          ignore (Scheduler.submit s h ~key op ())
+        end
+  done;
+  (* Finish everything still alive. *)
+  List.iter
+    (fun h ->
+      match Scheduler.status h with
+      | Scheduler.Running -> (
+          try Scheduler.commit s h with Invalid_argument _ -> Scheduler.abort s h)
+      | Scheduler.Waiting -> Scheduler.abort s h
+      | Scheduler.Committed | Scheduler.Aborted -> ())
+    !live;
+  Esr_check.is_epsilon_serial ~mode:check_mode (Scheduler.history s)
+
+let prop_random_schedules_epsilon_serial =
+  QCheck.Test.make ~name:"admitted schedules are ε-serializable" ~count:60
+    QCheck.(int_range 1 10_000)
+    (fun seed ->
+      run_random_workload ~discipline:(Scheduler.Two_phase Lock_table.standard)
+        ~check_mode:Conflict.Classic ~seed
+      && run_random_workload ~discipline:(Scheduler.Two_phase Lock_table.ordup)
+           ~check_mode:Conflict.Classic ~seed
+      && run_random_workload ~discipline:(Scheduler.Two_phase Lock_table.commu)
+           ~check_mode:Conflict.Semantic ~seed
+      && run_random_workload ~discipline:Scheduler.Timestamp_esr
+           ~check_mode:Conflict.Classic ~seed)
+
+let () =
+  Alcotest.run "esr_dc"
+    [
+      ( "2pl standard",
+        [
+          Alcotest.test_case "serial execution" `Quick test_2pl_serial_execution;
+          Alcotest.test_case "conflict blocks until commit" `Quick
+            test_2pl_conflicting_blocks_until_commit;
+          Alcotest.test_case "deadlock victim rolled back" `Quick
+            test_2pl_deadlock_victim_rolled_back;
+          Alcotest.test_case "abort rolls back" `Quick test_2pl_abort_rolls_back;
+          Alcotest.test_case "query cannot write" `Quick test_query_cannot_write;
+          Alcotest.test_case "commit with waiting op" `Quick
+            test_commit_with_waiting_op_raises;
+          Alcotest.test_case "finished ET rejected" `Quick test_finished_et_rejected;
+        ] );
+      ( "table 2 (ordup)",
+        [
+          Alcotest.test_case "query reads through writer" `Quick
+            test_ordup_query_reads_through_writer;
+          Alcotest.test_case "strict query refused while writer active" `Quick
+            test_ordup_strict_query_refused_while_writer_active;
+          Alcotest.test_case "updates still conflict" `Quick
+            test_ordup_updates_still_conflict;
+          Alcotest.test_case "paper log (1) shape admitted" `Quick
+            test_ordup_non_sr_but_epsilon_serial;
+          Alcotest.test_case "overlap charges per writer" `Quick
+            test_ordup_query_overlap_two_writers;
+        ] );
+      ( "table 3 (commu)",
+        [
+          Alcotest.test_case "commuting writers interleave" `Quick
+            test_commu_commuting_writers_interleave;
+          Alcotest.test_case "abort preserves concurrent effect" `Quick
+            test_commu_abort_preserves_concurrent_effect;
+          Alcotest.test_case "non-commuting blocks" `Quick test_commu_non_commuting_blocks;
+          Alcotest.test_case "query charged per writer" `Quick
+            test_commu_query_charged_per_writer;
+        ] );
+      ( "timestamp-esr",
+        [
+          Alcotest.test_case "in-order accepted" `Quick test_tso_in_order_accepted;
+          Alcotest.test_case "stale write aborts" `Quick test_tso_stale_write_aborts;
+          Alcotest.test_case "query out-of-order charged" `Quick
+            test_tso_query_out_of_order_charged;
+          Alcotest.test_case "query ε=0 refused" `Quick test_tso_query_epsilon_zero_refused;
+          Alcotest.test_case "stale abort rolls back" `Quick
+            test_tso_stale_abort_rolls_back_effects;
+        ] );
+      ( "properties",
+        [ QCheck_alcotest.to_alcotest prop_random_schedules_epsilon_serial ] );
+    ]

@@ -1,0 +1,326 @@
+(* Tests for Esr_sim: the event heap, the engine, and the network model. *)
+
+module Heap = Esr_sim.Heap
+module Engine = Esr_sim.Engine
+module Net = Esr_sim.Net
+module Prng = Esr_util.Prng
+module Dist = Esr_util.Dist
+
+let checki = Alcotest.check Alcotest.int
+let checkb = Alcotest.check Alcotest.bool
+let checkf = Alcotest.check (Alcotest.float 1e-9)
+
+(* --- Heap --- *)
+
+let test_heap_ordering () =
+  let h = Heap.create () in
+  Heap.push h ~time:3.0 ~seq:0 "c";
+  Heap.push h ~time:1.0 ~seq:1 "a";
+  Heap.push h ~time:2.0 ~seq:2 "b";
+  let pop () =
+    match Heap.pop h with Some (_, _, x) -> x | None -> Alcotest.fail "empty"
+  in
+  Alcotest.(check string) "a first" "a" (pop ());
+  Alcotest.(check string) "b second" "b" (pop ());
+  Alcotest.(check string) "c third" "c" (pop ());
+  checkb "drained" true (Heap.pop h = None)
+
+let test_heap_fifo_ties () =
+  let h = Heap.create () in
+  for i = 0 to 9 do
+    Heap.push h ~time:5.0 ~seq:i i
+  done;
+  for i = 0 to 9 do
+    match Heap.pop h with
+    | Some (_, _, x) -> checki "FIFO among ties" i x
+    | None -> Alcotest.fail "empty"
+  done
+
+let test_heap_peek () =
+  let h = Heap.create () in
+  checkb "peek empty" true (Heap.peek h = None);
+  Heap.push h ~time:1.0 ~seq:0 42;
+  (match Heap.peek h with
+  | Some (t, _, x) ->
+      checkf "time" 1.0 t;
+      checki "payload" 42 x
+  | None -> Alcotest.fail "peek");
+  checki "peek does not remove" 1 (Heap.size h)
+
+let prop_heap_sorts =
+  QCheck.Test.make ~name:"heap pops in nondecreasing time order" ~count:300
+    QCheck.(list (pair (float_range 0. 1000.) small_nat))
+    (fun entries ->
+      let h = Heap.create () in
+      List.iteri (fun i (t, x) -> Heap.push h ~time:t ~seq:i x) entries;
+      let rec drain prev =
+        match Heap.pop h with
+        | None -> true
+        | Some (t, _, _) -> t >= prev && drain t
+      in
+      drain neg_infinity)
+
+(* --- Engine --- *)
+
+let test_engine_runs_in_order () =
+  let e = Engine.create () in
+  let trace = ref [] in
+  ignore (Engine.schedule e ~delay:30.0 (fun () -> trace := 3 :: !trace));
+  ignore (Engine.schedule e ~delay:10.0 (fun () -> trace := 1 :: !trace));
+  ignore (Engine.schedule e ~delay:20.0 (fun () -> trace := 2 :: !trace));
+  Engine.run e;
+  Alcotest.(check (list int)) "order" [ 1; 2; 3 ] (List.rev !trace);
+  checkf "clock at last event" 30.0 (Engine.now e)
+
+let test_engine_nested_scheduling () =
+  let e = Engine.create () in
+  let hits = ref 0 in
+  ignore
+    (Engine.schedule e ~delay:1.0 (fun () ->
+         incr hits;
+         ignore (Engine.schedule e ~delay:1.0 (fun () -> incr hits))));
+  Engine.run e;
+  checki "both ran" 2 !hits;
+  checkf "clock" 2.0 (Engine.now e)
+
+let test_engine_cancel () =
+  let e = Engine.create () in
+  let hits = ref 0 in
+  let id = Engine.schedule e ~delay:5.0 (fun () -> incr hits) in
+  ignore (Engine.schedule e ~delay:1.0 (fun () -> Engine.cancel e id));
+  Engine.run e;
+  checki "cancelled never ran" 0 !hits;
+  checki "processed one" 1 (Engine.processed e)
+
+let test_engine_run_until () =
+  let e = Engine.create () in
+  let hits = ref 0 in
+  ignore (Engine.schedule e ~delay:10.0 (fun () -> incr hits));
+  ignore (Engine.schedule e ~delay:20.0 (fun () -> incr hits));
+  Engine.run ~until:15.0 e;
+  checki "only first" 1 !hits;
+  checkf "clock advanced to limit" 15.0 (Engine.now e);
+  Engine.run e;
+  checki "rest runs later" 2 !hits
+
+let test_engine_same_time_fifo () =
+  let e = Engine.create () in
+  let trace = ref [] in
+  for i = 0 to 5 do
+    ignore (Engine.schedule e ~delay:7.0 (fun () -> trace := i :: !trace))
+  done;
+  Engine.run e;
+  Alcotest.(check (list int)) "FIFO ties" [ 0; 1; 2; 3; 4; 5 ] (List.rev !trace)
+
+let test_engine_negative_delay () =
+  let e = Engine.create () in
+  checkb "raises" true
+    (try
+       ignore (Engine.schedule e ~delay:(-1.0) (fun () -> ()));
+       false
+     with Invalid_argument _ -> true)
+
+let test_engine_schedule_at_past () =
+  let e = Engine.create () in
+  ignore (Engine.schedule e ~delay:5.0 (fun () -> ()));
+  Engine.run e;
+  checkb "raises on past time" true
+    (try
+       ignore (Engine.schedule_at e ~time:1.0 (fun () -> ()));
+       false
+     with Invalid_argument _ -> true)
+
+let test_engine_pending () =
+  let e = Engine.create () in
+  let a = Engine.schedule e ~delay:1.0 (fun () -> ()) in
+  ignore (Engine.schedule e ~delay:2.0 (fun () -> ()));
+  checki "two pending" 2 (Engine.pending e);
+  Engine.cancel e a;
+  checki "one pending" 1 (Engine.pending e);
+  Engine.run e;
+  checki "none pending" 0 (Engine.pending e)
+
+(* Reference-model property: a random mix of schedules and cancellations
+   must fire exactly the uncancelled events, in (time, insertion) order. *)
+let prop_engine_matches_reference =
+  QCheck.Test.make ~name:"engine matches sorted reference model" ~count:200
+    QCheck.(
+      list_of_size Gen.(int_range 1 40)
+        (pair (int_range 0 500) bool))
+    (fun entries ->
+      let e = Engine.create () in
+      let fired = ref [] in
+      let scheduled =
+        List.mapi
+          (fun i (delay_int, cancel) ->
+            let delay = float_of_int delay_int in
+            let id =
+              Engine.schedule e ~delay (fun () -> fired := i :: !fired)
+            in
+            (i, delay, id, cancel))
+          entries
+      in
+      List.iter
+        (fun (_, _, id, cancel) -> if cancel then Engine.cancel e id)
+        scheduled;
+      Engine.run e;
+      let expected =
+        scheduled
+        |> List.filter (fun (_, _, _, cancel) -> not cancel)
+        |> List.stable_sort (fun (_, d1, _, _) (_, d2, _, _) -> compare d1 d2)
+        |> List.map (fun (i, _, _, _) -> i)
+      in
+      List.rev !fired = expected)
+
+(* --- Net --- *)
+
+let mk_net ?config ~sites seed =
+  let e = Engine.create () in
+  let net = Net.create ?config e ~sites ~prng:(Prng.create seed) in
+  (e, net)
+
+let test_net_delivers_with_latency () =
+  let e, net = mk_net ~sites:2 1 in
+  let arrived = ref (-1.0) in
+  Net.send net ~src:0 ~dst:1 (fun () -> arrived := Engine.now e);
+  Engine.run e;
+  checkf "10ms default latency" 10.0 !arrived
+
+let test_net_drop_everything () =
+  let config = { Net.default_config with drop_probability = 1.0 } in
+  let e, net = mk_net ~config ~sites:2 1 in
+  let arrived = ref false in
+  for _ = 1 to 20 do
+    Net.send net ~src:0 ~dst:1 (fun () -> arrived := true)
+  done;
+  Engine.run e;
+  checkb "all lost" false !arrived;
+  checki "counted" 20 (Net.counters net).Net.lost
+
+let test_net_duplicates () =
+  let config = { Net.default_config with duplicate_probability = 1.0 } in
+  let e, net = mk_net ~config ~sites:2 1 in
+  let count = ref 0 in
+  Net.send net ~src:0 ~dst:1 (fun () -> incr count);
+  Engine.run e;
+  checki "delivered twice" 2 !count
+
+let test_net_partition_blocks () =
+  let e, net = mk_net ~sites:4 1 in
+  Net.partition net [ [ 0; 1 ]; [ 2; 3 ] ];
+  checkb "same group" true (Net.reachable net 0 1);
+  checkb "cross group" false (Net.reachable net 0 2);
+  let crossed = ref false and local = ref false in
+  Net.send net ~src:0 ~dst:2 (fun () -> crossed := true);
+  Net.send net ~src:0 ~dst:1 (fun () -> local := true);
+  Engine.run e;
+  checkb "cross-partition blocked" false !crossed;
+  checkb "intra-partition flows" true !local;
+  Net.heal net;
+  checkb "healed" true (Net.reachable net 0 2)
+
+let test_net_partition_leftover_group () =
+  let _, net = mk_net ~sites:5 1 in
+  Net.partition net [ [ 0; 1 ] ];
+  checkb "leftovers together" true (Net.reachable net 2 3);
+  checkb "leftovers cut off" false (Net.reachable net 0 2)
+
+let test_net_partition_duplicate_site () =
+  let _, net = mk_net ~sites:3 1 in
+  checkb "raises" true
+    (try
+       Net.partition net [ [ 0; 1 ]; [ 1; 2 ] ];
+       false
+     with Invalid_argument _ -> true)
+
+let test_net_crash_blocks_delivery () =
+  let e, net = mk_net ~sites:2 1 in
+  Net.crash net 1;
+  let arrived = ref false in
+  Net.send net ~src:0 ~dst:1 (fun () -> arrived := true);
+  Engine.run e;
+  checkb "not delivered to crashed" false !arrived;
+  Net.recover net 1;
+  Net.send net ~src:0 ~dst:1 (fun () -> arrived := true);
+  Engine.run e;
+  checkb "delivered after recovery" true !arrived
+
+let test_net_crashed_sender () =
+  let e, net = mk_net ~sites:2 1 in
+  Net.crash net 0;
+  let arrived = ref false in
+  Net.send net ~src:0 ~dst:1 (fun () -> arrived := true);
+  Engine.run e;
+  checkb "crashed site cannot send" false !arrived
+
+let test_net_crash_at_arrival_time () =
+  (* Message in flight when the destination crashes: dropped on arrival. *)
+  let e, net = mk_net ~sites:2 1 in
+  let arrived = ref false in
+  Net.send net ~src:0 ~dst:1 (fun () -> arrived := true);
+  ignore (Engine.schedule e ~delay:5.0 (fun () -> Net.crash net 1));
+  Engine.run e;
+  checkb "dropped at arrival" false !arrived
+
+let test_net_counters () =
+  let e, net = mk_net ~sites:2 1 in
+  Net.send net ~src:0 ~dst:1 (fun () -> ());
+  Net.send net ~src:1 ~dst:0 (fun () -> ());
+  Engine.run e;
+  let c = Net.counters net in
+  checki "sent" 2 c.Net.sent;
+  checki "delivered" 2 c.Net.delivered;
+  checki "lost" 0 c.Net.lost
+
+let test_net_latency_distribution () =
+  let config = { Net.default_config with latency = Dist.Uniform (5.0, 15.0) } in
+  let e, net = mk_net ~config ~sites:2 3 in
+  let times = ref [] in
+  for _ = 1 to 100 do
+    Net.send net ~src:0 ~dst:1 (fun () -> times := Engine.now e :: !times)
+  done;
+  Engine.run e;
+  checki "all arrived" 100 (List.length !times);
+  List.iter (fun t -> checkb "in latency band" true (t >= 5.0 && t < 15.0)) !times
+
+let () =
+  Alcotest.run "esr_sim"
+    [
+      ( "heap",
+        [
+          Alcotest.test_case "ordering" `Quick test_heap_ordering;
+          Alcotest.test_case "FIFO ties" `Quick test_heap_fifo_ties;
+          Alcotest.test_case "peek" `Quick test_heap_peek;
+          QCheck_alcotest.to_alcotest prop_heap_sorts;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "runs in order" `Quick test_engine_runs_in_order;
+          Alcotest.test_case "nested scheduling" `Quick test_engine_nested_scheduling;
+          Alcotest.test_case "cancel" `Quick test_engine_cancel;
+          Alcotest.test_case "run until" `Quick test_engine_run_until;
+          Alcotest.test_case "same-time FIFO" `Quick test_engine_same_time_fifo;
+          Alcotest.test_case "negative delay" `Quick test_engine_negative_delay;
+          Alcotest.test_case "schedule_at past" `Quick test_engine_schedule_at_past;
+          Alcotest.test_case "pending count" `Quick test_engine_pending;
+          QCheck_alcotest.to_alcotest prop_engine_matches_reference;
+        ] );
+      ( "net",
+        [
+          Alcotest.test_case "latency" `Quick test_net_delivers_with_latency;
+          Alcotest.test_case "drop" `Quick test_net_drop_everything;
+          Alcotest.test_case "duplicates" `Quick test_net_duplicates;
+          Alcotest.test_case "partition blocks" `Quick test_net_partition_blocks;
+          Alcotest.test_case "partition leftover group" `Quick
+            test_net_partition_leftover_group;
+          Alcotest.test_case "partition duplicate site" `Quick
+            test_net_partition_duplicate_site;
+          Alcotest.test_case "crash blocks delivery" `Quick
+            test_net_crash_blocks_delivery;
+          Alcotest.test_case "crashed sender" `Quick test_net_crashed_sender;
+          Alcotest.test_case "crash at arrival" `Quick test_net_crash_at_arrival_time;
+          Alcotest.test_case "counters" `Quick test_net_counters;
+          Alcotest.test_case "latency distribution" `Quick
+            test_net_latency_distribution;
+        ] );
+    ]

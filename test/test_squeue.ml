@@ -1,0 +1,212 @@
+(* Tests for Esr_squeue: reliable, exactly-once-to-the-handler delivery on
+   top of the lossy network. *)
+
+module Engine = Esr_sim.Engine
+module Net = Esr_sim.Net
+module Squeue = Esr_squeue.Squeue
+module Prng = Esr_util.Prng
+module Dist = Esr_util.Dist
+
+let checki = Alcotest.check Alcotest.int
+let checkb = Alcotest.check Alcotest.bool
+
+let mk ?(config = Net.default_config) ?(sites = 2) ?(mode = Squeue.Unordered)
+    ?(retry = 50.0) seed =
+  let e = Engine.create () in
+  let net = Net.create ~config e ~sites ~prng:(Prng.create seed) in
+  let received = Array.make sites [] in
+  let q =
+    Squeue.create ~mode ~retry_interval:retry net ~handler:(fun ~site ~src msg ->
+        received.(site) <- (src, msg) :: received.(site))
+  in
+  (e, net, q, received)
+
+let test_basic_delivery () =
+  let e, _, q, received = mk 1 in
+  Squeue.send q ~src:0 ~dst:1 "hello";
+  Engine.run e;
+  Alcotest.(check (list (pair int string))) "delivered" [ (0, "hello") ] received.(1);
+  checki "no pending" 0 (Squeue.pending q)
+
+let test_lossy_link_retries () =
+  let config = { Net.default_config with drop_probability = 0.4 } in
+  let e, _, q, received = mk ~config 7 in
+  for i = 0 to 49 do
+    Squeue.send q ~src:0 ~dst:1 i
+  done;
+  Engine.run e;
+  checki "all 50 delivered" 50 (List.length received.(1));
+  checki "no pending" 0 (Squeue.pending q);
+  let c = Squeue.counters q in
+  checkb "retransmissions happened" true (c.Squeue.retransmissions > 0)
+
+let test_exactly_once_under_duplication () =
+  let config = { Net.default_config with duplicate_probability = 0.5 } in
+  let e, _, q, received = mk ~config 3 in
+  for i = 0 to 29 do
+    Squeue.send q ~src:0 ~dst:1 i
+  done;
+  Engine.run e;
+  checki "exactly once each" 30 (List.length received.(1));
+  let sorted = List.sort compare (List.map snd received.(1)) in
+  Alcotest.(check (list int)) "each message once" (List.init 30 Fun.id) sorted;
+  checkb "duplicates suppressed" true
+    ((Squeue.counters q).Squeue.duplicates_suppressed > 0)
+
+let test_fifo_ordering_under_chaos () =
+  let config =
+    {
+      Net.latency = Dist.Uniform (1.0, 50.0);
+      drop_probability = 0.2;
+      duplicate_probability = 0.2;
+    }
+  in
+  let e, _, q, received = mk ~config ~mode:Squeue.Fifo 11 in
+  for i = 0 to 99 do
+    Squeue.send q ~src:0 ~dst:1 i
+  done;
+  Engine.run e;
+  Alcotest.(check (list int)) "FIFO order preserved" (List.init 100 Fun.id)
+    (List.rev_map snd received.(1))
+
+let test_unordered_may_reorder () =
+  let config = { Net.default_config with latency = Dist.Uniform (1.0, 100.0) } in
+  let e, _, q, received = mk ~config ~mode:Squeue.Unordered 5 in
+  for i = 0 to 49 do
+    Squeue.send q ~src:0 ~dst:1 i
+  done;
+  Engine.run e;
+  checki "all delivered" 50 (List.length received.(1));
+  let arrival_order = List.rev_map snd received.(1) in
+  checkb "some reordering observed" true (arrival_order <> List.init 50 Fun.id)
+
+let test_broadcast () =
+  let e, _, q, received = mk ~sites:4 1 in
+  Squeue.broadcast q ~src:2 "b";
+  Engine.run e;
+  checki "site0" 1 (List.length received.(0));
+  checki "site1" 1 (List.length received.(1));
+  checki "self excluded" 0 (List.length received.(2));
+  checki "site3" 1 (List.length received.(3))
+
+let test_crash_recovery_redelivers () =
+  let e, net, q, received = mk ~retry:20.0 9 in
+  Net.crash net 1;
+  Squeue.send q ~src:0 ~dst:1 "persistent";
+  (* While the destination is down, retries keep the message pending. *)
+  Engine.run ~until:500.0 e;
+  checki "not delivered while down" 0 (List.length received.(1));
+  checkb "still pending" true (Squeue.pending q > 0);
+  Net.recover net 1;
+  Engine.run e;
+  Alcotest.(check (list (pair int string))) "delivered after recovery"
+    [ (0, "persistent") ] received.(1);
+  checki "drained" 0 (Squeue.pending q)
+
+let test_partition_heals_and_delivers () =
+  let e, net, q, received = mk ~sites:4 ~retry:20.0 13 in
+  Net.partition net [ [ 0; 1 ]; [ 2; 3 ] ];
+  Squeue.send q ~src:0 ~dst:3 "across";
+  Engine.run ~until:300.0 e;
+  checki "blocked during partition" 0 (List.length received.(3));
+  Net.heal net;
+  Engine.run e;
+  checki "delivered after heal" 1 (List.length received.(3));
+  checki "drained" 0 (Squeue.pending q)
+
+let test_bidirectional_channels_independent () =
+  let e, _, q, received = mk 15 in
+  Squeue.send q ~src:0 ~dst:1 "a";
+  Squeue.send q ~src:1 ~dst:0 "b";
+  Engine.run e;
+  Alcotest.(check (list (pair int string))) "0 got b" [ (1, "b") ] received.(0);
+  Alcotest.(check (list (pair int string))) "1 got a" [ (0, "a") ] received.(1)
+
+let test_counters_consistency () =
+  let config = { Net.default_config with drop_probability = 0.3 } in
+  let e, _, q, _ = mk ~config 21 in
+  for i = 0 to 19 do
+    Squeue.send q ~src:0 ~dst:1 i
+  done;
+  Engine.run e;
+  let c = Squeue.counters q in
+  checki "enqueued" 20 c.Squeue.enqueued;
+  checki "first deliveries" 20 c.Squeue.delivered_first;
+  checki "acks" 20 c.Squeue.acks_received
+
+let prop_exactly_once_under_random_crashes =
+  QCheck.Test.make
+    ~name:"exactly-once delivery under random crash/recover schedules"
+    ~count:40
+    QCheck.(triple (int_range 1 100_000) (int_range 1 25) (list_of_size Gen.(int_range 1 6) (pair (int_range 0 800) (int_range 0 1))))
+    (fun (seed, n, outages) ->
+      let config =
+        { Net.default_config with drop_probability = 0.15; duplicate_probability = 0.1 }
+      in
+      let e, net, q, received = mk ~config ~sites:3 ~retry:25.0 seed in
+      (* Random crash windows on the destination site. *)
+      List.iter
+        (fun (start, len_factor) ->
+          let start = float_of_int start in
+          let duration = float_of_int ((len_factor + 1) * 100) in
+          ignore (Engine.schedule e ~delay:start (fun () -> Net.crash net 1));
+          ignore
+            (Engine.schedule e ~delay:(start +. duration) (fun () ->
+                 Net.recover net 1)))
+        outages;
+      for i = 0 to n - 1 do
+        ignore
+          (Engine.schedule e ~delay:(float_of_int (i * 10)) (fun () ->
+               Squeue.send q ~src:0 ~dst:1 i))
+      done;
+      (* Make sure the final recovery is scheduled after every outage. *)
+      ignore (Engine.schedule e ~delay:5_000.0 (fun () -> Net.recover net 1));
+      Engine.run e;
+      let got = List.sort compare (List.map snd received.(1)) in
+      got = List.init n Fun.id && Squeue.pending q = 0)
+
+let prop_lossy_fifo_always_delivers_in_order =
+  QCheck.Test.make ~name:"fifo delivers everything in order under loss"
+    ~count:30
+    QCheck.(pair (int_range 1 1000) (int_range 1 40))
+    (fun (seed, n) ->
+      let config = { Net.default_config with drop_probability = 0.35 } in
+      let e, _, q, received = mk ~config ~mode:Squeue.Fifo seed in
+      for i = 0 to n - 1 do
+        Squeue.send q ~src:0 ~dst:1 i
+      done;
+      Engine.run e;
+      List.rev_map snd received.(1) = List.init n Fun.id
+      && Squeue.pending q = 0)
+
+let () =
+  Alcotest.run "esr_squeue"
+    [
+      ( "delivery",
+        [
+          Alcotest.test_case "basic" `Quick test_basic_delivery;
+          Alcotest.test_case "lossy link retries" `Quick test_lossy_link_retries;
+          Alcotest.test_case "exactly once under duplication" `Quick
+            test_exactly_once_under_duplication;
+          Alcotest.test_case "fifo order under chaos" `Quick
+            test_fifo_ordering_under_chaos;
+          Alcotest.test_case "unordered may reorder" `Quick
+            test_unordered_may_reorder;
+          Alcotest.test_case "broadcast" `Quick test_broadcast;
+          Alcotest.test_case "bidirectional channels" `Quick
+            test_bidirectional_channels_independent;
+        ] );
+      ( "failures",
+        [
+          Alcotest.test_case "crash recovery redelivers" `Quick
+            test_crash_recovery_redelivers;
+          Alcotest.test_case "partition heals" `Quick
+            test_partition_heals_and_delivers;
+        ] );
+      ( "accounting",
+        [
+          Alcotest.test_case "counters" `Quick test_counters_consistency;
+          QCheck_alcotest.to_alcotest prop_lossy_fifo_always_delivers_in_order;
+          QCheck_alcotest.to_alcotest prop_exactly_once_under_random_crashes;
+        ] );
+    ]
