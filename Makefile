@@ -1,0 +1,22 @@
+.PHONY: all build test bench bench-all clean
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+# Timed experiment sweep: runs every experiment on 1 domain and on the
+# configured pool (ESR_DOMAINS or cores-1), byte-compares the outputs,
+# and writes BENCH_experiments.json. Same as `dune build @bench`.
+bench:
+	dune exec bench/main.exe -- timed
+
+# Every table, experiment, and microbench, sequentially printed.
+bench-all:
+	dune exec bench/main.exe
+
+clean:
+	dune clean

@@ -8,12 +8,23 @@
      dune exec bench/main.exe -- tables       # just the paper tables
      dune exec bench/main.exe -- e2_epsilon   # one experiment
      dune exec bench/main.exe -- micro        # just the microbenches
-     dune exec bench/main.exe -- list         # list available targets *)
+     dune exec bench/main.exe -- timed        # timed sweep -> BENCH_experiments.json
+     dune exec bench/main.exe -- list         # list available targets
+
+   Experiments fan their independent simulation jobs out over an OCaml 5
+   domain pool; control the worker count with --domains N (or the
+   ESR_DOMAINS environment variable).  Tables are byte-identical for any
+   worker count. *)
+
+module Pool = Esr_exec.Pool
 
 let targets =
   [ ("tables", Esr_bench.Tables.run_all) ]
   @ Esr_bench.Experiments.all
-  @ [ ("micro", Micro.run_all) ]
+  @ [
+      ("timed", fun () -> Esr_bench.Timing.run_timed ());
+      ("micro", Micro.run_all);
+    ]
 
 let list_targets () =
   print_endline "available bench targets:";
@@ -27,16 +38,35 @@ let run_target name =
       list_targets ();
       exit 1
 
+(* Strip --domains N anywhere in the argument list; remaining arguments
+   are target names. *)
+let rec parse_args = function
+  | "--domains" :: n :: rest -> (
+      match int_of_string_opt n with
+      | Some d when d >= 1 ->
+          Pool.set_default_domains d;
+          parse_args rest
+      | Some _ | None ->
+          Printf.eprintf "--domains expects a positive integer, got %S\n" n;
+          exit 1)
+  | [ "--domains" ] ->
+      prerr_endline "--domains expects a positive integer";
+      exit 1
+  | x :: rest -> x :: parse_args rest
+  | [] -> []
+
 let () =
-  match Array.to_list Sys.argv with
-  | _ :: [] ->
+  match parse_args (List.tl (Array.to_list Sys.argv)) with
+  | [] ->
       print_endline
         "Replica Control in Distributed Systems: An Asynchronous Approach \
          (Pu & Leff, 1991)";
       print_endline
         "Reproduction bench harness - all tables, experiments, microbenches.";
+      Printf.printf "(experiment jobs run on %d domain(s); --domains N or \
+                     ESR_DOMAINS overrides)\n"
+        (Pool.default_domains ());
       print_newline ();
       List.iter (fun (_, f) -> f ()) targets
-  | _ :: [ "list" ] -> list_targets ()
-  | _ :: args -> List.iter run_target args
-  | [] -> assert false
+  | [ "list" ] -> list_targets ()
+  | args -> List.iter run_target args

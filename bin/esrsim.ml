@@ -25,17 +25,35 @@ let tables_cmd =
   let doc = "Regenerate the paper's tables and worked examples from the implementation." in
   Cmd.v (Cmd.info "tables" ~doc) Term.(const Esr_bench.Tables.run_all $ const ())
 
-let experiment_cmd =
-  let doc = "Run one of the quantitative experiments (or 'all'); see 'esrsim experiment list'." in
-  let target =
-    Arg.(value & pos 0 string "list" & info [] ~docv:"ID" ~doc:"Experiment id, 'all', or 'list'.")
+let domains_arg =
+  let doc =
+    "Worker domains for the experiment job pool (default: ESR_DOMAINS or \
+     the machine's recommended count minus one).  Tables are \
+     byte-identical for any value; 1 disables parallelism."
   in
-  let run target =
+  Arg.(value & opt (some int) None & info [ "d"; "domains" ] ~docv:"N" ~doc)
+
+let set_domains = function
+  | None -> ()
+  | Some d when d >= 1 -> Esr_exec.Pool.set_default_domains d
+  | Some _ ->
+      prerr_endline "--domains expects a positive integer";
+      exit 1
+
+let experiment_cmd =
+  let doc = "Run one of the quantitative experiments (or 'all' / 'timed'); see 'esrsim experiment list'." in
+  let target =
+    Arg.(value & pos 0 string "list" & info [] ~docv:"ID" ~doc:"Experiment id, 'all', 'timed', or 'list'.")
+  in
+  let run domains target =
+    set_domains domains;
     match target with
     | "list" ->
         print_endline "experiments:";
-        List.iter (fun (name, _) -> Printf.printf "  %s\n" name) Esr_bench.Experiments.all
+        List.iter (fun (name, _) -> Printf.printf "  %s\n" name) Esr_bench.Experiments.all;
+        print_endline "  timed  (timed sweep -> BENCH_experiments.json)"
     | "all" -> Esr_bench.Experiments.run_all ()
+    | "timed" -> Esr_bench.Timing.run_timed ()
     | id -> (
         match List.assoc_opt id Esr_bench.Experiments.all with
         | Some f -> f ()
@@ -43,7 +61,7 @@ let experiment_cmd =
             Printf.eprintf "unknown experiment %S (try 'esrsim experiment list')\n" id;
             exit 1)
   in
-  Cmd.v (Cmd.info "experiment" ~doc) Term.(const run $ target)
+  Cmd.v (Cmd.info "experiment" ~doc) Term.(const run $ domains_arg $ target)
 
 (* --- methods --- *)
 

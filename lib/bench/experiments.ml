@@ -3,7 +3,15 @@
 
    The paper (a design paper) reports no absolute numbers, so the check
    is the *shape*: who wins, what is bounded, where behaviour changes.
-   All runs are deterministic given the seed printed in the header. *)
+   All runs are deterministic given the seed printed in the header.
+
+   Execution model: every experiment first builds a list of row *jobs* —
+   pure closures, each wrapping one self-contained simulation
+   ([Scenario.run] or an inline harness) and returning one formatted
+   table row — and fans them out over the {!Esr_exec.Pool} domain pool.
+   Rows come back in submission order and are only then appended to the
+   table, so the printed output is byte-identical to a sequential run
+   for any worker count (ESR_DOMAINS=1 and =N produce the same bytes). *)
 
 module Tablefmt = Esr_util.Tablefmt
 module Stats = Esr_util.Stats
@@ -16,6 +24,7 @@ module Epsilon = Esr_core.Epsilon
 module Intf = Esr_replica.Intf
 module Spec = Esr_workload.Spec
 module Scenario = Esr_workload.Scenario
+module Pool = Esr_exec.Pool
 
 let seed = 20260704
 
@@ -33,6 +42,21 @@ let profile_for name =
 
 let stat r name = Option.value (Scenario.method_stat r name) ~default:0.0
 
+(* Run the row jobs on the pool; results arrive in job order. *)
+let par_rows jobs = Pool.map (fun job -> job ()) jobs
+
+let add_rows t rows = List.iter (Tablefmt.add_row t) rows
+
+(* Append rows with a separator after every [per_group] of them — the
+   grids below are ordered outer-dimension-major, so this reproduces the
+   per-outer-group separators of the sequential tables. *)
+let add_grouped t ~per_group rows =
+  List.iteri
+    (fun i row ->
+      Tablefmt.add_row t row;
+      if (i + 1) mod per_group = 0 then Tablefmt.add_separator t)
+    rows
+
 (* ------------------------------------------------------------------ *)
 (* E1: scalability — asynchronous methods vs synchronous baselines     *)
 (* ------------------------------------------------------------------ *)
@@ -49,25 +73,26 @@ let e1_scalability () =
           "Upd lat p95 (ms)"; "Query lat p50 (ms)"; "Throughput (upd/s)" ]
   in
   let methods = [ "ORDUP"; "COMMU"; "RITU"; "COMPE"; "2PC"; "QUORUM"; "QUASI" ] in
-  List.iter
-    (fun name ->
-      List.iter
-        (fun sites ->
-          let spec =
-            {
-              Spec.default with
-              Spec.duration = 4_000.0;
-              update_rate = 0.02;
-              query_rate = 0.02;
-              n_keys = 24;
-              ops_per_update = 1;
-              keys_per_query = 1;
-              profile = profile_for name;
-              epsilon = Epsilon.Unlimited;
-            }
-          in
-          let r = Scenario.run ~seed ~net_config:wan ~sites ~method_name:name spec in
-          Tablefmt.add_row t
+  let sites_list = [ 2; 4; 8; 16 ] in
+  let jobs =
+    List.concat_map
+      (fun name ->
+        List.map
+          (fun sites () ->
+            let spec =
+              {
+                Spec.default with
+                Spec.duration = 4_000.0;
+                update_rate = 0.02;
+                query_rate = 0.02;
+                n_keys = 24;
+                ops_per_update = 1;
+                keys_per_query = 1;
+                profile = profile_for name;
+                epsilon = Epsilon.Unlimited;
+              }
+            in
+            let r = Scenario.run ~seed ~net_config:wan ~sites ~method_name:name spec in
             [
               name;
               Tablefmt.cell_int sites;
@@ -78,9 +103,10 @@ let e1_scalability () =
               fmt_ms (Stats.median r.Scenario.query_latency);
               Printf.sprintf "%.1f" (Scenario.throughput r);
             ])
-        [ 2; 4; 8; 16 ];
-      Tablefmt.add_separator t)
-    methods;
+          sites_list)
+      methods
+  in
+  add_grouped t ~per_group:(List.length sites_list) (par_rows jobs);
   Tablefmt.print t
 
 (* ------------------------------------------------------------------ *)
@@ -97,24 +123,24 @@ let e2_epsilon () =
         [ "Epsilon"; "Max units charged"; "Mean units"; "Mean value error";
           "Max value error"; "SR fallbacks"; "Query lat p50 (ms)"; "Query lat p95 (ms)" ]
   in
-  List.iter
-    (fun eps ->
-      let spec =
-        {
-          Spec.default with
-          Spec.duration = 4_000.0;
-          update_rate = 0.05;
-          query_rate = 0.05;
-          n_keys = 8;
-          zipf_theta = 0.9;
-          ops_per_update = 2;
-          keys_per_query = 2;
-          epsilon = eps;
-        }
-      in
-      let r = Scenario.run ~seed ~net_config:wan ~sites:6 ~method_name:"ORDUP" spec in
-      let charged = r.Scenario.charged in
-      Tablefmt.add_row t
+  let jobs =
+    List.map
+      (fun eps () ->
+        let spec =
+          {
+            Spec.default with
+            Spec.duration = 4_000.0;
+            update_rate = 0.05;
+            query_rate = 0.05;
+            n_keys = 8;
+            zipf_theta = 0.9;
+            ops_per_update = 2;
+            keys_per_query = 2;
+            epsilon = eps;
+          }
+        in
+        let r = Scenario.run ~seed ~net_config:wan ~sites:6 ~method_name:"ORDUP" spec in
+        let charged = r.Scenario.charged in
         [
           Epsilon.spec_to_string eps;
           Tablefmt.cell_float (if Stats.count charged = 0 then 0.0 else Stats.max charged);
@@ -127,10 +153,12 @@ let e2_epsilon () =
           fmt_ms (Stats.median r.Scenario.query_latency);
           fmt_ms (Stats.percentile r.Scenario.query_latency 95.0);
         ])
-    [
-      Epsilon.Limit 0; Epsilon.Limit 1; Epsilon.Limit 2; Epsilon.Limit 4;
-      Epsilon.Limit 8; Epsilon.Unlimited;
-    ];
+      [
+        Epsilon.Limit 0; Epsilon.Limit 1; Epsilon.Limit 2; Epsilon.Limit 4;
+        Epsilon.Limit 8; Epsilon.Unlimited;
+      ]
+  in
+  add_rows t (par_rows jobs);
   Tablefmt.print t
 
 (* ------------------------------------------------------------------ *)
@@ -151,21 +179,21 @@ let e3_convergence () =
   let chaos =
     { Net.latency = Dist.Uniform (2.0, 150.0); drop_probability = 0.08; duplicate_probability = 0.05 }
   in
-  List.iter
-    (fun name ->
-      let spec =
-        {
-          Spec.default with
-          Spec.duration = 3_000.0;
-          update_rate = 0.04;
-          query_rate = 0.02;
-          n_keys = 16;
-          ops_per_update = (if name = "QUORUM" then 1 else 2);
-          profile = profile_for name;
-        }
-      in
-      let r = Scenario.run ~seed ~net_config:chaos ~sites:5 ~method_name:name spec in
-      Tablefmt.add_row t
+  let jobs =
+    List.map
+      (fun name () ->
+        let spec =
+          {
+            Spec.default with
+            Spec.duration = 3_000.0;
+            update_rate = 0.04;
+            query_rate = 0.02;
+            n_keys = 16;
+            ops_per_update = (if name = "QUORUM" then 1 else 2);
+            profile = profile_for name;
+          }
+        in
+        let r = Scenario.run ~seed ~net_config:chaos ~sites:5 ~method_name:name spec in
         [
           name;
           Tablefmt.cell_int r.Scenario.committed;
@@ -175,7 +203,9 @@ let e3_convergence () =
           Tablefmt.cell_int r.Scenario.net_counters.Net.sent;
           Tablefmt.cell_int r.Scenario.net_counters.Net.lost;
         ])
-    [ "ORDUP"; "COMMU"; "RITU"; "COMPE"; "2PC"; "QUORUM"; "QUASI" ];
+      [ "ORDUP"; "COMMU"; "RITU"; "COMPE"; "2PC"; "QUORUM"; "QUASI" ]
+  in
+  add_rows t (par_rows jobs);
   Tablefmt.print t
 
 (* ------------------------------------------------------------------ *)
@@ -197,26 +227,26 @@ let e4_partition () =
   let partition =
     { Scenario.p_start = 1_000.0; p_end = 2_200.0; groups = [ [ 0; 1 ]; [ 2; 3 ] ] }
   in
-  List.iter
-    (fun name ->
-      let spec =
-        {
-          Spec.default with
-          Spec.duration = 3_000.0;
-          update_rate = 0.03;
-          query_rate = 0.03;
-          n_keys = 16;
-          ops_per_update = 1;
-          keys_per_query = 1;
-          profile = profile_for name;
-        }
-      in
-      let config = { Intf.default_config with Intf.twopc_timeout = 20_000.0 } in
-      let r =
-        Scenario.run ~seed ~config ~sites:4 ~method_name:name ~partition spec
-      in
-      let w = Option.get r.Scenario.window in
-      Tablefmt.add_row t
+  let jobs =
+    List.map
+      (fun name () ->
+        let spec =
+          {
+            Spec.default with
+            Spec.duration = 3_000.0;
+            update_rate = 0.03;
+            query_rate = 0.03;
+            n_keys = 16;
+            ops_per_update = 1;
+            keys_per_query = 1;
+            profile = profile_for name;
+          }
+        in
+        let config = { Intf.default_config with Intf.twopc_timeout = 20_000.0 } in
+        let r =
+          Scenario.run ~seed ~config ~sites:4 ~method_name:name ~partition spec
+        in
+        let w = Option.get r.Scenario.window in
         [
           name;
           Tablefmt.cell_int w.Scenario.w_updates_committed;
@@ -226,7 +256,9 @@ let e4_partition () =
           fmt_pct w.Scenario.w_queries_served w.Scenario.w_queries_submitted;
           Tablefmt.cell_bool r.Scenario.converged;
         ])
-    [ "ORDUP"; "COMMU"; "RITU"; "COMPE"; "2PC"; "QUORUM"; "QUASI" ];
+      [ "ORDUP"; "COMMU"; "RITU"; "COMPE"; "2PC"; "QUORUM"; "QUASI" ]
+  in
+  add_rows t (par_rows jobs);
   Tablefmt.print t
 
 (* ------------------------------------------------------------------ *)
@@ -248,34 +280,35 @@ let e5_compensation () =
   let mixes =
     [ ("commutative (Add)", Spec.Additive); ("30% Mul (non-comm.)", Spec.Mixed_arith 0.3) ]
   in
-  List.iter
-    (fun (mix_name, profile) ->
-      List.iter
-        (fun abort_p ->
-          let spec =
-            {
-              Spec.default with
-              Spec.duration = 4_000.0;
-              update_rate = 0.04;
-              query_rate = 0.03;
-              n_keys = 10;
-              ops_per_update = 1;
-              profile;
-            }
-          in
-          let config =
-            {
-              Intf.default_config with
-              Intf.compe_abort_probability = abort_p;
-              compe_decision_delay = 120.0;
-            }
-          in
-          let r = Scenario.run ~seed ~config ~net_config:wan ~sites:4 ~method_name:"COMPE" spec in
-          let full = stat r "full_rollbacks" in
-          let depth =
-            if full = 0.0 then 0.0 else stat r "rollback_depth_total" /. full
-          in
-          Tablefmt.add_row t
+  let abort_ps = [ 0.0; 0.1; 0.2; 0.3 ] in
+  let jobs =
+    List.concat_map
+      (fun (mix_name, profile) ->
+        List.map
+          (fun abort_p () ->
+            let spec =
+              {
+                Spec.default with
+                Spec.duration = 4_000.0;
+                update_rate = 0.04;
+                query_rate = 0.03;
+                n_keys = 10;
+                ops_per_update = 1;
+                profile;
+              }
+            in
+            let config =
+              {
+                Intf.default_config with
+                Intf.compe_abort_probability = abort_p;
+                compe_decision_delay = 120.0;
+              }
+            in
+            let r = Scenario.run ~seed ~config ~net_config:wan ~sites:4 ~method_name:"COMPE" spec in
+            let full = stat r "full_rollbacks" in
+            let depth =
+              if full = 0.0 then 0.0 else stat r "rollback_depth_total" /. full
+            in
             [
               mix_name;
               Printf.sprintf "%.0f%%" (abort_p *. 100.0);
@@ -288,9 +321,10 @@ let e5_compensation () =
               Tablefmt.cell_float (stat r "forced_charges");
               Tablefmt.cell_bool r.Scenario.converged;
             ])
-        [ 0.0; 0.1; 0.2; 0.3 ];
-      Tablefmt.add_separator t)
-    mixes;
+          abort_ps)
+      mixes
+  in
+  add_grouped t ~per_group:(List.length abort_ps) (par_rows jobs);
   Tablefmt.print t
 
 (* ------------------------------------------------------------------ *)
@@ -308,24 +342,24 @@ let e6_ritu_vtnc () =
         [ "Epsilon"; "Fresh reads (above VTNC)"; "VTNC reads"; "Mean units";
           "Mean staleness (mismatched keys)"; "Converged" ]
   in
-  List.iter
-    (fun eps ->
-      let spec =
-        {
-          Spec.duration = 4_000.0;
-          update_rate = 0.05;
-          query_rate = 0.05;
-          n_keys = 8;
-          zipf_theta = 0.9;
-          ops_per_update = 1;
-          keys_per_query = 2;
-          profile = Spec.Blind_set;
-          epsilon = eps;
-        }
-      in
-      let config = { Intf.default_config with Intf.ritu_mode = `Multi } in
-      let r = Scenario.run ~seed ~config ~net_config:wan ~sites:5 ~method_name:"RITU" spec in
-      Tablefmt.add_row t
+  let jobs =
+    List.map
+      (fun eps () ->
+        let spec =
+          {
+            Spec.duration = 4_000.0;
+            update_rate = 0.05;
+            query_rate = 0.05;
+            n_keys = 8;
+            zipf_theta = 0.9;
+            ops_per_update = 1;
+            keys_per_query = 2;
+            profile = Spec.Blind_set;
+            epsilon = eps;
+          }
+        in
+        let config = { Intf.default_config with Intf.ritu_mode = `Multi } in
+        let r = Scenario.run ~seed ~config ~net_config:wan ~sites:5 ~method_name:"RITU" spec in
         [
           Epsilon.spec_to_string eps;
           Tablefmt.cell_float (stat r "fresh_reads");
@@ -334,7 +368,9 @@ let e6_ritu_vtnc () =
           Printf.sprintf "%.2f" (Stats.mean r.Scenario.value_error);
           Tablefmt.cell_bool r.Scenario.converged;
         ])
-    [ Epsilon.Limit 0; Epsilon.Limit 1; Epsilon.Limit 2; Epsilon.Unlimited ];
+      [ Epsilon.Limit 0; Epsilon.Limit 1; Epsilon.Limit 2; Epsilon.Unlimited ]
+  in
+  add_rows t (par_rows jobs);
   Tablefmt.print t
 
 (* ------------------------------------------------------------------ *)
@@ -352,30 +388,30 @@ let e7_lock_counter () =
         [ "Limit"; "Update waits"; "Upd lat p50 (ms)"; "Upd lat p95 (ms)";
           "Mean query units"; "Max query units"; "Query waits"; "Committed" ]
   in
-  List.iter
-    (fun limit ->
-      let spec =
-        {
-          Spec.default with
-          Spec.duration = 4_000.0;
-          update_rate = 0.06;
-          query_rate = 0.04;
-          n_keys = 4;
-          zipf_theta = 1.1;
-          ops_per_update = 1;
-          keys_per_query = 1;
-          epsilon = Epsilon.Limit 4;
-        }
-      in
-      let config =
-        {
-          Intf.default_config with
-          Intf.commu_update_limit = limit;
-          commu_limit_policy = `Wait;
-        }
-      in
-      let r = Scenario.run ~seed ~config ~net_config:wan ~sites:4 ~method_name:"COMMU" spec in
-      Tablefmt.add_row t
+  let jobs =
+    List.map
+      (fun limit () ->
+        let spec =
+          {
+            Spec.default with
+            Spec.duration = 4_000.0;
+            update_rate = 0.06;
+            query_rate = 0.04;
+            n_keys = 4;
+            zipf_theta = 1.1;
+            ops_per_update = 1;
+            keys_per_query = 1;
+            epsilon = Epsilon.Limit 4;
+          }
+        in
+        let config =
+          {
+            Intf.default_config with
+            Intf.commu_update_limit = limit;
+            commu_limit_policy = `Wait;
+          }
+        in
+        let r = Scenario.run ~seed ~config ~net_config:wan ~sites:4 ~method_name:"COMMU" spec in
         [
           (match limit with None -> "inf" | Some l -> string_of_int l);
           Tablefmt.cell_float (stat r "update_waits");
@@ -387,7 +423,9 @@ let e7_lock_counter () =
           Tablefmt.cell_float (stat r "query_waits");
           Tablefmt.cell_int r.Scenario.committed;
         ])
-    [ None; Some 8; Some 4; Some 2; Some 1 ];
+      [ None; Some 8; Some 4; Some 2; Some 1 ]
+  in
+  add_rows t (par_rows jobs);
   Tablefmt.print t
 
 (* ------------------------------------------------------------------ *)
@@ -406,41 +444,42 @@ let e8_crash_recovery () =
           "Converged after recovery"; "Retx-heavy? (msgs sent)" ]
   in
   let methods = [ "ORDUP"; "COMMU"; "RITU"; "COMPE"; "2PC"; "QUORUM"; "QUASI" ] in
-  List.iter
-    (fun name ->
-      List.iter
-        (fun window ->
-          let module Harness = Esr_replica.Harness in
-          let config = { Intf.default_config with Intf.twopc_timeout = 30_000.0 } in
-          let h = Harness.create ~config ~seed ~sites:4 ~method_name:name () in
-          let engine = Harness.engine h in
-          let net = Harness.net h in
-          let committed = ref 0 in
-          let prng = Prng.create (seed + 3) in
-          for i = 0 to 59 do
+  let windows = [ 500.0; 2_000.0 ] in
+  let jobs =
+    List.concat_map
+      (fun name ->
+        List.map
+          (fun window () ->
+            let module Harness = Esr_replica.Harness in
+            let config = { Intf.default_config with Intf.twopc_timeout = 30_000.0 } in
+            let h = Harness.create ~config ~seed ~sites:4 ~method_name:name () in
+            let engine = Harness.engine h in
+            let net = Harness.net h in
+            let committed = ref 0 in
+            let prng = Prng.create (seed + 3) in
+            for i = 0 to 59 do
+              ignore
+                (Engine.schedule_at engine
+                   ~time:(float_of_int i *. 40.0)
+                   (fun () ->
+                     let origin =
+                       let candidate = Prng.int prng 4 in
+                       if Net.site_up net candidate then candidate else 0
+                     in
+                     let intents =
+                       match name with
+                       | "RITU" | "QUORUM" -> [ Intf.Set ("k", Esr_store.Value.Int i) ]
+                       | _ -> [ Intf.Add ("k", 1) ]
+                     in
+                     Harness.submit_update h ~origin intents (function
+                       | Intf.Committed _ -> incr committed
+                       | Intf.Rejected _ -> ())))
+            done;
+            ignore (Engine.schedule_at engine ~time:400.0 (fun () -> Net.crash net 2));
             ignore
-              (Engine.schedule_at engine
-                 ~time:(float_of_int i *. 40.0)
-                 (fun () ->
-                   let origin =
-                     let candidate = Prng.int prng 4 in
-                     if Net.site_up net candidate then candidate else 0
-                   in
-                   let intents =
-                     match name with
-                     | "RITU" | "QUORUM" -> [ Intf.Set ("k", Esr_store.Value.Int i) ]
-                     | _ -> [ Intf.Add ("k", 1) ]
-                   in
-                   Harness.submit_update h ~origin intents (function
-                     | Intf.Committed _ -> incr committed
-                     | Intf.Rejected _ -> ())))
-          done;
-          ignore (Engine.schedule_at engine ~time:400.0 (fun () -> Net.crash net 2));
-          ignore
-            (Engine.schedule_at engine ~time:(400.0 +. window) (fun () ->
-                 Net.recover net 2));
-          let settled = Harness.settle h in
-          Tablefmt.add_row t
+              (Engine.schedule_at engine ~time:(400.0 +. window) (fun () ->
+                   Net.recover net 2));
+            let settled = Harness.settle h in
             [
               name;
               Tablefmt.cell_float window;
@@ -449,9 +488,10 @@ let e8_crash_recovery () =
               Tablefmt.cell_bool (Harness.converged h);
               Tablefmt.cell_int (Net.counters net).Net.sent;
             ])
-        [ 500.0; 2_000.0 ];
-      Tablefmt.add_separator t)
-    methods;
+          windows)
+      methods
+  in
+  add_grouped t ~per_group:(List.length windows) (par_rows jobs);
   Tablefmt.print t
 
 (* ------------------------------------------------------------------ *)
@@ -470,8 +510,7 @@ let e9_sagas () =
           "Max query units"; "Revokes"; "Converged" ]
   in
   let module Compe = Esr_replica.Compe in
-  let module Harness = Esr_replica.Harness in
-  let run ~label ~as_saga ~abort_p =
+  let run ~label ~as_saga ~abort_p () =
     let config =
       {
         Intf.default_config with
@@ -528,23 +567,26 @@ let e9_sagas () =
     let stat name =
       Option.value (List.assoc_opt name (Compe.stats sys)) ~default:0.0
     in
-    Tablefmt.add_row t
-      [
-        label;
-        Printf.sprintf "%.0f%%" (abort_p *. 100.0);
-        Tablefmt.cell_int !committed;
-        Printf.sprintf "%.2f" (Stats.mean units);
-        Tablefmt.cell_float (if Stats.count units = 0 then 0.0 else Stats.max units);
-        Tablefmt.cell_float (stat "revokes");
-        Tablefmt.cell_bool (settled && Compe.converged sys);
-      ]
+    [
+      label;
+      Printf.sprintf "%.0f%%" (abort_p *. 100.0);
+      Tablefmt.cell_int !committed;
+      Printf.sprintf "%.2f" (Stats.mean units);
+      Tablefmt.cell_float (if Stats.count units = 0 then 0.0 else Stats.max units);
+      Tablefmt.cell_float (stat "revokes");
+      Tablefmt.cell_bool (settled && Compe.converged sys);
+    ]
   in
-  List.iter
-    (fun abort_p ->
-      run ~label:"3-step sagas" ~as_saga:true ~abort_p;
-      run ~label:"3 independent updates" ~as_saga:false ~abort_p;
-      Tablefmt.add_separator t)
-    [ 0.0; 0.15 ];
+  let jobs =
+    List.concat_map
+      (fun abort_p ->
+        [
+          run ~label:"3-step sagas" ~as_saga:true ~abort_p;
+          run ~label:"3 independent updates" ~as_saga:false ~abort_p;
+        ])
+      [ 0.0; 0.15 ]
+  in
+  add_grouped t ~per_group:2 (par_rows jobs);
   Tablefmt.print t
 
 (* ------------------------------------------------------------------ *)
@@ -565,39 +607,39 @@ let e10_value_bound () =
         [ "Value limit L"; "Bound (n-1)L"; "Max query error"; "Mean query error";
           "Bound holds"; "Update waits"; "Upd lat p95 (ms)"; "Committed" ]
   in
-  List.iter
-    (fun limit ->
-      let spec =
-        {
-          Spec.default with
-          Spec.duration = 4_000.0;
-          update_rate = 0.06;
-          query_rate = 0.05;
-          n_keys = 4;
-          zipf_theta = 1.0;
-          ops_per_update = 1;
-          keys_per_query = 1;
-          epsilon = Epsilon.Unlimited;
-        }
-      in
-      let config =
-        {
-          Intf.default_config with
-          Intf.commu_value_limit = limit;
-          commu_limit_policy = `Wait;
-        }
-      in
-      let r = Scenario.run ~seed ~config ~net_config:wan ~sites ~method_name:"COMMU" spec in
-      let worst =
-        if Stats.count r.Scenario.value_error = 0 then 0.0
-        else Stats.max r.Scenario.value_error
-      in
-      let bound =
-        match limit with
-        | None -> infinity
-        | Some l -> float_of_int (sites - 1) *. l
-      in
-      Tablefmt.add_row t
+  let jobs =
+    List.map
+      (fun limit () ->
+        let spec =
+          {
+            Spec.default with
+            Spec.duration = 4_000.0;
+            update_rate = 0.06;
+            query_rate = 0.05;
+            n_keys = 4;
+            zipf_theta = 1.0;
+            ops_per_update = 1;
+            keys_per_query = 1;
+            epsilon = Epsilon.Unlimited;
+          }
+        in
+        let config =
+          {
+            Intf.default_config with
+            Intf.commu_value_limit = limit;
+            commu_limit_policy = `Wait;
+          }
+        in
+        let r = Scenario.run ~seed ~config ~net_config:wan ~sites ~method_name:"COMMU" spec in
+        let worst =
+          if Stats.count r.Scenario.value_error = 0 then 0.0
+          else Stats.max r.Scenario.value_error
+        in
+        let bound =
+          match limit with
+          | None -> infinity
+          | Some l -> float_of_int (sites - 1) *. l
+        in
         [
           (match limit with None -> "inf" | Some l -> Printf.sprintf "%.0f" l);
           (match limit with None -> "inf" | Some _ -> Printf.sprintf "%.0f" bound);
@@ -608,7 +650,9 @@ let e10_value_bound () =
           fmt_ms (Stats.percentile r.Scenario.update_latency 95.0);
           Tablefmt.cell_int r.Scenario.committed;
         ])
-    [ None; Some 50.0; Some 25.0; Some 10.0; Some 5.0 ];
+      [ None; Some 50.0; Some 25.0; Some 10.0; Some 5.0 ]
+  in
+  add_rows t (par_rows jobs);
   Tablefmt.print t
 
 (* ------------------------------------------------------------------ *)
@@ -627,23 +671,23 @@ let e11_quasi () =
         [ "Closeness spec"; "Refreshes"; "Messages sent"; "Mean query error";
           "Max query error"; "Upd lat p50 (ms)"; "Converged" ]
   in
-  List.iter
-    (fun (label, refresh) ->
-      let spec =
-        {
-          Spec.default with
-          Spec.duration = 4_000.0;
-          update_rate = 0.05;
-          query_rate = 0.05;
-          n_keys = 8;
-          zipf_theta = 0.9;
-          ops_per_update = 1;
-          keys_per_query = 1;
-        }
-      in
-      let config = { Intf.default_config with Intf.quasi_refresh = refresh } in
-      let r = Scenario.run ~seed ~config ~net_config:wan ~sites:4 ~method_name:"QUASI" spec in
-      Tablefmt.add_row t
+  let jobs =
+    List.map
+      (fun (label, refresh) () ->
+        let spec =
+          {
+            Spec.default with
+            Spec.duration = 4_000.0;
+            update_rate = 0.05;
+            query_rate = 0.05;
+            n_keys = 8;
+            zipf_theta = 0.9;
+            ops_per_update = 1;
+            keys_per_query = 1;
+          }
+        in
+        let config = { Intf.default_config with Intf.quasi_refresh = refresh } in
+        let r = Scenario.run ~seed ~config ~net_config:wan ~sites:4 ~method_name:"QUASI" spec in
         [
           label;
           Tablefmt.cell_float (stat r "refreshes");
@@ -655,13 +699,15 @@ let e11_quasi () =
           fmt_ms (Stats.median r.Scenario.update_latency);
           Tablefmt.cell_bool r.Scenario.converged;
         ])
-    [
-      ("immediate", `Immediate);
-      ("periodic 100ms", `Periodic 100.0);
-      ("periodic 500ms", `Periodic 500.0);
-      ("drift 10", `Drift 10.0);
-      ("drift 50", `Drift 50.0);
-    ];
+      [
+        ("immediate", `Immediate);
+        ("periodic 100ms", `Periodic 100.0);
+        ("periodic 500ms", `Periodic 500.0);
+        ("drift 10", `Drift 10.0);
+        ("drift 50", `Drift 50.0);
+      ]
+  in
+  add_rows t (par_rows jobs);
   Tablefmt.print t
 
 (* ------------------------------------------------------------------ *)
@@ -681,48 +727,48 @@ let e12_partition_merge () =
         [ "Partition (ms)"; "COMMU catch-up after heal (ms)"; "COMMU rolled back";
           "Merge: minority ETs"; "Merge: rolled back"; "Merge: conflict keys" ]
   in
-  List.iter
-    (fun duration ->
-      (* (a) ESR dynamic: COMMU runs straight through the partition. *)
-      let partition =
-        { Scenario.p_start = 500.0; p_end = 500.0 +. duration; groups = [ [ 0; 1 ]; [ 2; 3 ] ] }
-      in
-      let spec =
-        {
-          Spec.default with
-          Spec.duration = (500.0 +. duration +. 500.0);
-          update_rate = 0.05;
-          query_rate = 0.01;
-          n_keys = 8;
-          ops_per_update = 1;
-        }
-      in
-      let r =
-        Scenario.run ~seed ~sites:4 ~method_name:"COMMU" ~partition spec
-      in
-      let catch_up = Float.max 0.0 (r.Scenario.quiesce_time -. (500.0 +. duration)) in
-      (* (b) off-line merge: two partition-side logs of the same length,
-         mixed commutative/overwrite operations on shared keys. *)
-      let module Et = Esr_core.Et in
-      let module Op = Esr_store.Op in
-      let module Logmerge = Esr_core.Logmerge in
-      let gen_log offset prng =
-        let n = int_of_float (duration *. 0.05 /. 2.0) in
-        Esr_core.Hist.of_actions
-          (List.init n (fun i ->
-               let key = Printf.sprintf "k%d" (Prng.int prng 8) in
-               let op =
-                 if Prng.bernoulli prng 0.3 then
-                   Op.Write (Esr_store.Value.Int (Prng.int prng 100))
-                 else Op.Incr (1 + Prng.int prng 9)
-               in
-               Et.action ~et:(offset + i) ~key op))
-      in
-      let prng = Prng.create (seed + int_of_float duration) in
-      let log_a = gen_log 1 prng and log_b = gen_log 100_000 prng in
-      let m = Logmerge.merge ~majority:log_a ~minority:log_b in
-      let minority_ets = List.length (Esr_core.Hist.ets log_b) in
-      Tablefmt.add_row t
+  let jobs =
+    List.map
+      (fun duration () ->
+        (* (a) ESR dynamic: COMMU runs straight through the partition. *)
+        let partition =
+          { Scenario.p_start = 500.0; p_end = 500.0 +. duration; groups = [ [ 0; 1 ]; [ 2; 3 ] ] }
+        in
+        let spec =
+          {
+            Spec.default with
+            Spec.duration = (500.0 +. duration +. 500.0);
+            update_rate = 0.05;
+            query_rate = 0.01;
+            n_keys = 8;
+            ops_per_update = 1;
+          }
+        in
+        let r =
+          Scenario.run ~seed ~sites:4 ~method_name:"COMMU" ~partition spec
+        in
+        let catch_up = Float.max 0.0 (r.Scenario.quiesce_time -. (500.0 +. duration)) in
+        (* (b) off-line merge: two partition-side logs of the same length,
+           mixed commutative/overwrite operations on shared keys. *)
+        let module Et = Esr_core.Et in
+        let module Op = Esr_store.Op in
+        let module Logmerge = Esr_core.Logmerge in
+        let gen_log offset prng =
+          let n = int_of_float (duration *. 0.05 /. 2.0) in
+          Esr_core.Hist.of_actions
+            (List.init n (fun i ->
+                 let key = Printf.sprintf "k%d" (Prng.int prng 8) in
+                 let op =
+                   if Prng.bernoulli prng 0.3 then
+                     Op.Write (Esr_store.Value.Int (Prng.int prng 100))
+                   else Op.Incr (1 + Prng.int prng 9)
+                 in
+                 Et.action ~et:(offset + i) ~key op))
+        in
+        let prng = Prng.create (seed + int_of_float duration) in
+        let log_a = gen_log 1 prng and log_b = gen_log 100_000 prng in
+        let m = Logmerge.merge ~majority:log_a ~minority:log_b in
+        let minority_ets = List.length (Esr_core.Hist.ets log_b) in
         [
           Printf.sprintf "%.0f" duration;
           fmt_ms catch_up;
@@ -731,7 +777,9 @@ let e12_partition_merge () =
           Tablefmt.cell_int (List.length m.Logmerge.rolled_back);
           Tablefmt.cell_int (List.length m.Logmerge.conflict_keys);
         ])
-    [ 500.0; 1_000.0; 2_000.0; 4_000.0 ];
+      [ 500.0; 1_000.0; 2_000.0; 4_000.0 ]
+  in
+  add_rows t (par_rows jobs);
   Tablefmt.print t
 
 (* ------------------------------------------------------------------ *)
@@ -749,26 +797,27 @@ let a1_ordup_ordering () =
         [ "Ordering"; "Sites"; "Upd lat p50 (ms)"; "Upd lat p95 (ms)";
           "Quiesce time (ms)"; "Committed" ]
   in
-  List.iter
-    (fun (label, ordering, flush_every) ->
-      List.iter
-        (fun sites ->
-          let spec =
-            {
-              Spec.default with
-              Spec.duration = 3_000.0;
-              update_rate = 0.03;
-              query_rate = 0.01;
-              n_keys = 16;
-              ops_per_update = 1;
-            }
-          in
-          let config = { Intf.default_config with Intf.ordup_ordering = ordering } in
-          let r =
-            Scenario.run ~seed ~config ~net_config:wan ?flush_every ~sites
-              ~method_name:"ORDUP" spec
-          in
-          Tablefmt.add_row t
+  let sites_list = [ 4; 8 ] in
+  let jobs =
+    List.concat_map
+      (fun (label, ordering, flush_every) ->
+        List.map
+          (fun sites () ->
+            let spec =
+              {
+                Spec.default with
+                Spec.duration = 3_000.0;
+                update_rate = 0.03;
+                query_rate = 0.01;
+                n_keys = 16;
+                ops_per_update = 1;
+              }
+            in
+            let config = { Intf.default_config with Intf.ordup_ordering = ordering } in
+            let r =
+              Scenario.run ~seed ~config ~net_config:wan ?flush_every ~sites
+                ~method_name:"ORDUP" spec
+            in
             [
               label;
               Tablefmt.cell_int sites;
@@ -777,13 +826,14 @@ let a1_ordup_ordering () =
               fmt_ms r.Scenario.quiesce_time;
               Tablefmt.cell_int r.Scenario.committed;
             ])
-        [ 4; 8 ];
-      Tablefmt.add_separator t)
-    [
-      ("sequencer", `Sequencer, None);
-      ("lamport", `Lamport, None);
-      ("lamport + 50ms heartbeats", `Lamport, Some 50.0);
-    ];
+          sites_list)
+      [
+        ("sequencer", `Sequencer, None);
+        ("lamport", `Lamport, None);
+        ("lamport + 50ms heartbeats", `Lamport, Some 50.0);
+      ]
+  in
+  add_grouped t ~per_group:(List.length sites_list) (par_rows jobs);
   Tablefmt.print t
 
 (* ------------------------------------------------------------------ *)
@@ -800,26 +850,27 @@ let a2_squeue_retry () =
         [ "Loss"; "Retry interval (ms)"; "Drain time (ms)"; "Retransmissions";
           "Duplicates suppressed" ]
   in
-  List.iter
-    (fun drop ->
-      List.iter
-        (fun retry ->
-          let engine = Engine.create () in
-          let config = { Net.default_config with Net.drop_probability = drop } in
-          let net = Net.create ~config engine ~sites:4 ~prng:(Prng.create seed) in
-          let delivered = ref 0 in
-          let q =
-            Squeue.create ~retry_interval:retry net
-              ~handler:(fun ~site:_ ~src:_ () -> incr delivered)
-          in
-          for i = 0 to 199 do
-            ignore
-              (Engine.schedule engine ~delay:(float_of_int i) (fun () ->
-                   Squeue.send q ~src:(i mod 4) ~dst:((i + 1) mod 4) ()))
-          done;
-          Engine.run engine;
-          let c = Squeue.counters q in
-          Tablefmt.add_row t
+  let retries = [ 25.0; 50.0; 100.0; 200.0 ] in
+  let jobs =
+    List.concat_map
+      (fun drop ->
+        List.map
+          (fun retry () ->
+            let engine = Engine.create () in
+            let config = { Net.default_config with Net.drop_probability = drop } in
+            let net = Net.create ~config engine ~sites:4 ~prng:(Prng.create seed) in
+            let delivered = ref 0 in
+            let q =
+              Squeue.create ~retry_interval:retry net
+                ~handler:(fun ~site:_ ~src:_ () -> incr delivered)
+            in
+            for i = 0 to 199 do
+              ignore
+                (Engine.schedule engine ~delay:(float_of_int i) (fun () ->
+                     Squeue.send q ~src:(i mod 4) ~dst:((i + 1) mod 4) ()))
+            done;
+            Engine.run engine;
+            let c = Squeue.counters q in
             [
               Printf.sprintf "%.0f%%" (drop *. 100.0);
               Tablefmt.cell_float retry;
@@ -827,9 +878,10 @@ let a2_squeue_retry () =
               Tablefmt.cell_int c.Squeue.retransmissions;
               Tablefmt.cell_int c.Squeue.duplicates_suppressed;
             ])
-        [ 25.0; 50.0; 100.0; 200.0 ];
-      Tablefmt.add_separator t)
-    [ 0.0; 0.05; 0.1; 0.2 ];
+          retries)
+      [ 0.0; 0.05; 0.1; 0.2 ]
+  in
+  add_grouped t ~per_group:(List.length retries) (par_rows jobs);
   Tablefmt.print t
 
 let all =

@@ -1,0 +1,157 @@
+(* Timed experiment sweep: runs every experiment once sequentially
+   (1 domain) and once on the parallel pool, records wall-clock seconds
+   for each, verifies the two outputs are byte-identical, and writes the
+   trajectory file BENCH_experiments.json that later PRs diff against.
+
+   Output schema (BENCH_experiments.json, version 1):
+
+     {
+       "schema": "esr-bench-experiments/1",
+       "domains": { "sequential": 1, "parallel": <N> },
+       "experiments": [
+         { "name": "e1_scalability",
+           "sequential_s": <wall-clock, seconds>,
+           "parallel_s": <wall-clock, seconds>,
+           "speedup": <sequential_s / parallel_s>,
+           "identical_output": true },
+         ...
+       ],
+       "total": { "sequential_s": ..., "parallel_s": ..., "speedup": ... }
+     }
+*)
+
+module Tablefmt = Esr_util.Tablefmt
+module Pool = Esr_exec.Pool
+
+type sample = {
+  name : string;
+  sequential_s : float;
+  parallel_s : float;
+  identical : bool;
+}
+
+(* Run [f] with stdout redirected to a temp file; return (wall-clock
+   seconds, captured bytes).  Capturing serves double duty: timed runs
+   don't spam the terminal, and the seq/par captures are compared to
+   prove the pool preserves determinism. *)
+let timed_captured f =
+  let path = Filename.temp_file "esr_bench" ".out" in
+  let saved = Unix.dup Unix.stdout in
+  let fd = Unix.openfile path [ Unix.O_WRONLY; Unix.O_TRUNC ] 0o600 in
+  flush stdout;
+  Unix.dup2 fd Unix.stdout;
+  let restore () =
+    flush stdout;
+    Unix.dup2 saved Unix.stdout;
+    Unix.close saved;
+    Unix.close fd
+  in
+  let t0 = Unix.gettimeofday () in
+  (try f ()
+   with exn ->
+     restore ();
+     Sys.remove path;
+     raise exn);
+  let elapsed = Unix.gettimeofday () -. t0 in
+  restore ();
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let bytes = really_input_string ic len in
+  close_in ic;
+  Sys.remove path;
+  (elapsed, bytes)
+
+let fnum v =
+  (* JSON number: fixed-point, never "inf"/"nan". *)
+  if Float.is_finite v then Printf.sprintf "%.6f" v else "0.0"
+
+let speedup ~seq ~par = if par > 0.0 then seq /. par else 0.0
+
+let write_json ~path ~par_domains samples =
+  let oc = open_out path in
+  let p fmt = Printf.fprintf oc fmt in
+  p "{\n";
+  p "  \"schema\": \"esr-bench-experiments/1\",\n";
+  p "  \"domains\": { \"sequential\": 1, \"parallel\": %d },\n" par_domains;
+  p "  \"experiments\": [\n";
+  List.iteri
+    (fun i s ->
+      p
+        "    { \"name\": %S, \"sequential_s\": %s, \"parallel_s\": %s, \
+         \"speedup\": %s, \"identical_output\": %b }%s\n"
+        s.name (fnum s.sequential_s) (fnum s.parallel_s)
+        (fnum (speedup ~seq:s.sequential_s ~par:s.parallel_s))
+        s.identical
+        (if i = List.length samples - 1 then "" else ","))
+    samples;
+  p "  ],\n";
+  let tot_seq = List.fold_left (fun a s -> a +. s.sequential_s) 0.0 samples in
+  let tot_par = List.fold_left (fun a s -> a +. s.parallel_s) 0.0 samples in
+  p
+    "  \"total\": { \"sequential_s\": %s, \"parallel_s\": %s, \"speedup\": \
+     %s }\n"
+    (fnum tot_seq) (fnum tot_par)
+    (fnum (speedup ~seq:tot_seq ~par:tot_par));
+  p "}\n";
+  close_out oc
+
+let default_path () =
+  Option.value (Sys.getenv_opt "ESR_BENCH_OUT") ~default:"BENCH_experiments.json"
+
+(** Time every experiment sequentially and on the pool, print the summary
+    table, and write [BENCH_experiments.json] (path overridable with the
+    ESR_BENCH_OUT environment variable). *)
+let run_timed ?path () =
+  let path = match path with Some p -> p | None -> default_path () in
+  let par_domains = Pool.default_domains () in
+  let samples =
+    List.map
+      (fun (name, f) ->
+        Pool.set_default_domains 1;
+        let sequential_s, out_seq = timed_captured f in
+        Pool.set_default_domains par_domains;
+        let parallel_s, out_par = timed_captured f in
+        let identical = String.equal out_seq out_par in
+        { name; sequential_s; parallel_s; identical })
+      Experiments.all
+  in
+  Pool.set_default_domains par_domains;
+  let t =
+    Tablefmt.create
+      ~title:
+        (Printf.sprintf
+           "Timed experiment sweep: wall-clock, 1 domain vs %d domains \
+            (output byte-compared between the two runs)"
+           par_domains)
+      ~headers:
+        [ "Experiment"; "Sequential (s)"; "Parallel (s)"; "Speedup"; "Identical output" ]
+  in
+  List.iter
+    (fun s ->
+      Tablefmt.add_row t
+        [
+          s.name;
+          Printf.sprintf "%.3f" s.sequential_s;
+          Printf.sprintf "%.3f" s.parallel_s;
+          Printf.sprintf "%.2fx" (speedup ~seq:s.sequential_s ~par:s.parallel_s);
+          Tablefmt.cell_bool s.identical;
+        ])
+    samples;
+  Tablefmt.add_separator t;
+  let tot_seq = List.fold_left (fun a s -> a +. s.sequential_s) 0.0 samples in
+  let tot_par = List.fold_left (fun a s -> a +. s.parallel_s) 0.0 samples in
+  Tablefmt.add_row t
+    [
+      "total";
+      Printf.sprintf "%.3f" tot_seq;
+      Printf.sprintf "%.3f" tot_par;
+      Printf.sprintf "%.2fx" (speedup ~seq:tot_seq ~par:tot_par);
+      Tablefmt.cell_bool (List.for_all (fun s -> s.identical) samples);
+    ];
+  Tablefmt.print t;
+  write_json ~path ~par_domains samples;
+  Printf.printf "wrote %s\n" path;
+  if not (List.for_all (fun s -> s.identical) samples) then begin
+    prerr_endline "timed sweep: parallel output diverged from sequential";
+    exit 3
+  end

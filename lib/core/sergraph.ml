@@ -70,7 +70,7 @@ let is_acyclic t = Option.is_none (find_cycle t)
 let topological_order t =
   if not (is_acyclic t) then None
   else begin
-    let indegree = Hashtbl.create 16 in
+    let indegree = Hashtbl.create (Stdlib.max 16 (IntSet.cardinal t.nodes)) in
     IntSet.iter (fun n -> Hashtbl.replace indegree n 0) t.nodes;
     IntMap.iter
       (fun _ targets ->
@@ -80,20 +80,29 @@ let topological_order t =
               (Option.value (Hashtbl.find_opt indegree b) ~default:0 + 1))
           targets)
       t.succ;
-    (* Kahn's algorithm with a sorted frontier for determinism. *)
-    let ready () =
-      Hashtbl.fold (fun n d acc -> if d = 0 then n :: acc else acc) indegree []
-      |> List.sort Int.compare
+    (* Kahn's algorithm.  The frontier of indegree-0 nodes is a min-ordered
+       set maintained incrementally as indegrees drop, so each step costs
+       O(log V) instead of re-scanning the whole indegree table; always
+       popping the minimum id keeps the witness deterministic (same order
+       the old sorted-rescan produced). *)
+    let frontier =
+      ref
+        (IntSet.filter
+           (fun n -> Hashtbl.find_opt indegree n = Some 0)
+           t.nodes)
     in
     let rec loop acc =
-      match ready () with
-      | [] -> List.rev acc
-      | node :: _ ->
-          Hashtbl.remove indegree node;
+      match IntSet.min_elt_opt !frontier with
+      | None -> List.rev acc
+      | Some node ->
+          frontier := IntSet.remove node !frontier;
           List.iter
             (fun b ->
               match Hashtbl.find_opt indegree b with
-              | Some d -> Hashtbl.replace indegree b (d - 1)
+              | Some d ->
+                  let d = d - 1 in
+                  Hashtbl.replace indegree b d;
+                  if d = 0 then frontier := IntSet.add b !frontier
               | None -> ())
             (succ t node);
           loop (node :: acc)

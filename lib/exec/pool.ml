@@ -1,0 +1,145 @@
+(* Fixed-size Domain worker pool.
+
+   Workers block on a mutex/condition-protected job queue; a job is an
+   existentially boxed [unit -> unit] closure that writes its result (or
+   the exception it raised) into a slot of a per-[run] results array.
+   Completion is signalled through an atomic countdown so the caller can
+   sleep instead of spinning.  Everything shared across domains is either
+   the locked queue, an [Atomic.t], or a write-once array slot published
+   before the matching atomic decrement — the standard message-passing
+   discipline of the OCaml 5 memory model. *)
+
+type t = {
+  size : int;
+  mutex : Mutex.t;
+  nonempty : Condition.t;
+  queue : (unit -> unit) Queue.t;
+  mutable stopping : bool;
+  mutable workers : unit Domain.t list;
+}
+
+(* --- default worker count ------------------------------------------- *)
+
+let override = ref None
+
+let set_default_domains n = override := Some (Stdlib.max 1 n)
+
+let env_domains () =
+  match Sys.getenv_opt "ESR_DOMAINS" with
+  | None -> None
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 1 -> Some n
+      | Some _ | None -> None)
+
+let default_domains () =
+  match !override with
+  | Some n -> n
+  | None -> (
+      match env_domains () with
+      | Some n -> n
+      | None -> Stdlib.max 1 (Domain.recommended_domain_count () - 1))
+
+(* --- pool lifecycle -------------------------------------------------- *)
+
+let worker pool () =
+  let rec loop () =
+    Mutex.lock pool.mutex;
+    while Queue.is_empty pool.queue && not pool.stopping do
+      Condition.wait pool.nonempty pool.mutex
+    done;
+    if Queue.is_empty pool.queue then (* stopping, queue drained *)
+      Mutex.unlock pool.mutex
+    else begin
+      let job = Queue.pop pool.queue in
+      Mutex.unlock pool.mutex;
+      job ();
+      loop ()
+    end
+  in
+  loop ()
+
+let create ~domains =
+  let size = Stdlib.max 1 domains in
+  let pool =
+    {
+      size;
+      mutex = Mutex.create ();
+      nonempty = Condition.create ();
+      queue = Queue.create ();
+      stopping = false;
+      workers = [];
+    }
+  in
+  pool.workers <- List.init size (fun _ -> Domain.spawn (worker pool));
+  pool
+
+let size t = t.size
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  t.stopping <- true;
+  Condition.broadcast t.nonempty;
+  Mutex.unlock t.mutex;
+  List.iter Domain.join t.workers;
+  t.workers <- []
+
+let with_pool ~domains f =
+  let pool = create ~domains in
+  Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)
+
+(* --- ordered map ----------------------------------------------------- *)
+
+type 'b slot = Empty | Value of 'b | Raised of exn * Printexc.raw_backtrace
+
+let collect results =
+  Array.to_list results
+  |> List.map (function
+       | Value v -> v
+       | Raised (e, bt) -> Printexc.raise_with_backtrace e bt
+       | Empty -> assert false)
+
+let run pool f items =
+  match items with
+  | [] -> []
+  | [ x ] -> [ f x ]
+  | _ ->
+      let arr = Array.of_list items in
+      let n = Array.length arr in
+      let results = Array.make n Empty in
+      let remaining = Atomic.make n in
+      let done_mutex = Mutex.create () in
+      let done_cond = Condition.create () in
+      let job i () =
+        let slot =
+          match f arr.(i) with
+          | v -> Value v
+          | exception e -> Raised (e, Printexc.get_raw_backtrace ())
+        in
+        results.(i) <- slot;
+        if Atomic.fetch_and_add remaining (-1) = 1 then begin
+          Mutex.lock done_mutex;
+          Condition.signal done_cond;
+          Mutex.unlock done_mutex
+        end
+      in
+      Mutex.lock pool.mutex;
+      for i = 0 to n - 1 do
+        Queue.add (job i) pool.queue
+      done;
+      Condition.broadcast pool.nonempty;
+      Mutex.unlock pool.mutex;
+      Mutex.lock done_mutex;
+      while Atomic.get remaining > 0 do
+        Condition.wait done_cond done_mutex
+      done;
+      Mutex.unlock done_mutex;
+      collect results
+
+let map ?domains f items =
+  let domains =
+    match domains with Some d -> d | None -> default_domains ()
+  in
+  let domains = Stdlib.min domains (List.length items) in
+  if domains <= 1 then List.map f items
+  else with_pool ~domains (fun pool -> run pool f items)

@@ -1,0 +1,49 @@
+(** Fixed-size domain pool for embarrassingly parallel harness work.
+
+    The simulator itself stays single-threaded and deterministic; this
+    pool exists one level up, where the bench/experiment driver fans
+    independent [Scenario.run] jobs out across OCaml 5 domains.  Results
+    come back in submission order and exceptions are re-raised in the
+    caller, so [map] is a drop-in for [List.map] whose output (and
+    therefore any table built from it) is byte-identical to a sequential
+    run regardless of the worker count. *)
+
+type t
+(** A running pool of worker domains. *)
+
+val default_domains : unit -> int
+(** Worker count used when [map] is called without [~domains]: the last
+    value passed to {!set_default_domains} if any, else the [ESR_DOMAINS]
+    environment variable if it parses as a positive integer, else
+    [Domain.recommended_domain_count () - 1] (at least 1).  A value of 1
+    means "run sequentially in the calling domain". *)
+
+val set_default_domains : int -> unit
+(** Override the default worker count for the rest of the process (the
+    [--domains] CLI knob).  Values below 1 are clamped to 1. *)
+
+val create : domains:int -> t
+(** Spawn a pool of [domains] worker domains (at least 1). *)
+
+val size : t -> int
+(** Number of worker domains. *)
+
+val shutdown : t -> unit
+(** Stop the workers once the queue drains and join them.  The pool must
+    not be used afterwards. *)
+
+val with_pool : domains:int -> (t -> 'a) -> 'a
+(** [create], run the function, [shutdown] (also on exception). *)
+
+val run : t -> ('a -> 'b) -> 'a list -> 'b list
+(** Apply [f] to every element on the pool's workers.  Blocks until all
+    jobs finish.  Results are in input order; if any job raised, the
+    exception of the lowest-indexed failing job is re-raised (with its
+    backtrace) after all jobs have completed.  Jobs must not submit work
+    to the same pool (the caller's wait would deadlock a full queue). *)
+
+val map : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map ~domains f xs] is [List.map f xs] computed on [domains] workers
+    ([default_domains ()] when omitted).  With [domains <= 1] — or lists
+    too short to matter — it runs sequentially in the calling domain with
+    no domain spawned at all. *)

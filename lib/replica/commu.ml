@@ -140,7 +140,7 @@ let create (env : Intf.env) =
            Array.init env.Intf.sites (fun id ->
                {
                  id;
-                 store = Store.create ();
+                 store = Store.create ~size:env.Intf.store_hint ();
                  hist = Hist.empty;
                  counters = Lock_counter.create ();
                  parked_queries = [];

@@ -16,13 +16,13 @@ type t = {
   seed : int;
 }
 
-let create ?(config = Intf.default_config) ?net_config ?(seed = 42) ~sites
-    ~method_name () =
-  let engine = Engine.create () in
+let create ?(config = Intf.default_config) ?net_config ?(seed = 42)
+    ?store_hint ?engine_hint ~sites ~method_name () =
+  let engine = Engine.create ?hint:engine_hint () in
   let prng = Prng.create seed in
   let net_prng = Prng.split prng in
   let net = Net.create ?config:net_config engine ~sites ~prng:net_prng in
-  let env = Intf.make_env ~config ~engine ~net ~prng () in
+  let env = Intf.make_env ~config ?store_hint ~engine ~net ~prng () in
   let system = Registry.make ~name:method_name env in
   { engine; net; env; system; seed }
 

@@ -12,12 +12,16 @@ val create :
   ?config:Intf.config ->
   ?net_config:Esr_sim.Net.config ->
   ?seed:int ->
+  ?store_hint:int ->
+  ?engine_hint:int ->
   sites:int ->
   method_name:string ->
   unit ->
   t
 (** Build a fresh simulated system.  [seed] (default 42) makes the whole
-    run deterministic.  [method_name] is resolved by {!Registry.make}. *)
+    run deterministic.  [method_name] is resolved by {!Registry.make}.
+    [store_hint] (expected keyspace size) and [engine_hint] (expected
+    event volume) pre-size the per-site stores and the event heap. *)
 
 val engine : t -> Esr_sim.Engine.t
 val net : t -> Esr_sim.Net.t

@@ -113,10 +113,14 @@ type env = {
   prng : Esr_util.Prng.t;
   sites : int;
   config : config;
+  store_hint : int;
+      (** expected keyspace size — methods pre-size their per-site store
+          hash tables with it so replicas never rehash mid-run *)
   next_et : unit -> Esr_core.Et.id;  (** shared ET id allocator *)
 }
 
-let make_env ?(config = default_config) ~engine ~net ~prng () =
+let make_env ?(config = default_config) ?(store_hint = 64) ~engine ~net ~prng
+    () =
   let counter = ref 0 in
   {
     engine;
@@ -124,6 +128,7 @@ let make_env ?(config = default_config) ~engine ~net ~prng () =
     prng;
     sites = Esr_sim.Net.sites net;
     config;
+    store_hint = Stdlib.max 1 store_hint;
     next_et =
       (fun () ->
         incr counter;

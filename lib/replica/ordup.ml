@@ -230,7 +230,7 @@ let create (env : Intf.env) =
            Array.init env.Intf.sites (fun id ->
                {
                  id;
-                 store = Store.create ();
+                 store = Store.create ~size:env.Intf.store_hint ();
                  hist = Hist.empty;
                  last_exec = 0;
                  seq_buffer = Hashtbl.create 32;

@@ -162,7 +162,7 @@ let create (env : Intf.env) =
            Array.init n (fun id ->
                {
                  id;
-                 store = Store.create ();
+                 store = Store.create ~size:env.Intf.store_hint ();
                  versions = Hashtbl.create 32;
                  hist = Hist.empty;
                });

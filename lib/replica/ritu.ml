@@ -129,7 +129,7 @@ let create (env : Intf.env) =
            Array.init env.Intf.sites (fun id ->
                {
                  id;
-                 store = Store.create ();
+                 store = Store.create ~size:env.Intf.store_hint ();
                  mv = Mvstore.create ();
                  hist = Hist.empty;
                  clock = Lamport.create ();

@@ -228,7 +228,7 @@ let create (env : Intf.env) =
            Array.init env.Intf.sites (fun id ->
                {
                  id;
-                 store = Store.create ();
+                 store = Store.create ~size:env.Intf.store_hint ();
                  hist = Hist.empty;
                  locks = Lock_mgr.create ~table:Lock_table.standard ();
                  prepared = Hashtbl.create 16;

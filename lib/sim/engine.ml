@@ -1,25 +1,19 @@
-type event = { id : int; body : unit -> unit }
+type state = Pending | Cancelled | Fired
+
+type event = { seq : int; body : unit -> unit; mutable state : state }
 
 type t = {
   heap : event Heap.t;
-  cancelled : (int, unit) Hashtbl.t;
   mutable clock : float;
   mutable next_seq : int;
   mutable live : int;
   mutable executed : int;
 }
 
-type event_id = int
+type event_id = event
 
-let create () =
-  {
-    heap = Heap.create ();
-    cancelled = Hashtbl.create 64;
-    clock = 0.0;
-    next_seq = 0;
-    live = 0;
-    executed = 0;
-  }
+let create ?(hint = 64) () =
+  { heap = Heap.create ~hint (); clock = 0.0; next_seq = 0; live = 0; executed = 0 }
 
 let now t = t.clock
 
@@ -30,48 +24,75 @@ let schedule_at t ~time body =
          t.clock);
   let seq = t.next_seq in
   t.next_seq <- seq + 1;
-  Heap.push t.heap ~time ~seq { id = seq; body };
+  let ev = { seq; body; state = Pending } in
+  Heap.push t.heap ~time ~seq ev;
   t.live <- t.live + 1;
-  seq
+  ev
 
 let schedule t ~delay body =
   if delay < 0.0 then invalid_arg "Engine.schedule: negative delay";
   schedule_at t ~time:(t.clock +. delay) body
 
-let cancel t id =
-  (* Lazy deletion: the entry stays in the heap and is skipped at pop. *)
-  if not (Hashtbl.mem t.cancelled id) then begin
-    Hashtbl.replace t.cancelled id ();
-    t.live <- t.live - 1
-  end
+let cancel t ev =
+  (* Lazy deletion: the entry stays in the heap and is skipped at pop.
+     Only a still-pending event counts against [live]; cancelling a fired
+     or already-cancelled event is a true no-op. *)
+  match ev.state with
+  | Pending ->
+      ev.state <- Cancelled;
+      t.live <- t.live - 1
+  | Cancelled | Fired -> ()
 
-let rec step t =
+(* Pop the next live event, discarding lazily-cancelled entries as they
+   surface.  Each heap entry is examined exactly once per pop: the state
+   flag lives on the event record, so there is no side-table lookup. *)
+let rec pop_live t =
   match Heap.pop t.heap with
+  | None -> None
+  | Some (time, _, ev) ->
+      if ev.state = Cancelled then pop_live t else Some (time, ev)
+
+let execute t time ev =
+  t.clock <- time;
+  t.live <- t.live - 1;
+  t.executed <- t.executed + 1;
+  ev.state <- Fired;
+  ev.body ()
+
+let step t =
+  match pop_live t with
   | None -> false
-  | Some (time, _, event) ->
-      if Hashtbl.mem t.cancelled event.id then begin
-        Hashtbl.remove t.cancelled event.id;
-        step t
-      end
-      else begin
-        t.clock <- time;
-        t.live <- t.live - 1;
-        t.executed <- t.executed + 1;
-        event.body ();
-        true
-      end
+  | Some (time, ev) ->
+      execute t time ev;
+      true
 
 let run ?until t =
   match until with
-  | None -> while step t do () done
+  | None ->
+      let rec drain () =
+        match pop_live t with
+        | None -> ()
+        | Some (time, ev) ->
+            execute t time ev;
+            drain ()
+      in
+      drain ()
   | Some limit ->
-      let continue = ref true in
-      while !continue do
-        match Heap.peek t.heap with
-        | None -> continue := false
-        | Some (time, _, _) ->
-            if time > limit then continue := false else ignore (step t)
-      done;
+      let rec drain () =
+        match pop_live t with
+        | None -> ()
+        | Some (time, ev) ->
+            if time > limit then
+              (* Not due yet: put it back untouched.  [schedule_at] used
+                 the event's seq as its heap sequence number, so re-pushing
+                 with the same pair preserves FIFO-among-ties exactly. *)
+              Heap.push t.heap ~time ~seq:ev.seq ev
+            else begin
+              execute t time ev;
+              drain ()
+            end
+      in
+      drain ();
       if t.clock < limit then t.clock <- limit
 
 let pending t = t.live

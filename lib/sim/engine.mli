@@ -14,7 +14,9 @@ type t
 type event_id
 (** Handle for cancellation. *)
 
-val create : unit -> t
+val create : ?hint:int -> unit -> t
+(** [hint] pre-sizes the event heap (default 64); workload drivers that
+    know their arrival volume pass it to skip the growth cascade. *)
 
 val now : t -> float
 (** Current virtual time. *)

@@ -1,8 +1,8 @@
 type 'a entry = { time : float; seq : int; payload : 'a }
 
-type 'a t = { mutable arr : 'a entry array; mutable len : int }
+type 'a t = { mutable arr : 'a entry array; mutable len : int; hint : int }
 
-let create () = { arr = [||]; len = 0 }
+let create ?(hint = 16) () = { arr = [||]; len = 0; hint = Stdlib.max 1 hint }
 let size t = t.len
 let is_empty t = t.len = 0
 
@@ -35,7 +35,7 @@ let rec sift_down t i =
 let push t ~time ~seq payload =
   let entry = { time; seq; payload } in
   if t.len = Array.length t.arr then begin
-    let capacity = Stdlib.max 16 (2 * t.len) in
+    let capacity = Stdlib.max t.hint (Stdlib.max 16 (2 * t.len)) in
     let bigger = Array.make capacity entry in
     Array.blit t.arr 0 bigger 0 t.len;
     t.arr <- bigger

@@ -6,7 +6,10 @@
 
 type 'a t
 
-val create : unit -> 'a t
+val create : ?hint:int -> unit -> 'a t
+(** [hint] pre-sizes the first backing-array allocation (default 16) so a
+    caller that knows its event volume avoids the doubling cascade. *)
+
 val size : 'a t -> int
 val is_empty : 'a t -> bool
 

@@ -8,7 +8,7 @@ type undo = { key : key; before : Value.t; before_ts : Gtime.t; applied : bool }
 
 type t = (key, cell) Hashtbl.t
 
-let create () = Hashtbl.create 64
+let create ?(size = 64) () = Hashtbl.create (Stdlib.max 1 size)
 
 let mem t key = Hashtbl.mem t key
 
@@ -62,13 +62,39 @@ let rollback t undo =
 let keys t =
   Hashtbl.fold (fun k _ acc -> k :: acc) t [] |> List.sort String.compare
 
-let snapshot t = List.map (fun k -> (k, get t k)) (keys t)
+let snapshot t =
+  (* Single traversal: collect (key, value) pairs directly instead of
+     listing keys and then re-looking each one up. *)
+  Hashtbl.fold (fun k c acc -> (k, c.value) :: acc) t []
+  |> List.sort (fun (ka, _) (kb, _) -> String.compare ka kb)
 
 let equal a b =
-  let all_keys =
-    List.sort_uniq String.compare (List.rev_append (keys a) (keys b))
+  (* One pass over each table, no intermediate sorted key lists: keys
+     missing on one side still compare as [Value.zero]. *)
+  let covers x y =
+    try
+      Hashtbl.iter
+        (fun k c ->
+          let other =
+            match Hashtbl.find_opt y k with
+            | Some cy -> cy.value
+            | None -> Value.zero
+          in
+          if not (Value.equal c.value other) then raise Exit)
+        x;
+      true
+    with Exit -> false
   in
-  List.for_all (fun k -> Value.equal (get a k) (get b k)) all_keys
+  covers a b
+  && (* keys only in b must read as zero in a *)
+  (try
+     Hashtbl.iter
+       (fun k c ->
+         if (not (Hashtbl.mem a k)) && not (Value.equal c.value Value.zero)
+         then raise Exit)
+       b;
+     true
+   with Exit -> false)
 
 let copy t =
   let fresh = create () in

@@ -18,7 +18,10 @@ type undo = {
 
 type t
 
-val create : unit -> t
+val create : ?size:int -> unit -> t
+(** [size] pre-sizes the hash table (default 64); workload drivers pass
+    the keyspace size so replicas never rehash mid-run. *)
+
 val mem : t -> key -> bool
 
 val get : t -> key -> Value.t

@@ -13,7 +13,7 @@ module Intf = Esr_replica.Intf
 
 type t = (string, Value.t) Hashtbl.t
 
-let create () = Hashtbl.create 64
+let create ?(size = 64) () = Hashtbl.create (Stdlib.max 1 size)
 
 let get t key = Option.value (Hashtbl.find_opt t key) ~default:Value.zero
 

@@ -54,17 +54,30 @@ let throughput r =
 
 let key_name rank = Printf.sprintf "k%03d" rank
 
-let gen_intents prng zipf (spec : Spec.t) =
-  let pick_key () = key_name (Dist.Zipf.sample zipf prng) in
+(* The generators sit on the per-op hot path, so the key-name strings are
+   pre-built once per run ([key_cache]) instead of sprintf'd per sample,
+   and distinct-key sampling uses a small scratch set instead of scanning
+   the accumulator list per attempt.  The PRNG call sequence is identical
+   to the naive version, so workloads are unchanged bit-for-bit. *)
+
+let make_key_cache n = Array.init n key_name
+
+let gen_intents prng zipf ~key_cache ~scratch (spec : Spec.t) =
+  let pick_key () = key_cache.(Dist.Zipf.sample zipf prng) in
   let distinct_keys n =
     (* Sampling may repeat under heavy skew; retry a few times, then
        accept the repeat (methods tolerate duplicate keys in one ET). *)
+    Hashtbl.reset scratch;
     let rec grow acc remaining attempts =
       if remaining = 0 then acc
       else
         let k = pick_key () in
-        if List.mem k acc && attempts < 8 then grow acc remaining (attempts + 1)
-        else grow (k :: acc) (remaining - 1) 0
+        if Hashtbl.mem scratch k && attempts < 8 then
+          grow acc remaining (attempts + 1)
+        else begin
+          Hashtbl.replace scratch k ();
+          grow (k :: acc) (remaining - 1) 0
+        end
     in
     grow [] n 0
   in
@@ -78,19 +91,31 @@ let gen_intents prng zipf (spec : Spec.t) =
         List.map (fun k -> Intf.Mul (k, 2)) keys
       else List.map (fun k -> Intf.Add (k, 1 + Prng.int prng 10)) keys
 
-let gen_query_keys prng zipf (spec : Spec.t) =
+let gen_query_keys prng zipf ~key_cache (spec : Spec.t) =
   List.init spec.Spec.keys_per_query (fun _ ->
-      key_name (Dist.Zipf.sample zipf prng))
+      key_cache.(Dist.Zipf.sample zipf prng))
   |> List.sort_uniq String.compare
 
 let run ?(seed = 42) ?config ?net_config ?partition ?flush_every ~sites
     ~method_name (spec : Spec.t) =
-  let harness = Harness.create ?config ?net_config ~seed ~sites ~method_name () in
+  let engine_hint =
+    (* Expected arrivals; each spawns a handful of network events. *)
+    let arrivals =
+      (spec.Spec.update_rate +. spec.Spec.query_rate) *. spec.Spec.duration
+    in
+    Stdlib.max 64 (4 * int_of_float arrivals)
+  in
+  let harness =
+    Harness.create ?config ?net_config ~seed ~store_hint:spec.Spec.n_keys
+      ~engine_hint ~sites ~method_name ()
+  in
   let engine = Harness.engine harness in
   let net = Harness.net harness in
   let prng = Prng.create (seed * 7919) in
   let zipf = Dist.Zipf.create ~n:spec.Spec.n_keys ~theta:spec.Spec.zipf_theta in
-  let oracle = Oracle.create () in
+  let key_cache = make_key_cache spec.Spec.n_keys in
+  let scratch = Hashtbl.create 16 in
+  let oracle = Oracle.create ~size:spec.Spec.n_keys () in
   (* mutable tallies *)
   let submitted_updates = ref 0 and committed = ref 0 and rejected = ref 0 in
   let submitted_queries = ref 0 and served = ref 0 in
@@ -146,7 +171,7 @@ let run ?(seed = 42) ?config ?net_config ?partition ?flush_every ~sites
       let submit_time = Engine.now engine in
       if in_window submit_time then incr w_us;
       let origin = Prng.int prng sites in
-      let intents = gen_intents prng zipf spec in
+      let intents = gen_intents prng zipf ~key_cache ~scratch spec in
       Harness.submit_update harness ~origin intents (function
         | Intf.Committed { committed_at } ->
             incr committed;
@@ -159,7 +184,7 @@ let run ?(seed = 42) ?config ?net_config ?partition ?flush_every ~sites
       let submit_time = Engine.now engine in
       if in_window submit_time then incr w_qs;
       let site = Prng.int prng sites in
-      let keys = gen_query_keys prng zipf spec in
+      let keys = gen_query_keys prng zipf ~key_cache spec in
       Harness.submit_query harness ~site ~keys ~epsilon:spec.Spec.epsilon
         (fun outcome ->
           incr served;

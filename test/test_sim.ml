@@ -5,6 +5,7 @@ module Engine = Esr_sim.Engine
 module Net = Esr_sim.Net
 module Prng = Esr_util.Prng
 module Dist = Esr_util.Dist
+module Pool = Esr_exec.Pool
 
 let checki = Alcotest.check Alcotest.int
 let checkb = Alcotest.check Alcotest.bool
@@ -59,6 +60,43 @@ let prop_heap_sorts =
         | Some (t, _, _) -> t >= prev && drain t
       in
       drain neg_infinity)
+
+(* Stress property: interleaved pushes and pops against a sorted-list
+   reference model must agree element for element — i.e. the heap drains
+   strictly in (time, seq) lexicographic order even mid-stream. *)
+let prop_heap_matches_model =
+  QCheck.Test.make ~name:"heap push/pop interleaving matches (time,seq) model"
+    ~count:300
+    QCheck.(list (pair (option (int_range 0 50)) unit))
+    (fun ops ->
+      let h = Heap.create () in
+      let model = ref [] (* sorted ascending by (time, seq) *) in
+      let seq = ref 0 in
+      let insert entry =
+        let rec go = function
+          | [] -> [ entry ]
+          | x :: rest -> if entry < x then entry :: x :: rest else x :: go rest
+        in
+        model := go !model
+      in
+      List.for_all
+        (fun (op, ()) ->
+          match op with
+          | Some time_int ->
+              let time = float_of_int time_int in
+              incr seq;
+              Heap.push h ~time ~seq:!seq !seq;
+              insert (time, !seq);
+              true
+          | None -> (
+              match (Heap.pop h, !model) with
+              | None, [] -> true
+              | Some (t, s, _), (mt, ms) :: rest ->
+                  model := rest;
+                  t = mt && s = ms
+              | Some _, [] | None, _ :: _ -> false))
+        ops
+      && Heap.size h = List.length !model)
 
 (* --- Engine --- *)
 
@@ -171,6 +209,108 @@ let prop_engine_matches_reference =
         |> List.map (fun (i, _, _, _) -> i)
       in
       List.rev !fired = expected)
+
+(* Lazy-cancellation property: cancellations issued *mid-run* from event
+   bodies leave tombstones in the heap that must be skipped at pop time.
+   Targets fire at odd times and cancellers at even times, so a `Before
+   canceller always runs first (and the target never fires) while an
+   `After canceller exercises the cancel-after-fire no-op path. *)
+let prop_engine_lazy_cancellation =
+  QCheck.Test.make ~name:"engine mid-run cancellation matches model" ~count:200
+    QCheck.(
+      list_of_size Gen.(int_range 1 40)
+        (pair (int_range 0 100) (option bool)))
+    (fun entries ->
+      let e = Engine.create () in
+      let fired = ref [] in
+      let targets =
+        List.mapi
+          (fun i (d, cancel) ->
+            let time = float_of_int ((2 * d) + 1) in
+            let id =
+              Engine.schedule_at e ~time (fun () -> fired := i :: !fired)
+            in
+            (i, time, id, cancel))
+          entries
+      in
+      List.iter
+        (fun (_, time, id, cancel) ->
+          match cancel with
+          | None -> ()
+          | Some before ->
+              let cancel_time = if before then time -. 1.0 else time +. 1.0 in
+              ignore
+                (Engine.schedule_at e ~time:cancel_time (fun () ->
+                     Engine.cancel e id)))
+        targets;
+      Engine.run e;
+      let expected =
+        targets
+        |> List.filter (fun (_, _, _, cancel) -> cancel <> Some true)
+        |> List.stable_sort (fun (_, t1, _, _) (_, t2, _, _) -> compare t1 t2)
+        |> List.map (fun (i, _, _, _) -> i)
+      in
+      List.rev !fired = expected && Engine.pending e = 0)
+
+(* --- Pool --- *)
+
+let test_pool_map_matches_list_map () =
+  let xs = List.init 500 (fun i -> i - 250) in
+  let f x = (x * x) - (3 * x) + 7 in
+  let expected = List.map f xs in
+  Alcotest.(check (list int)) "1 domain" expected (Pool.map ~domains:1 f xs);
+  Alcotest.(check (list int)) "4 domains" expected (Pool.map ~domains:4 f xs);
+  Alcotest.(check (list int)) "more domains than items" [ f 1; f 2 ]
+    (Pool.map ~domains:8 f [ 1; 2 ]);
+  Alcotest.(check (list int)) "empty" [] (Pool.map ~domains:4 f [])
+
+let test_pool_map_order_under_skew () =
+  (* Uneven job costs: later jobs finish before earlier ones on a real
+     pool, so order preservation is what's under test. *)
+  let xs = List.init 64 (fun i -> i) in
+  let f i =
+    let spin = if i mod 7 = 0 then 20_000 else 10 in
+    let acc = ref i in
+    for _ = 1 to spin do
+      acc := (!acc * 31) land 0xFFFF
+    done;
+    (i, !acc)
+  in
+  Alcotest.(check bool) "deterministic across domain counts" true
+    (Pool.map ~domains:1 f xs = Pool.map ~domains:4 f xs)
+
+exception Boom of int
+
+let test_pool_map_propagates_exception () =
+  let xs = List.init 20 (fun i -> i) in
+  let f x = if x = 13 then raise (Boom x) else x in
+  Alcotest.check_raises "raises job exception" (Boom 13) (fun () ->
+      ignore (Pool.map ~domains:4 f xs))
+
+let test_pool_reuse () =
+  Pool.with_pool ~domains:3 (fun p ->
+      Alcotest.(check int) "size" 3 (Pool.size p);
+      let a = Pool.run p (fun x -> x + 1) [ 1; 2; 3 ] in
+      let b = Pool.run p (fun x -> x * 2) [ 4; 5 ] in
+      Alcotest.(check (list int)) "first batch" [ 2; 3; 4 ] a;
+      Alcotest.(check (list int)) "second batch" [ 8; 10 ] b)
+
+(* The determinism-under-parallelism contract the bench harness relies
+   on: simulation jobs fanned out over domains give the same results as
+   running them one by one. *)
+let test_pool_scenario_determinism () =
+  let module Scenario = Esr_workload.Scenario in
+  let module Spec = Esr_workload.Spec in
+  let run_one sites =
+    let spec =
+      { Spec.default with Spec.duration = 300.0; n_keys = 8; update_rate = 0.03 }
+    in
+    let r = Scenario.run ~seed:11 ~sites ~method_name:"COMMU" spec in
+    (r.Scenario.committed, r.Scenario.served, r.Scenario.converged)
+  in
+  let sites = [ 2; 3; 4; 5 ] in
+  Alcotest.(check bool) "parallel matches sequential" true
+    (Pool.map ~domains:4 run_one sites = List.map run_one sites)
 
 (* --- Net --- *)
 
@@ -292,6 +432,7 @@ let () =
           Alcotest.test_case "FIFO ties" `Quick test_heap_fifo_ties;
           Alcotest.test_case "peek" `Quick test_heap_peek;
           QCheck_alcotest.to_alcotest prop_heap_sorts;
+          QCheck_alcotest.to_alcotest prop_heap_matches_model;
         ] );
       ( "engine",
         [
@@ -304,6 +445,19 @@ let () =
           Alcotest.test_case "schedule_at past" `Quick test_engine_schedule_at_past;
           Alcotest.test_case "pending count" `Quick test_engine_pending;
           QCheck_alcotest.to_alcotest prop_engine_matches_reference;
+          QCheck_alcotest.to_alcotest prop_engine_lazy_cancellation;
+        ] );
+      ( "pool",
+        [
+          Alcotest.test_case "map matches List.map" `Quick
+            test_pool_map_matches_list_map;
+          Alcotest.test_case "order under skewed job costs" `Quick
+            test_pool_map_order_under_skew;
+          Alcotest.test_case "exception propagation" `Quick
+            test_pool_map_propagates_exception;
+          Alcotest.test_case "pool reuse across batches" `Quick test_pool_reuse;
+          Alcotest.test_case "scenario jobs deterministic" `Quick
+            test_pool_scenario_determinism;
         ] );
       ( "net",
         [
