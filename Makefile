@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-all clean
+.PHONY: all build test bench bench-all trace clean
 
 all: build
 
@@ -17,6 +17,12 @@ bench:
 # Every table, experiment, and microbench, sequentially printed.
 bench-all:
 	dune exec bench/main.exe
+
+# Capture a 3-site ORDUP run as a Chrome trace_event file and load it at
+# https://ui.perfetto.dev — one track per site plus a system track.
+# Same smoke as `dune build @trace` (which keeps its output in _build).
+trace:
+	dune exec bin/esrsim.exe -- trace -m ORDUP -s 3 -o trace.json --format chrome
 
 clean:
 	dune clean

@@ -9,6 +9,9 @@
 open Cmdliner
 module Stats = Esr_util.Stats
 module Tablefmt = Esr_util.Tablefmt
+module Obs = Esr_obs.Obs
+module Trace = Esr_obs.Trace
+module Metrics = Esr_obs.Metrics
 module Net = Esr_sim.Net
 module Dist = Esr_util.Dist
 module Epsilon = Esr_core.Epsilon
@@ -154,49 +157,104 @@ let parse_profile ~meth s =
         | Some _ | None -> Error (`Msg "mixed:FRAC needs FRAC in [0,1]")
       else Error (`Msg (Printf.sprintf "unknown profile %S" s))
 
+(* Translate the shared CLI knobs into a scenario; both [run] and [trace]
+   use it, so a traced replay sees exactly the run it replays. *)
+let prepare_scenario ~meth ~duration ~update_rate ~query_rate ~keys ~theta
+    ~epsilon ~profile ~loss ~latency ~ordering ~ritu_mode ~abort_p =
+  match parse_profile ~meth profile with
+  | Error _ as e -> e
+  | Ok profile ->
+      let spec =
+        {
+          Spec.duration;
+          update_rate;
+          query_rate;
+          n_keys = keys;
+          zipf_theta = theta;
+          ops_per_update =
+            (if String.uppercase_ascii meth = "QUORUM" then 1 else 2);
+          keys_per_query = 2;
+          epsilon = Epsilon.spec_of_int epsilon;
+          profile;
+        }
+      in
+      let net_config =
+        {
+          Net.latency = Dist.Exponential latency;
+          drop_probability = loss;
+          duplicate_probability = 0.0;
+        }
+      in
+      let config =
+        {
+          Intf.default_config with
+          Intf.ordup_ordering =
+            (if String.lowercase_ascii ordering = "lamport" then `Lamport
+             else `Sequencer);
+          ritu_mode =
+            (if String.lowercase_ascii ritu_mode = "multi" then `Multi
+             else `Single);
+          compe_abort_probability = abort_p;
+        }
+      in
+      Ok (spec, net_config, config)
+
+let write_trace ~file ~format ~sites (trace : Trace.t) =
+  let oc = open_out file in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      match format with
+      | `Jsonl -> Trace.write_jsonl oc trace
+      | `Chrome -> Trace.write_chrome oc ~sites trace);
+  if Trace.dropped trace > 0 then
+    Printf.eprintf
+      "warning: trace ring buffer overflowed; %d oldest events dropped\n"
+      (Trace.dropped trace)
+
+let trace_format_conv =
+  Arg.enum [ ("jsonl", `Jsonl); ("chrome", `Chrome) ]
+
+let trace_file_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:"Record a structured event trace of the run into $(docv).")
+
+let trace_format_arg =
+  Arg.(
+    value
+    & opt trace_format_conv `Jsonl
+    & info [ "trace-format" ] ~docv:"FMT"
+        ~doc:"Trace file format: jsonl (one event per line) or chrome \
+              (Chrome trace_event JSON, loadable in Perfetto).")
+
+let metrics_arg =
+  Arg.(
+    value & flag
+    & info [ "metrics" ]
+        ~doc:"Print the full metrics registry (engine, net, squeue, \
+              harness and method groups) after the summary table.")
+
 let run_cmd =
   let doc = "Run one workload against one method and print the metrics." in
   let run meth sites duration update_rate query_rate keys theta epsilon profile
-      seed loss latency ordering ritu_mode abort_p =
-    match parse_profile ~meth profile with
+      seed loss latency ordering ritu_mode abort_p trace_file trace_format
+      show_metrics =
+    match
+      prepare_scenario ~meth ~duration ~update_rate ~query_rate ~keys ~theta
+        ~epsilon ~profile ~loss ~latency ~ordering ~ritu_mode ~abort_p
+    with
     | Error (`Msg m) ->
         prerr_endline m;
         exit 1
-    | Ok profile ->
-        let spec =
-          {
-            Spec.duration;
-            update_rate;
-            query_rate;
-            n_keys = keys;
-            zipf_theta = theta;
-            ops_per_update =
-              (if String.uppercase_ascii meth = "QUORUM" then 1 else 2);
-            keys_per_query = 2;
-            epsilon = Epsilon.spec_of_int epsilon;
-            profile;
-          }
+    | Ok (spec, net_config, config) ->
+        let obs = Obs.create ~tracing:(trace_file <> None) () in
+        let r =
+          Scenario.run ~seed ~config ~net_config ~obs ~sites ~method_name:meth
+            spec
         in
-        let net_config =
-          {
-            Net.latency = Dist.Exponential latency;
-            drop_probability = loss;
-            duplicate_probability = 0.0;
-          }
-        in
-        let config =
-          {
-            Intf.default_config with
-            Intf.ordup_ordering =
-              (if String.lowercase_ascii ordering = "lamport" then `Lamport
-               else `Sequencer);
-            ritu_mode =
-              (if String.lowercase_ascii ritu_mode = "multi" then `Multi
-               else `Single);
-            compe_abort_probability = abort_p;
-          }
-        in
-        let r = Scenario.run ~seed ~config ~net_config ~sites ~method_name:meth spec in
         let t =
           Tablefmt.create
             ~title:(Printf.sprintf "%s on %d sites (seed %d)" meth sites seed)
@@ -229,6 +287,18 @@ let run_cmd =
              (Tablefmt.cell_bool r.Scenario.converged));
         List.iter (fun (k, v) -> add ("method: " ^ k) (Tablefmt.cell_float v)) r.Scenario.method_stats;
         Tablefmt.print t;
+        (match trace_file with
+        | Some file ->
+            write_trace ~file ~format:trace_format ~sites obs.Obs.trace;
+            Printf.printf "trace: %d events -> %s\n"
+              (Trace.length obs.Obs.trace) file
+        | None -> ());
+        if show_metrics then begin
+          print_endline "metrics:";
+          List.iter
+            (fun e -> Format.printf "  %a@." Metrics.pp_entry e)
+            (Metrics.snapshot obs.Obs.metrics)
+        end;
         if not r.Scenario.converged then exit 2
   in
   Cmd.v (Cmd.info "run" ~doc)
@@ -236,7 +306,82 @@ let run_cmd =
       const run $ method_arg $ sites_arg $ duration_arg $ update_rate_arg
       $ query_rate_arg $ keys_arg $ theta_arg $ epsilon_arg $ profile_arg
       $ seed_arg $ loss_arg $ latency_arg $ ordering_arg $ ritu_mode_arg
-      $ abort_arg)
+      $ abort_arg $ trace_file_arg $ trace_format_arg $ metrics_arg)
+
+(* --- trace --- *)
+
+let trace_cmd =
+  let doc =
+    "Replay a workload with tracing enabled and dump the event timeline \
+     (human-readable to stdout, or jsonl/chrome with --output)."
+  in
+  let output_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"Write the trace to $(docv) instead of pretty-printing.")
+  in
+  let format_arg =
+    Arg.(
+      value
+      & opt trace_format_conv `Chrome
+      & info [ "format" ] ~docv:"FMT"
+          ~doc:"Output file format: chrome (default; open in Perfetto) or \
+                jsonl.")
+  in
+  let limit_arg =
+    Arg.(
+      value & opt int 40
+      & info [ "limit" ] ~docv:"N"
+          ~doc:"Pretty-print at most $(docv) events (0 = all).")
+  in
+  let run meth sites duration update_rate query_rate keys theta epsilon profile
+      seed loss latency ordering ritu_mode abort_p output format limit =
+    match
+      prepare_scenario ~meth ~duration ~update_rate ~query_rate ~keys ~theta
+        ~epsilon ~profile ~loss ~latency ~ordering ~ritu_mode ~abort_p
+    with
+    | Error (`Msg m) ->
+        prerr_endline m;
+        exit 1
+    | Ok (spec, net_config, config) ->
+        let obs = Obs.create ~tracing:true () in
+        let r =
+          Scenario.run ~seed ~config ~net_config ~obs ~sites ~method_name:meth
+            spec
+        in
+        let trace = obs.Obs.trace in
+        (match output with
+        | Some file ->
+            write_trace ~file ~format ~sites trace;
+            Printf.printf "%s: %d events of %s on %d sites (seed %d)\n" file
+              (Trace.length trace) meth sites seed
+        | None ->
+            Printf.printf "trace of %s on %d sites (seed %d): %d events%s\n"
+              meth sites seed (Trace.length trace)
+              (if Trace.dropped trace > 0 then
+                 Printf.sprintf " (+%d dropped)" (Trace.dropped trace)
+               else "");
+            let total = Trace.length trace in
+            let shown = if limit <= 0 then total else Stdlib.min limit total in
+            let i = ref 0 in
+            Trace.iter trace (fun record ->
+                if !i < shown then
+                  Printf.printf "%12.3f  %s\n" record.Trace.time
+                    (Trace.record_to_json record);
+                incr i);
+            if shown < total then
+              Printf.printf "... %d more events (use --limit 0 or -o FILE)\n"
+                (total - shown));
+        ignore r
+  in
+  Cmd.v (Cmd.info "trace" ~doc)
+    Term.(
+      const run $ method_arg $ sites_arg $ duration_arg $ update_rate_arg
+      $ query_rate_arg $ keys_arg $ theta_arg $ epsilon_arg $ profile_arg
+      $ seed_arg $ loss_arg $ latency_arg $ ordering_arg $ ritu_mode_arg
+      $ abort_arg $ output_arg $ format_arg $ limit_arg)
 
 (* --- check --- *)
 
@@ -296,6 +441,14 @@ let main_cmd =
   let doc = "epsilon-serializability replica control simulator (Pu & Leff 1991)" in
   let info = Cmd.info "esrsim" ~version:"1.0.0" ~doc in
   Cmd.group info
-    [ methods_cmd; run_cmd; check_cmd; overlap_cmd; tables_cmd; experiment_cmd ]
+    [
+      methods_cmd;
+      run_cmd;
+      trace_cmd;
+      check_cmd;
+      overlap_cmd;
+      tables_cmd;
+      experiment_cmd;
+    ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -1,39 +1,46 @@
 (* Timed experiment sweep: runs every experiment once sequentially
-   (1 domain) and once on the parallel pool, records wall-clock seconds
-   for each, verifies the two outputs are byte-identical, and writes the
-   trajectory file BENCH_experiments.json that later PRs diff against.
+   (1 domain), once on the parallel pool, and once on the pool with
+   tracing enabled, records wall-clock seconds for each, verifies all
+   three outputs are byte-identical (tracing must not perturb results),
+   and writes the trajectory file BENCH_experiments.json that later PRs
+   diff against.
 
-   Output schema (BENCH_experiments.json, version 1):
+   Output schema (BENCH_experiments.json, version 2):
 
      {
-       "schema": "esr-bench-experiments/1",
+       "schema": "esr-bench-experiments/2",
        "domains": { "sequential": 1, "parallel": <N> },
        "experiments": [
          { "name": "e1_scalability",
            "sequential_s": <wall-clock, seconds>,
            "parallel_s": <wall-clock, seconds>,
+           "traced_s": <wall-clock with tracing on, seconds>,
            "speedup": <sequential_s / parallel_s>,
+           "trace_overhead": <traced_s / parallel_s>,
            "identical_output": true },
          ...
        ],
-       "total": { "sequential_s": ..., "parallel_s": ..., "speedup": ... }
+       "total": { "sequential_s": ..., "parallel_s": ..., "traced_s": ...,
+                  "speedup": ..., "trace_overhead": ... }
      }
 *)
 
 module Tablefmt = Esr_util.Tablefmt
 module Pool = Esr_exec.Pool
+module Obs = Esr_obs.Obs
 
 type sample = {
   name : string;
   sequential_s : float;
   parallel_s : float;
+  traced_s : float;
   identical : bool;
 }
 
 (* Run [f] with stdout redirected to a temp file; return (wall-clock
    seconds, captured bytes).  Capturing serves double duty: timed runs
-   don't spam the terminal, and the seq/par captures are compared to
-   prove the pool preserves determinism. *)
+   don't spam the terminal, and the captures are compared to prove the
+   pool — and the tracing instrumentation — preserve determinism. *)
 let timed_captured f =
   let path = Filename.temp_file "esr_bench" ".out" in
   let saved = Unix.dup Unix.stdout in
@@ -71,36 +78,41 @@ let write_json ~path ~par_domains samples =
   let oc = open_out path in
   let p fmt = Printf.fprintf oc fmt in
   p "{\n";
-  p "  \"schema\": \"esr-bench-experiments/1\",\n";
+  p "  \"schema\": \"esr-bench-experiments/2\",\n";
   p "  \"domains\": { \"sequential\": 1, \"parallel\": %d },\n" par_domains;
   p "  \"experiments\": [\n";
   List.iteri
     (fun i s ->
       p
         "    { \"name\": %S, \"sequential_s\": %s, \"parallel_s\": %s, \
-         \"speedup\": %s, \"identical_output\": %b }%s\n"
-        s.name (fnum s.sequential_s) (fnum s.parallel_s)
+         \"traced_s\": %s, \"speedup\": %s, \"trace_overhead\": %s, \
+         \"identical_output\": %b }%s\n"
+        s.name (fnum s.sequential_s) (fnum s.parallel_s) (fnum s.traced_s)
         (fnum (speedup ~seq:s.sequential_s ~par:s.parallel_s))
+        (fnum (speedup ~seq:s.traced_s ~par:s.parallel_s))
         s.identical
         (if i = List.length samples - 1 then "" else ","))
     samples;
   p "  ],\n";
   let tot_seq = List.fold_left (fun a s -> a +. s.sequential_s) 0.0 samples in
   let tot_par = List.fold_left (fun a s -> a +. s.parallel_s) 0.0 samples in
+  let tot_tr = List.fold_left (fun a s -> a +. s.traced_s) 0.0 samples in
   p
-    "  \"total\": { \"sequential_s\": %s, \"parallel_s\": %s, \"speedup\": \
-     %s }\n"
-    (fnum tot_seq) (fnum tot_par)
-    (fnum (speedup ~seq:tot_seq ~par:tot_par));
+    "  \"total\": { \"sequential_s\": %s, \"parallel_s\": %s, \"traced_s\": \
+     %s, \"speedup\": %s, \"trace_overhead\": %s }\n"
+    (fnum tot_seq) (fnum tot_par) (fnum tot_tr)
+    (fnum (speedup ~seq:tot_seq ~par:tot_par))
+    (fnum (speedup ~seq:tot_tr ~par:tot_par));
   p "}\n";
   close_out oc
 
 let default_path () =
   Option.value (Sys.getenv_opt "ESR_BENCH_OUT") ~default:"BENCH_experiments.json"
 
-(** Time every experiment sequentially and on the pool, print the summary
-    table, and write [BENCH_experiments.json] (path overridable with the
-    ESR_BENCH_OUT environment variable). *)
+(** Time every experiment sequentially, on the pool, and on the pool with
+    tracing enabled; print the summary table, and write
+    [BENCH_experiments.json] (path overridable with the ESR_BENCH_OUT
+    environment variable). *)
 let run_timed ?path () =
   let path = match path with Some p -> p | None -> default_path () in
   let par_domains = Pool.default_domains () in
@@ -111,8 +123,20 @@ let run_timed ?path () =
         let sequential_s, out_seq = timed_captured f in
         Pool.set_default_domains par_domains;
         let parallel_s, out_par = timed_captured f in
-        let identical = String.equal out_seq out_par in
-        { name; sequential_s; parallel_s; identical })
+        (* Third run: same parallel pool, with every harness recording a
+           full event trace.  The printed tables must not change — the
+           capture is byte-compared below — so the delta is the pure cost
+           of the instrumentation. *)
+        Obs.set_default_tracing true;
+        let traced_s, out_traced =
+          Fun.protect
+            ~finally:(fun () -> Obs.set_default_tracing false)
+            (fun () -> timed_captured f)
+        in
+        let identical =
+          String.equal out_seq out_par && String.equal out_par out_traced
+        in
+        { name; sequential_s; parallel_s; traced_s; identical })
       Experiments.all
   in
   Pool.set_default_domains par_domains;
@@ -120,11 +144,19 @@ let run_timed ?path () =
     Tablefmt.create
       ~title:
         (Printf.sprintf
-           "Timed experiment sweep: wall-clock, 1 domain vs %d domains \
-            (output byte-compared between the two runs)"
-           par_domains)
+           "Timed experiment sweep: wall-clock, 1 domain vs %d domains vs \
+            %d domains traced (output byte-compared between all runs)"
+           par_domains par_domains)
       ~headers:
-        [ "Experiment"; "Sequential (s)"; "Parallel (s)"; "Speedup"; "Identical output" ]
+        [
+          "Experiment";
+          "Sequential (s)";
+          "Parallel (s)";
+          "Traced (s)";
+          "Speedup";
+          "Trace cost";
+          "Identical output";
+        ]
   in
   List.iter
     (fun s ->
@@ -133,25 +165,30 @@ let run_timed ?path () =
           s.name;
           Printf.sprintf "%.3f" s.sequential_s;
           Printf.sprintf "%.3f" s.parallel_s;
+          Printf.sprintf "%.3f" s.traced_s;
           Printf.sprintf "%.2fx" (speedup ~seq:s.sequential_s ~par:s.parallel_s);
+          Printf.sprintf "%.2fx" (speedup ~seq:s.traced_s ~par:s.parallel_s);
           Tablefmt.cell_bool s.identical;
         ])
     samples;
   Tablefmt.add_separator t;
   let tot_seq = List.fold_left (fun a s -> a +. s.sequential_s) 0.0 samples in
   let tot_par = List.fold_left (fun a s -> a +. s.parallel_s) 0.0 samples in
+  let tot_tr = List.fold_left (fun a s -> a +. s.traced_s) 0.0 samples in
   Tablefmt.add_row t
     [
       "total";
       Printf.sprintf "%.3f" tot_seq;
       Printf.sprintf "%.3f" tot_par;
+      Printf.sprintf "%.3f" tot_tr;
       Printf.sprintf "%.2fx" (speedup ~seq:tot_seq ~par:tot_par);
+      Printf.sprintf "%.2fx" (speedup ~seq:tot_tr ~par:tot_par);
       Tablefmt.cell_bool (List.for_all (fun s -> s.identical) samples);
     ];
   Tablefmt.print t;
   write_json ~path ~par_domains samples;
   Printf.printf "wrote %s\n" path;
   if not (List.for_all (fun s -> s.identical) samples) then begin
-    prerr_endline "timed sweep: parallel output diverged from sequential";
+    prerr_endline "timed sweep: parallel/traced output diverged from sequential";
     exit 3
   end

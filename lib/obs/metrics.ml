@@ -1,0 +1,117 @@
+type counter = { mutable c : float }
+
+type histogram = {
+  limits : float array;
+  counts : int array;  (* length = Array.length limits + 1 (overflow) *)
+  mutable sum : float;
+  mutable count : int;
+}
+
+type source =
+  | Counter_s of counter
+  | Gauge_s of (unit -> float)
+  | Histogram_s of histogram
+
+type reg = { r_group : string; r_name : string; r_site : int option; src : source }
+
+(* Registrations in reverse order; snapshot reverses back.  Registration
+   happens a handful of times per run, so a list is plenty. *)
+type t = { mutable regs : reg list }
+
+let create () = { regs = [] }
+
+let register t ~group ~site name src =
+  t.regs <- { r_group = group; r_name = name; r_site = site; src } :: t.regs
+
+let counter t ~group ?site name =
+  let c = { c = 0.0 } in
+  register t ~group ~site name (Counter_s c);
+  c
+
+let incr c = c.c <- c.c +. 1.0
+let add c v = c.c <- c.c +. v
+let value c = c.c
+
+let gauge_fn t ~group ?site name f = register t ~group ~site name (Gauge_s f)
+
+let histogram t ~group ?site ~buckets name =
+  let limits = Array.of_list buckets in
+  Array.iteri
+    (fun i limit ->
+      if i > 0 && limit <= limits.(i - 1) then
+        invalid_arg "Metrics.histogram: buckets must be strictly increasing")
+    limits;
+  let h =
+    { limits; counts = Array.make (Array.length limits + 1) 0; sum = 0.0; count = 0 }
+  in
+  register t ~group ~site name (Histogram_s h);
+  h
+
+let observe h v =
+  let n = Array.length h.limits in
+  let rec slot i = if i >= n then n else if v <= h.limits.(i) then i else slot (i + 1) in
+  let i = slot 0 in
+  h.counts.(i) <- h.counts.(i) + 1;
+  h.sum <- h.sum +. v;
+  h.count <- h.count + 1
+
+type view =
+  | Counter_v of float
+  | Gauge_v of float
+  | Histogram_v of { limits : float array; counts : int array; sum : float; count : int }
+
+type entry = { group : string; name : string; site : int option; view : view }
+
+let snapshot t =
+  List.rev_map
+    (fun r ->
+      let view =
+        match r.src with
+        | Counter_s c -> Counter_v c.c
+        | Gauge_s f -> Gauge_v (f ())
+        | Histogram_s h ->
+            Histogram_v
+              {
+                limits = Array.copy h.limits;
+                counts = Array.copy h.counts;
+                sum = h.sum;
+                count = h.count;
+              }
+      in
+      { group = r.r_group; name = r.r_name; site = r.r_site; view })
+    t.regs
+
+let qualified e =
+  match e.site with None -> e.name | Some s -> Printf.sprintf "%s.s%d" e.name s
+
+let alist ?group t =
+  let entries = snapshot t in
+  let entries =
+    match group with
+    | None -> entries
+    | Some g -> List.filter (fun e -> String.equal e.group g) entries
+  in
+  List.concat_map
+    (fun e ->
+      match e.view with
+      | Counter_v v | Gauge_v v -> [ (qualified e, v) ]
+      | Histogram_v { sum; count; _ } ->
+          let mean = if count = 0 then 0.0 else sum /. float_of_int count in
+          [
+            (qualified e ^ ".count", float_of_int count);
+            (qualified e ^ ".mean", mean);
+          ])
+    entries
+
+let pp_entry ppf e =
+  let site = match e.site with None -> "" | Some s -> Printf.sprintf "[s%d]" s in
+  match e.view with
+  | Counter_v v -> Format.fprintf ppf "%s/%s%s = %g" e.group e.name site v
+  | Gauge_v v -> Format.fprintf ppf "%s/%s%s = %g (gauge)" e.group e.name site v
+  | Histogram_v { limits; counts; sum; count } ->
+      let mean = if count = 0 then 0.0 else sum /. float_of_int count in
+      Format.fprintf ppf "%s/%s%s: n=%d mean=%.2f [" e.group e.name site count mean;
+      Array.iteri
+        (fun i limit -> Format.fprintf ppf "%s<=%g:%d" (if i = 0 then "" else " ") limit counts.(i))
+        limits;
+      Format.fprintf ppf " inf:%d]" counts.(Array.length limits)

@@ -1,0 +1,23 @@
+(** Per-run observability bundle: one trace sink + one metrics registry.
+
+    Every {!Esr_replica.Harness} owns exactly one [t]; the instrumented
+    layers (engine counters, network, stable queues, replica methods)
+    reach it through [Intf.env].  Metrics are always on — an increment
+    costs what the ad-hoc mutable counters it replaced cost.  Tracing
+    defaults to off and is zero-cost then (see {!Trace}).
+
+    [set_default_tracing] flips the default for harnesses that do not get
+    an explicit [t] — the timed bench sweep uses it to measure the
+    tracing-on overhead of whole experiments without threading a sink
+    through every call site.  It is an [Atomic] because the bench pool
+    runs experiment jobs on worker domains. *)
+
+type t = { trace : Trace.t; metrics : Metrics.t }
+
+let create ?(tracing = false) ?trace_capacity () =
+  { trace = Trace.make ?capacity:trace_capacity ~enabled:tracing (); metrics = Metrics.create () }
+
+let default_tracing = Atomic.make false
+let set_default_tracing b = Atomic.set default_tracing b
+
+let default () = create ~tracing:(Atomic.get default_tracing) ()

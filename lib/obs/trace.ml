@@ -1,0 +1,584 @@
+type drop_reason = Loss | Partition | Crashed_src | Crashed_dst
+
+type event =
+  | Msg_sent of { src : int; dst : int; cls : string }
+  | Msg_dropped of { src : int; dst : int; cls : string; reason : drop_reason }
+  | Msg_duplicated of { src : int; dst : int; cls : string }
+  | Msg_delivered of { src : int; dst : int; cls : string }
+  | Partition_event of { groups : int list list }
+  | Heal
+  | Crash of { site : int }
+  | Recover of { site : int }
+  | Update_begin of { u : int; origin : int; n_ops : int }
+  | Update_committed of { u : int; origin : int; latency : float }
+  | Update_rejected of { u : int; origin : int; reason : string }
+  | Query_begin of { q : int; site : int; n_keys : int; epsilon : int option }
+  | Query_served of {
+      q : int;
+      site : int;
+      charged : int;
+      epsilon : int option;
+      consistent_path : bool;
+      latency : float;
+    }
+  | Mset_enqueued of { et : int; origin : int; n_ops : int }
+  | Mset_applied of { et : int; site : int; n_ops : int }
+  | Compensation_fired of { et : int; site : int; kind : [ `Fast | `Full | `Revoke ] }
+  | Flush_round of { round : int }
+  | Converged of { ok : bool }
+
+type record = { time : float; ev : event }
+
+(* Ring buffer sink.  [buf] is allocated on the first emit of an enabled
+   sink, so a disabled sink (the default everywhere) costs one record. *)
+type t = {
+  enabled : bool;
+  capacity : int;
+  mutable buf : record array;
+  mutable len : int;  (* valid records, <= capacity *)
+  mutable head : int;  (* index of the oldest record *)
+  mutable n_dropped : int;
+}
+
+let dummy = { time = 0.0; ev = Heal }
+
+let make ?(capacity = 262_144) ~enabled () =
+  if capacity <= 0 then invalid_arg "Trace.make: capacity must be positive";
+  { enabled; capacity; buf = [||]; len = 0; head = 0; n_dropped = 0 }
+
+let[@inline] on t = t.enabled
+
+let emit t ~time ev =
+  if t.enabled then begin
+    if Array.length t.buf = 0 then t.buf <- Array.make t.capacity dummy;
+    if t.len < t.capacity then begin
+      t.buf.((t.head + t.len) mod t.capacity) <- { time; ev };
+      t.len <- t.len + 1
+    end
+    else begin
+      (* Full: overwrite the oldest. *)
+      t.buf.(t.head) <- { time; ev };
+      t.head <- (t.head + 1) mod t.capacity;
+      t.n_dropped <- t.n_dropped + 1
+    end
+  end
+
+let length t = t.len
+let dropped t = t.n_dropped
+
+let iter t f =
+  for i = 0 to t.len - 1 do
+    f t.buf.((t.head + i) mod t.capacity)
+  done
+
+let to_list t =
+  let acc = ref [] in
+  iter t (fun r -> acc := r :: !acc);
+  List.rev !acc
+
+(* --- JSON writing --- *)
+
+let buf_add_escaped b s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s
+
+(* Shortest decimal representation that round-trips exactly; JSON numbers
+   must not be "inf"/"nan", but virtual times and latencies are finite by
+   construction (guarded anyway). *)
+let float_repr v =
+  if not (Float.is_finite v) then "0"
+  else
+    let s = Printf.sprintf "%.12g" v in
+    if float_of_string s = v then s else Printf.sprintf "%.17g" v
+
+let reason_to_string = function
+  | Loss -> "loss"
+  | Partition -> "partition"
+  | Crashed_src -> "crashed_src"
+  | Crashed_dst -> "crashed_dst"
+
+let reason_of_string = function
+  | "loss" -> Some Loss
+  | "partition" -> Some Partition
+  | "crashed_src" -> Some Crashed_src
+  | "crashed_dst" -> Some Crashed_dst
+  | _ -> None
+
+let kind_to_string = function `Fast -> "fast" | `Full -> "full" | `Revoke -> "revoke"
+
+let kind_of_string = function
+  | "fast" -> Some `Fast
+  | "full" -> Some `Full
+  | "revoke" -> Some `Revoke
+  | _ -> None
+
+let type_name = function
+  | Msg_sent _ -> "msg_sent"
+  | Msg_dropped _ -> "msg_dropped"
+  | Msg_duplicated _ -> "msg_duplicated"
+  | Msg_delivered _ -> "msg_delivered"
+  | Partition_event _ -> "partition"
+  | Heal -> "heal"
+  | Crash _ -> "crash"
+  | Recover _ -> "recover"
+  | Update_begin _ -> "update_begin"
+  | Update_committed _ -> "update_committed"
+  | Update_rejected _ -> "update_rejected"
+  | Query_begin _ -> "query_begin"
+  | Query_served _ -> "query_served"
+  | Mset_enqueued _ -> "mset_enqueued"
+  | Mset_applied _ -> "mset_applied"
+  | Compensation_fired _ -> "compensation_fired"
+  | Flush_round _ -> "flush_round"
+  | Converged _ -> "converged"
+
+let record_to_json r =
+  let b = Buffer.create 96 in
+  let field_sep () = Buffer.add_char b ',' in
+  let str name v =
+    field_sep ();
+    Buffer.add_char b '"';
+    Buffer.add_string b name;
+    Buffer.add_string b "\":\"";
+    buf_add_escaped b v;
+    Buffer.add_char b '"'
+  in
+  let int name v =
+    field_sep ();
+    Buffer.add_char b '"';
+    Buffer.add_string b name;
+    Buffer.add_string b "\":";
+    Buffer.add_string b (string_of_int v)
+  in
+  let num name v =
+    field_sep ();
+    Buffer.add_char b '"';
+    Buffer.add_string b name;
+    Buffer.add_string b "\":";
+    Buffer.add_string b (float_repr v)
+  in
+  let boolean name v =
+    field_sep ();
+    Buffer.add_char b '"';
+    Buffer.add_string b name;
+    Buffer.add_string b "\":";
+    Buffer.add_string b (if v then "true" else "false")
+  in
+  let int_opt name = function
+    | Some v -> int name v
+    | None ->
+        field_sep ();
+        Buffer.add_char b '"';
+        Buffer.add_string b name;
+        Buffer.add_string b "\":null"
+  in
+  Buffer.add_string b "{\"ts\":";
+  Buffer.add_string b (float_repr r.time);
+  str "type" (type_name r.ev);
+  (match r.ev with
+  | Msg_sent { src; dst; cls } | Msg_duplicated { src; dst; cls } | Msg_delivered { src; dst; cls } ->
+      int "src" src;
+      int "dst" dst;
+      str "cls" cls
+  | Msg_dropped { src; dst; cls; reason } ->
+      int "src" src;
+      int "dst" dst;
+      str "cls" cls;
+      str "reason" (reason_to_string reason)
+  | Partition_event { groups } ->
+      field_sep ();
+      Buffer.add_string b "\"groups\":[";
+      List.iteri
+        (fun i group ->
+          if i > 0 then Buffer.add_char b ',';
+          Buffer.add_char b '[';
+          List.iteri
+            (fun j s ->
+              if j > 0 then Buffer.add_char b ',';
+              Buffer.add_string b (string_of_int s))
+            group;
+          Buffer.add_char b ']')
+        groups;
+      Buffer.add_char b ']'
+  | Heal -> ()
+  | Crash { site } | Recover { site } -> int "site" site
+  | Update_begin { u; origin; n_ops } ->
+      int "u" u;
+      int "origin" origin;
+      int "n_ops" n_ops
+  | Update_committed { u; origin; latency } ->
+      int "u" u;
+      int "origin" origin;
+      num "latency" latency
+  | Update_rejected { u; origin; reason } ->
+      int "u" u;
+      int "origin" origin;
+      str "reason" reason
+  | Query_begin { q; site; n_keys; epsilon } ->
+      int "q" q;
+      int "site" site;
+      int "n_keys" n_keys;
+      int_opt "epsilon" epsilon
+  | Query_served { q; site; charged; epsilon; consistent_path; latency } ->
+      int "q" q;
+      int "site" site;
+      int "charged" charged;
+      int_opt "epsilon" epsilon;
+      boolean "consistent_path" consistent_path;
+      num "latency" latency
+  | Mset_enqueued { et; origin; n_ops } ->
+      int "et" et;
+      int "origin" origin;
+      int "n_ops" n_ops
+  | Mset_applied { et; site; n_ops } ->
+      int "et" et;
+      int "site" site;
+      int "n_ops" n_ops
+  | Compensation_fired { et; site; kind } ->
+      int "et" et;
+      int "site" site;
+      str "kind" (kind_to_string kind)
+  | Flush_round { round } -> int "round" round
+  | Converged { ok } -> boolean "ok" ok);
+  Buffer.add_char b '}';
+  Buffer.contents b
+
+(* --- JSON reading (the subset the writer produces) --- *)
+
+type json =
+  | Jnull
+  | Jbool of bool
+  | Jnum of float
+  | Jstr of string
+  | Jarr of json list
+  | Jobj of (string * json) list
+
+exception Parse of string
+
+let parse_json (s : string) : json =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Parse (Printf.sprintf "%s at offset %d" msg !pos)) in
+  let peek () = if !pos < n then s.[!pos] else '\000' in
+  let advance () = incr pos in
+  let skip_ws () =
+    while !pos < n && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false) do
+      advance ()
+    done
+  in
+  let expect c = if peek () = c then advance () else fail (Printf.sprintf "expected %c" c) in
+  let literal word v =
+    if !pos + String.length word <= n && String.sub s !pos (String.length word) = word
+    then begin
+      pos := !pos + String.length word;
+      v
+    end
+    else fail ("bad literal " ^ word)
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec loop () =
+      if !pos >= n then fail "unterminated string";
+      match s.[!pos] with
+      | '"' -> advance ()
+      | '\\' ->
+          advance ();
+          (match peek () with
+          | '"' -> Buffer.add_char b '"'
+          | '\\' -> Buffer.add_char b '\\'
+          | '/' -> Buffer.add_char b '/'
+          | 'n' -> Buffer.add_char b '\n'
+          | 'r' -> Buffer.add_char b '\r'
+          | 't' -> Buffer.add_char b '\t'
+          | 'b' -> Buffer.add_char b '\b'
+          | 'f' -> Buffer.add_char b '\012'
+          | 'u' ->
+              if !pos + 4 >= n then fail "bad \\u escape";
+              let code = int_of_string ("0x" ^ String.sub s (!pos + 1) 4) in
+              pos := !pos + 4;
+              if code < 0x80 then Buffer.add_char b (Char.chr code)
+              else fail "non-ASCII \\u escape unsupported"
+          | _ -> fail "bad escape");
+          advance ();
+          loop ()
+      | c ->
+          Buffer.add_char b c;
+          advance ();
+          loop ()
+    in
+    loop ();
+    Buffer.contents b
+  in
+  let parse_number () =
+    let start = !pos in
+    while
+      !pos < n
+      && match s.[!pos] with '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true | _ -> false
+    do
+      advance ()
+    done;
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some v -> v
+    | None -> fail "bad number"
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = '}' then begin
+          advance ();
+          Jobj []
+        end
+        else begin
+          let rec members acc =
+            skip_ws ();
+            let key = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | ',' ->
+                advance ();
+                members ((key, v) :: acc)
+            | '}' ->
+                advance ();
+                List.rev ((key, v) :: acc)
+            | _ -> fail "expected , or }"
+          in
+          Jobj (members [])
+        end
+    | '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = ']' then begin
+          advance ();
+          Jarr []
+        end
+        else begin
+          let rec elements acc =
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | ',' ->
+                advance ();
+                elements (v :: acc)
+            | ']' ->
+                advance ();
+                List.rev (v :: acc)
+            | _ -> fail "expected , or ]"
+          in
+          Jarr (elements [])
+        end
+    | '"' -> Jstr (parse_string ())
+    | 't' -> literal "true" (Jbool true)
+    | 'f' -> literal "false" (Jbool false)
+    | 'n' -> literal "null" Jnull
+    | _ -> Jnum (parse_number ())
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage";
+  v
+
+let record_of_json line =
+  match parse_json line with
+  | exception Parse msg -> Error msg
+  | Jobj fields -> (
+      let find name = List.assoc_opt name fields in
+      let get_int name =
+        match find name with
+        | Some (Jnum v) -> int_of_float v
+        | _ -> raise (Parse ("missing int field " ^ name))
+      in
+      let get_num name =
+        match find name with
+        | Some (Jnum v) -> v
+        | _ -> raise (Parse ("missing number field " ^ name))
+      in
+      let get_str name =
+        match find name with
+        | Some (Jstr v) -> v
+        | _ -> raise (Parse ("missing string field " ^ name))
+      in
+      let get_bool name =
+        match find name with
+        | Some (Jbool v) -> v
+        | _ -> raise (Parse ("missing bool field " ^ name))
+      in
+      let get_int_opt name =
+        match find name with
+        | Some Jnull -> None
+        | Some (Jnum v) -> Some (int_of_float v)
+        | _ -> raise (Parse ("missing nullable int field " ^ name))
+      in
+      let msg_fields () = (get_int "src", get_int "dst", get_str "cls") in
+      try
+        let time = get_num "ts" in
+        let ev =
+          match get_str "type" with
+          | "msg_sent" ->
+              let src, dst, cls = msg_fields () in
+              Msg_sent { src; dst; cls }
+          | "msg_duplicated" ->
+              let src, dst, cls = msg_fields () in
+              Msg_duplicated { src; dst; cls }
+          | "msg_delivered" ->
+              let src, dst, cls = msg_fields () in
+              Msg_delivered { src; dst; cls }
+          | "msg_dropped" ->
+              let src, dst, cls = msg_fields () in
+              let reason =
+                match reason_of_string (get_str "reason") with
+                | Some r -> r
+                | None -> raise (Parse "bad drop reason")
+              in
+              Msg_dropped { src; dst; cls; reason }
+          | "partition" ->
+              let groups =
+                match find "groups" with
+                | Some (Jarr groups) ->
+                    List.map
+                      (function
+                        | Jarr members ->
+                            List.map
+                              (function
+                                | Jnum v -> int_of_float v
+                                | _ -> raise (Parse "bad group member"))
+                              members
+                        | _ -> raise (Parse "bad group"))
+                      groups
+                | _ -> raise (Parse "missing groups")
+              in
+              Partition_event { groups }
+          | "heal" -> Heal
+          | "crash" -> Crash { site = get_int "site" }
+          | "recover" -> Recover { site = get_int "site" }
+          | "update_begin" ->
+              Update_begin { u = get_int "u"; origin = get_int "origin"; n_ops = get_int "n_ops" }
+          | "update_committed" ->
+              Update_committed
+                { u = get_int "u"; origin = get_int "origin"; latency = get_num "latency" }
+          | "update_rejected" ->
+              Update_rejected
+                { u = get_int "u"; origin = get_int "origin"; reason = get_str "reason" }
+          | "query_begin" ->
+              Query_begin
+                {
+                  q = get_int "q";
+                  site = get_int "site";
+                  n_keys = get_int "n_keys";
+                  epsilon = get_int_opt "epsilon";
+                }
+          | "query_served" ->
+              Query_served
+                {
+                  q = get_int "q";
+                  site = get_int "site";
+                  charged = get_int "charged";
+                  epsilon = get_int_opt "epsilon";
+                  consistent_path = get_bool "consistent_path";
+                  latency = get_num "latency";
+                }
+          | "mset_enqueued" ->
+              Mset_enqueued
+                { et = get_int "et"; origin = get_int "origin"; n_ops = get_int "n_ops" }
+          | "mset_applied" ->
+              Mset_applied { et = get_int "et"; site = get_int "site"; n_ops = get_int "n_ops" }
+          | "compensation_fired" ->
+              let kind =
+                match kind_of_string (get_str "kind") with
+                | Some k -> k
+                | None -> raise (Parse "bad compensation kind")
+              in
+              Compensation_fired { et = get_int "et"; site = get_int "site"; kind }
+          | "flush_round" -> Flush_round { round = get_int "round" }
+          | "converged" -> Converged { ok = get_bool "ok" }
+          | other -> raise (Parse ("unknown event type " ^ other))
+        in
+        Ok { time; ev }
+      with Parse msg -> Error msg)
+  | _ -> Error "not a JSON object"
+
+let write_jsonl oc t =
+  iter t (fun r ->
+      output_string oc (record_to_json r);
+      output_char oc '\n')
+
+(* --- Chrome trace_event --- *)
+
+(* The track an event renders on: its site, or the system track. *)
+let event_track ~sites = function
+  | Msg_sent { src; _ } | Msg_dropped { src; _ } | Msg_duplicated { src; _ } -> src
+  | Msg_delivered { dst; _ } -> dst
+  | Crash { site } | Recover { site } -> site
+  | Update_begin { origin; _ } | Update_committed { origin; _ } | Update_rejected { origin; _ }
+    -> origin
+  | Query_begin { site; _ } | Query_served { site; _ } -> site
+  | Mset_enqueued { origin; _ } -> origin
+  | Mset_applied { site; _ } | Compensation_fired { site; _ } -> site
+  | Partition_event _ | Heal | Flush_round _ | Converged _ -> sites
+
+(* Trace-viewer args payload: reuse the JSONL object minus ts/type. *)
+let event_args r =
+  let line = record_to_json r in
+  (* line = {"ts":<num>,"type":"<name>"...}; strip the first two fields. *)
+  match String.index_opt line ',' with
+  | None -> "{}"
+  | Some first_comma -> (
+      let rest = String.sub line (first_comma + 1) (String.length line - first_comma - 1) in
+      match String.index_opt rest ',' with
+      | None -> "{}"  (* only the type field: no payload *)
+      | Some second_comma ->
+          "{" ^ String.sub rest (second_comma + 1) (String.length rest - second_comma - 1))
+
+let write_chrome oc ~sites t =
+  output_string oc "{\"traceEvents\":[\n";
+  let first = ref true in
+  let item line =
+    if not !first then output_string oc ",\n";
+    first := false;
+    output_string oc line
+  in
+  (* Thread-name metadata: one named track per site plus the system track. *)
+  for site = 0 to sites do
+    let name = if site = sites then "system" else Printf.sprintf "site %d" site in
+    item
+      (Printf.sprintf
+         "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":%d,\"args\":{\"name\":\"%s\"}}"
+         site name)
+  done;
+  iter t (fun r ->
+      let tid = event_track ~sites r.ev in
+      let ts_us = r.time *. 1000.0 in
+      let args = event_args r in
+      let line =
+        match r.ev with
+        | Update_committed { latency; _ } | Query_served { latency; _ } ->
+            (* Render the ET's span: [submit, outcome]. *)
+            let start_us = Float.max 0.0 ((r.time -. latency) *. 1000.0) in
+            Printf.sprintf
+              "{\"name\":\"%s\",\"ph\":\"X\",\"ts\":%s,\"dur\":%s,\"pid\":0,\"tid\":%d,\"args\":%s}"
+              (type_name r.ev) (float_repr start_us)
+              (float_repr (Float.max 0.0 (latency *. 1000.0)))
+              tid args
+        | _ ->
+            Printf.sprintf
+              "{\"name\":\"%s\",\"ph\":\"i\",\"s\":\"t\",\"ts\":%s,\"pid\":0,\"tid\":%d,\"args\":%s}"
+              (type_name r.ev) (float_repr ts_us) tid args
+      in
+      item line);
+  output_string oc "\n],\"displayTimeUnit\":\"ms\",\"otherData\":{\"generator\":\"esrsim\",\"time_unit\":\"virtual ms\"}}\n"

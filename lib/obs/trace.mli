@@ -1,0 +1,92 @@
+(** Structured trace events keyed on virtual time.
+
+    The event vocabulary covers everything the paper makes claims about:
+    message fates on the lossy network, failure injection, update/query ET
+    lifecycles (with charged inconsistency against the epsilon spec),
+    MSet propagation, COMPE compensation, and end-of-run convergence.
+
+    A {!t} is a per-run sink: a fixed-capacity ring buffer of timestamped
+    events (oldest records are dropped once full, counted in {!dropped}).
+    A disabled sink allocates nothing and {!emit} is a single load-and-
+    branch — instrumented fast paths guard event construction with {!on}
+    so tracing off costs one predictable branch and zero allocation.
+
+    Two export formats:
+    - {e JSONL}: one self-describing JSON object per event
+      ([{"ts":..,"type":..,...}]), parseable back via {!record_of_json};
+    - {e Chrome trace_event}: a catapult/Perfetto-loadable timeline,
+      virtual-time milliseconds mapped to trace microseconds, one track
+      per site plus a "system" track for global events. *)
+
+type drop_reason =
+  | Loss  (** iid random loss *)
+  | Partition  (** src and dst in different partition groups *)
+  | Crashed_src  (** sent from a crashed site: silent drop *)
+  | Crashed_dst  (** destination down at arrival time *)
+
+type event =
+  | Msg_sent of { src : int; dst : int; cls : string }
+  | Msg_dropped of { src : int; dst : int; cls : string; reason : drop_reason }
+  | Msg_duplicated of { src : int; dst : int; cls : string }
+  | Msg_delivered of { src : int; dst : int; cls : string }
+  | Partition_event of { groups : int list list }
+  | Heal
+  | Crash of { site : int }
+  | Recover of { site : int }
+  | Update_begin of { u : int; origin : int; n_ops : int }
+  | Update_committed of { u : int; origin : int; latency : float }
+  | Update_rejected of { u : int; origin : int; reason : string }
+  | Query_begin of { q : int; site : int; n_keys : int; epsilon : int option }
+  | Query_served of {
+      q : int;
+      site : int;
+      charged : int;  (** inconsistency units accumulated *)
+      epsilon : int option;  (** the spec limit; [None] = unlimited *)
+      consistent_path : bool;
+      latency : float;
+    }
+  | Mset_enqueued of { et : int; origin : int; n_ops : int }
+  | Mset_applied of { et : int; site : int; n_ops : int }
+  | Compensation_fired of { et : int; site : int; kind : [ `Fast | `Full | `Revoke ] }
+  | Flush_round of { round : int }
+  | Converged of { ok : bool }
+
+type record = { time : float;  (** virtual ms *) ev : event }
+
+type t
+
+val make : ?capacity:int -> enabled:bool -> unit -> t
+(** [capacity] (default [262144]) bounds the ring buffer.  A disabled sink
+    never allocates its buffer. *)
+
+val on : t -> bool
+(** Fast-path guard: instrumentation sites wrap event construction in
+    [if Trace.on sink then Trace.emit sink ...]. *)
+
+val emit : t -> time:float -> event -> unit
+(** No-op on a disabled sink. *)
+
+val length : t -> int
+val dropped : t -> int
+(** Records evicted because the ring wrapped. *)
+
+val iter : t -> (record -> unit) -> unit
+(** Oldest to newest. *)
+
+val to_list : t -> record list
+
+(** {2 JSONL} *)
+
+val record_to_json : record -> string
+(** One line, no trailing newline, valid JSON object. *)
+
+val record_of_json : string -> (record, string) result
+
+val write_jsonl : out_channel -> t -> unit
+
+(** {2 Chrome trace_event} *)
+
+val write_chrome : out_channel -> sites:int -> t -> unit
+(** Complete ("X") events for served queries and committed updates (their
+    latency becomes the span), instants for everything else; [tid] is the
+    site, [tid = sites] is the system track. *)

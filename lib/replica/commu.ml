@@ -23,6 +23,7 @@ module Epsilon = Esr_core.Epsilon
 module Lock_counter = Esr_cc.Lock_counter
 module Engine = Esr_sim.Engine
 module Squeue = Esr_squeue.Squeue
+module Trace = Esr_obs.Trace
 
 type mset = { et : Et.id; ops : (string * Op.t) list; origin : int }
 
@@ -84,7 +85,12 @@ let wake_updates site =
   site.parked_updates <- [];
   List.iter (fun resume -> resume ()) waiting
 
-let apply_mset site mset =
+let apply_mset t site mset =
+  let trace = t.env.Intf.obs.Esr_obs.Obs.trace in
+  if Trace.on trace then
+    Trace.emit trace ~time:(Engine.now t.env.engine)
+      (Trace.Mset_applied
+         { et = mset.et; site = site.id; n_ops = List.length mset.ops });
   List.iter
     (fun (key, op) ->
       ignore (Lock_counter.incr site.counters key);
@@ -110,7 +116,7 @@ let receive t ~site:site_id msg =
   let site = t.sites.(site_id) in
   match msg with
   | Apply mset ->
-      apply_mset site mset;
+      apply_mset t site mset;
       Squeue.send t.fabric ~src:site_id ~dst:mset.origin
         (Applied { et = mset.et; by = site_id })
   | Applied { et; by = _ } -> (
@@ -131,7 +137,8 @@ let create (env : Intf.env) =
     lazy
       (let fabric =
          Squeue.create ~mode:Squeue.Unordered
-           ~retry_interval:env.Intf.config.Intf.retry_interval env.Intf.net
+           ~retry_interval:env.Intf.config.Intf.retry_interval
+           ~obs:env.Intf.obs env.Intf.net
            ~handler:(fun ~site ~src:_ msg -> receive (Lazy.force t) ~site msg)
        in
        {
@@ -226,7 +233,11 @@ let submit_update t ~origin intents k =
                 site.parked_updates <- attempt :: site.parked_updates
           else begin
             let mset = { et; ops; origin } in
-            apply_mset site mset;
+            let trace = t.env.Intf.obs.Esr_obs.Obs.trace in
+            if Trace.on trace then
+              Trace.emit trace ~time:(Engine.now t.env.engine)
+                (Trace.Mset_enqueued { et; origin; n_ops = List.length ops });
+            apply_mset t site mset;
             if t.env.Intf.sites > 1 then begin
               Hashtbl.replace t.inflight et
                 { charges; waiting_acks = t.env.Intf.sites - 1 };

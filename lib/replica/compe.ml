@@ -35,6 +35,7 @@ module Lock_counter = Esr_cc.Lock_counter
 module Engine = Esr_sim.Engine
 module Squeue = Esr_squeue.Squeue
 module Prng = Esr_util.Prng
+module Trace = Esr_obs.Trace
 
 type mset = {
   et : Et.id;
@@ -163,8 +164,15 @@ let fast_path_possible aborted later =
            entry.e_ops)
        later
 
+let trace_compensation t site et kind =
+  let trace = t.env.Intf.obs.Esr_obs.Obs.trace in
+  if Trace.on trace then
+    Trace.emit trace ~time:(Engine.now t.env.engine)
+      (Trace.Compensation_fired { et; site = site.id; kind })
+
 let compensate_fast t site aborted =
   t.n_fast <- t.n_fast + 1;
+  trace_compensation t site aborted.e_et `Fast;
   let comp_et = t.env.Intf.next_et () in
   let inverse_ops =
     List.rev_map
@@ -193,6 +201,7 @@ let compensate_fast t site aborted =
 
 let compensate_full t site aborted later =
   t.n_full <- t.n_full + 1;
+  trace_compensation t site aborted.e_et `Full;
   t.rollback_depth_total <- t.rollback_depth_total + List.length later;
   (* Undo the log tail physically, newest first, then the aborted entry. *)
   List.iter
@@ -309,6 +318,7 @@ and revoke t site et =
       if not entry.e_decided then Hashtbl.replace site.pending_revokes et ()
       else begin
         t.n_revokes <- t.n_revokes + 1;
+        trace_compensation t site et `Revoke;
         if fast_path_possible entry later then compensate_fast t site entry
         else begin
           compensate_full t site entry later;
@@ -352,6 +362,11 @@ let execute t site mset =
           e_decided = false;
         }
       in
+      let trace = t.env.Intf.obs.Esr_obs.Obs.trace in
+      if Trace.on trace then
+        Trace.emit trace ~time:(Engine.now t.env.engine)
+          (Trace.Mset_applied
+             { et = mset.et; site = site.id; n_ops = List.length mset.ops });
       apply_entry_ops site entry;
       List.iter
         (fun (key, op) ->
@@ -399,7 +414,8 @@ let create (env : Intf.env) =
     lazy
       (let fabric =
          Squeue.create ~mode:Squeue.Unordered
-           ~retry_interval:env.Intf.config.Intf.retry_interval env.Intf.net
+           ~retry_interval:env.Intf.config.Intf.retry_interval
+           ~obs:env.Intf.obs env.Intf.net
            ~handler:(fun ~site ~src:_ msg -> receive (Lazy.force t) ~site msg)
        in
        {
@@ -460,6 +476,10 @@ let launch_step t ~origin ~saga ops ~on_decision =
   let et = t.env.Intf.next_et () in
   let ticket = Sequencer.next t.sequencer in
   let mset = { et; ticket; ops; origin; saga } in
+  let trace = t.env.Intf.obs.Esr_obs.Obs.trace in
+  if Trace.on trace then
+    Trace.emit trace ~time:(Engine.now t.env.engine)
+      (Trace.Mset_enqueued { et; origin; n_ops = List.length ops });
   t.undecided <- t.undecided + 1;
   Squeue.broadcast t.fabric ~src:origin (Provisional mset);
   receive t ~site:origin (Provisional mset);

@@ -7,6 +7,9 @@
 module Engine = Esr_sim.Engine
 module Net = Esr_sim.Net
 module Prng = Esr_util.Prng
+module Obs = Esr_obs.Obs
+module Trace = Esr_obs.Trace
+module Metrics = Esr_obs.Metrics
 
 type t = {
   engine : Engine.t;
@@ -14,22 +17,78 @@ type t = {
   env : Intf.env;
   system : Intf.boxed;
   seed : int;
+  obs : Obs.t;
+  (* Harness-level lifecycle sequence numbers.  ET ids are allocated
+     inside the methods (and rejections can fire before one exists), so
+     lifecycle trace events carry these instead. *)
+  mutable next_u : int;
+  mutable next_q : int;
+  updates_submitted : Metrics.counter;
+  updates_committed : Metrics.counter;
+  updates_rejected : Metrics.counter;
+  queries_submitted : Metrics.counter;
+  queries_served : Metrics.counter;
+  flush_rounds : Metrics.counter;
+  commit_latency : Metrics.histogram;
+  query_charged : Metrics.histogram;
 }
 
 let create ?(config = Intf.default_config) ?net_config ?(seed = 42)
-    ?store_hint ?engine_hint ~sites ~method_name () =
+    ?store_hint ?engine_hint ?obs ~sites ~method_name () =
+  let obs = match obs with Some o -> o | None -> Obs.default () in
   let engine = Engine.create ?hint:engine_hint () in
   let prng = Prng.create seed in
   let net_prng = Prng.split prng in
-  let net = Net.create ?config:net_config engine ~sites ~prng:net_prng in
-  let env = Intf.make_env ~config ?store_hint ~engine ~net ~prng () in
+  let net = Net.create ?config:net_config ~obs engine ~sites ~prng:net_prng in
+  let env = Intf.make_env ~config ?store_hint ~obs ~engine ~net ~prng () in
+  let m = obs.Obs.metrics in
+  let g name f = Metrics.gauge_fn m ~group:"engine" name f in
+  g "scheduled" (fun () -> float_of_int (Engine.scheduled engine));
+  g "fired" (fun () -> float_of_int (Engine.processed engine));
+  g "cancelled" (fun () -> float_of_int (Engine.cancelled engine));
+  g "pending" (fun () -> float_of_int (Engine.pending engine));
   let system = Registry.make ~name:method_name env in
-  { engine; net; env; system; seed }
+  let t =
+    {
+      engine;
+      net;
+      env;
+      system;
+      seed;
+      obs;
+      next_u = 0;
+      next_q = 0;
+      updates_submitted = Metrics.counter m ~group:"harness" "updates_submitted";
+      updates_committed = Metrics.counter m ~group:"harness" "updates_committed";
+      updates_rejected = Metrics.counter m ~group:"harness" "updates_rejected";
+      queries_submitted = Metrics.counter m ~group:"harness" "queries_submitted";
+      queries_served = Metrics.counter m ~group:"harness" "queries_served";
+      flush_rounds = Metrics.counter m ~group:"harness" "flush_rounds";
+      commit_latency =
+        Metrics.histogram m ~group:"harness"
+          ~buckets:[ 10.; 20.; 50.; 100.; 200.; 500.; 1000.; 2000.; 5000. ]
+          "commit_latency_ms";
+      query_charged =
+        Metrics.histogram m ~group:"harness"
+          ~buckets:[ 0.; 1.; 2.; 5.; 10.; 20.; 50. ]
+          "query_charged";
+    }
+  in
+  Metrics.gauge_fn m ~group:"harness" "divergent_sites" (fun () ->
+      let s0 = Intf.boxed_store t.system ~site:0 in
+      let n = ref 0 in
+      for site = 1 to sites - 1 do
+        if not (Intf.Store.equal s0 (Intf.boxed_store t.system ~site)) then
+          incr n
+      done;
+      float_of_int !n);
+  t
 
 let engine t = t.engine
 let net t = t.net
 let env t = t.env
 let system t = t.system
+let obs t = t.obs
 
 let now t = Engine.now t.engine
 
@@ -40,21 +99,34 @@ let run_for t duration = Engine.run ~until:(now t +. duration) t.engine
     [false] if [max_rounds] flush rounds were not enough (e.g. a network
     partition is still in force). *)
 let settle ?(max_rounds = 10) t =
+  let trace = t.obs.Obs.trace in
+  let round = ref 0 in
+  let flush () =
+    Metrics.incr t.flush_rounds;
+    if Trace.on trace then
+      Trace.emit trace ~time:(now t) (Trace.Flush_round { round = !round });
+    incr round;
+    Intf.boxed_flush t.system
+  in
   let rec loop rounds =
     if rounds = 0 then false
     else begin
       Engine.run t.engine;
       if Intf.boxed_quiescent t.system then true
       else begin
-        Intf.boxed_flush t.system;
+        flush ();
         loop (rounds - 1)
       end
     end
   in
-  Intf.boxed_flush t.system;
+  flush ();
   loop max_rounds
 
-let converged t = Intf.boxed_converged t.system
+let converged t =
+  let ok = Intf.boxed_converged t.system in
+  let trace = t.obs.Obs.trace in
+  if Trace.on trace then Trace.emit trace ~time:(now t) (Trace.Converged { ok });
+  ok
 
 (** All per-site states equal and the protocol quiescent — the paper's
     convergence property, checked exactly. *)
@@ -64,11 +136,62 @@ let check_convergence t =
   else Ok ()
 
 let submit_update t ~origin intents k =
-  Intf.boxed_submit_update t.system ~origin intents k
+  let u = t.next_u in
+  t.next_u <- u + 1;
+  Metrics.incr t.updates_submitted;
+  let start = now t in
+  let trace = t.obs.Obs.trace in
+  if Trace.on trace then
+    Trace.emit trace ~time:start
+      (Trace.Update_begin { u; origin; n_ops = List.length intents });
+  Intf.boxed_submit_update t.system ~origin intents (fun outcome ->
+      (match outcome with
+      | Intf.Committed { committed_at } ->
+          Metrics.incr t.updates_committed;
+          let latency = committed_at -. start in
+          Metrics.observe t.commit_latency latency;
+          if Trace.on trace then
+            Trace.emit trace ~time:committed_at
+              (Trace.Update_committed { u; origin; latency })
+      | Intf.Rejected reason ->
+          Metrics.incr t.updates_rejected;
+          if Trace.on trace then
+            Trace.emit trace ~time:(now t)
+              (Trace.Update_rejected { u; origin; reason }));
+      k outcome)
 
 let submit_query t ~site ~keys ~epsilon k =
-  Intf.boxed_submit_query t.system ~site ~keys ~epsilon k
+  let q = t.next_q in
+  t.next_q <- q + 1;
+  Metrics.incr t.queries_submitted;
+  let eps =
+    match (epsilon : Esr_core.Epsilon.spec) with
+    | Esr_core.Epsilon.Unlimited -> None
+    | Esr_core.Epsilon.Limit n -> Some n
+  in
+  let trace = t.obs.Obs.trace in
+  if Trace.on trace then
+    Trace.emit trace ~time:(now t)
+      (Trace.Query_begin { q; site; n_keys = List.length keys; epsilon = eps });
+  Intf.boxed_submit_query t.system ~site ~keys ~epsilon (fun outcome ->
+      Metrics.incr t.queries_served;
+      Metrics.observe t.query_charged (float_of_int outcome.Intf.charged);
+      if Trace.on trace then
+        Trace.emit trace ~time:outcome.Intf.served_at
+          (Trace.Query_served
+             {
+               q;
+               site;
+               charged = outcome.Intf.charged;
+               epsilon = eps;
+               consistent_path = outcome.Intf.consistent_path;
+               latency = outcome.Intf.served_at -. outcome.Intf.started_at;
+             });
+      k outcome)
 
 let store t ~site = Intf.boxed_store t.system ~site
 let history t ~site = Intf.boxed_history t.system ~site
-let stats t = Intf.boxed_stats t.system
+
+let stats t = Metrics.snapshot t.obs.Obs.metrics
+
+let stats_alist t = Metrics.alist ~group:"method" t.obs.Obs.metrics

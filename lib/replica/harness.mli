@@ -4,7 +4,14 @@
     and knows how to drive the whole system to quiescence — the state in
     which the paper's convergence guarantee applies ("replicas converge
     to the same 1SR value when the update MSets queued at individual
-    sites are processed"). *)
+    sites are processed").
+
+    The harness owns the run's observability bundle ({!Esr_obs.Obs.t}):
+    every layer below it (engine, network, stable queues, the method)
+    registers its counters in the bundle's metrics registry, and — when
+    tracing is enabled — records events into its trace sink keyed on
+    virtual time.  Update and query lifecycles are traced here, wrapping
+    the submitted callbacks. *)
 
 type t
 
@@ -14,6 +21,7 @@ val create :
   ?seed:int ->
   ?store_hint:int ->
   ?engine_hint:int ->
+  ?obs:Esr_obs.Obs.t ->
   sites:int ->
   method_name:string ->
   unit ->
@@ -21,12 +29,16 @@ val create :
 (** Build a fresh simulated system.  [seed] (default 42) makes the whole
     run deterministic.  [method_name] is resolved by {!Registry.make}.
     [store_hint] (expected keyspace size) and [engine_hint] (expected
-    event volume) pre-size the per-site stores and the event heap. *)
+    event volume) pre-size the per-site stores and the event heap.
+    [obs] supplies the observability bundle; by default a fresh one is
+    created with tracing set from {!Esr_obs.Obs.set_default_tracing}
+    (normally off, which makes instrumentation zero-cost). *)
 
 val engine : t -> Esr_sim.Engine.t
 val net : t -> Esr_sim.Net.t
 val env : t -> Intf.env
 val system : t -> Intf.boxed
+val obs : t -> Esr_obs.Obs.t
 val now : t -> float
 
 val run_for : t -> float -> unit
@@ -57,4 +69,13 @@ val submit_query :
 
 val store : t -> site:int -> Esr_store.Store.t
 val history : t -> site:int -> Esr_core.Hist.t
-val stats : t -> (string * float) list
+
+val stats : t -> Esr_obs.Metrics.entry list
+(** Typed snapshot of the whole metrics registry: method counters
+    (group ["method"]), network fates (["net"]), stable-queue transport
+    (["squeue"]), engine totals (["engine"]) and harness lifecycle
+    counters/histograms (["harness"]). *)
+
+val stats_alist : t -> (string * float) list
+(** The method's own counters as the historical [(name, value)] list —
+    exactly what [Intf.S.stats] returns for the running method. *)

@@ -117,11 +117,16 @@ type env = {
       (** expected keyspace size — methods pre-size their per-site store
           hash tables with it so replicas never rehash mid-run *)
   next_et : unit -> Esr_core.Et.id;  (** shared ET id allocator *)
+  obs : Esr_obs.Obs.t;
+      (** per-run trace sink + metrics registry; methods emit MSet and
+          compensation events through it and hand it to their stable
+          queues.  Defaults to a fresh bundle with tracing off. *)
 }
 
-let make_env ?(config = default_config) ?(store_hint = 64) ~engine ~net ~prng
-    () =
+let make_env ?(config = default_config) ?(store_hint = 64) ?obs ~engine ~net
+    ~prng () =
   let counter = ref 0 in
+  let obs = match obs with Some o -> o | None -> Esr_obs.Obs.default () in
   {
     engine;
     net;
@@ -133,6 +138,7 @@ let make_env ?(config = default_config) ?(store_hint = 64) ~engine ~net ~prng
       (fun () ->
         incr counter;
         !counter);
+    obs;
   }
 
 (** The uniform replica-control method interface. *)

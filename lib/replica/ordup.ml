@@ -29,6 +29,7 @@ module Lamport = Esr_clock.Lamport
 module Sequencer = Esr_clock.Sequencer
 module Engine = Esr_sim.Engine
 module Squeue = Esr_squeue.Squeue
+module Trace = Esr_obs.Trace
 
 type order = Ticket of int | Stamp of Gtime.t
 
@@ -100,6 +101,11 @@ let log_action site ~et ~key op =
   site.hist <- Hist.append site.hist (Et.action ~et ~key op)
 
 let apply_mset t site mset =
+  let trace = t.env.Intf.obs.Esr_obs.Obs.trace in
+  if Trace.on trace then
+    Trace.emit trace ~time:(Engine.now t.env.engine)
+      (Trace.Mset_applied
+         { et = mset.et; site = site.id; n_ops = List.length mset.ops });
   List.iter
     (fun (key, op) ->
       (match Store.apply site.store key op with
@@ -219,7 +225,8 @@ let create (env : Intf.env) =
     lazy
       (let fabric =
          Squeue.create ~mode:Squeue.Fifo
-           ~retry_interval:env.Intf.config.Intf.retry_interval env.Intf.net
+           ~retry_interval:env.Intf.config.Intf.retry_interval
+           ~obs:env.Intf.obs env.Intf.net
            ~handler:(fun ~site ~src:_ msg -> receive (Lazy.force t) ~site msg)
        in
        {
@@ -268,6 +275,10 @@ let submit_update t ~origin intents k =
       | `Lamport -> Stamp (Gtime.next site.clock ~site:origin)
     in
     let mset = { et; order; ops; origin } in
+    let trace = t.env.Intf.obs.Esr_obs.Obs.trace in
+    if Trace.on trace then
+      Trace.emit trace ~time:(Engine.now t.env.engine)
+        (Trace.Mset_enqueued { et; origin; n_ops = List.length ops });
     Hashtbl.replace t.pending_commits et k;
     (* Remote replicas get the MSet through the stable queues; the origin
        buffers it directly (local enqueue is not subject to the network). *)

@@ -30,6 +30,7 @@ module Et = Esr_core.Et
 module Epsilon = Esr_core.Epsilon
 module Engine = Esr_sim.Engine
 module Squeue = Esr_squeue.Squeue
+module Trace = Esr_obs.Trace
 
 let primary = 0
 
@@ -127,6 +128,10 @@ let rec receive t ~site:site_id msg =
   match msg with
   | Do_update { et; ops; origin } ->
       (* Only the primary processes updates, serially: local 1SR. *)
+      let trace = t.env.Intf.obs.Esr_obs.Obs.trace in
+      if Trace.on trace then
+        Trace.emit trace ~time:(Engine.now t.env.engine)
+          (Trace.Mset_applied { et; site = site_id; n_ops = List.length ops });
       List.iter
         (fun (key, op) ->
           (match Store.apply site.store key op with
@@ -175,7 +180,8 @@ let create (env : Intf.env) =
     lazy
       (let fabric =
          Squeue.create ~mode:Squeue.Unordered
-           ~retry_interval:env.Intf.config.Intf.retry_interval env.Intf.net
+           ~retry_interval:env.Intf.config.Intf.retry_interval
+           ~obs:env.Intf.obs env.Intf.net
            ~handler:(fun ~site ~src:_ msg -> receive (Lazy.force t) ~site msg)
        in
        {
@@ -216,6 +222,10 @@ let submit_update t ~origin intents k =
     t.n_updates <- t.n_updates + 1;
     let et = t.env.Intf.next_et () in
     let ops = List.map intent_to_op intents in
+    let trace = t.env.Intf.obs.Esr_obs.Obs.trace in
+    if Trace.on trace then
+      Trace.emit trace ~time:(Engine.now t.env.engine)
+        (Trace.Mset_enqueued { et; origin; n_ops = List.length ops });
     Hashtbl.replace t.outcomes et k;
     let msg = Do_update { et; ops; origin } in
     if origin = primary then receive t ~site:primary msg

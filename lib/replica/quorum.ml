@@ -22,6 +22,7 @@ module Hist = Esr_core.Hist
 module Et = Esr_core.Et
 module Engine = Esr_sim.Engine
 module Squeue = Esr_squeue.Squeue
+module Trace = Esr_obs.Trace
 
 type version = { v : int; writer : int }
 
@@ -103,6 +104,10 @@ let rec receive t ~site:site_id msg =
           end)
   | Write_req { wid; et; key; value; version } ->
       if version_compare version (local_version site key) > 0 then begin
+        let trace = t.env.Intf.obs.Esr_obs.Obs.trace in
+        if Trace.on trace then
+          Trace.emit trace ~time:(Engine.now t.env.engine)
+            (Trace.Mset_applied { et; site = site.id; n_ops = 1 });
         Hashtbl.replace site.versions key version;
         Store.set site.store key value;
         log_action site ~et ~key (Op.Write value)
@@ -153,7 +158,8 @@ let create (env : Intf.env) =
     lazy
       (let fabric =
          Squeue.create ~mode:Squeue.Unordered
-           ~retry_interval:env.Intf.config.Intf.retry_interval env.Intf.net
+           ~retry_interval:env.Intf.config.Intf.retry_interval
+           ~obs:env.Intf.obs env.Intf.net
            ~handler:(fun ~site ~src:_ msg -> receive (Lazy.force t) ~site msg)
        in
        {
@@ -184,6 +190,10 @@ let submit_update t ~origin intents notify =
   | [ Intf.Set (key, value) ] ->
       t.n_updates <- t.n_updates + 1;
       let et = t.env.Intf.next_et () in
+      let trace = t.env.Intf.obs.Esr_obs.Obs.trace in
+      if Trace.on trace then
+        Trace.emit trace ~time:(Engine.now t.env.engine)
+          (Trace.Mset_enqueued { et; origin; n_ops = 1 });
       (* Round 1: learn the highest version from a write quorum. *)
       read_round t ~origin ~et ~key ~needed:t.write_quorum
         ~done_:(fun (best_version, _) ->

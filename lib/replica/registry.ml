@@ -29,7 +29,20 @@ let find name =
 
 let make ~name env =
   match find name with
-  | Some (module M : Intf.S) -> Intf.B ((module M), M.create env)
+  | Some (module M : Intf.S) ->
+      let sys = M.create env in
+      (* Mirror the method's stats list into the metrics registry as
+         group "method" gauges, in the method's own order, so
+         [Metrics.alist ~group:"method"] reproduces [M.stats] exactly. *)
+      List.iter
+        (fun (stat_name, _) ->
+          Esr_obs.Metrics.gauge_fn env.Intf.obs.Esr_obs.Obs.metrics
+            ~group:"method" stat_name (fun () ->
+              match List.assoc_opt stat_name (M.stats sys) with
+              | Some v -> v
+              | None -> 0.0))
+        (M.stats sys);
+      Intf.B ((module M), sys)
   | None ->
       invalid_arg
         (Printf.sprintf "Registry.make: unknown method %S (known: %s)" name

@@ -27,6 +27,7 @@ module Gtime = Esr_clock.Gtime
 module Lamport = Esr_clock.Lamport
 module Engine = Esr_sim.Engine
 module Squeue = Esr_squeue.Squeue
+module Trace = Esr_obs.Trace
 
 type mset = {
   et : Et.id;
@@ -86,6 +87,11 @@ let note_watermark site ~origin ts =
   refresh_vtnc site
 
 let apply_mset t site mset =
+  let trace = t.env.Intf.obs.Esr_obs.Obs.trace in
+  if Trace.on trace then
+    Trace.emit trace ~time:(Engine.now t.env.engine)
+      (Trace.Mset_applied
+         { et = mset.et; site = site.id; n_ops = List.length mset.writes });
   note_watermark site ~origin:mset.origin mset.stamp;
   List.iter
     (fun (key, value) ->
@@ -119,7 +125,8 @@ let create (env : Intf.env) =
     lazy
       (let fabric =
          Squeue.create ~mode:Squeue.Fifo
-           ~retry_interval:env.Intf.config.Intf.retry_interval env.Intf.net
+           ~retry_interval:env.Intf.config.Intf.retry_interval
+           ~obs:env.Intf.obs env.Intf.net
            ~handler:(fun ~site ~src:_ msg -> receive (Lazy.force t) ~site msg)
        in
        {
@@ -165,6 +172,10 @@ let submit_update t ~origin intents k =
     let site = t.sites.(origin) in
     let stamp = Gtime.next site.clock ~site:origin in
     let mset = { et; stamp; writes; origin } in
+    let trace = t.env.Intf.obs.Esr_obs.Obs.trace in
+    if Trace.on trace then
+      Trace.emit trace ~time:(Engine.now t.env.engine)
+        (Trace.Mset_enqueued { et; origin; n_ops = List.length writes });
     apply_mset t site mset;
     Squeue.broadcast t.fabric ~src:origin (Update mset);
     k (Intf.Committed { committed_at = Engine.now t.env.engine })

@@ -32,6 +32,7 @@ module Lock_table = Esr_cc.Lock_table
 module Lock_mgr = Esr_cc.Lock_mgr
 module Engine = Esr_sim.Engine
 module Squeue = Esr_squeue.Squeue
+module Trace = Esr_obs.Trace
 
 type msg =
   | Lock_req of { et : Et.id; keys : string list; coordinator : int }
@@ -164,14 +165,20 @@ let rec receive t ~site:site_id msg =
           if not commit then Hashtbl.replace site.aborted et ()
       | Some ops ->
           Hashtbl.remove site.prepared et;
-          if commit then
+          if commit then begin
+            let trace = t.env.Intf.obs.Esr_obs.Obs.trace in
+            if Trace.on trace then
+              Trace.emit trace ~time:(Engine.now t.env.engine)
+                (Trace.Mset_applied
+                   { et; site = site.id; n_ops = List.length ops });
             List.iter
               (fun (key, op) ->
                 (match Store.apply site.store key op with
                 | Ok _ -> ()
                 | Error _ -> invalid_arg "2PC: op failed to apply");
                 log_action site ~et ~key op)
-              ops;
+              ops
+          end;
           Lock_mgr.release_all site.locks ~txn:et);
       post t ~src:site_id ~dst:coordinator (Done { et })
   | Done { et } -> coordinator_done t et
@@ -219,7 +226,8 @@ let create (env : Intf.env) =
     lazy
       (let fabric =
          Squeue.create ~mode:Squeue.Unordered
-           ~retry_interval:env.Intf.config.Intf.retry_interval env.Intf.net
+           ~retry_interval:env.Intf.config.Intf.retry_interval
+           ~obs:env.Intf.obs env.Intf.net
            ~handler:(fun ~site ~src:_ msg -> receive (Lazy.force t) ~site msg)
        in
        {
@@ -256,6 +264,10 @@ let submit_update t ~origin intents notify =
     t.n_updates <- t.n_updates + 1;
     let et = t.env.Intf.next_et () in
     let ops = List.map intent_to_op intents in
+    let trace = t.env.Intf.obs.Esr_obs.Obs.trace in
+    if Trace.on trace then
+      Trace.emit trace ~time:(Engine.now t.env.engine)
+        (Trace.Mset_enqueued { et; origin; n_ops = List.length ops });
     let n = t.env.Intf.sites in
     let coord =
       {

@@ -8,12 +8,20 @@ type t = {
   mutable next_seq : int;
   mutable live : int;
   mutable executed : int;
+  mutable cancelled : int;
 }
 
 type event_id = event
 
 let create ?(hint = 64) () =
-  { heap = Heap.create ~hint (); clock = 0.0; next_seq = 0; live = 0; executed = 0 }
+  {
+    heap = Heap.create ~hint ();
+    clock = 0.0;
+    next_seq = 0;
+    live = 0;
+    executed = 0;
+    cancelled = 0;
+  }
 
 let now t = t.clock
 
@@ -40,7 +48,8 @@ let cancel t ev =
   match ev.state with
   | Pending ->
       ev.state <- Cancelled;
-      t.live <- t.live - 1
+      t.live <- t.live - 1;
+      t.cancelled <- t.cancelled + 1
   | Cancelled | Fired -> ()
 
 (* Pop the next live event, discarding lazily-cancelled entries as they
@@ -97,3 +106,5 @@ let run ?until t =
 
 let pending t = t.live
 let processed t = t.executed
+let scheduled t = t.next_seq
+let cancelled t = t.cancelled

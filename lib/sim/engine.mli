@@ -44,3 +44,9 @@ val pending : t -> int
 
 val processed : t -> int
 (** Total events executed so far. *)
+
+val scheduled : t -> int
+(** Total events ever scheduled (fired, cancelled, or still pending). *)
+
+val cancelled : t -> int
+(** Total events cancelled before firing. *)

@@ -1,5 +1,7 @@
 module Dist = Esr_util.Dist
 module Prng = Esr_util.Prng
+module Trace = Esr_obs.Trace
+module Metrics = Esr_obs.Metrics
 
 type config = {
   latency : Dist.t;
@@ -22,6 +24,9 @@ type counters = {
   delivered : int;
   lost : int;
   blocked : int;
+  blocked_partition : int;
+  crashed_src : int;
+  crashed_dst : int;
   duplicated : int;
 }
 
@@ -35,27 +40,60 @@ type t = {
   mutable sent : int;
   mutable delivered : int;
   mutable lost : int;
-  mutable blocked : int;
+  mutable blocked_partition : int;
+  mutable crashed_src : int;
+  mutable crashed_dst : int;
   mutable duplicated : int;
-  mutable trace : (src:int -> dst:int -> delivered:bool -> unit) option;
+  sent_by : int array;  (* per-src sends *)
+  delivered_to : int array;  (* per-dst first+duplicate deliveries *)
+  trace : Trace.t;
 }
 
-let create ?(config = default_config) engine ~sites ~prng =
+let register_metrics t (m : Metrics.t) =
+  let g name f = Metrics.gauge_fn m ~group:"net" name f in
+  g "sent" (fun () -> float_of_int t.sent);
+  g "delivered" (fun () -> float_of_int t.delivered);
+  g "lost" (fun () -> float_of_int t.lost);
+  g "blocked_partition" (fun () -> float_of_int t.blocked_partition);
+  g "crashed_src" (fun () -> float_of_int t.crashed_src);
+  g "crashed_dst" (fun () -> float_of_int t.crashed_dst);
+  g "duplicated" (fun () -> float_of_int t.duplicated);
+  for site = 0 to t.n_sites - 1 do
+    Metrics.gauge_fn m ~group:"net" ~site "sent" (fun () ->
+        float_of_int t.sent_by.(site));
+    Metrics.gauge_fn m ~group:"net" ~site "delivered" (fun () ->
+        float_of_int t.delivered_to.(site))
+  done
+
+let create ?(config = default_config) ?obs engine ~sites ~prng =
   if sites <= 0 then invalid_arg "Net.create: sites must be positive";
-  {
-    engine;
-    config;
-    prng;
-    n_sites = sites;
-    group = Array.make sites 0;
-    up = Array.make sites true;
-    sent = 0;
-    delivered = 0;
-    lost = 0;
-    blocked = 0;
-    duplicated = 0;
-    trace = None;
-  }
+  let t =
+    {
+      engine;
+      config;
+      prng;
+      n_sites = sites;
+      group = Array.make sites 0;
+      up = Array.make sites true;
+      sent = 0;
+      delivered = 0;
+      lost = 0;
+      blocked_partition = 0;
+      crashed_src = 0;
+      crashed_dst = 0;
+      duplicated = 0;
+      sent_by = Array.make sites 0;
+      delivered_to = Array.make sites 0;
+      trace =
+        (match obs with
+        | Some (o : Esr_obs.Obs.t) -> o.Esr_obs.Obs.trace
+        | None -> Trace.make ~capacity:1 ~enabled:false ());
+    }
+  in
+  (match obs with
+  | Some o -> register_metrics t o.Esr_obs.Obs.metrics
+  | None -> ());
+  t
 
 let engine t = t.engine
 let sites t = t.n_sites
@@ -73,40 +111,61 @@ let site_up t s =
   check_site t s;
   t.up.(s)
 
-let deliver_later t ~dst callback =
+let deliver_later t ~src ~dst ~cls callback =
   let latency = Dist.sample t.config.latency t.prng in
   ignore
     (Engine.schedule t.engine ~delay:latency (fun () ->
          if t.up.(dst) then begin
            t.delivered <- t.delivered + 1;
+           t.delivered_to.(dst) <- t.delivered_to.(dst) + 1;
+           if Trace.on t.trace then
+             Trace.emit t.trace ~time:(Engine.now t.engine)
+               (Trace.Msg_delivered { src; dst; cls });
            callback ()
          end
-         else t.blocked <- t.blocked + 1))
+         else begin
+           t.crashed_dst <- t.crashed_dst + 1;
+           if Trace.on t.trace then
+             Trace.emit t.trace ~time:(Engine.now t.engine)
+               (Trace.Msg_dropped { src; dst; cls; reason = Trace.Crashed_dst })
+         end))
 
-let send t ~src ~dst callback =
+let send ?(cls = "msg") t ~src ~dst callback =
   check_site t src;
   check_site t dst;
   t.sent <- t.sent + 1;
-  let attempt delivered =
-    match t.trace with
-    | Some hook -> hook ~src ~dst ~delivered
-    | None -> ()
-  in
-  if not (t.up.(src) && reachable t src dst) then begin
-    t.blocked <- t.blocked + 1;
-    attempt false
+  t.sent_by.(src) <- t.sent_by.(src) + 1;
+  if Trace.on t.trace then
+    Trace.emit t.trace ~time:(Engine.now t.engine) (Trace.Msg_sent { src; dst; cls });
+  if not t.up.(src) then begin
+    (* Sending from a crashed site is a silent drop, not an exception: the
+       site's volatile state is gone; its stable queues retry later. *)
+    t.crashed_src <- t.crashed_src + 1;
+    if Trace.on t.trace then
+      Trace.emit t.trace ~time:(Engine.now t.engine)
+        (Trace.Msg_dropped { src; dst; cls; reason = Trace.Crashed_src })
+  end
+  else if not (reachable t src dst) then begin
+    t.blocked_partition <- t.blocked_partition + 1;
+    if Trace.on t.trace then
+      Trace.emit t.trace ~time:(Engine.now t.engine)
+        (Trace.Msg_dropped { src; dst; cls; reason = Trace.Partition })
   end
   else if Prng.bernoulli t.prng t.config.drop_probability then begin
     t.lost <- t.lost + 1;
-    attempt false
+    if Trace.on t.trace then
+      Trace.emit t.trace ~time:(Engine.now t.engine)
+        (Trace.Msg_dropped { src; dst; cls; reason = Trace.Loss })
   end
   else begin
-    deliver_later t ~dst callback;
+    deliver_later t ~src ~dst ~cls callback;
     if Prng.bernoulli t.prng t.config.duplicate_probability then begin
       t.duplicated <- t.duplicated + 1;
-      deliver_later t ~dst callback
-    end;
-    attempt true
+      if Trace.on t.trace then
+        Trace.emit t.trace ~time:(Engine.now t.engine)
+          (Trace.Msg_duplicated { src; dst; cls });
+      deliver_later t ~src ~dst ~cls callback
+    end
   end
 
 let partition t groups =
@@ -123,25 +182,34 @@ let partition t groups =
           t.group.(s) <- gid + 1)
         members)
     groups;
-  Array.iteri (fun s listed -> if not listed then t.group.(s) <- 0) seen
+  Array.iteri (fun s listed -> if not listed then t.group.(s) <- 0) seen;
+  if Trace.on t.trace then
+    Trace.emit t.trace ~time:(Engine.now t.engine) (Trace.Partition_event { groups })
 
-let heal t = Array.fill t.group 0 t.n_sites 0
+let heal t =
+  Array.fill t.group 0 t.n_sites 0;
+  if Trace.on t.trace then Trace.emit t.trace ~time:(Engine.now t.engine) Trace.Heal
 
 let crash t s =
   check_site t s;
-  t.up.(s) <- false
+  t.up.(s) <- false;
+  if Trace.on t.trace then
+    Trace.emit t.trace ~time:(Engine.now t.engine) (Trace.Crash { site = s })
 
 let recover t s =
   check_site t s;
-  t.up.(s) <- true
+  t.up.(s) <- true;
+  if Trace.on t.trace then
+    Trace.emit t.trace ~time:(Engine.now t.engine) (Trace.Recover { site = s })
 
 let counters t =
   {
     sent = t.sent;
     delivered = t.delivered;
     lost = t.lost;
-    blocked = t.blocked;
+    blocked = t.blocked_partition + t.crashed_src + t.crashed_dst;
+    blocked_partition = t.blocked_partition;
+    crashed_src = t.crashed_src;
+    crashed_dst = t.crashed_dst;
     duplicated = t.duplicated;
   }
-
-let set_trace t hook = t.trace <- Some hook

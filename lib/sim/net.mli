@@ -5,7 +5,12 @@
     can be severed wholesale by {!partition}; sites can {!crash} and
     {!recover}.  Reliability on top of this lossy substrate is the job of
     {!Esr_squeue} — exactly the paper's split between raw links and stable
-    queues (§2.2). *)
+    queues (§2.2).
+
+    Every message fate is counted (and traced when the attached
+    {!Esr_obs.Obs.t} has tracing enabled): sent, delivered, lost to random
+    drop, blocked by a partition, silently dropped because the source or
+    the destination site is crashed, and duplicated. *)
 
 type config = {
   latency : Esr_util.Dist.t;  (** one-way delay distribution *)
@@ -23,15 +28,26 @@ val wan_config : config
 type t
 
 val create :
-  ?config:config -> Engine.t -> sites:int -> prng:Esr_util.Prng.t -> t
+  ?config:config ->
+  ?obs:Esr_obs.Obs.t ->
+  Engine.t ->
+  sites:int ->
+  prng:Esr_util.Prng.t ->
+  t
+(** With [?obs], message events are recorded into its trace sink and the
+    fate counters (plus per-site send/delivery counts) are registered as
+    group ["net"] gauges in its metrics registry.  Without it the network
+    is silent: no sink, no registration, identical behaviour. *)
 
 val engine : t -> Engine.t
 val sites : t -> int
 
-val send : t -> src:int -> dst:int -> (unit -> unit) -> unit
+val send : ?cls:string -> t -> src:int -> dst:int -> (unit -> unit) -> unit
 (** Deliver [callback] at [dst] after a sampled latency, unless the message
     is lost, the two sites are partitioned at send time, or [dst] is down
-    at arrival time.  Sending from a crashed site is a silent drop. *)
+    at arrival time.  Sending from a crashed site is a silent drop.
+    [cls] labels the message class in trace events (default ["msg"]);
+    stable queues pass ["data"] / ["ack"]. *)
 
 (** {2 Failure injection} *)
 
@@ -55,11 +71,11 @@ type counters = {
   sent : int;
   delivered : int;
   lost : int;  (** random loss *)
-  blocked : int;  (** partition or crashed endpoint *)
+  blocked : int;  (** = blocked_partition + crashed_src + crashed_dst *)
+  blocked_partition : int;  (** dropped at send: sites in different groups *)
+  crashed_src : int;  (** dropped at send: source site down *)
+  crashed_dst : int;  (** dropped at arrival: destination site down *)
   duplicated : int;
 }
 
 val counters : t -> counters
-
-val set_trace : t -> (src:int -> dst:int -> delivered:bool -> unit) -> unit
-(** Invoke a hook on every send attempt (delivered = scheduled). *)

@@ -45,26 +45,41 @@ type 'a t = {
   mutable n_pending : int;
 }
 
-let create ?(mode = Unordered) ?(retry_interval = 50.0) net ~handler =
+let register_metrics t (m : Esr_obs.Metrics.t) =
+  let g name f = Esr_obs.Metrics.gauge_fn m ~group:"squeue" name f in
+  g "enqueued" (fun () -> float_of_int t.n_enqueued);
+  g "delivered_first" (fun () -> float_of_int t.n_delivered);
+  g "duplicates_suppressed" (fun () -> float_of_int t.n_dup);
+  g "retransmissions" (fun () -> float_of_int t.n_retx);
+  g "acks_received" (fun () -> float_of_int t.n_acks);
+  g "pending" (fun () -> float_of_int t.n_pending)
+
+let create ?(mode = Unordered) ?(retry_interval = 50.0) ?obs net ~handler =
   let n = Net.sites net in
   let fresh_chan _ = { next_seq = 0; unacked = Hashtbl.create 8; timer_active = false } in
   let fresh_recv _ =
     { seen = Hashtbl.create 8; next_expected = 0; reorder = Hashtbl.create 8 }
   in
-  {
-    net;
-    mode;
-    retry_interval;
-    handler;
-    chans = Array.init n (fun _ -> Array.init n fresh_chan);
-    recvs = Array.init n (fun _ -> Array.init n fresh_recv);
-    n_enqueued = 0;
-    n_delivered = 0;
-    n_dup = 0;
-    n_retx = 0;
-    n_acks = 0;
-    n_pending = 0;
-  }
+  let t =
+    {
+      net;
+      mode;
+      retry_interval;
+      handler;
+      chans = Array.init n (fun _ -> Array.init n fresh_chan);
+      recvs = Array.init n (fun _ -> Array.init n fresh_recv);
+      n_enqueued = 0;
+      n_delivered = 0;
+      n_dup = 0;
+      n_retx = 0;
+      n_acks = 0;
+      n_pending = 0;
+    }
+  in
+  (match obs with
+  | Some (o : Esr_obs.Obs.t) -> register_metrics t o.Esr_obs.Obs.metrics
+  | None -> ());
+  t
 
 let deliver t ~dst ~src seq payload =
   let recv = t.recvs.(dst).(src) in
@@ -106,9 +121,9 @@ let ack t ~src ~dst seq =
 let transmit t ~src ~dst seq payload =
   (* The data message carries its own ack round trip as a closure chain:
      arrival at [dst] delivers (with dedup) and fires an ack back. *)
-  Net.send t.net ~src ~dst (fun () ->
+  Net.send ~cls:"data" t.net ~src ~dst (fun () ->
       deliver t ~dst ~src seq payload;
-      Net.send t.net ~src:dst ~dst:src (fun () -> ack t ~src ~dst seq))
+      Net.send ~cls:"ack" t.net ~src:dst ~dst:src (fun () -> ack t ~src ~dst seq))
 
 let rec arm_timer t ~src ~dst =
   let chan = t.chans.(src).(dst) in

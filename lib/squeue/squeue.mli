@@ -25,12 +25,16 @@ type 'a t
 val create :
   ?mode:mode ->
   ?retry_interval:float ->
+  ?obs:Esr_obs.Obs.t ->
   Esr_sim.Net.t ->
   handler:(site:int -> src:int -> 'a -> unit) ->
   'a t
 (** [handler ~site ~src msg] is invoked exactly once per message, at the
     destination [site], when the message (from [src]) is first deliverable.
-    [retry_interval] defaults to 50.0 (5x the default link latency). *)
+    [retry_interval] defaults to 50.0 (5x the default link latency).
+    With [?obs], the fabric's counters are registered as group ["squeue"]
+    gauges in its metrics registry; data and ack messages are labelled
+    with classes ["data"] / ["ack"] in the underlying network trace. *)
 
 val send : 'a t -> src:int -> dst:int -> 'a -> unit
 (** Enqueue a message.  Returns immediately; transport is asynchronous. *)

@@ -96,7 +96,7 @@ let gen_query_keys prng zipf ~key_cache (spec : Spec.t) =
       key_cache.(Dist.Zipf.sample zipf prng))
   |> List.sort_uniq String.compare
 
-let run ?(seed = 42) ?config ?net_config ?partition ?flush_every ~sites
+let run ?(seed = 42) ?config ?net_config ?partition ?flush_every ?obs ~sites
     ~method_name (spec : Spec.t) =
   let engine_hint =
     (* Expected arrivals; each spawns a handful of network events. *)
@@ -106,7 +106,7 @@ let run ?(seed = 42) ?config ?net_config ?partition ?flush_every ~sites
     Stdlib.max 64 (4 * int_of_float arrivals)
   in
   let harness =
-    Harness.create ?config ?net_config ~seed ~store_hint:spec.Spec.n_keys
+    Harness.create ?config ?net_config ?obs ~seed ~store_hint:spec.Spec.n_keys
       ~engine_hint ~sites ~method_name ()
   in
   let engine = Harness.engine harness in
@@ -227,7 +227,7 @@ let run ?(seed = 42) ?config ?net_config ?partition ?flush_every ~sites
             w_queries_served = !w_qv;
           })
         partition;
-    method_stats = Harness.stats harness;
+    method_stats = Harness.stats_alist harness;
     net_counters = Net.counters net;
   }
 

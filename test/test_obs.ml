@@ -1,0 +1,354 @@
+(* Tests for Esr_obs: ring-buffer trace sink, JSONL round-trip, metrics
+   registry, and the cross-cutting invariant that tracing is purely
+   observational — enabling it must not change a single simulated
+   outcome. *)
+
+module Obs = Esr_obs.Obs
+module Trace = Esr_obs.Trace
+module Metrics = Esr_obs.Metrics
+module Spec = Esr_workload.Spec
+module Scenario = Esr_workload.Scenario
+module Epsilon = Esr_core.Epsilon
+module Stats = Esr_util.Stats
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let checkf = Alcotest.check (Alcotest.float 1e-9)
+let checks = Alcotest.check Alcotest.string
+
+(* --- trace sink --- *)
+
+let ev_at i = Trace.Flush_round { round = i }
+
+let test_trace_disabled_is_inert () =
+  let t = Trace.make ~capacity:8 ~enabled:false () in
+  checkb "off" false (Trace.on t);
+  Trace.emit t ~time:1.0 (ev_at 0);
+  checki "nothing recorded" 0 (Trace.length t);
+  checki "nothing dropped" 0 (Trace.dropped t)
+
+let test_trace_ring_wraps () =
+  let t = Trace.make ~capacity:4 ~enabled:true () in
+  for i = 0 to 9 do
+    Trace.emit t ~time:(float_of_int i) (ev_at i)
+  done;
+  checki "capacity bounds length" 4 (Trace.length t);
+  checki "evictions counted" 6 (Trace.dropped t);
+  (* survivors are the newest four, oldest first *)
+  let rounds =
+    List.map
+      (fun (r : Trace.record) ->
+        match r.Trace.ev with
+        | Trace.Flush_round { round } -> round
+        | _ -> -1)
+      (Trace.to_list t)
+  in
+  Alcotest.(check (list int)) "newest survive, in order" [ 6; 7; 8; 9 ] rounds
+
+let test_trace_iter_order () =
+  let t = Trace.make ~capacity:16 ~enabled:true () in
+  for i = 0 to 4 do
+    Trace.emit t ~time:(float_of_int i *. 10.0) (ev_at i)
+  done;
+  let times = ref [] in
+  Trace.iter t (fun r -> times := r.Trace.time :: !times);
+  Alcotest.(check (list (float 1e-9)))
+    "oldest to newest" [ 0.0; 10.0; 20.0; 30.0; 40.0 ]
+    (List.rev !times)
+
+(* --- JSONL round-trip --- *)
+
+(* One representative record per constructor: the round-trip must cover
+   the whole vocabulary, including option/variant payloads. *)
+let vocabulary : Trace.record list =
+  let r time ev = { Trace.time; ev } in
+  [
+    r 0.5 (Trace.Msg_sent { src = 0; dst = 2; cls = "data" });
+    r 1.0
+      (Trace.Msg_dropped { src = 1; dst = 0; cls = "ack"; reason = Trace.Loss });
+    r 1.5
+      (Trace.Msg_dropped
+         { src = 1; dst = 0; cls = "msg"; reason = Trace.Partition });
+    r 2.0
+      (Trace.Msg_dropped
+         { src = 2; dst = 1; cls = "msg"; reason = Trace.Crashed_src });
+    r 2.5
+      (Trace.Msg_dropped
+         { src = 2; dst = 1; cls = "msg"; reason = Trace.Crashed_dst });
+    r 3.0 (Trace.Msg_duplicated { src = 0; dst = 1; cls = "data" });
+    r 3.5 (Trace.Msg_delivered { src = 0; dst = 1; cls = "data" });
+    r 4.0 (Trace.Partition_event { groups = [ [ 0; 1 ]; [ 2 ] ] });
+    r 4.5 Trace.Heal;
+    r 5.0 (Trace.Crash { site = 2 });
+    r 5.5 (Trace.Recover { site = 2 });
+    r 6.0 (Trace.Update_begin { u = 7; origin = 1; n_ops = 3 });
+    r 6.5 (Trace.Update_committed { u = 7; origin = 1; latency = 41.25 });
+    r 7.0 (Trace.Update_rejected { u = 8; origin = 0; reason = "conflict" });
+    r 7.5 (Trace.Query_begin { q = 3; site = 2; n_keys = 2; epsilon = Some 5 });
+    r 7.75 (Trace.Query_begin { q = 4; site = 0; n_keys = 1; epsilon = None });
+    r 8.0
+      (Trace.Query_served
+         {
+           q = 3;
+           site = 2;
+           charged = 2;
+           epsilon = Some 5;
+           consistent_path = false;
+           latency = 12.5;
+         });
+    r 8.5
+      (Trace.Query_served
+         {
+           q = 4;
+           site = 0;
+           charged = 0;
+           epsilon = None;
+           consistent_path = true;
+           latency = 99.0;
+         });
+    r 9.0 (Trace.Mset_enqueued { et = 7; origin = 1; n_ops = 3 });
+    r 9.5 (Trace.Mset_applied { et = 7; site = 2; n_ops = 3 });
+    r 10.0 (Trace.Compensation_fired { et = 7; site = 1; kind = `Fast });
+    r 10.5 (Trace.Compensation_fired { et = 7; site = 1; kind = `Full });
+    r 11.0 (Trace.Compensation_fired { et = 7; site = 1; kind = `Revoke });
+    r 11.5 (Trace.Flush_round { round = 4 });
+    r 12.0 (Trace.Converged { ok = true });
+  ]
+
+let test_jsonl_round_trip () =
+  List.iter
+    (fun r ->
+      let line = Trace.record_to_json r in
+      match Trace.record_of_json line with
+      | Error e -> Alcotest.failf "parse failed on %s: %s" line e
+      | Ok r' ->
+          checkb (Printf.sprintf "round-trip %s" line) true (r = r'))
+    vocabulary
+
+let test_jsonl_rejects_garbage () =
+  List.iter
+    (fun line ->
+      match Trace.record_of_json line with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "accepted garbage: %s" line)
+    [ ""; "{}"; "not json"; {|{"ts":1.0}|}; {|{"ts":1.0,"type":"nope"}|} ]
+
+(* --- metrics registry --- *)
+
+let test_metrics_counter_and_alist () =
+  let m = Metrics.create () in
+  let c = Metrics.counter m ~group:"method" "updates_committed" in
+  Metrics.incr c;
+  Metrics.incr c;
+  Metrics.add c 3.0;
+  checkf "counter value" 5.0 (Metrics.value c);
+  Metrics.gauge_fn m ~group:"engine" "pending" (fun () -> 17.0);
+  Alcotest.(check (list (pair string (float 1e-9))))
+    "group filter reproduces method list"
+    [ ("updates_committed", 5.0) ]
+    (Metrics.alist ~group:"method" m)
+
+let test_metrics_snapshot_order () =
+  let m = Metrics.create () in
+  let a = Metrics.counter m ~group:"g" "a" in
+  let _b = Metrics.counter m ~group:"g" "b" in
+  Metrics.incr a;
+  let names = List.map (fun e -> e.Metrics.name) (Metrics.snapshot m) in
+  Alcotest.(check (list string)) "registration order" [ "a"; "b" ] names
+
+let test_metrics_histogram () =
+  let m = Metrics.create () in
+  let h = Metrics.histogram m ~group:"g" ~buckets:[ 10.0; 100.0 ] "lat" in
+  List.iter (Metrics.observe h) [ 5.0; 50.0; 500.0; 7.0 ];
+  match Metrics.snapshot m with
+  | [ { Metrics.view = Metrics.Histogram_v { counts; sum; count; _ }; _ } ] ->
+      Alcotest.(check (array int)) "bucket counts" [| 2; 1; 1 |] counts;
+      checkf "sum" 562.0 sum;
+      checki "count" 4 count
+  | _ -> Alcotest.fail "expected one histogram entry"
+
+(* --- tracing must not perturb outcomes --- *)
+
+let small_spec =
+  {
+    Spec.default with
+    Spec.duration = 500.0;
+    update_rate = 0.04;
+    query_rate = 0.04;
+    n_keys = 8;
+    epsilon = Epsilon.Limit 4;
+  }
+
+(* Everything observable about a run, rendered to one string.  If tracing
+   changed any PRNG draw, event ordering, or metric, this differs. *)
+let fingerprint (r : Scenario.result) =
+  Format.asprintf "%a | stats=%a | net=%d/%d/%d/%d"
+    Scenario.pp_summary r
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
+       (fun ppf (k, v) -> Format.fprintf ppf "%s=%g" k v))
+    r.Scenario.method_stats r.Scenario.net_counters.Esr_sim.Net.sent
+    r.Scenario.net_counters.Esr_sim.Net.delivered
+    r.Scenario.net_counters.Esr_sim.Net.lost
+    r.Scenario.net_counters.Esr_sim.Net.blocked
+
+let run_with ~tracing ~seed ~method_name =
+  let obs = Obs.create ~tracing () in
+  let r = Scenario.run ~obs ~seed ~sites:3 ~method_name small_spec in
+  (fingerprint r, obs)
+
+let test_tracing_identical_outcomes () =
+  List.iter
+    (fun method_name ->
+      let off, _ = run_with ~tracing:false ~seed:17 ~method_name in
+      let on, obs = run_with ~tracing:true ~seed:17 ~method_name in
+      checks (method_name ^ " outcomes identical") off on;
+      checkb
+        (method_name ^ " trace non-empty")
+        true
+        (Trace.length obs.Obs.trace > 0))
+    [ "ORDUP"; "COMPE"; "2PC" ]
+
+let prop_tracing_invisible =
+  QCheck.Test.make ~count:20 ~name:"tracing on/off: identical run fingerprint"
+    QCheck.(pair (int_range 1 1000) (int_range 0 6))
+    (fun (seed, mi) ->
+      let method_name =
+        List.nth
+          [ "ORDUP"; "COMMU"; "RITU"; "COMPE"; "2PC"; "QUORUM"; "QUASI" ]
+          mi
+      in
+      let off, _ = run_with ~tracing:false ~seed ~method_name in
+      let on, _ = run_with ~tracing:true ~seed ~method_name in
+      String.equal off on)
+
+(* --- end-to-end trace content --- *)
+
+let traced_run ?(method_name = "ORDUP") () =
+  let obs = Obs.create ~tracing:true () in
+  let r = Scenario.run ~obs ~seed:17 ~sites:3 ~method_name small_spec in
+  (r, obs)
+
+let test_query_served_within_epsilon () =
+  let r, obs = traced_run () in
+  checkb "queries ran" true (r.Scenario.served > 0);
+  let seen = ref 0 in
+  Trace.iter obs.Obs.trace (fun rec_ ->
+      match rec_.Trace.ev with
+      | Trace.Query_served { charged; epsilon = Some eps; _ } ->
+          incr seen;
+          checkb "charged within budget" true (charged <= eps)
+      | Trace.Query_served { epsilon = None; _ } ->
+          Alcotest.fail "spec has a finite epsilon; trace says Unlimited"
+      | _ -> ());
+  checki "every served query traced" r.Scenario.served !seen
+
+let test_trace_covers_lifecycles () =
+  let r, obs = traced_run () in
+  let commits = ref 0 and begins = ref 0 and msets = ref 0 in
+  Trace.iter obs.Obs.trace (fun rec_ ->
+      match rec_.Trace.ev with
+      | Trace.Update_committed _ -> incr commits
+      | Trace.Update_begin _ -> incr begins
+      | Trace.Mset_applied _ -> incr msets
+      | _ -> ());
+  checki "one commit event per committed ET" r.Scenario.committed !commits;
+  checki "one begin per submission" r.Scenario.submitted_updates !begins;
+  checkb "msets propagate to peers" true (!msets > 0)
+
+let test_chrome_export_wellformed () =
+  let _, obs = traced_run () in
+  let path = Filename.temp_file "esr_trace" ".json" in
+  let oc = open_out path in
+  Trace.write_chrome oc ~sites:3 obs.Obs.trace;
+  close_out oc;
+  let ic = open_in_bin path in
+  let body = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Sys.remove path;
+  let contains needle =
+    let nl = String.length needle and bl = String.length body in
+    let rec go i = i + nl <= bl && (String.sub body i nl = needle || go (i + 1)) in
+    go 0
+  in
+  checkb "traceEvents array" true (contains "\"traceEvents\"");
+  checkb "complete spans" true (contains "\"ph\":\"X\"");
+  checkb "instants" true (contains "\"ph\":\"i\"");
+  checkb "per-site track names" true (contains "\"thread_name\"");
+  checkb "query spans labelled" true (contains "query_served");
+  (* braces/brackets balance: cheap well-formedness check without a JSON
+     parser (string payloads never contain braces) *)
+  let depth = ref 0 and ok = ref true in
+  String.iter
+    (fun c ->
+      (match c with
+      | '{' | '[' -> incr depth
+      | '}' | ']' -> decr depth
+      | _ -> ());
+      if !depth < 0 then ok := false)
+    body;
+  checkb "balanced nesting" true (!ok && !depth = 0)
+
+let test_jsonl_export_parses_back () =
+  let _, obs = traced_run () in
+  let path = Filename.temp_file "esr_trace" ".jsonl" in
+  let oc = open_out path in
+  Trace.write_jsonl oc obs.Obs.trace;
+  close_out oc;
+  let ic = open_in path in
+  let n = ref 0 in
+  (try
+     while true do
+       let line = input_line ic in
+       (match Trace.record_of_json line with
+       | Ok _ -> ()
+       | Error e -> Alcotest.failf "line %d unparseable (%s): %s" !n e line);
+       incr n
+     done
+   with End_of_file -> ());
+  close_in ic;
+  Sys.remove path;
+  checki "one line per record" (Trace.length obs.Obs.trace) !n
+
+let () =
+  Alcotest.run "esr_obs"
+    [
+      ( "trace",
+        [
+          Alcotest.test_case "disabled sink is inert" `Quick
+            test_trace_disabled_is_inert;
+          Alcotest.test_case "ring wraps, drops counted" `Quick
+            test_trace_ring_wraps;
+          Alcotest.test_case "iter oldest-first" `Quick test_trace_iter_order;
+        ] );
+      ( "jsonl",
+        [
+          Alcotest.test_case "round-trip whole vocabulary" `Quick
+            test_jsonl_round_trip;
+          Alcotest.test_case "rejects garbage" `Quick test_jsonl_rejects_garbage;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "counter + alist" `Quick
+            test_metrics_counter_and_alist;
+          Alcotest.test_case "snapshot order" `Quick test_metrics_snapshot_order;
+          Alcotest.test_case "histogram buckets" `Quick test_metrics_histogram;
+        ] );
+      ( "invisibility",
+        [
+          Alcotest.test_case "tracing on/off identical (3 methods)" `Quick
+            test_tracing_identical_outcomes;
+          QCheck_alcotest.to_alcotest prop_tracing_invisible;
+        ] );
+      ( "content",
+        [
+          Alcotest.test_case "charged within epsilon" `Quick
+            test_query_served_within_epsilon;
+          Alcotest.test_case "lifecycle coverage" `Quick
+            test_trace_covers_lifecycles;
+          Alcotest.test_case "chrome export well-formed" `Quick
+            test_chrome_export_wellformed;
+          Alcotest.test_case "jsonl export parses back" `Quick
+            test_jsonl_export_parses_back;
+        ] );
+    ]

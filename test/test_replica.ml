@@ -34,7 +34,7 @@ let run_settle h =
 let get h ~site key = Store.get (Harness.store h ~site) key
 
 let stat h name =
-  match List.assoc_opt name (Harness.stats h) with
+  match List.assoc_opt name (Harness.stats_alist h) with
   | Some v -> int_of_float v
   | None -> Alcotest.fail (Printf.sprintf "missing stat %s" name)
 

@@ -356,6 +356,9 @@ let test_net_partition_blocks () =
   Engine.run e;
   checkb "cross-partition blocked" false !crossed;
   checkb "intra-partition flows" true !local;
+  let c = Net.counters net in
+  checki "blocked counted as partition drop" 1 c.Net.blocked_partition;
+  checki "aggregate blocked agrees" 1 c.Net.blocked;
   Net.heal net;
   checkb "healed" true (Net.reachable net 0 2)
 
@@ -386,12 +389,25 @@ let test_net_crash_blocks_delivery () =
   checkb "delivered after recovery" true !arrived
 
 let test_net_crashed_sender () =
+  (* A send from a crashed site is a silent drop — it must not raise, and
+     it lands in the crashed_src counter, not in lost or partition. *)
   let e, net = mk_net ~sites:2 1 in
   Net.crash net 0;
   let arrived = ref false in
-  Net.send net ~src:0 ~dst:1 (fun () -> arrived := true);
+  let raised =
+    try
+      Net.send net ~src:0 ~dst:1 (fun () -> arrived := true);
+      false
+    with _ -> true
+  in
+  checkb "send from crashed site does not raise" false raised;
   Engine.run e;
-  checkb "crashed site cannot send" false !arrived
+  checkb "crashed site cannot send" false !arrived;
+  let c = Net.counters net in
+  checki "counted as crashed_src" 1 c.Net.crashed_src;
+  checki "not a partition drop" 0 c.Net.blocked_partition;
+  checki "not random loss" 0 c.Net.lost;
+  checki "aggregate blocked includes it" 1 c.Net.blocked
 
 let test_net_crash_at_arrival_time () =
   (* Message in flight when the destination crashes: dropped on arrival. *)
@@ -400,7 +416,8 @@ let test_net_crash_at_arrival_time () =
   Net.send net ~src:0 ~dst:1 (fun () -> arrived := true);
   ignore (Engine.schedule e ~delay:5.0 (fun () -> Net.crash net 1));
   Engine.run e;
-  checkb "dropped at arrival" false !arrived
+  checkb "dropped at arrival" false !arrived;
+  checki "counted as crashed_dst" 1 (Net.counters net).Net.crashed_dst
 
 let test_net_counters () =
   let e, net = mk_net ~sites:2 1 in
@@ -410,7 +427,11 @@ let test_net_counters () =
   let c = Net.counters net in
   checki "sent" 2 c.Net.sent;
   checki "delivered" 2 c.Net.delivered;
-  checki "lost" 0 c.Net.lost
+  checki "lost" 0 c.Net.lost;
+  checki "no partition drops" 0 c.Net.blocked_partition;
+  checki "no crashed-source drops" 0 c.Net.crashed_src;
+  checki "no crashed-destination drops" 0 c.Net.crashed_dst;
+  checki "no duplicates" 0 c.Net.duplicated
 
 let test_net_latency_distribution () =
   let config = { Net.default_config with latency = Dist.Uniform (5.0, 15.0) } in
