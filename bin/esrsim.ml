@@ -21,6 +21,8 @@ module Intf = Esr_replica.Intf
 module Registry = Esr_replica.Registry
 module Spec = Esr_workload.Spec
 module Scenario = Esr_workload.Scenario
+module Schedule = Esr_fault.Schedule
+module Nemesis = Esr_fault.Nemesis
 
 (* --- tables / experiments --- *)
 
@@ -230,6 +232,24 @@ let trace_format_arg =
         ~doc:"Trace file format: jsonl (one event per line) or chrome \
               (Chrome trace_event JSON, loadable in Perfetto).")
 
+let faults_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "faults" ] ~docv:"SPEC"
+        ~doc:"Inject a fault schedule, e.g. \"crash\\@400:2; recover\\@900:2; \
+              partition\\@1000:0 1|2 3; heal\\@1500\".  Crashed sites lose \
+              their volatile state and replay the durable log on recovery.")
+
+let parse_faults = function
+  | None -> None
+  | Some s -> (
+      match Schedule.of_spec s with
+      | Ok schedule -> Some schedule
+      | Error m ->
+          Printf.eprintf "--faults: %s\n" m;
+          exit 1)
+
 let metrics_arg =
   Arg.(
     value & flag
@@ -240,8 +260,8 @@ let metrics_arg =
 let run_cmd =
   let doc = "Run one workload against one method and print the metrics." in
   let run meth sites duration update_rate query_rate keys theta epsilon profile
-      seed loss latency ordering ritu_mode abort_p trace_file trace_format
-      show_metrics =
+      seed loss latency ordering ritu_mode abort_p faults_spec trace_file
+      trace_format show_metrics =
     match
       prepare_scenario ~meth ~duration ~update_rate ~query_rate ~keys ~theta
         ~epsilon ~profile ~loss ~latency ~ordering ~ritu_mode ~abort_p
@@ -250,10 +270,11 @@ let run_cmd =
         prerr_endline m;
         exit 1
     | Ok (spec, net_config, config) ->
+        let faults = parse_faults faults_spec in
         let obs = Obs.create ~tracing:(trace_file <> None) () in
         let r =
-          Scenario.run ~seed ~config ~net_config ~obs ~sites ~method_name:meth
-            spec
+          Scenario.run ~seed ~config ~net_config ~obs ?faults ~sites
+            ~method_name:meth spec
         in
         let t =
           Tablefmt.create
@@ -262,6 +283,9 @@ let run_cmd =
         in
         let add name v = Tablefmt.add_row t [ name; v ] in
         add "spec" (Format.asprintf "%a" Spec.pp spec);
+        (match faults with
+        | Some schedule -> add "faults" (Schedule.to_spec schedule)
+        | None -> ());
         add "updates committed" (Printf.sprintf "%d / %d" r.Scenario.committed r.Scenario.submitted_updates);
         add "updates rejected" (string_of_int r.Scenario.rejected);
         add "queries served" (Printf.sprintf "%d / %d" r.Scenario.served r.Scenario.submitted_queries);
@@ -299,14 +323,139 @@ let run_cmd =
             (fun e -> Format.printf "  %a@." Metrics.pp_entry e)
             (Metrics.snapshot obs.Obs.metrics)
         end;
-        if not r.Scenario.converged then exit 2
+        (* A schedule that leaves a site crashed or a partition standing
+           cannot converge; only all-clear runs gate the exit status. *)
+        let expect_convergence =
+          match faults with
+          | Some s -> Schedule.all_clear s
+          | None -> true
+        in
+        if expect_convergence && not r.Scenario.converged then exit 2
   in
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
       const run $ method_arg $ sites_arg $ duration_arg $ update_rate_arg
       $ query_rate_arg $ keys_arg $ theta_arg $ epsilon_arg $ profile_arg
       $ seed_arg $ loss_arg $ latency_arg $ ordering_arg $ ritu_mode_arg
-      $ abort_arg $ trace_file_arg $ trace_format_arg $ metrics_arg)
+      $ abort_arg $ faults_arg $ trace_file_arg $ trace_format_arg
+      $ metrics_arg)
+
+(* --- nemesis --- *)
+
+let nemesis_cmd =
+  let doc =
+    "Generate a seeded random fault schedule (crash/recover and \
+     partition/heal windows, all healed before quiescence) and assert \
+     that the method survives it: the system settles and the replicas \
+     converge.  With --method all, every registered method faces the \
+     same schedule; any failure makes the exit status non-zero."
+  in
+  let all_method_arg =
+    let doc = "Method to stress, or 'all' for the whole registry." in
+    Arg.(value & opt string "all" & info [ "m"; "method" ] ~docv:"METHOD" ~doc)
+  in
+  let windows_arg =
+    Arg.(
+      value & opt int Nemesis.default_profile.Nemesis.max_faults
+      & info [ "windows" ] ~docv:"N" ~doc:"Fault windows to generate.")
+  in
+  let crash_bias_arg =
+    Arg.(
+      value
+      & opt float Nemesis.default_profile.Nemesis.crash_bias
+      & info [ "crash-bias" ] ~docv:"P"
+          ~doc:"Probability a window is a crash rather than a partition.")
+  in
+  let trace_dir_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-dir" ] ~docv:"DIR"
+          ~doc:"Record each run's event trace into \
+                $(docv)/nemesis_METHOD_seedN.jsonl.")
+  in
+  let run meth sites duration update_rate query_rate keys theta seed windows
+      crash_bias trace_dir =
+    let methods =
+      if String.lowercase_ascii meth = "all" then
+        List.map (fun (m : Intf.meta) -> m.Intf.name) Registry.metas
+      else [ meth ]
+    in
+    let profile =
+      { Nemesis.default_profile with Nemesis.max_faults = windows; crash_bias }
+    in
+    let schedule =
+      Nemesis.generate ~profile ~seed ~sites ~duration:(duration *. 0.8) ()
+    in
+    Printf.printf "nemesis schedule (seed %d): %s\n" seed
+      (Schedule.to_spec schedule);
+    (match trace_dir with
+    | Some dir when not (Sys.file_exists dir) -> Sys.mkdir dir 0o755
+    | Some _ | None -> ());
+    let t =
+      Tablefmt.create
+        ~title:
+          (Printf.sprintf "nemesis on %d sites (seed %d, %d windows)" sites
+             seed windows)
+        ~headers:[ "Method"; "Settled"; "Converged"; "Replays"; "Committed" ]
+    in
+    let failures = ref [] in
+    List.iter
+      (fun meth ->
+        match
+          prepare_scenario ~meth ~duration ~update_rate ~query_rate ~keys
+            ~theta ~epsilon:(-1) ~profile:"auto" ~loss:0.0 ~latency:10.0
+            ~ordering:"sequencer" ~ritu_mode:"single" ~abort_p:0.0
+        with
+        | Error (`Msg m) ->
+            prerr_endline m;
+            exit 1
+        | Ok (spec, net_config, config) ->
+            let obs = Obs.create ~tracing:true () in
+            let r =
+              Scenario.run ~seed ~config ~net_config ~obs ~faults:schedule
+                ~sites ~method_name:meth spec
+            in
+            let replays = ref 0 in
+            Trace.iter obs.Obs.trace (fun record ->
+                match record.Trace.ev with
+                | Trace.Recovery_replay _ -> incr replays
+                | _ -> ());
+            (match trace_dir with
+            | Some dir ->
+                let file =
+                  Filename.concat dir
+                    (Printf.sprintf "nemesis_%s_seed%d.jsonl"
+                       (String.lowercase_ascii
+                          (String.map (function '/' -> '_' | c -> c) meth))
+                       seed)
+                in
+                write_trace ~file ~format:`Jsonl ~sites obs.Obs.trace
+            | None -> ());
+            let ok = r.Scenario.settled && r.Scenario.converged in
+            if not ok then failures := meth :: !failures;
+            Tablefmt.add_row t
+              [
+                meth;
+                Tablefmt.cell_bool r.Scenario.settled;
+                Tablefmt.cell_bool r.Scenario.converged;
+                string_of_int !replays;
+                Printf.sprintf "%d/%d" r.Scenario.committed
+                  r.Scenario.submitted_updates;
+              ])
+      methods;
+    Tablefmt.print t;
+    match List.rev !failures with
+    | [] -> ()
+    | fs ->
+        Printf.eprintf "nemesis: %s did not converge\n" (String.concat ", " fs);
+        exit 2
+  in
+  Cmd.v (Cmd.info "nemesis" ~doc)
+    Term.(
+      const run $ all_method_arg $ sites_arg $ duration_arg $ update_rate_arg
+      $ query_rate_arg $ keys_arg $ theta_arg $ seed_arg $ windows_arg
+      $ crash_bias_arg $ trace_dir_arg)
 
 (* --- trace --- *)
 
@@ -444,6 +593,7 @@ let main_cmd =
     [
       methods_cmd;
       run_cmd;
+      nemesis_cmd;
       trace_cmd;
       check_cmd;
       overlap_cmd;

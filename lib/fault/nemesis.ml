@@ -1,0 +1,49 @@
+module Prng = Esr_util.Prng
+
+type profile = {
+  max_faults : int;
+  crash_bias : float;
+  min_window : float;
+  max_window : float;
+}
+
+let default_profile =
+  { max_faults = 3; crash_bias = 0.6; min_window = 100.0; max_window = 600.0 }
+
+let generate ?(profile = default_profile) ~seed ~sites ~duration () =
+  if sites <= 0 then invalid_arg "Nemesis.generate: sites must be positive";
+  if duration <= 0.0 then
+    invalid_arg "Nemesis.generate: duration must be positive";
+  let prng = Prng.create seed in
+  let n_faults = Stdlib.max 1 profile.max_faults in
+  let min_w = Float.max 1.0 profile.min_window in
+  let max_w = Float.max min_w profile.max_window in
+  (* Lay the windows out sequentially: cut [0, duration] into n slots and
+     open one bounded fault window inside each, so recover/heal always
+     lands before [duration] and windows never overlap. *)
+  let slot = duration /. float_of_int n_faults in
+  let steps = ref [] in
+  for i = 0 to n_faults - 1 do
+    let slot_start = float_of_int i *. slot in
+    let width = Float.min max_w (Float.max min_w (slot *. 0.5)) in
+    let width = Float.min width (slot *. 0.9) in
+    let lead = Prng.float prng (Float.max 1.0 (slot -. width)) in
+    let t0 = slot_start +. lead in
+    let t1 = Float.min duration (t0 +. width) in
+    let crash_window = sites < 3 || Prng.bernoulli prng profile.crash_bias in
+    if crash_window then begin
+      let site = Prng.int prng sites in
+      steps := { Schedule.at = t1; action = Schedule.Recover site } :: !steps;
+      steps := { Schedule.at = t0; action = Schedule.Crash site } :: !steps
+    end
+    else begin
+      (* Split the sites in two around a random pivot: [0..pivot] vs the
+         rest (both groups non-empty since 1 <= pivot+1 <= sites-1). *)
+      let pivot = Prng.int prng (sites - 1) in
+      let rec range a b = if a > b then [] else a :: range (a + 1) b in
+      let groups = [ range 0 pivot; range (pivot + 1) (sites - 1) ] in
+      steps := { Schedule.at = t1; action = Schedule.Heal } :: !steps;
+      steps := { Schedule.at = t0; action = Schedule.Partition groups } :: !steps
+    end
+  done;
+  Schedule.make !steps

@@ -1,0 +1,29 @@
+(** Seeded random fault-schedule generator (the nemesis).
+
+    Produces {!Schedule.t} values that stress a run with crash/recover
+    windows and partition/heal windows, deterministically from a seed.
+    Generated schedules are always {e all-clear} ({!Schedule.all_clear}):
+    every fault is undone before {!Schedule.clear_time}, so a system that
+    is then driven to quiescence must converge — the property the fault
+    tests and the CI fault matrix assert. *)
+
+type profile = {
+  max_faults : int;  (** fault windows to generate (at least 1) *)
+  crash_bias : float;
+      (** probability a window is a crash window rather than a partition
+          window (partitions need at least 3 sites; with fewer, every
+          window is a crash window) *)
+  min_window : float;  (** shortest fault window, virtual ms *)
+  max_window : float;  (** longest fault window, virtual ms *)
+}
+
+val default_profile : profile
+(** 3 windows, 0.6 crash bias, windows of 100–600 virtual ms. *)
+
+val generate :
+  ?profile:profile -> seed:int -> sites:int -> duration:float -> unit -> Schedule.t
+(** Deterministic in [(profile, seed, sites, duration)].  Fault windows
+    are laid out sequentially (no overlap) inside [[0, duration]]; every
+    crash has its recover and every partition its heal no later than
+    [duration].  With [sites = 1] partitions are impossible and crashes
+    target the only site. *)

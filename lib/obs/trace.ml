@@ -24,6 +24,13 @@ type event =
   | Mset_enqueued of { et : int; origin : int; n_ops : int }
   | Mset_applied of { et : int; site : int; n_ops : int }
   | Compensation_fired of { et : int; site : int; kind : [ `Fast | `Full | `Revoke ] }
+  | Volatile_dropped of {
+      site : int;
+      buffered : int;
+      queries_failed : int;
+      updates_rejected : int;
+    }
+  | Recovery_replay of { site : int; n_actions : int }
   | Flush_round of { round : int }
   | Converged of { ok : bool }
 
@@ -139,6 +146,8 @@ let type_name = function
   | Mset_enqueued _ -> "mset_enqueued"
   | Mset_applied _ -> "mset_applied"
   | Compensation_fired _ -> "compensation_fired"
+  | Volatile_dropped _ -> "volatile_dropped"
+  | Recovery_replay _ -> "recovery_replay"
   | Flush_round _ -> "flush_round"
   | Converged _ -> "converged"
 
@@ -248,6 +257,14 @@ let record_to_json r =
       int "et" et;
       int "site" site;
       str "kind" (kind_to_string kind)
+  | Volatile_dropped { site; buffered; queries_failed; updates_rejected } ->
+      int "site" site;
+      int "buffered" buffered;
+      int "queries_failed" queries_failed;
+      int "updates_rejected" updates_rejected
+  | Recovery_replay { site; n_actions } ->
+      int "site" site;
+      int "n_actions" n_actions
   | Flush_round { round } -> int "round" round
   | Converged { ok } -> boolean "ok" ok);
   Buffer.add_char b '}';
@@ -505,6 +522,17 @@ let record_of_json line =
                 | None -> raise (Parse "bad compensation kind")
               in
               Compensation_fired { et = get_int "et"; site = get_int "site"; kind }
+          | "volatile_dropped" ->
+              Volatile_dropped
+                {
+                  site = get_int "site";
+                  buffered = get_int "buffered";
+                  queries_failed = get_int "queries_failed";
+                  updates_rejected = get_int "updates_rejected";
+                }
+          | "recovery_replay" ->
+              Recovery_replay
+                { site = get_int "site"; n_actions = get_int "n_actions" }
           | "flush_round" -> Flush_round { round = get_int "round" }
           | "converged" -> Converged { ok = get_bool "ok" }
           | other -> raise (Parse ("unknown event type " ^ other))
@@ -530,6 +558,7 @@ let event_track ~sites = function
   | Query_begin { site; _ } | Query_served { site; _ } -> site
   | Mset_enqueued { origin; _ } -> origin
   | Mset_applied { site; _ } | Compensation_fired { site; _ } -> site
+  | Volatile_dropped { site; _ } | Recovery_replay { site; _ } -> site
   | Partition_event _ | Heal | Flush_round _ | Converged _ -> sites
 
 (* Trace-viewer args payload: reuse the JSONL object minus ts/type. *)

@@ -48,6 +48,14 @@ type event =
   | Mset_enqueued of { et : int; origin : int; n_ops : int }
   | Mset_applied of { et : int; site : int; n_ops : int }
   | Compensation_fired of { et : int; site : int; kind : [ `Fast | `Full | `Revoke ] }
+  | Volatile_dropped of {
+      site : int;
+      buffered : int;  (** order-buffer MSets lost with volatile memory *)
+      queries_failed : int;  (** parked/active queries failed degraded *)
+      updates_rejected : int;  (** un-notified origin outcomes rejected *)
+    }  (** a site crash wiped its volatile state *)
+  | Recovery_replay of { site : int; n_actions : int }
+      (** recovery rebuilt the site image by replaying its durable log *)
   | Flush_round of { round : int }
   | Converged of { ok : bool }
 

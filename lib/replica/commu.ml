@@ -38,13 +38,25 @@ type msg =
   | Applied of { et : Et.id; by : int }  (** ack back to the origin *)
   | Complete of { et : Et.id; charges : (string * float) list }
 
+(* A parked continuation: [resume] when the counters drain, [fail] when
+   the site crashes and the volatile wait context is lost. *)
+type parked = { resume : unit -> unit; fail : unit -> unit }
+
+(* Registration for an in-step (not parked) query so a crash can reach it:
+   the scheduled step checks [killed] and finishes degraded. *)
+type active_q = { mutable killed : bool }
+
 type site = {
   id : int;
-  store : Store.t;
-  mutable hist : Hist.t;
+  mutable store : Store.t;  (* volatile image; rebuilt from [hist] *)
+  mutable hist : Hist.t;  (* the durable log *)
   counters : Lock_counter.t;
-  mutable parked_queries : (unit -> unit) list;
-  mutable parked_updates : (unit -> unit) list;
+      (* derivable from the durable log (applied-but-uncompleted ETs), so
+         recovery keeps them: modelled as durable *)
+  mutable parked_queries : parked list;
+  mutable parked_updates : parked list;
+  mutable active_queries : active_q list;
+  mutable down : bool;
 }
 
 (* Origin-side record of an update ET awaiting acks from all replicas. *)
@@ -78,12 +90,12 @@ let log_action site ~et ~key op =
 let wake_queries site =
   let waiting = List.rev site.parked_queries in
   site.parked_queries <- [];
-  List.iter (fun resume -> resume ()) waiting
+  List.iter (fun p -> p.resume ()) waiting
 
 let wake_updates site =
   let waiting = List.rev site.parked_updates in
   site.parked_updates <- [];
-  List.iter (fun resume -> resume ()) waiting
+  List.iter (fun p -> p.resume ()) waiting
 
 let apply_mset t site mset =
   let trace = t.env.Intf.obs.Esr_obs.Obs.trace in
@@ -138,6 +150,7 @@ let create (env : Intf.env) =
       (let fabric =
          Squeue.create ~mode:Squeue.Unordered
            ~retry_interval:env.Intf.config.Intf.retry_interval
+           ?backoff:env.Intf.config.Intf.retry_backoff
            ~obs:env.Intf.obs env.Intf.net
            ~handler:(fun ~site ~src:_ msg -> receive (Lazy.force t) ~site msg)
        in
@@ -152,6 +165,8 @@ let create (env : Intf.env) =
                  counters = Lock_counter.create ();
                  parked_queries = [];
                  parked_updates = [];
+                 active_queries = [];
+                 down = false;
                });
          fabric;
          inflight = Hashtbl.create 32;
@@ -175,6 +190,8 @@ let intent_to_op = function
            "COMMU: Mul on %s does not commute with the additive class" k)
 
 let submit_update t ~origin intents k =
+  if t.sites.(origin).down then k (Intf.Rejected "origin site down")
+  else
   let translated = List.map intent_to_op intents in
   match List.find_opt Result.is_error translated with
   | Some (Error message) ->
@@ -230,7 +247,15 @@ let submit_update t ~origin intents k =
                       else "COMMU: lock-counter limit reached"))
             | `Wait ->
                 t.n_update_waits <- t.n_update_waits + 1;
-                site.parked_updates <- attempt :: site.parked_updates
+                let fail () =
+                  (* The site crashed while the update waited for its
+                     counters; the wait context is volatile, so the client
+                     gets a rejection (the ET never applied anywhere). *)
+                  t.n_rejected <- t.n_rejected + 1;
+                  k (Intf.Rejected "COMMU: origin site crashed while waiting")
+                in
+                site.parked_updates <-
+                  { resume = attempt; fail } :: site.parked_updates
           else begin
             let mset = { et; ops; origin } in
             let trace = t.env.Intf.obs.Esr_obs.Obs.trace in
@@ -259,6 +284,18 @@ let submit_query t ~site:site_id ~keys ~epsilon k =
   let started_at = Engine.now t.env.engine in
   let waited = ref false in
   let values = ref [] in
+  if site.down then
+    (* Graceful failure: a crashed site answers from its last image,
+       flagged degraded. *)
+    k
+      {
+        Intf.values = List.map (fun key -> (key, Store.get site.store key)) keys;
+        charged = 0;
+        consistent_path = false;
+        started_at;
+        served_at = Engine.now t.env.engine;
+      }
+  else
   (* A strictly serializable query must see an atomic snapshot: since
      MSets apply atomically per site, it suffices to wait until every key
      is simultaneously free of in-flight updates and read them all in one
@@ -287,23 +324,46 @@ let submit_query t ~site:site_id ~keys ~epsilon k =
       else begin
         waited := true;
         t.n_query_waits <- t.n_query_waits + 1;
-        site.parked_queries <- strict_attempt :: site.parked_queries
+        let fail () =
+          (* Crash while waiting for a clean snapshot: answer degraded
+             from whatever the site last held. *)
+          k
+            {
+              Intf.values =
+                List.map (fun key -> (key, Store.get site.store key)) keys;
+              charged = 0;
+              consistent_path = false;
+              started_at;
+              served_at = Engine.now t.env.engine;
+            }
+        in
+        site.parked_queries <-
+          { resume = strict_attempt; fail } :: site.parked_queries
       end
     in
     strict_attempt ()
   end
-  else
+  else begin
+  let aq = { killed = false } in
+  site.active_queries <- aq :: site.active_queries;
+  let finish ~consistent vs =
+    site.active_queries <- List.filter (fun a -> a != aq) site.active_queries;
+    k
+      {
+        Intf.values = vs;
+        charged = Epsilon.value eps;
+        consistent_path = consistent;
+        started_at;
+        served_at = Engine.now t.env.engine;
+      }
+  in
   let rec step remaining =
+    if aq.killed then
+      (* Crash mid-query: serve what was gathered, degraded. *)
+      finish ~consistent:false (List.rev !values)
+    else
     match remaining with
-    | [] ->
-        k
-          {
-            Intf.values = List.rev !values;
-            charged = Epsilon.value eps;
-            consistent_path = !waited;
-            started_at;
-            served_at = Engine.now t.env.engine;
-          }
+    | [] -> finish ~consistent:!waited (List.rev !values)
     | key :: rest ->
         let pending = Lock_counter.count site.counters key in
         let admissible = pending = 0 || Epsilon.try_charge eps pending in
@@ -324,18 +384,58 @@ let submit_query t ~site:site_id ~keys ~epsilon k =
           waited := true;
           t.n_query_waits <- t.n_query_waits + 1;
           site.parked_queries <-
-            (fun () -> step remaining) :: site.parked_queries
+            {
+              resume = (fun () -> step remaining);
+              fail = (fun () -> finish ~consistent:false (List.rev !values));
+            }
+            :: site.parked_queries
         end
   in
   step keys
+  end
 
 let flush _ = ()
+
+let on_crash t ~site:site_id =
+  let site = t.sites.(site_id) in
+  if not site.down then begin
+    site.down <- true;
+    (* COMMU applies MSets on receipt, so there is no order buffer to lose.
+       The lock counters and origin-side ack tables are derivable from the
+       durable log (applied-but-uncompleted ETs) — classic coordinator-log
+       state — so they survive; acks and completions blocked by the outage
+       arrive through the stable-queue backlog after recovery.  What dies
+       is the wait contexts: parked and in-step queries answer degraded,
+       parked (never-applied) updates are rejected. *)
+    let pq = site.parked_queries and pu = site.parked_updates in
+    site.parked_queries <- [];
+    site.parked_updates <- [];
+    List.iter (fun p -> p.fail ()) pq;
+    List.iter (fun p -> p.fail ()) pu;
+    let killed = List.length site.active_queries in
+    List.iter (fun aq -> aq.killed <- true) site.active_queries;
+    site.active_queries <- [];
+    Recovery.emit_volatile_dropped ~obs:t.env.Intf.obs ~engine:t.env.Intf.engine
+      ~site:site_id ~buffered:0
+      ~queries_failed:(List.length pq + killed)
+      ~updates_rejected:(List.length pu)
+  end
+
+let on_recover t ~site:site_id =
+  let site = t.sites.(site_id) in
+  if site.down then begin
+    site.down <- false;
+    site.store <-
+      Recovery.replay_store ~obs:t.env.Intf.obs ~engine:t.env.Intf.engine
+        ~site:site_id site.hist
+  end
 
 let quiescent t =
   Hashtbl.length t.inflight = 0
   && Array.for_all
        (fun site ->
          site.parked_queries = [] && site.parked_updates = []
+         && site.active_queries = []
          && Lock_counter.total_nonzero site.counters = 0)
        t.sites
 

@@ -27,6 +27,17 @@ val submit_query :
   unit
 
 val flush : t -> unit
+
+val on_crash : t -> site:int -> unit
+(** Volatile state at the site is lost: wait contexts fail degraded,
+    buffered work is dropped, and in-doubt coordination this site led is
+    presumed aborted.  Durable state (the log and protocol journals)
+    survives.  Idempotent while the site stays down. *)
+
+val on_recover : t -> site:int -> unit
+(** Rebuild the volatile image by replaying the durable log, re-ingest
+    journaled protocol state, and resume.  Idempotent while up. *)
+
 val quiescent : t -> bool
 val store : t -> site:int -> Esr_store.Store.t
 val mvstore : t -> site:int -> Esr_store.Mvstore.t option

@@ -68,20 +68,28 @@ type active_query = {
          this query has read so far *)
   aq_eps : Epsilon.counter;
   mutable aq_forced : int;
+  mutable aq_killed : bool;  (* the site crashed mid-query: finish degraded *)
 }
 
 type done_query = { dq_observed : Et.id list; mutable dq_tainted : bool }
 
+(* A parked continuation: [resume] when the counters drain, [fail] when
+   the site crashes and the volatile wait context is lost. *)
+type parked = { resume : unit -> unit; fail : unit -> unit }
+
 type site = {
   id : int;
-  store : Store.t;
-  mutable hist : Hist.t;
+  mutable store : Store.t;  (* volatile image; rebuilt from [hist] *)
+  mutable hist : Hist.t;  (* the durable log *)
   mutable last_exec : int;
   buffer : (int, mset) Hashtbl.t;
-  mutable log : entry list;  (* newest first *)
+  mutable log : entry list;
+      (* newest first.  This is COMPE's undo/redo journal (the Time Warp
+         log of §4.1): durable, like [hist] — the before-image chains ARE
+         the recovery log. *)
   counters : Lock_counter.t;
   early : (Et.id, bool) Hashtbl.t;  (* decision arrived before execution *)
-  mutable parked_queries : (unit -> unit) list;
+  mutable parked_queries : parked list;
   mutable active : active_query list;
   mutable completed : done_query list;
   saga_held : (int, string list ref) Hashtbl.t;
@@ -92,6 +100,15 @@ type site = {
   ended_sagas : (int, unit) Hashtbl.t;
       (* Saga_end may overtake a step's commit decision: late steps of an
          ended saga release their counters immediately *)
+  mutable down : bool;
+}
+
+(* A globally undecided update ET, indexed so a crash of its origin (the
+   coordinator) can force a presumed-abort decision before the timer. *)
+type decision = {
+  d_origin : int;
+  mutable d_done : bool;
+  d_apply : commit:bool -> unit;
 }
 
 type t = {
@@ -101,6 +118,12 @@ type t = {
   sites : site array;
   fabric : msg Squeue.t;
   outcomes : (Et.id, Intf.update_outcome -> unit) Hashtbl.t;
+  wal : (Et.id, mset) Recovery.Wal.t;  (* durable MSet receipt journal *)
+  decisions : (Et.id, decision) Hashtbl.t;
+  mutable deferred_local : (int * msg) list;
+      (* a site's own coordinator records (decisions, revokes) landing
+         while it is down; replayed — in order — at recovery.  Newest
+         first. *)
   mutable undecided : int;  (* globally undecided update ETs *)
   mutable next_saga : int;
   mutable sagas_active : int;
@@ -135,7 +158,7 @@ let log_action site ~et ~key op =
 let wake_queries site =
   let waiting = List.rev site.parked_queries in
   site.parked_queries <- [];
-  List.iter (fun resume -> resume ()) waiting
+  List.iter (fun p -> p.resume ()) waiting
 
 (* --- compensation machinery --- *)
 
@@ -347,6 +370,7 @@ and remove_first key = function
   | head :: rest -> if String.equal head key then rest else head :: remove_first key rest
 
 let execute t site mset =
+  Recovery.Wal.consume t.wal ~site:site.id ~key:mset.et;
   match Hashtbl.find_opt site.early mset.et with
   | Some false ->
       (* Aborted before it ever executed here: skip entirely. *)
@@ -403,11 +427,22 @@ let receive t ~site:site_id msg =
   let site = t.sites.(site_id) in
   match msg with
   | Provisional mset ->
+      (* Journal the receipt before it enters the volatile order buffer
+         (see ordup.ml: the transport has acked it, so the journal holds
+         the only durable copy until execution logs it). *)
+      Recovery.Wal.append t.wal ~site:site_id ~key:mset.et mset;
       Hashtbl.replace site.buffer mset.ticket mset;
       drain t site
   | Decide { et; commit } -> process_decision t site et ~commit
   | Revoke { et } -> revoke t site et
   | Saga_end { sid } -> saga_end t site sid
+
+(* Local (origin-side) copies bypass the network; while the origin is
+   down they are stashed as its durable coordinator records and replayed
+   at recovery. *)
+let local_receive t ~site msg =
+  if t.sites.(site).down then t.deferred_local <- (site, msg) :: t.deferred_local
+  else receive t ~site msg
 
 let create (env : Intf.env) =
   let rec t =
@@ -415,6 +450,7 @@ let create (env : Intf.env) =
       (let fabric =
          Squeue.create ~mode:Squeue.Unordered
            ~retry_interval:env.Intf.config.Intf.retry_interval
+           ?backoff:env.Intf.config.Intf.retry_backoff
            ~obs:env.Intf.obs env.Intf.net
            ~handler:(fun ~site ~src:_ msg -> receive (Lazy.force t) ~site msg)
        in
@@ -439,9 +475,13 @@ let create (env : Intf.env) =
                  saga_held = Hashtbl.create 8;
                  pending_revokes = Hashtbl.create 8;
                  ended_sagas = Hashtbl.create 8;
+                 down = false;
                });
          fabric;
          outcomes = Hashtbl.create 32;
+         wal = Recovery.Wal.create ~sites:env.Intf.sites;
+         decisions = Hashtbl.create 32;
+         deferred_local = [];
          undecided = 0;
          next_saga = 0;
          sagas_active = 0;
@@ -484,21 +524,33 @@ let launch_step t ~origin ~saga ops ~on_decision =
   Squeue.broadcast t.fabric ~src:origin (Provisional mset);
   receive t ~site:origin (Provisional mset);
   let config = t.env.Intf.config in
+  let d_apply ~commit =
+    if not commit then t.n_aborts <- t.n_aborts + 1;
+    t.undecided <- t.undecided - 1;
+    (* If the origin is down, the stable queue holds the broadcast and the
+       local copy is stashed as a coordinator record for replay. *)
+    Squeue.broadcast t.fabric ~src:origin (Decide { et; commit });
+    local_receive t ~site:origin (Decide { et; commit });
+    on_decision ~et ~commit
+  in
+  let d = { d_origin = origin; d_done = false; d_apply } in
+  Hashtbl.replace t.decisions et d;
   ignore
     (Engine.schedule t.env.engine ~delay:config.Intf.compe_decision_delay
        (fun () ->
-         let commit =
-           not (Prng.bernoulli t.prng config.Intf.compe_abort_probability)
-         in
-         if not commit then t.n_aborts <- t.n_aborts + 1;
-         t.undecided <- t.undecided - 1;
-         Squeue.broadcast t.fabric ~src:origin (Decide { et; commit });
-         receive t ~site:origin (Decide { et; commit });
-         on_decision ~et ~commit));
+         if not d.d_done then begin
+           d.d_done <- true;
+           Hashtbl.remove t.decisions et;
+           let commit =
+             not (Prng.bernoulli t.prng config.Intf.compe_abort_probability)
+           in
+           d_apply ~commit
+         end));
   et
 
 let submit_update t ~origin intents k =
-  if intents = [] then k (Intf.Rejected "empty update ET")
+  if t.sites.(origin).down then k (Intf.Rejected "origin site down")
+  else if intents = [] then k (Intf.Rejected "empty update ET")
   else begin
     t.n_updates <- t.n_updates + 1;
     let ops = List.map intent_to_op intents in
@@ -518,7 +570,8 @@ let submit_update t ~origin intents k =
    If a step's global decision is an abort, every previously committed
    step is revoked (compensated) in reverse order and the saga fails. *)
 let submit_saga t ~origin steps k =
-  if steps = [] || List.exists (fun intents -> intents = []) steps then
+  if t.sites.(origin).down then k (Intf.Rejected "origin site down")
+  else if steps = [] || List.exists (fun intents -> intents = []) steps then
     k (Intf.Rejected "saga with an empty step")
   else begin
     t.n_sagas <- t.n_sagas + 1;
@@ -533,7 +586,7 @@ let submit_saga t ~origin steps k =
       | [] ->
           (* All steps committed: release the deferred counters. *)
           Squeue.broadcast t.fabric ~src:origin (Saga_end { sid });
-          receive t ~site:origin (Saga_end { sid });
+          local_receive t ~site:origin (Saga_end { sid });
           finish (Intf.Committed { committed_at = Engine.now t.env.engine })
       | intents :: rest ->
           t.n_updates <- t.n_updates + 1;
@@ -549,7 +602,7 @@ let submit_saga t ~origin steps k =
                    List.iter
                      (fun prev_et ->
                        Squeue.broadcast t.fabric ~src:origin (Revoke { et = prev_et });
-                       receive t ~site:origin (Revoke { et = prev_et }))
+                       local_receive t ~site:origin (Revoke { et = prev_et }))
                      committed_ets;
                    finish
                      (Intf.Rejected
@@ -565,10 +618,37 @@ let submit_query t ~site:site_id ~keys ~epsilon k =
   let et = t.env.Intf.next_et () in
   let eps = Epsilon.create epsilon in
   let started_at = Engine.now t.env.engine in
-  let aq = { aq_keys = keys; aq_observed = []; aq_eps = eps; aq_forced = 0 } in
+  let degraded vs =
+    k
+      {
+        Intf.values = vs;
+        charged = Epsilon.value eps;
+        consistent_path = false;
+        started_at;
+        served_at = Engine.now t.env.engine;
+      }
+  in
+  if site.down then
+    (* Graceful failure: a crashed site answers from its last image,
+       flagged degraded. *)
+    degraded (List.map (fun key -> (key, Store.get site.store key)) keys)
+  else begin
+  let aq =
+    {
+      aq_keys = keys;
+      aq_observed = [];
+      aq_eps = eps;
+      aq_forced = 0;
+      aq_killed = false;
+    }
+  in
   site.active <- aq :: site.active;
   let waited = ref false in
   let values = ref [] in
+  let fail_degraded vs =
+    site.active <- List.filter (fun a -> a != aq) site.active;
+    degraded vs
+  in
   (* Strict queries take an atomic snapshot once every key is free of
      undecided provisional updates (see the same reasoning in commu.ml). *)
   if epsilon = Epsilon.Limit 0 then begin
@@ -597,13 +677,27 @@ let submit_query t ~site:site_id ~keys ~epsilon k =
       else begin
         waited := true;
         t.n_query_waits <- t.n_query_waits + 1;
-        site.parked_queries <- strict_attempt :: site.parked_queries
+        site.parked_queries <-
+          {
+            resume = strict_attempt;
+            fail =
+              (fun () ->
+                fail_degraded
+                  (List.map (fun key -> (key, Store.get site.store key)) keys));
+          }
+          :: site.parked_queries
       end
     in
     strict_attempt ()
   end
   else
   let rec step remaining =
+    if aq.aq_killed then
+      (* Crash mid-query: serve what was gathered, degraded.  The query
+         skips the completed list — its outcome already reports the
+         inconsistency. *)
+      degraded (List.rev !values)
+    else
     match remaining with
     | [] ->
         site.active <- List.filter (fun a -> a != aq) site.active;
@@ -636,15 +730,85 @@ let submit_query t ~site:site_id ~keys ~epsilon k =
           waited := true;
           t.n_query_waits <- t.n_query_waits + 1;
           site.parked_queries <-
-            (fun () -> step remaining) :: site.parked_queries
+            {
+              resume = (fun () -> step remaining);
+              fail = (fun () -> fail_degraded (List.rev !values));
+            }
+            :: site.parked_queries
         end
   in
   step keys
+  end
 
 let flush _ = ()
 
+let on_crash t ~site:site_id =
+  let site = t.sites.(site_id) in
+  if not site.down then begin
+    site.down <- true;
+    (* Durable: [hist], the undo/redo journal ([site.log]), the
+       lock-counters and decision-bookkeeping tables (early / revokes /
+       saga holds) — all coordinator-log state.  Volatile: the order
+       buffer (receipt-journaled in [t.wal]), wait contexts, and the
+       store image. *)
+    let buffered = Hashtbl.length site.buffer in
+    Hashtbl.reset site.buffer;
+    let parked = site.parked_queries in
+    site.parked_queries <- [];
+    List.iter (fun p -> p.fail ()) parked;
+    let killed = List.length site.active in
+    List.iter (fun aq -> aq.aq_killed <- true) site.active;
+    site.active <- [];
+    (* The crashed site was the coordinator of its undecided update ETs:
+       presumed abort.  The abort records reach the remotes through the
+       stable queue (now, if reachable) and this site at replay time. *)
+    let orphaned =
+      Hashtbl.fold
+        (fun et d acc ->
+          if d.d_origin = site_id && not d.d_done then (et, d) :: acc else acc)
+        t.decisions []
+      |> List.sort (fun (a, _) (b, _) -> compare a b)
+    in
+    List.iter
+      (fun (et, d) ->
+        d.d_done <- true;
+        Hashtbl.remove t.decisions et;
+        d.d_apply ~commit:false)
+      orphaned;
+    Recovery.emit_volatile_dropped ~obs:t.env.Intf.obs ~engine:t.env.Intf.engine
+      ~site:site_id ~buffered
+      ~queries_failed:(List.length parked + killed)
+      ~updates_rejected:(List.length orphaned)
+  end
+
+let on_recover t ~site:site_id =
+  let site = t.sites.(site_id) in
+  if site.down then begin
+    site.down <- false;
+    (* Rebuild the store image from the durable log (every mutation —
+       provisional applies, compensations, rollback repairs — is logged,
+       so the replay lands exactly on the pre-crash image the journal's
+       before-image chains describe)... *)
+    site.store <-
+      Recovery.replay_store ~obs:t.env.Intf.obs ~engine:t.env.Intf.engine
+        ~site:site_id site.hist;
+    (* ...re-ingest journaled-but-unexecuted provisional MSets... *)
+    List.iter
+      (fun mset -> Hashtbl.replace site.buffer mset.ticket mset)
+      (Recovery.Wal.entries t.wal ~site:site_id);
+    drain t site;
+    (* ...and replay the site's own coordinator records that landed while
+       it was down, in arrival order. *)
+    let mine, others =
+      List.partition (fun (s, _) -> s = site_id) (List.rev t.deferred_local)
+    in
+    t.deferred_local <- List.rev others;
+    List.iter (fun (_, msg) -> receive t ~site:site_id msg) mine;
+    wake_queries site
+  end
+
 let quiescent t =
-  t.undecided = 0 && t.sagas_active = 0
+  t.undecided = 0 && t.sagas_active = 0 && t.deferred_local = []
   && Array.for_all
        (fun site ->
          Hashtbl.length site.buffer = 0

@@ -94,11 +94,40 @@ let now t = Engine.now t.engine
 
 let run_for t duration = Engine.run ~until:(now t +. duration) t.engine
 
+let inject_faults t schedule =
+  match Esr_fault.Schedule.validate ~sites:t.env.Intf.sites schedule with
+  | Error msg -> invalid_arg ("Harness.inject_faults: " ^ msg)
+  | Ok () ->
+      Esr_fault.Schedule.inject t.engine t.net schedule
+        ~on_crash:(fun site -> Intf.boxed_on_crash t.system ~site)
+        ~on_recover:(fun site -> Intf.boxed_on_recover t.system ~site)
+
+type stuck_reason =
+  | Sites_down of int list
+  | Partitioned of int list list
+  | Protocol_stalled of { rounds : int }
+
+type settle_outcome = Drained | Stuck of stuck_reason
+
+let stuck_reason_to_string = function
+  | Sites_down sites ->
+      Printf.sprintf "sites still crashed: %s"
+        (String.concat ", " (List.map string_of_int sites))
+  | Partitioned groups ->
+      Printf.sprintf "network partitioned: %s"
+        (String.concat " | "
+           (List.map
+              (fun g -> String.concat " " (List.map string_of_int g))
+              groups))
+  | Protocol_stalled { rounds } ->
+      Printf.sprintf "protocol not quiescent after %d flush rounds" rounds
+
 (** Drain everything: repeatedly run the event loop and flush the method
-    until both the engine and the protocol report quiescence.  Returns
-    [false] if [max_rounds] flush rounds were not enough (e.g. a network
-    partition is still in force). *)
-let settle ?(max_rounds = 10) t =
+    until both the engine and the protocol report quiescence.  When
+    [max_rounds] flush rounds are not enough, the diagnostic says why the
+    system cannot drain: a crashed site or a standing partition keeps
+    stable-queue backlogs pinned, otherwise the protocol itself stalled. *)
+let settle_result ?(max_rounds = 10) t =
   let trace = t.obs.Obs.trace in
   let round = ref 0 in
   let flush () =
@@ -109,10 +138,18 @@ let settle ?(max_rounds = 10) t =
     Intf.boxed_flush t.system
   in
   let rec loop rounds =
-    if rounds = 0 then false
+    if rounds = 0 then
+      let reason =
+        match Net.down_sites t.net with
+        | _ :: _ as down -> Sites_down down
+        | [] ->
+            if Net.partitioned t.net then Partitioned (Net.partition_groups t.net)
+            else Protocol_stalled { rounds = max_rounds }
+      in
+      Stuck reason
     else begin
       Engine.run t.engine;
-      if Intf.boxed_quiescent t.system then true
+      if Intf.boxed_quiescent t.system then Drained
       else begin
         flush ();
         loop (rounds - 1)
@@ -121,6 +158,18 @@ let settle ?(max_rounds = 10) t =
   in
   flush ();
   loop max_rounds
+
+(** Bool-compat wrapper over {!settle_result}. *)
+let settle ?max_rounds t =
+  match settle_result ?max_rounds t with Drained -> true | Stuck _ -> false
+
+let run_with_faults ?max_rounds t ~schedule ~workload =
+  inject_faults t schedule;
+  workload t;
+  (* Run at least past the schedule's last step so an all-clear schedule
+     really is all clear before we try to drain. *)
+  Engine.run ~until:(Esr_fault.Schedule.clear_time schedule) t.engine;
+  settle_result ?max_rounds t
 
 let converged t =
   let ok = Intf.boxed_converged t.system in
@@ -131,9 +180,13 @@ let converged t =
 (** All per-site states equal and the protocol quiescent — the paper's
     convergence property, checked exactly. *)
 let check_convergence t =
-  if not (settle t) then Error "system did not reach quiescence"
-  else if not (converged t) then Error "replicas diverge at quiescence"
-  else Ok ()
+  match settle_result t with
+  | Stuck reason ->
+      Error
+        (Printf.sprintf "system did not reach quiescence (%s)"
+           (stuck_reason_to_string reason))
+  | Drained ->
+      if not (converged t) then Error "replicas diverge at quiescence" else Ok ()
 
 let submit_update t ~origin intents k =
   let u = t.next_u in

@@ -44,17 +44,53 @@ val now : t -> float
 val run_for : t -> float -> unit
 (** Advance virtual time by the given number of milliseconds. *)
 
-val settle : ?max_rounds:int -> t -> bool
+val inject_faults : t -> Esr_fault.Schedule.t -> unit
+(** Arm a fault schedule on the engine before (or while) driving the
+    workload: crashes wipe the method's volatile state at the target
+    site ({!Intf.S.on_crash}), recoveries replay the durable log and
+    catch up ({!Intf.S.on_recover}); partitions and heals act on the
+    network alone.  Raises [Invalid_argument] if the schedule references
+    a site outside this system.  *)
+
+(** Why {!settle_result} could not drain the system. *)
+type stuck_reason =
+  | Sites_down of int list  (** crashed sites pin their stable-queue backlog *)
+  | Partitioned of int list list  (** standing partition groups *)
+  | Protocol_stalled of { rounds : int }
+      (** network whole, yet the method is still not quiescent *)
+
+type settle_outcome = Drained | Stuck of stuck_reason
+
+val stuck_reason_to_string : stuck_reason -> string
+
+val settle_result : ?max_rounds:int -> t -> settle_outcome
 (** Drain everything: alternate running the event loop and flushing the
     method until both the transport and the protocol are quiescent.
-    [false] when [max_rounds] (default 10) flush rounds were not enough —
-    e.g. a partition is still in force. *)
+    [Stuck reason] when [max_rounds] (default 10) flush rounds were not
+    enough, saying why — a crashed site, a standing partition, or a stall
+    in the protocol itself. *)
+
+val settle : ?max_rounds:int -> t -> bool
+(** Bool-compat wrapper over {!settle_result}: [true] iff [Drained]. *)
+
+val run_with_faults :
+  ?max_rounds:int ->
+  t ->
+  schedule:Esr_fault.Schedule.t ->
+  workload:(t -> unit) ->
+  settle_outcome
+(** [inject_faults], run [workload t] (which typically submits updates
+    and queries on a virtual-time clock), advance the engine past the
+    schedule's {!Esr_fault.Schedule.clear_time}, then {!settle_result}.
+    For an all-clear schedule a correct method must yield [Drained] with
+    {!converged} [= true] afterwards. *)
 
 val converged : t -> bool
 (** All replicas hold equal state. *)
 
 val check_convergence : t -> (unit, string) result
-(** [settle] then [converged], with a diagnostic on failure. *)
+(** [settle_result] then [converged]; the error string carries the
+    {!stuck_reason} when the system cannot drain. *)
 
 val submit_update :
   t -> origin:int -> Intf.intent list -> (Intf.update_outcome -> unit) -> unit

@@ -74,6 +74,11 @@ type config = {
   compe_decision_delay : float;
       (** virtual ms between optimistic apply and global commit/abort *)
   retry_interval : float;  (** stable-queue retransmission period *)
+  retry_backoff : Esr_squeue.Squeue.backoff option;
+      (** exponential-backoff policy for stable-queue retransmission;
+          [None] keeps the historical fixed interval (fault-aware runs
+          install {!Esr_squeue.Squeue.default_backoff} so long outages do
+          not storm the links) *)
   query_step_delay : float;
       (** virtual ms between successive reads of a multi-key query
           (lets update MSets interleave with the query) *)
@@ -99,6 +104,7 @@ let default_config =
     compe_abort_probability = 0.0;
     compe_decision_delay = 100.0;
     retry_interval = 50.0;
+    retry_backoff = None;
     query_step_delay = 1.0;
     quorum_reads = None;
     quorum_writes = None;
@@ -171,6 +177,22 @@ module type S = sig
       waiting for order, no undecided provisional updates, no parked
       queries. *)
 
+  val on_crash : t -> site:int -> unit
+  (** The site's volatile state is gone: order buffers and provisional
+      applies are dropped, parked/active queries at the site fail with a
+      degraded outcome, and un-notified update outcomes whose coordinator
+      lived at the site are rejected.  Stable state — the per-site durable
+      operation log and the stable-queue journals — survives.  Idempotent:
+      crashing an already-crashed site is a no-op.  The caller (normally
+      {!Esr_fault.Schedule.inject} via {!Harness.run_with_faults}) crashes
+      the network layer first, so no messages are delivered in between. *)
+
+  val on_recover : t -> site:int -> unit
+  (** Crash recovery: rebuild the site's image by replaying its durable
+      operation log (traced as [Recovery_replay]), then resume normal
+      processing — the stable-queue backlog redelivers everything that
+      was not acknowledged before or during the outage.  Idempotent. *)
+
   val store : t -> site:int -> Store.t
   (** Site-local single-version state, for convergence checks. *)
 
@@ -192,6 +214,8 @@ type boxed = B : (module S with type t = 'a) * 'a -> boxed
 let boxed_meta (B ((module M), _)) = M.meta
 let boxed_flush (B ((module M), sys)) = M.flush sys
 let boxed_quiescent (B ((module M), sys)) = M.quiescent sys
+let boxed_on_crash (B ((module M), sys)) ~site = M.on_crash sys ~site
+let boxed_on_recover (B ((module M), sys)) ~site = M.on_recover sys ~site
 let boxed_converged (B ((module M), sys)) = M.converged sys
 let boxed_store (B ((module M), sys)) ~site = M.store sys ~site
 let boxed_mvstore (B ((module M), sys)) ~site = M.mvstore sys ~site

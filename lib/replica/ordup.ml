@@ -54,14 +54,19 @@ type active_query = {
   aq_keys : string list;
   aq_eps : Epsilon.counter;
   mutable aq_failed : bool;  (* a charge was refused; fall back to SR path *)
+  mutable aq_killed : bool;  (* the site crashed mid-query: finish degraded *)
 }
 
-type parked_query = { pq_target : order; pq_resume : unit -> unit }
+type parked_query = {
+  pq_target : order;
+  pq_resume : unit -> unit;
+  pq_fail : unit -> unit;  (* degraded outcome when the site crashes *)
+}
 
 type site = {
   id : int;
-  store : Store.t;
-  mutable hist : Hist.t;
+  mutable store : Store.t;  (* volatile image; rebuilt from [hist] on recovery *)
+  mutable hist : Hist.t;  (* the durable log *)
   (* sequencer mode *)
   mutable last_exec : int;
   seq_buffer : (int, mset) Hashtbl.t;
@@ -71,6 +76,7 @@ type site = {
   watermarks : Gtime.t array;
   mutable active : active_query list;
   mutable parked : parked_query list;
+  mutable down : bool;
 }
 
 type t = {
@@ -79,7 +85,10 @@ type t = {
   sequencer : Sequencer.t;
   sites : site array;
   fabric : msg Squeue.t;
-  pending_commits : (Et.id, Intf.update_outcome -> unit) Hashtbl.t;
+  (* origin site and commit callback; the callback is volatile origin-side
+     state, dropped (with a rejection) when the origin crashes *)
+  pending_commits : (Et.id, int * (Intf.update_outcome -> unit)) Hashtbl.t;
+  wal : (Et.id, mset) Recovery.Wal.t;  (* durable MSet receipt journal *)
   mutable n_fallbacks : int;
   mutable n_charged_units : int;
   mutable n_updates : int;
@@ -130,9 +139,10 @@ let apply_mset t site mset =
           t.n_charged_units <- t.n_charged_units + 1
         else aq.aq_failed <- true)
     site.active;
+  Recovery.Wal.consume t.wal ~site:site.id ~key:mset.et;
   if mset.origin = site.id then
     match Hashtbl.find_opt t.pending_commits mset.et with
-    | Some k ->
+    | Some (_, k) ->
         Hashtbl.remove t.pending_commits mset.et;
         k (Intf.Committed { committed_at = Engine.now t.env.engine })
     | None -> ()
@@ -204,6 +214,10 @@ let receive t ~site:site_id msg =
   let site = t.sites.(site_id) in
   (match msg with
   | Update mset ->
+      (* Journal the receipt before it enters the volatile order buffer:
+         the transport acked it, so the journal is now the only durable
+         copy the site holds until the MSet is applied. *)
+      Recovery.Wal.append t.wal ~site:site_id ~key:mset.et mset;
       (match (t.mode, mset.order) with
       | `Sequencer, Ticket n ->
           Hashtbl.replace site.seq_buffer n mset;
@@ -226,6 +240,7 @@ let create (env : Intf.env) =
       (let fabric =
          Squeue.create ~mode:Squeue.Fifo
            ~retry_interval:env.Intf.config.Intf.retry_interval
+           ?backoff:env.Intf.config.Intf.retry_backoff
            ~obs:env.Intf.obs env.Intf.net
            ~handler:(fun ~site ~src:_ msg -> receive (Lazy.force t) ~site msg)
        in
@@ -246,9 +261,11 @@ let create (env : Intf.env) =
                  watermarks = Array.make env.Intf.sites Gtime.zero;
                  active = [];
                  parked = [];
+                 down = false;
                });
          fabric;
          pending_commits = Hashtbl.create 32;
+         wal = Recovery.Wal.create ~sites:env.Intf.sites;
          n_fallbacks = 0;
          n_charged_units = 0;
          n_updates = 0;
@@ -263,7 +280,8 @@ let intent_to_op = function
   | Intf.Mul (k, f) -> (k, Op.Mult f)
 
 let submit_update t ~origin intents k =
-  if intents = [] then k (Intf.Rejected "empty update ET")
+  if t.sites.(origin).down then k (Intf.Rejected "origin site down")
+  else if intents = [] then k (Intf.Rejected "empty update ET")
   else begin
     t.n_updates <- t.n_updates + 1;
     let et = t.env.Intf.next_et () in
@@ -279,7 +297,7 @@ let submit_update t ~origin intents k =
     if Trace.on trace then
       Trace.emit trace ~time:(Engine.now t.env.engine)
         (Trace.Mset_enqueued { et; origin; n_ops = List.length ops });
-    Hashtbl.replace t.pending_commits et k;
+    Hashtbl.replace t.pending_commits et (origin, k);
     (* Remote replicas get the MSet through the stable queues; the origin
        buffers it directly (local enqueue is not subject to the network). *)
     Squeue.broadcast t.fabric ~src:origin (Update mset);
@@ -329,6 +347,12 @@ let submit_query t ~site:site_id ~keys ~epsilon k =
         served_at = Engine.now t.env.engine;
       }
   in
+  if site.down then
+    (* Graceful failure: a crashed site answers from its last image,
+       flagged degraded. *)
+    finish ~charged:0 ~consistent:false
+      (List.map (fun key -> (key, Store.get site.store key)) keys)
+  else begin
   let consistent_path () =
     t.n_fallbacks <- t.n_fallbacks + 1;
     let target = query_order t site in
@@ -336,8 +360,16 @@ let submit_query t ~site:site_id ~keys ~epsilon k =
       finish ~charged:(Epsilon.value eps) ~consistent:true
         (read_all site ~et keys)
     in
+    let fail () =
+      (* The site crashed while the query waited: its volatile context is
+         gone, so answer degraded from whatever the site last held. *)
+      finish ~charged:(Epsilon.value eps) ~consistent:false
+        (List.map (fun key -> (key, Store.get site.store key)) keys)
+    in
     if order_reached site target then resume ()
-    else site.parked <- { pq_target = target; pq_resume = resume } :: site.parked
+    else
+      site.parked <-
+        { pq_target = target; pq_resume = resume; pq_fail = fail } :: site.parked
   in
   let q_order = query_order t site in
   let missing = missing_before site q_order in
@@ -345,11 +377,24 @@ let submit_query t ~site:site_id ~keys ~epsilon k =
   if not can_start then consistent_path ()
   else begin
     t.n_charged_units <- t.n_charged_units + missing;
-    let aq = { aq_order = q_order; aq_keys = keys; aq_eps = eps; aq_failed = false } in
+    let aq =
+      {
+        aq_order = q_order;
+        aq_keys = keys;
+        aq_eps = eps;
+        aq_failed = false;
+        aq_killed = false;
+      }
+    in
     site.active <- aq :: site.active;
     let values = ref [] in
     let rec step remaining =
-      if aq.aq_failed then begin
+      if aq.aq_killed then
+        (* Crash mid-query: the remaining reads cannot happen; serve what
+           was gathered, marked as the degraded (non-SR) path. *)
+        finish ~charged:(Epsilon.value eps) ~consistent:false
+          (List.rev !values)
+      else if aq.aq_failed then begin
         site.active <- List.filter (fun a -> a != aq) site.active;
         consistent_path ()
       end
@@ -371,6 +416,7 @@ let submit_query t ~site:site_id ~keys ~epsilon k =
     in
     step keys
   end
+  end
 
 let flush t =
   match t.mode with
@@ -386,6 +432,69 @@ let flush t =
           drain_lamport t site;
           wake_parked site)
         t.sites
+
+let on_crash t ~site:site_id =
+  let site = t.sites.(site_id) in
+  if not site.down then begin
+    site.down <- true;
+    (* Volatile order buffers are gone; the receipt journal ([t.wal]) keeps
+       the only durable copy of what they held. *)
+    let buffered = Hashtbl.length site.seq_buffer + List.length site.lam_buffer in
+    Hashtbl.reset site.seq_buffer;
+    site.lam_buffer <- [];
+    (* Parked queries fail immediately with a degraded answer; active
+       queries are killed and finish degraded at their next step. *)
+    let parked = site.parked in
+    site.parked <- [];
+    List.iter (fun pq -> pq.pq_fail ()) parked;
+    let killed = List.length site.active in
+    List.iter (fun aq -> aq.aq_killed <- true) site.active;
+    site.active <- [];
+    let queries_failed = List.length parked + killed in
+    (* Origin-side commit callbacks are volatile: clients of this site get
+       a rejection.  The MSets themselves are already in the stable fabric
+       and still commit everywhere (including here, after recovery). *)
+    let orphaned =
+      Hashtbl.fold
+        (fun et (origin, k) acc ->
+          if origin = site_id then (et, k) :: acc else acc)
+        t.pending_commits []
+      |> List.sort (fun (a, _) (b, _) -> compare a b)
+    in
+    List.iter
+      (fun (et, k) ->
+        Hashtbl.remove t.pending_commits et;
+        k (Intf.Rejected "origin site crashed"))
+      orphaned;
+    Recovery.emit_volatile_dropped ~obs:t.env.Intf.obs ~engine:t.env.Intf.engine
+      ~site:site_id ~buffered ~queries_failed
+      ~updates_rejected:(List.length orphaned)
+  end
+
+let on_recover t ~site:site_id =
+  let site = t.sites.(site_id) in
+  if site.down then begin
+    site.down <- false;
+    (* Replay the durable log to rebuild the store image... *)
+    site.store <-
+      Recovery.replay_store ~obs:t.env.Intf.obs ~engine:t.env.Intf.engine
+        ~site:site_id site.hist;
+    (* ...then re-ingest the journaled-but-unapplied MSets into the order
+       buffers.  The stable-queue backlog redelivers everything else. *)
+    List.iter
+      (fun mset ->
+        match (t.mode, mset.order) with
+        | `Sequencer, Ticket n -> Hashtbl.replace site.seq_buffer n mset
+        | `Lamport, Stamp ts ->
+            update_watermark site ~origin:mset.origin ts;
+            site.lam_buffer <- insert_sorted mset site.lam_buffer
+        | (`Sequencer | `Lamport), _ -> assert false)
+      (Recovery.Wal.entries t.wal ~site:site_id);
+    (match t.mode with
+    | `Sequencer -> drain_sequencer t site
+    | `Lamport -> drain_lamport t site);
+    wake_parked site
+  end
 
 let quiescent t =
   Array.for_all

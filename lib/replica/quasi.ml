@@ -43,9 +43,19 @@ type msg =
 
 type site = {
   id : int;
-  store : Store.t;
-  mutable hist : Hist.t;
-  versions : (string, int) Hashtbl.t;  (* refresh versions seen *)
+  mutable store : Store.t;  (* volatile image; rebuilt from [hist] *)
+  mutable hist : Hist.t;  (* the durable log *)
+  versions : (string, int) Hashtbl.t;
+      (* refresh versions seen — durable, written with the data *)
+  mutable down : bool;
+}
+
+(* A strict query waiting on the primary's reply; the wait context is
+   volatile at the querying site. *)
+type pending_query = {
+  q_origin : int;
+  q_notify : (string * Value.t) list -> unit;
+  q_fail : unit -> unit;
 }
 
 type t = {
@@ -58,8 +68,9 @@ type t = {
   mutable dirty : string list;
   mutable timer_armed : bool;
   mutable next_version : int;
-  outcomes : (Et.id, Intf.update_outcome -> unit) Hashtbl.t;
-  query_replies : (int, (string * Value.t) list -> unit) Hashtbl.t;
+  outcomes : (Et.id, int * (Intf.update_outcome -> unit)) Hashtbl.t;
+      (* origin site and commit callback — volatile origin-side state *)
+  query_replies : (int, pending_query) Hashtbl.t;
   mutable next_qid : int;
   mutable n_updates : int;
   mutable n_queries : int;
@@ -145,7 +156,7 @@ let rec receive t ~site:site_id msg =
       else Squeue.send t.fabric ~src:site_id ~dst:origin reply
   | Update_done { et } -> (
       match Hashtbl.find_opt t.outcomes et with
-      | Some notify ->
+      | Some (_, notify) ->
           Hashtbl.remove t.outcomes et;
           notify (Intf.Committed { committed_at = Engine.now t.env.engine })
       | None -> ())
@@ -170,9 +181,9 @@ let rec receive t ~site:site_id msg =
       else Squeue.send t.fabric ~src:site_id ~dst:origin reply
   | Query_reply { qid; values } -> (
       match Hashtbl.find_opt t.query_replies qid with
-      | Some notify ->
+      | Some pq ->
           Hashtbl.remove t.query_replies qid;
-          notify values
+          pq.q_notify values
       | None -> ())
 
 let create (env : Intf.env) =
@@ -181,6 +192,7 @@ let create (env : Intf.env) =
       (let fabric =
          Squeue.create ~mode:Squeue.Unordered
            ~retry_interval:env.Intf.config.Intf.retry_interval
+           ?backoff:env.Intf.config.Intf.retry_backoff
            ~obs:env.Intf.obs env.Intf.net
            ~handler:(fun ~site ~src:_ msg -> receive (Lazy.force t) ~site msg)
        in
@@ -193,6 +205,7 @@ let create (env : Intf.env) =
                  store = Store.create ~size:env.Intf.store_hint ();
                  hist = Hist.empty;
                  versions = Hashtbl.create 32;
+                 down = false;
                });
          fabric;
          refresh = env.Intf.config.Intf.quasi_refresh;
@@ -217,7 +230,8 @@ let intent_to_op = function
   | Intf.Mul (k, f) -> (k, Op.Mult f)
 
 let submit_update t ~origin intents k =
-  if intents = [] then k (Intf.Rejected "empty update ET")
+  if t.sites.(origin).down then k (Intf.Rejected "origin site down")
+  else if intents = [] then k (Intf.Rejected "empty update ET")
   else begin
     t.n_updates <- t.n_updates + 1;
     let et = t.env.Intf.next_et () in
@@ -226,7 +240,7 @@ let submit_update t ~origin intents k =
     if Trace.on trace then
       Trace.emit trace ~time:(Engine.now t.env.engine)
         (Trace.Mset_enqueued { et; origin; n_ops = List.length ops });
-    Hashtbl.replace t.outcomes et k;
+    Hashtbl.replace t.outcomes et (origin, k);
     let msg = Do_update { et; ops; origin } in
     if origin = primary then receive t ~site:primary msg
     else Squeue.send t.fabric ~src:origin ~dst:primary msg
@@ -245,14 +259,26 @@ let submit_query t ~site:site_id ~keys ~epsilon k =
         served_at = Engine.now t.env.engine;
       }
   in
+  let local_degraded () =
+    (* Graceful failure: answer from the last local image, flagged
+       degraded (nothing is logged — the site is not executing). *)
+    finish ~consistent:false
+      (List.map (fun key -> (key, Store.get t.sites.(site_id).store key)) keys)
+  in
   let strict = epsilon = Epsilon.Limit 0 in
-  if strict && site_id <> primary then begin
+  if t.sites.(site_id).down then local_degraded ()
+  else if strict && site_id <> primary then begin
     (* Consult the central copy, as quasi-copies applications do when the
        local copy is not close enough. *)
     t.n_primary_reads <- t.n_primary_reads + 1;
     t.next_qid <- t.next_qid + 1;
     let qid = t.next_qid in
-    Hashtbl.replace t.query_replies qid (finish ~consistent:true);
+    Hashtbl.replace t.query_replies qid
+      {
+        q_origin = site_id;
+        q_notify = finish ~consistent:true;
+        q_fail = local_degraded;
+      };
     Squeue.send t.fabric ~src:site_id ~dst:primary
       (Do_query { qid; keys; origin = site_id })
   end
@@ -287,6 +313,65 @@ let flush t =
           if not (Value.equal current last) then push_key t key)
         (Store.keys t.sites.(primary).store)
   | `Immediate | `Periodic _ -> ()
+
+let on_crash t ~site:site_id =
+  let site = t.sites.(site_id) in
+  if not site.down then begin
+    site.down <- true;
+    (* Strict queries from this site waiting on the primary's reply: the
+       wait context is volatile — answer degraded from the local image. *)
+    let my_queries =
+      Hashtbl.fold
+        (fun qid pq acc -> if pq.q_origin = site_id then (qid, pq) :: acc else acc)
+        t.query_replies []
+      |> List.sort (fun (a, _) (b, _) -> compare a b)
+    in
+    List.iter (fun (qid, _) -> Hashtbl.remove t.query_replies qid) my_queries;
+    List.iter (fun (_, pq) -> pq.q_fail ()) my_queries;
+    (* Updates submitted here still waiting on Update_done: the origin-side
+       callback is volatile, so the client sees a rejection even though the
+       primary may have (or will have) applied the ET. *)
+    let my_updates =
+      Hashtbl.fold
+        (fun et (origin, notify) acc ->
+          if origin = site_id then (et, notify) :: acc else acc)
+        t.outcomes []
+      |> List.sort (fun (a, _) (b, _) -> compare a b)
+    in
+    List.iter (fun (et, _) -> Hashtbl.remove t.outcomes et) my_updates;
+    List.iter
+      (fun (_, notify) -> notify (Intf.Rejected "origin site crashed"))
+      my_updates;
+    (* The primary's propagation bookkeeping (dirty set, last-pushed
+       images) is volatile; recovery re-pushes everything instead. *)
+    let buffered =
+      if site_id = primary then begin
+        let n = List.length (List.sort_uniq String.compare t.dirty) in
+        t.dirty <- [];
+        Hashtbl.reset t.last_pushed;
+        n
+      end
+      else 0
+    in
+    Recovery.emit_volatile_dropped ~obs:t.env.Intf.obs ~engine:t.env.Intf.engine
+      ~site:site_id ~buffered ~queries_failed:(List.length my_queries)
+      ~updates_rejected:(List.length my_updates)
+  end
+
+let on_recover t ~site:site_id =
+  let site = t.sites.(site_id) in
+  if site.down then begin
+    site.down <- false;
+    site.store <-
+      Recovery.replay_store ~obs:t.env.Intf.obs ~engine:t.env.Intf.engine
+        ~site:site_id site.hist;
+    if site_id = primary then
+      (* Anti-entropy resync: with the dirty/last-pushed bookkeeping lost,
+         re-push the whole image so quasi-copies re-converge and the
+         closeness predicate restarts from a known state. *)
+      List.iter (push_key t)
+        (List.sort String.compare (Store.keys site.store))
+  end
 
 let quiescent t =
   Hashtbl.length t.outcomes = 0

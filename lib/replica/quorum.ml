@@ -24,12 +24,22 @@ module Engine = Esr_sim.Engine
 module Squeue = Esr_squeue.Squeue
 module Trace = Esr_obs.Trace
 
-type version = { v : int; writer : int }
+type version = { v : int; writer : int; seq : int }
+(* [seq] is a per-system unique stamp: two rounds that read the same stale
+   version (their version reads stalled across the same partition or crash
+   window) produce the same [v] — and with one origin, the same [writer].
+   Without a total order every copy keeps whichever write arrives first
+   and the replicas diverge. *)
 
 let version_compare a b =
-  match Int.compare a.v b.v with 0 -> Int.compare a.writer b.writer | c -> c
+  match Int.compare a.v b.v with
+  | 0 -> (
+      match Int.compare a.writer b.writer with
+      | 0 -> Int.compare a.seq b.seq
+      | c -> c)
+  | c -> c
 
-let version_zero = { v = 0; writer = -1 }
+let version_zero = { v = 0; writer = -1; seq = -1 }
 
 type msg =
   | Version_req of { rid : int; et : Et.id; key : string; requester : int }
@@ -38,19 +48,33 @@ type msg =
   | Write_ack of { wid : int }
 
 type read_round = {
+  r_origin : int;  (* requester site: the round dies with it *)
   r_needed : int;
   mutable r_replies : int;
   mutable r_best : version * Value.t;
   r_done : version * Value.t -> unit;
+  r_fail : unit -> bool;
+      (* origin crashed: degrade/reject the client; true when this call
+         actually notified it (a multi-key query fails only once) *)
+  r_update : bool;  (* version round of an update (vs a query read) *)
 }
 
-type write_round = { w_needed : int; mutable w_acks : int; w_done : unit -> unit }
+type write_round = {
+  w_origin : int;
+  w_needed : int;
+  mutable w_acks : int;
+  w_done : unit -> unit;
+  w_fail : unit -> bool;
+}
 
 type site = {
   id : int;
-  store : Store.t;
+  mutable store : Store.t;  (* volatile image; rebuilt from [hist] *)
   versions : (string, version) Hashtbl.t;
-  mutable hist : Hist.t;
+      (* durable: version numbers live with the data, written atomically
+         with each install *)
+  mutable hist : Hist.t;  (* the durable log *)
+  mutable down : bool;
 }
 
 type t = {
@@ -129,20 +153,34 @@ and post t ~src ~dst msg =
   if src = dst then receive t ~site:dst msg
   else Squeue.send t.fabric ~src ~dst msg
 
-let read_round t ~origin ~et ~key ~needed ~done_ =
+let read_round t ~origin ~et ~key ~needed ~update ~done_ ~fail =
   let rid = t.next_round in
   t.next_round <- rid + 1;
   Hashtbl.replace t.reads rid
-    { r_needed = needed; r_replies = 0; r_best = (version_zero, Value.zero); r_done = done_ };
+    {
+      r_origin = origin;
+      r_needed = needed;
+      r_replies = 0;
+      r_best = (version_zero, Value.zero);
+      r_done = done_;
+      r_fail = fail;
+      r_update = update;
+    };
   for dst = 0 to t.env.Intf.sites - 1 do
     post t ~src:origin ~dst (Version_req { rid; et; key; requester = origin })
   done
 
-let write_round t ~origin ~et ~key ~value ~version ~done_ =
+let write_round t ~origin ~et ~key ~value ~version ~done_ ~fail =
   let wid = t.next_round in
   t.next_round <- wid + 1;
   Hashtbl.replace t.writes wid
-    { w_needed = t.write_quorum; w_acks = 0; w_done = done_ };
+    {
+      w_origin = origin;
+      w_needed = t.write_quorum;
+      w_acks = 0;
+      w_done = done_;
+      w_fail = fail;
+    };
   for dst = 0 to t.env.Intf.sites - 1 do
     post t ~src:origin ~dst (Write_req { wid; et; key; value; version })
   done
@@ -159,6 +197,7 @@ let create (env : Intf.env) =
       (let fabric =
          Squeue.create ~mode:Squeue.Unordered
            ~retry_interval:env.Intf.config.Intf.retry_interval
+           ?backoff:env.Intf.config.Intf.retry_backoff
            ~obs:env.Intf.obs env.Intf.net
            ~handler:(fun ~site ~src:_ msg -> receive (Lazy.force t) ~site msg)
        in
@@ -171,6 +210,7 @@ let create (env : Intf.env) =
                  store = Store.create ~size:env.Intf.store_hint ();
                  versions = Hashtbl.create 32;
                  hist = Hist.empty;
+                 down = false;
                });
          fabric;
          reads = Hashtbl.create 32;
@@ -187,6 +227,7 @@ let create (env : Intf.env) =
 
 let submit_update t ~origin intents notify =
   match intents with
+  | _ when t.sites.(origin).down -> notify (Intf.Rejected "origin site down")
   | [ Intf.Set (key, value) ] ->
       t.n_updates <- t.n_updates + 1;
       let et = t.env.Intf.next_et () in
@@ -194,12 +235,21 @@ let submit_update t ~origin intents notify =
       if Trace.on trace then
         Trace.emit trace ~time:(Engine.now t.env.engine)
           (Trace.Mset_enqueued { et; origin; n_ops = 1 });
+      let fail () =
+        (* The outcome is uncertain (a quorum may still install the write)
+           but the coordinating site is gone: report rejection. *)
+        notify (Intf.Rejected "origin site crashed");
+        true
+      in
       (* Round 1: learn the highest version from a write quorum. *)
-      read_round t ~origin ~et ~key ~needed:t.write_quorum
+      read_round t ~origin ~et ~key ~needed:t.write_quorum ~update:true ~fail
         ~done_:(fun (best_version, _) ->
-          let version = { v = best_version.v + 1; writer = origin } in
+          let seq = t.next_round in
+          t.next_round <- seq + 1;
+          let version = { v = best_version.v + 1; writer = origin; seq } in
           (* Round 2: install value+version at a write quorum. *)
-          write_round t ~origin ~et ~key ~value ~version ~done_:(fun () ->
+          write_round t ~origin ~et ~key ~value ~version ~fail
+            ~done_:(fun () ->
               notify (Intf.Committed { committed_at = Engine.now t.env.engine })))
   | [] -> notify (Intf.Rejected "empty update ET")
   | [ (Intf.Add _ | Intf.Mul _) ] ->
@@ -215,30 +265,102 @@ let submit_update t ~origin intents notify =
 let submit_query t ~site:site_id ~keys ~epsilon k =
   ignore epsilon;
   t.n_queries <- t.n_queries + 1;
+  let site = t.sites.(site_id) in
   let et = t.env.Intf.next_et () in
   let started_at = Engine.now t.env.engine in
-  let total = List.length keys in
-  let collected = ref [] in
-  let finished = ref 0 in
-  List.iter
-    (fun key ->
-      read_round t ~origin:site_id ~et ~key ~needed:t.read_quorum
-        ~done_:(fun (_, value) ->
-          collected := (key, value) :: !collected;
-          incr finished;
-          if !finished = total then
-            k
-              {
-                Intf.values =
-                  List.sort (fun (a, _) (b, _) -> String.compare a b) !collected;
-                charged = 0;
-                consistent_path = true;
-                started_at;
-                served_at = Engine.now t.env.engine;
-              }))
-    keys
+  let degraded () =
+    (* Graceful failure: answer from the local image, flagged degraded
+       (the quorum guarantee needs a live coordinating site). *)
+    k
+      {
+        Intf.values = List.map (fun key -> (key, Store.get site.store key)) keys;
+        charged = 0;
+        consistent_path = false;
+        started_at;
+        served_at = Engine.now t.env.engine;
+      }
+  in
+  if site.down then degraded ()
+  else begin
+    let total = List.length keys in
+    let collected = ref [] in
+    let finished = ref 0 in
+    let failed = ref false in
+    let fail () =
+      (* One fail per query, even though each key ran its own round. *)
+      if !failed then false
+      else begin
+        failed := true;
+        degraded ();
+        true
+      end
+    in
+    List.iter
+      (fun key ->
+        read_round t ~origin:site_id ~et ~key ~needed:t.read_quorum ~update:false
+          ~fail
+          ~done_:(fun (_, value) ->
+            collected := (key, value) :: !collected;
+            incr finished;
+            if !finished = total && not !failed then
+              k
+                {
+                  Intf.values =
+                    List.sort (fun (a, _) (b, _) -> String.compare a b) !collected;
+                  charged = 0;
+                  consistent_path = true;
+                  started_at;
+                  served_at = Engine.now t.env.engine;
+                }))
+      keys
+  end
 
 let flush _ = ()
+
+let on_crash t ~site:site_id =
+  let site = t.sites.(site_id) in
+  if not site.down then begin
+    site.down <- true;
+    (* The rounds this site coordinates are volatile: queries answer
+       degraded, updates report rejection (their writes may still land at
+       a quorum — the classic uncertain outcome).  Straggler replies
+       arriving after recovery find no round and are ignored. *)
+    let my_reads =
+      Hashtbl.fold
+        (fun rid r acc -> if r.r_origin = site_id then (rid, r) :: acc else acc)
+        t.reads []
+      |> List.sort (fun (a, _) (b, _) -> compare a b)
+    and my_writes =
+      Hashtbl.fold
+        (fun wid w acc -> if w.w_origin = site_id then (wid, w) :: acc else acc)
+        t.writes []
+      |> List.sort (fun (a, _) (b, _) -> compare a b)
+    in
+    let queries_failed = ref 0 and updates_rejected = ref 0 in
+    List.iter
+      (fun (rid, r) ->
+        Hashtbl.remove t.reads rid;
+        if r.r_fail () then
+          if r.r_update then incr updates_rejected else incr queries_failed)
+      my_reads;
+    List.iter
+      (fun (wid, w) ->
+        Hashtbl.remove t.writes wid;
+        if w.w_fail () then incr updates_rejected)
+      my_writes;
+    Recovery.emit_volatile_dropped ~obs:t.env.Intf.obs ~engine:t.env.Intf.engine
+      ~site:site_id ~buffered:0 ~queries_failed:!queries_failed
+      ~updates_rejected:!updates_rejected
+  end
+
+let on_recover t ~site:site_id =
+  let site = t.sites.(site_id) in
+  if site.down then begin
+    site.down <- false;
+    site.store <-
+      Recovery.replay_store ~obs:t.env.Intf.obs ~engine:t.env.Intf.engine
+        ~site:site_id site.hist
+  end
 
 let quiescent t = Hashtbl.length t.reads = 0 && Hashtbl.length t.writes = 0
 

@@ -1,0 +1,70 @@
+(** Shared crash-recovery machinery for the replica-control methods.
+
+    The fault model (DESIGN.md §7) splits a site's state in two:
+
+    - {e durable}: the per-site operation log ({!Esr_core.Hist.t} — the
+      write-ahead journal every method already maintains), the stable
+      queue journals, and the receipt journal of order-buffered MSets
+      ({!Wal});
+    - {e volatile}: the materialized store image (a page cache over the
+      log), order buffers, parked and active queries, and un-notified
+      origin-side outcome callbacks.
+
+    A crash drops the volatile half; {!replay_store} rebuilds the store
+    image by replaying the durable log (traced as [Recovery_replay]), and
+    each method re-ingests its unconsumed {!Wal} records to rebuild its
+    order buffers before the stable-queue backlog resumes delivery. *)
+
+module Trace = Esr_obs.Trace
+module Hist = Esr_core.Hist
+
+let emit_replay ~(obs : Esr_obs.Obs.t) ~engine ~site ~n_actions =
+  let trace = obs.Esr_obs.Obs.trace in
+  if Trace.on trace then
+    Trace.emit trace
+      ~time:(Esr_sim.Engine.now engine)
+      (Trace.Recovery_replay { site; n_actions })
+
+let replay_store ~obs ~engine ~site hist =
+  let store = Esr_core.Logmerge.apply hist in
+  emit_replay ~obs ~engine ~site ~n_actions:(Hist.length hist);
+  store
+
+let emit_volatile_dropped ~(obs : Esr_obs.Obs.t) ~engine ~site ~buffered
+    ~queries_failed ~updates_rejected =
+  let trace = obs.Esr_obs.Obs.trace in
+  if Trace.on trace then
+    Trace.emit trace
+      ~time:(Esr_sim.Engine.now engine)
+      (Trace.Volatile_dropped { site; buffered; queries_failed; updates_rejected })
+
+(** Per-site durable receipt journal.  A record is appended when the
+    transport hands a message up (before it enters any volatile buffer)
+    and consumed — by the caller's key — when the method applies it to the
+    durable log; recovery re-ingests whatever is left, in receipt order. *)
+module Wal = struct
+  type 'a entry = { seq : int; record : 'a }
+
+  type ('k, 'a) t = {
+    journals : ('k, 'a entry) Hashtbl.t array;  (* per site *)
+    mutable next_seq : int;
+  }
+
+  let create ~sites =
+    { journals = Array.init sites (fun _ -> Hashtbl.create 16); next_seq = 0 }
+
+  let append t ~site ~key record =
+    let seq = t.next_seq in
+    t.next_seq <- seq + 1;
+    Hashtbl.replace t.journals.(site) key { seq; record }
+
+  let consume t ~site ~key = Hashtbl.remove t.journals.(site) key
+
+  let entries t ~site =
+    (* Receipt order: sequence numbers are globally increasing. *)
+    Hashtbl.fold (fun _ e acc -> e :: acc) t.journals.(site) []
+    |> List.sort (fun a b -> compare a.seq b.seq)
+    |> List.map (fun e -> e.record)
+
+  let size t ~site = Hashtbl.length t.journals.(site)
+end

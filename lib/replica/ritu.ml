@@ -40,11 +40,13 @@ type msg = Update of mset | Watermark of Gtime.t
 
 type site = {
   id : int;
-  store : Store.t;  (* latest-version view (both modes) *)
-  mv : Mvstore.t;  (* populated in `Multi mode *)
-  mutable hist : Hist.t;
+  mutable store : Store.t;  (* latest-version view; rebuilt from [hist] *)
+  mutable mv : Mvstore.t;  (* populated in `Multi mode; rebuilt from [hist] *)
+  mutable hist : Hist.t;  (* the durable log *)
   clock : Lamport.t;
   watermarks : Gtime.t array;
+      (* monotonic protocol metadata, logged with the stamps: durable *)
+  mutable down : bool;
 }
 
 type t = {
@@ -126,6 +128,7 @@ let create (env : Intf.env) =
       (let fabric =
          Squeue.create ~mode:Squeue.Fifo
            ~retry_interval:env.Intf.config.Intf.retry_interval
+           ?backoff:env.Intf.config.Intf.retry_backoff
            ~obs:env.Intf.obs env.Intf.net
            ~handler:(fun ~site ~src:_ msg -> receive (Lazy.force t) ~site msg)
        in
@@ -141,6 +144,7 @@ let create (env : Intf.env) =
                  hist = Hist.empty;
                  clock = Lamport.create ();
                  watermarks = Array.make env.Intf.sites Gtime.zero;
+                 down = false;
                });
          fabric;
          n_updates = 0;
@@ -159,7 +163,8 @@ let submit_update t ~origin intents k =
       (function Intf.Set (key, v) -> Some (key, v) | Intf.Add _ | Intf.Mul _ -> None)
       intents
   in
-  if intents = [] then k (Intf.Rejected "empty update ET")
+  if t.sites.(origin).down then k (Intf.Rejected "origin site down")
+  else if intents = [] then k (Intf.Rejected "empty update ET")
   else if List.length writes <> List.length intents then begin
     (* Add/Mul read the current value: not read-independent, so outside
        RITU's restriction (Table 1). *)
@@ -211,6 +216,18 @@ let submit_query t ~site:site_id ~keys ~epsilon k =
     in
     (key, Option.value value ~default:Value.zero)
   in
+  if site.down then
+    (* Graceful failure: a crashed site answers from its last image,
+       flagged degraded (nothing is logged — the site is not executing). *)
+    k
+      {
+        Intf.values = List.map (fun key -> (key, Store.get site.store key)) keys;
+        charged = 0;
+        consistent_path = false;
+        started_at;
+        served_at = Engine.now t.env.engine;
+      }
+  else begin
   let reader = match t.mode with `Single -> read_single | `Multi -> read_multi in
   let values = List.map reader keys in
   k
@@ -221,6 +238,7 @@ let submit_query t ~site:site_id ~keys ~epsilon k =
       started_at;
       served_at = Engine.now t.env.engine;
     }
+  end
 
 let flush t =
   match t.mode with
@@ -233,6 +251,51 @@ let flush t =
           refresh_vtnc site;
           Squeue.broadcast t.fabric ~src:site.id (Watermark ts))
         t.sites
+
+let on_crash t ~site:site_id =
+  let site = t.sites.(site_id) in
+  if not site.down then begin
+    site.down <- true;
+    (* RITU applies MSets on receipt and serves queries synchronously, so
+       the only volatile state is the materialized store/version images —
+       both rebuilt from the durable log on recovery.  Nothing to fail. *)
+    Recovery.emit_volatile_dropped ~obs:t.env.Intf.obs ~engine:t.env.Intf.engine
+      ~site:site_id ~buffered:0 ~queries_failed:0 ~updates_rejected:0
+  end
+
+let on_recover t ~site:site_id =
+  let site = t.sites.(site_id) in
+  if site.down then begin
+    site.down <- false;
+    match t.mode with
+    | `Single ->
+        site.store <-
+          Recovery.replay_store ~obs:t.env.Intf.obs ~engine:t.env.Intf.engine
+            ~site:site_id site.hist
+    | `Multi ->
+        (* The log holds Append ops; replaying them naively is arrival
+           order, but the latest-version view is last-writer-wins on the
+           stamp — rebuild both images timestamp-aware. *)
+        let store = Store.create ~size:t.env.Intf.store_hint () in
+        let mv = Mvstore.create () in
+        let actions = Hist.actions site.hist in
+        List.iter
+          (fun { Et.key; op; _ } ->
+            match op with
+            | Op.Append { ts; value } ->
+                ignore (Mvstore.append mv key ~ts value);
+                ignore (Store.apply store key (Op.Timed_write { ts; value }))
+            | Op.Read -> ()
+            | Op.Write _ | Op.Incr _ | Op.Mult _ | Op.Div _ | Op.Timed_write _
+              ->
+                invalid_arg "RITU: non-append update in a multi-version log")
+          actions;
+        Mvstore.advance_vtnc mv (Mvstore.vtnc site.mv);
+        site.store <- store;
+        site.mv <- mv;
+        Recovery.emit_replay ~obs:t.env.Intf.obs ~engine:t.env.Intf.engine
+          ~site:site_id ~n_actions:(List.length actions)
+  end
 
 let quiescent _ = true
 (* RITU keeps no protocol state beyond the transport: once the stable

@@ -54,15 +54,28 @@ type coord_state = {
   c_notify : Intf.update_outcome -> unit;
 }
 
+(* A query waiting on local locks; its lock-queue continuation is
+   volatile, so a crash fails it degraded and cancels the request. *)
+type waiting_q = {
+  mutable wq_et : Et.id;  (* the current attempt's lock-space txn id *)
+  mutable wq_done : bool;
+  wq_fail : unit -> unit;
+}
+
 type site = {
   id : int;
-  store : Store.t;
-  mutable hist : Hist.t;
+  mutable store : Store.t;  (* volatile image; rebuilt from [hist] *)
+  mutable hist : Hist.t;  (* the durable log *)
   locks : Lock_mgr.t;
-  prepared : (Et.id, (string * Op.t) list) Hashtbl.t;
+      (* prepared W-locks are durable (classic prepared-state-in-the-WAL);
+         query R-requests are cancelled at crash, so the table never holds
+         volatile state across an outage *)
+  prepared : (Et.id, (string * Op.t) list) Hashtbl.t;  (* durable *)
   aborted : (Et.id, unit) Hashtbl.t;
       (* aborts decided while this site's prepare was still waiting for
          locks: when the late grant finally lands, release immediately *)
+  mutable waiting : waiting_q list;
+  mutable down : bool;
 }
 
 type t = {
@@ -70,6 +83,10 @@ type t = {
   sites : site array;
   fabric : msg Squeue.t;
   coords : (Et.id, coord_state) Hashtbl.t;
+  mutable deferred_local : (int * msg) list;
+      (* a site's own 2PC records landing while it is down (same-site
+         shortcut messages); replayed in order at recovery.  Newest
+         first. *)
   global_locks : Lock_mgr.t;
       (* the lock service at site 0: serializes update ETs globally, in
          sorted key order, so update/update distributed deadlocks cannot
@@ -183,9 +200,15 @@ let rec receive t ~site:site_id msg =
       post t ~src:site_id ~dst:coordinator (Done { et })
   | Done { et } -> coordinator_done t et
 
-(* Same-site messages shortcut the network (a site talking to itself). *)
+(* Same-site messages shortcut the network (a site talking to itself);
+   while the site is down they are stashed as durable records and
+   replayed at recovery, mirroring what the stable queue does for remote
+   traffic. *)
 and post t ~src ~dst msg =
-  if src = dst then receive t ~site:dst msg
+  if src = dst then
+    if t.sites.(dst).down then
+      t.deferred_local <- (dst, msg) :: t.deferred_local
+    else receive t ~site:dst msg
   else Squeue.send t.fabric ~src ~dst msg
 
 and coordinator_vote t et yes =
@@ -227,6 +250,7 @@ let create (env : Intf.env) =
       (let fabric =
          Squeue.create ~mode:Squeue.Unordered
            ~retry_interval:env.Intf.config.Intf.retry_interval
+           ?backoff:env.Intf.config.Intf.retry_backoff
            ~obs:env.Intf.obs env.Intf.net
            ~handler:(fun ~site ~src:_ msg -> receive (Lazy.force t) ~site msg)
        in
@@ -241,9 +265,12 @@ let create (env : Intf.env) =
                  locks = Lock_mgr.create ~table:Lock_table.standard ();
                  prepared = Hashtbl.create 16;
                  aborted = Hashtbl.create 16;
+                 waiting = [];
+                 down = false;
                });
          fabric;
          coords = Hashtbl.create 32;
+         deferred_local = [];
          global_locks = Lock_mgr.create ~table:Lock_table.standard ();
          n_updates = 0;
          n_queries = 0;
@@ -259,7 +286,8 @@ let intent_to_op = function
   | Intf.Mul (k, f) -> (k, Op.Mult f)
 
 let submit_update t ~origin intents notify =
-  if intents = [] then notify (Intf.Rejected "empty update ET")
+  if t.sites.(origin).down then notify (Intf.Rejected "origin site down")
+  else if intents = [] then notify (Intf.Rejected "empty update ET")
   else begin
     t.n_updates <- t.n_updates + 1;
     let et = t.env.Intf.next_et () in
@@ -306,35 +334,133 @@ let submit_query t ~site:site_id ~keys ~epsilon k =
   t.n_queries <- t.n_queries + 1;
   let site = t.sites.(site_id) in
   let started_at = Engine.now t.env.engine in
-  let rec attempt () =
-    let et = t.env.Intf.next_et () in
-    let requests = List.map (fun key -> (key, Lock_table.R, None)) keys in
-    acquire_all t site.locks ~txn:et requests
-      ~ok:(fun () ->
-        let values =
-          List.map
-            (fun key ->
-              log_action site ~et ~key Op.Read;
-              (key, Store.get site.store key))
-            keys
-        in
-        Lock_mgr.release_all site.locks ~txn:et;
-        k
-          {
-            Intf.values;
-            charged = 0;
-            consistent_path = true;
-            started_at;
-            served_at = Engine.now t.env.engine;
-          })
-      ~fail:(fun () ->
-        (* Deadlocked against prepared writers: retry after a beat. *)
-        ignore (Engine.schedule t.env.engine ~delay:5.0 attempt))
+  let degraded () =
+    (* Graceful failure: a crashed site answers from its last image,
+       flagged degraded (2PC's normal path is always consistent). *)
+    k
+      {
+        Intf.values = List.map (fun key -> (key, Store.get site.store key)) keys;
+        charged = 0;
+        consistent_path = false;
+        started_at;
+        served_at = Engine.now t.env.engine;
+      }
   in
-  attempt ()
+  if site.down then degraded ()
+  else begin
+    let rec attempt wq =
+      if wq.wq_done then ()
+      else begin
+        let et = t.env.Intf.next_et () in
+        wq.wq_et <- et;
+        let requests = List.map (fun key -> (key, Lock_table.R, None)) keys in
+        acquire_all t site.locks ~txn:et requests
+          ~ok:(fun () ->
+            if wq.wq_done then Lock_mgr.release_all site.locks ~txn:et
+            else begin
+              wq.wq_done <- true;
+              site.waiting <- List.filter (fun w -> w != wq) site.waiting;
+              let values =
+                List.map
+                  (fun key ->
+                    log_action site ~et ~key Op.Read;
+                    (key, Store.get site.store key))
+                  keys
+              in
+              Lock_mgr.release_all site.locks ~txn:et;
+              k
+                {
+                  Intf.values;
+                  charged = 0;
+                  consistent_path = true;
+                  started_at;
+                  served_at = Engine.now t.env.engine;
+                }
+            end)
+          ~fail:(fun () ->
+            (* Deadlocked against prepared writers: retry after a beat. *)
+            ignore (Engine.schedule t.env.engine ~delay:5.0 (fun () -> attempt wq)))
+      end
+    in
+    let rec wq =
+      {
+        wq_et = 0;  (* set by [attempt] before the first acquisition *)
+        wq_done = false;
+        wq_fail =
+          (fun () ->
+            (* Cancel the (possibly queued) lock request so the dead
+               query never blocks writers, then answer degraded. *)
+            Lock_mgr.release_all site.locks ~txn:wq.wq_et;
+            degraded ());
+      }
+    in
+    site.waiting <- wq :: site.waiting;
+    attempt wq
+  end
 
 let flush _ = ()
-let quiescent t = Hashtbl.length t.coords = 0
+
+let on_crash t ~site:site_id =
+  let site = t.sites.(site_id) in
+  if not site.down then begin
+    site.down <- true;
+    (* Prepared transactions survive (prepared-state-in-the-WAL keeps
+       their W-locks held — the classic 2PC blocking window); what dies
+       is the volatile wait contexts: queries queued on locks fail
+       degraded and their requests are cancelled. *)
+    let waiting = site.waiting in
+    site.waiting <- [];
+    List.iter
+      (fun wq ->
+        if not wq.wq_done then begin
+          wq.wq_done <- true;
+          wq.wq_fail ()
+        end)
+      waiting;
+    (* The crashed site was the coordinator of its undecided update ETs:
+       presumed abort.  Remote participants learn the abort once the
+       stable queue reaches them; the local record is replayed at
+       recovery. *)
+    let orphaned =
+      Hashtbl.fold
+        (fun et coord acc ->
+          if coord.c_site = site_id && not coord.c_decided then
+            (et, coord) :: acc
+          else acc)
+        t.coords []
+      |> List.sort (fun (a, _) (b, _) -> compare a b)
+    in
+    List.iter
+      (fun (et, coord) ->
+        coord.c_decided <- true;
+        t.n_aborted <- t.n_aborted + 1;
+        coord.c_notify (Intf.Rejected "2PC: aborted (origin site crashed)");
+        for dst = 0 to Array.length t.sites - 1 do
+          post t ~src:site_id ~dst
+            (Decision { et; commit = false; coordinator = site_id })
+        done)
+      orphaned;
+    Recovery.emit_volatile_dropped ~obs:t.env.Intf.obs ~engine:t.env.Intf.engine
+      ~site:site_id ~buffered:0 ~queries_failed:(List.length waiting)
+      ~updates_rejected:(List.length orphaned)
+  end
+
+let on_recover t ~site:site_id =
+  let site = t.sites.(site_id) in
+  if site.down then begin
+    site.down <- false;
+    site.store <-
+      Recovery.replay_store ~obs:t.env.Intf.obs ~engine:t.env.Intf.engine
+        ~site:site_id site.hist;
+    (* Replay the site's own 2PC records that landed while it was down. *)
+    let mine, others =
+      List.partition (fun (s, _) -> s = site_id) (List.rev t.deferred_local)
+    in
+    t.deferred_local <- List.rev others;
+    List.iter (fun (_, msg) -> receive t ~site:site_id msg) mine
+  end
+
+let quiescent t = Hashtbl.length t.coords = 0 && t.deferred_local = []
 
 let store t ~site = t.sites.(site).store
 let mvstore _ ~site:_ = None

@@ -47,6 +47,8 @@ type t = {
   sent_by : int array;  (* per-src sends *)
   delivered_to : int array;  (* per-dst first+duplicate deliveries *)
   trace : Trace.t;
+  mutable recover_hooks : (int -> unit) list;  (* fired by [recover] *)
+  mutable heal_hooks : (unit -> unit) list;  (* fired by [heal] *)
 }
 
 let register_metrics t (m : Metrics.t) =
@@ -88,6 +90,8 @@ let create ?(config = default_config) ?obs engine ~sites ~prng =
         (match obs with
         | Some (o : Esr_obs.Obs.t) -> o.Esr_obs.Obs.trace
         | None -> Trace.make ~capacity:1 ~enabled:false ());
+      recover_hooks = [];
+      heal_hooks = [];
     }
   in
   (match obs with
@@ -115,19 +119,28 @@ let deliver_later t ~src ~dst ~cls callback =
   let latency = Dist.sample t.config.latency t.prng in
   ignore
     (Engine.schedule t.engine ~delay:latency (fun () ->
-         if t.up.(dst) then begin
+         if not t.up.(dst) then begin
+           t.crashed_dst <- t.crashed_dst + 1;
+           if Trace.on t.trace then
+             Trace.emit t.trace ~time:(Engine.now t.engine)
+               (Trace.Msg_dropped { src; dst; cls; reason = Trace.Crashed_dst })
+         end
+         else if t.group.(src) <> t.group.(dst) then begin
+           (* A partition that fired while the message was in flight cuts
+              it off too: reachability is re-checked at arrival time, just
+              like the crashed-destination check above. *)
+           t.blocked_partition <- t.blocked_partition + 1;
+           if Trace.on t.trace then
+             Trace.emit t.trace ~time:(Engine.now t.engine)
+               (Trace.Msg_dropped { src; dst; cls; reason = Trace.Partition })
+         end
+         else begin
            t.delivered <- t.delivered + 1;
            t.delivered_to.(dst) <- t.delivered_to.(dst) + 1;
            if Trace.on t.trace then
              Trace.emit t.trace ~time:(Engine.now t.engine)
                (Trace.Msg_delivered { src; dst; cls });
            callback ()
-         end
-         else begin
-           t.crashed_dst <- t.crashed_dst + 1;
-           if Trace.on t.trace then
-             Trace.emit t.trace ~time:(Engine.now t.engine)
-               (Trace.Msg_dropped { src; dst; cls; reason = Trace.Crashed_dst })
          end))
 
 let send ?(cls = "msg") t ~src ~dst callback =
@@ -188,7 +201,8 @@ let partition t groups =
 
 let heal t =
   Array.fill t.group 0 t.n_sites 0;
-  if Trace.on t.trace then Trace.emit t.trace ~time:(Engine.now t.engine) Trace.Heal
+  if Trace.on t.trace then Trace.emit t.trace ~time:(Engine.now t.engine) Trace.Heal;
+  List.iter (fun f -> f ()) (List.rev t.heal_hooks)
 
 let crash t s =
   check_site t s;
@@ -200,7 +214,31 @@ let recover t s =
   check_site t s;
   t.up.(s) <- true;
   if Trace.on t.trace then
-    Trace.emit t.trace ~time:(Engine.now t.engine) (Trace.Recover { site = s })
+    Trace.emit t.trace ~time:(Engine.now t.engine) (Trace.Recover { site = s });
+  List.iter (fun f -> f s) (List.rev t.recover_hooks)
+
+let on_recover t f = t.recover_hooks <- f :: t.recover_hooks
+let on_heal t f = t.heal_hooks <- f :: t.heal_hooks
+
+let partitioned t = Array.exists (fun g -> g <> t.group.(0)) t.group
+
+let partition_groups t =
+  (* Reconstruct the group lists in ascending site order. *)
+  let tbl = Hashtbl.create 4 in
+  for s = t.n_sites - 1 downto 0 do
+    let gid = t.group.(s) in
+    let members = Option.value (Hashtbl.find_opt tbl gid) ~default:[] in
+    Hashtbl.replace tbl gid (s :: members)
+  done;
+  Hashtbl.fold (fun _ members acc -> members :: acc) tbl []
+  |> List.sort compare
+
+let down_sites t =
+  let acc = ref [] in
+  for s = t.n_sites - 1 downto 0 do
+    if not t.up.(s) then acc := s :: !acc
+  done;
+  !acc
 
 let counters t =
   {

@@ -44,10 +44,12 @@ val sites : t -> int
 
 val send : ?cls:string -> t -> src:int -> dst:int -> (unit -> unit) -> unit
 (** Deliver [callback] at [dst] after a sampled latency, unless the message
-    is lost, the two sites are partitioned at send time, or [dst] is down
-    at arrival time.  Sending from a crashed site is a silent drop.
-    [cls] labels the message class in trace events (default ["msg"]);
-    stable queues pass ["data"] / ["ack"]. *)
+    is lost, the two sites are partitioned (checked both at send time and
+    again at arrival time, so a partition that fires while the message is
+    in flight cuts it off), or [dst] is down at arrival time.  Sending
+    from a crashed site is a silent drop.  [cls] labels the message class
+    in trace events (default ["msg"]); stable queues pass
+    ["data"] / ["ack"]. *)
 
 (** {2 Failure injection} *)
 
@@ -64,6 +66,24 @@ val reachable : t -> int -> int -> bool
 val crash : t -> int -> unit
 val recover : t -> int -> unit
 val site_up : t -> int -> bool
+
+val on_recover : t -> (int -> unit) -> unit
+(** Register a hook fired (synchronously, in registration order) each time
+    a site recovers — stable queues use it to kick retransmission
+    immediately instead of waiting out a backoff interval. *)
+
+val on_heal : t -> (unit -> unit) -> unit
+(** Register a hook fired each time all partitions heal. *)
+
+val partitioned : t -> bool
+(** True while any two sites are in different partition groups. *)
+
+val partition_groups : t -> int list list
+(** Current partition groups (ascending site order); a single group
+    covering every site when the network is whole. *)
+
+val down_sites : t -> int list
+(** Sites currently crashed, ascending. *)
 
 (** {2 Introspection} *)
 

@@ -1,7 +1,12 @@
 module Net = Esr_sim.Net
 module Engine = Esr_sim.Engine
+module Prng = Esr_util.Prng
 
 type mode = Unordered | Fifo
+
+type backoff = { multiplier : float; max_interval : float; jitter : float }
+
+let default_backoff = { multiplier = 2.0; max_interval = 800.0; jitter = 0.1 }
 
 (* Sender-side state of one src->dst channel.  [unacked] is the journal: it
    survives crashes of the sender (stable storage) and drives retry.  Each
@@ -13,6 +18,10 @@ type 'a chan = {
   mutable next_seq : int;
   unacked : (int, 'a pending_msg) Hashtbl.t;
   mutable timer_active : bool;
+  mutable cur_interval : float;
+      (* current retry interval; equals the base interval unless a backoff
+         policy is installed, in which case it doubles (capped) while the
+         channel makes no progress and resets on ack *)
 }
 
 (* Receiver-side state of one src->dst channel. *)
@@ -34,6 +43,8 @@ type 'a t = {
   net : Net.t;
   mode : mode;
   retry_interval : float;
+  backoff : backoff option;
+  jitter_prng : Prng.t;  (* only consumed when [backoff] is installed *)
   handler : site:int -> src:int -> 'a -> unit;
   chans : 'a chan array array;  (* [src].(dst) *)
   recvs : 'a recv array array;  (* [dst].(src) *)
@@ -53,33 +64,6 @@ let register_metrics t (m : Esr_obs.Metrics.t) =
   g "retransmissions" (fun () -> float_of_int t.n_retx);
   g "acks_received" (fun () -> float_of_int t.n_acks);
   g "pending" (fun () -> float_of_int t.n_pending)
-
-let create ?(mode = Unordered) ?(retry_interval = 50.0) ?obs net ~handler =
-  let n = Net.sites net in
-  let fresh_chan _ = { next_seq = 0; unacked = Hashtbl.create 8; timer_active = false } in
-  let fresh_recv _ =
-    { seen = Hashtbl.create 8; next_expected = 0; reorder = Hashtbl.create 8 }
-  in
-  let t =
-    {
-      net;
-      mode;
-      retry_interval;
-      handler;
-      chans = Array.init n (fun _ -> Array.init n fresh_chan);
-      recvs = Array.init n (fun _ -> Array.init n fresh_recv);
-      n_enqueued = 0;
-      n_delivered = 0;
-      n_dup = 0;
-      n_retx = 0;
-      n_acks = 0;
-      n_pending = 0;
-    }
-  in
-  (match obs with
-  | Some (o : Esr_obs.Obs.t) -> register_metrics t o.Esr_obs.Obs.metrics
-  | None -> ());
-  t
 
 let deliver t ~dst ~src seq payload =
   let recv = t.recvs.(dst).(src) in
@@ -115,7 +99,9 @@ let ack t ~src ~dst seq =
   if Hashtbl.mem chan.unacked seq then begin
     Hashtbl.remove chan.unacked seq;
     t.n_acks <- t.n_acks + 1;
-    t.n_pending <- t.n_pending - 1
+    t.n_pending <- t.n_pending - 1;
+    (* Forward progress: the peer is reachable again, so retry promptly. *)
+    chan.cur_interval <- t.retry_interval
   end
 
 let transmit t ~src ~dst seq payload =
@@ -129,24 +115,124 @@ let rec arm_timer t ~src ~dst =
   let chan = t.chans.(src).(dst) in
   if not chan.timer_active then begin
     chan.timer_active <- true;
+    let delay =
+      match t.backoff with
+      | None -> t.retry_interval
+      | Some b ->
+          (* Bounded multiplicative jitter decorrelates channels that
+             entered backoff at the same instant. *)
+          chan.cur_interval
+          *. (1.0 +. Prng.float t.jitter_prng (Float.max 0.0 b.jitter))
+    in
     ignore
-      (Engine.schedule (Net.engine t.net) ~delay:t.retry_interval (fun () ->
+      (Engine.schedule (Net.engine t.net) ~delay (fun () ->
            chan.timer_active <- false;
            if Hashtbl.length chan.unacked > 0 then begin
              let now = Engine.now (Net.engine t.net) in
+             let retransmitted = ref false in
              Hashtbl.iter
                (fun seq pending ->
                  (* Only retransmit messages that have waited a full
                     interval; fresher ones may still be acked in flight. *)
                  if now -. pending.last_sent >= t.retry_interval -. 1e-9 then begin
+                   retransmitted := true;
                    t.n_retx <- t.n_retx + 1;
                    pending.last_sent <- now;
                    transmit t ~src ~dst seq pending.payload
                  end)
                chan.unacked;
+             (match t.backoff with
+             | Some b when !retransmitted ->
+                 (* No ack since the last full interval: the peer is likely
+                    crashed or partitioned away, so widen the retry gap
+                    instead of storming the link. *)
+                 chan.cur_interval <-
+                   Float.min (chan.cur_interval *. b.multiplier) b.max_interval
+             | _ -> ());
              arm_timer t ~src ~dst
            end))
   end
+
+(* Immediate retransmission of everything outstanding on one channel —
+   fired when a fault heals so recovery does not wait out a (possibly
+   backed-off) retry interval. *)
+let kick_chan t ~src ~dst =
+  let chan = t.chans.(src).(dst) in
+  chan.cur_interval <- t.retry_interval;
+  if Hashtbl.length chan.unacked > 0 then begin
+    let now = Engine.now (Net.engine t.net) in
+    let seqs =
+      Hashtbl.fold (fun seq _ acc -> seq :: acc) chan.unacked []
+      |> List.sort compare
+    in
+    List.iter
+      (fun seq ->
+        let pending = Hashtbl.find chan.unacked seq in
+        t.n_retx <- t.n_retx + 1;
+        pending.last_sent <- now;
+        transmit t ~src ~dst seq pending.payload)
+      seqs;
+    arm_timer t ~src ~dst
+  end
+
+let kick_site t site =
+  for peer = 0 to Net.sites t.net - 1 do
+    if peer <> site then begin
+      (* Both directions: the recovered site drains its own journal and
+         peers flush what queued up for it while it was down. *)
+      kick_chan t ~src:site ~dst:peer;
+      kick_chan t ~src:peer ~dst:site
+    end
+  done
+
+let kick_all t =
+  for src = 0 to Net.sites t.net - 1 do
+    for dst = 0 to Net.sites t.net - 1 do
+      if src <> dst then kick_chan t ~src ~dst
+    done
+  done
+
+let create ?(mode = Unordered) ?(retry_interval = 50.0) ?backoff ?obs net
+    ~handler =
+  let n = Net.sites net in
+  let fresh_chan _ =
+    {
+      next_seq = 0;
+      unacked = Hashtbl.create 8;
+      timer_active = false;
+      cur_interval = retry_interval;
+    }
+  in
+  let fresh_recv _ =
+    { seen = Hashtbl.create 8; next_expected = 0; reorder = Hashtbl.create 8 }
+  in
+  let t =
+    {
+      net;
+      mode;
+      retry_interval;
+      backoff;
+      jitter_prng = Prng.create 0x5132_77AB;
+      handler;
+      chans = Array.init n (fun _ -> Array.init n fresh_chan);
+      recvs = Array.init n (fun _ -> Array.init n fresh_recv);
+      n_enqueued = 0;
+      n_delivered = 0;
+      n_dup = 0;
+      n_retx = 0;
+      n_acks = 0;
+      n_pending = 0;
+    }
+  in
+  (match obs with
+  | Some (o : Esr_obs.Obs.t) -> register_metrics t o.Esr_obs.Obs.metrics
+  | None -> ());
+  (* Fault-heal hooks: a recovered site (or a healed partition) triggers an
+     immediate retransmission pass instead of waiting out the timers.  In a
+     fault-free run these hooks never fire, so behaviour is unchanged. *)
+  Net.on_recover net (fun site -> kick_site t site);
+  Net.on_heal net (fun () -> kick_all t);
+  t
 
 let send t ~src ~dst payload =
   let chan = t.chans.(src).(dst) in

@@ -20,11 +20,23 @@
 
 type mode = Unordered | Fifo
 
+type backoff = {
+  multiplier : float;  (** retry-interval growth factor per silent interval *)
+  max_interval : float;  (** backoff ceiling, virtual ms *)
+  jitter : float;
+      (** cap on the multiplicative jitter fraction: each armed timer waits
+          [interval * (1 + U[0, jitter))] *)
+}
+
+val default_backoff : backoff
+(** 2x growth, 800 ms ceiling, 10% jitter cap. *)
+
 type 'a t
 
 val create :
   ?mode:mode ->
   ?retry_interval:float ->
+  ?backoff:backoff ->
   ?obs:Esr_obs.Obs.t ->
   Esr_sim.Net.t ->
   handler:(site:int -> src:int -> 'a -> unit) ->
@@ -32,6 +44,13 @@ val create :
 (** [handler ~site ~src msg] is invoked exactly once per message, at the
     destination [site], when the message (from [src]) is first deliverable.
     [retry_interval] defaults to 50.0 (5x the default link latency).
+    Without [?backoff] every retry waits exactly [retry_interval]; with it,
+    a channel that retransmits without seeing an ack widens its retry gap
+    exponentially (jittered, capped) instead of storming a dead link, and
+    snaps back to [retry_interval] on the next ack.  Independent of the
+    policy, the fabric registers {!Esr_sim.Net.on_recover}/[on_heal] hooks
+    that kick an immediate retransmission pass when a site recovers or a
+    partition heals.
     With [?obs], the fabric's counters are registered as group ["squeue"]
     gauges in its metrics registry; data and ack messages are labelled
     with classes ["data"] / ["ack"] in the underlying network trace. *)

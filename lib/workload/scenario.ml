@@ -96,8 +96,8 @@ let gen_query_keys prng zipf ~key_cache (spec : Spec.t) =
       key_cache.(Dist.Zipf.sample zipf prng))
   |> List.sort_uniq String.compare
 
-let run ?(seed = 42) ?config ?net_config ?partition ?flush_every ?obs ~sites
-    ~method_name (spec : Spec.t) =
+let run ?(seed = 42) ?config ?net_config ?partition ?faults ?flush_every ?obs
+    ~sites ~method_name (spec : Spec.t) =
   let engine_hint =
     (* Expected arrivals; each spawns a handful of network events. *)
     let arrivals =
@@ -153,6 +153,9 @@ let run ?(seed = 42) ?config ?net_config ?partition ?flush_every ?obs ~sites
              Net.partition net p.groups));
       ignore
         (Engine.schedule_at engine ~time:p.p_end (fun () -> Net.heal net)));
+  (match faults with
+  | None -> ()
+  | Some schedule -> Harness.inject_faults harness schedule);
   (* open-loop arrivals *)
   let schedule_arrivals ~rate ~fire =
     if rate > 0.0 then begin
