@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-all trace clean
+.PHONY: all build test bench bench-all trace report clean
 
 all: build
 
@@ -23,6 +23,16 @@ bench-all:
 # Same smoke as `dune build @trace` (which keeps its output in _build).
 trace:
 	dune exec bin/esrsim.exe -- trace -m ORDUP -s 3 -o trace.json --format chrome
+
+# Divergence observatory end to end: a faulty 4-site ORDUP run recorded
+# as trace + series, rendered as a terminal dashboard plus report.html
+# (inline SVG, fault windows shaded) and a span-enriched Perfetto trace.
+report:
+	dune exec bin/esrsim.exe -- run -m ORDUP -s 4 \
+	  --faults 'crash@400:2;recover@900:2' \
+	  --trace report-run.jsonl --series report-run.series.json
+	dune exec bin/esrsim.exe -- report --trace report-run.jsonl \
+	  --series report-run.series.json --html report.html --chrome report.json
 
 clean:
 	dune clean

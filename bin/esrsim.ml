@@ -9,9 +9,14 @@
 open Cmdliner
 module Stats = Esr_util.Stats
 module Tablefmt = Esr_util.Tablefmt
+module Json = Esr_util.Json
 module Obs = Esr_obs.Obs
 module Trace = Esr_obs.Trace
 module Metrics = Esr_obs.Metrics
+module Series = Esr_obs.Series
+module Spans = Esr_obs.Spans
+module Openmetrics = Esr_obs.Openmetrics
+module Report = Esr_obs.Report
 module Net = Esr_sim.Net
 module Dist = Esr_util.Dist
 module Epsilon = Esr_core.Epsilon
@@ -250,18 +255,102 @@ let parse_faults = function
           Printf.eprintf "--faults: %s\n" m;
           exit 1)
 
-let metrics_arg =
+let print_metrics_arg =
   Arg.(
     value & flag
-    & info [ "metrics" ]
+    & info [ "print-metrics" ]
         ~doc:"Print the full metrics registry (engine, net, squeue, \
               harness and method groups) after the summary table.")
+
+let metrics_file_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:"Export the final metrics registry to $(docv): JSON when the \
+              extension is .json, OpenMetrics text exposition otherwise.")
+
+let series_file_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "series" ] ~docv:"FILE"
+        ~doc:"Sample the divergence time series during the run and dump it \
+              to $(docv): CSV when the extension is .csv, the esr-series/1 \
+              JSON document otherwise (what 'esrsim report' consumes).")
+
+let series_interval_arg =
+  Arg.(
+    value & opt float 50.0
+    & info [ "series-interval" ] ~docv:"MS"
+        ~doc:"Virtual-time sampling cadence for --series.")
+
+let with_out file f =
+  let oc = open_out file in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> f oc)
+
+(* Registry snapshot as a self-describing JSON document (the .json branch
+   of --metrics; the default branch is the OpenMetrics exposition). *)
+let write_metrics_json oc entries =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\"schema\":\"esr-metrics/1\",\"metrics\":[\n";
+  List.iteri
+    (fun i (e : Metrics.entry) ->
+      if i > 0 then Buffer.add_string b ",\n";
+      Buffer.add_string b "{\"group\":\"";
+      Json.buf_add_escaped b e.group;
+      Buffer.add_string b "\",\"name\":\"";
+      Json.buf_add_escaped b e.name;
+      Buffer.add_char b '"';
+      (match e.site with
+      | Some s -> Buffer.add_string b (Printf.sprintf ",\"site\":%d" s)
+      | None -> ());
+      (match e.view with
+      | Metrics.Counter_v v ->
+          Buffer.add_string b
+            (Printf.sprintf ",\"kind\":\"counter\",\"value\":%s" (Json.float_repr v))
+      | Metrics.Gauge_v v ->
+          Buffer.add_string b
+            (Printf.sprintf ",\"kind\":\"gauge\",\"value\":%s" (Json.float_repr v))
+      | Metrics.Histogram_v { limits; counts; sum; count } ->
+          Buffer.add_string b ",\"kind\":\"histogram\",\"limits\":[";
+          Array.iteri
+            (fun j l ->
+              if j > 0 then Buffer.add_char b ',';
+              Buffer.add_string b (Json.float_repr l))
+            limits;
+          Buffer.add_string b "],\"counts\":[";
+          Array.iteri
+            (fun j c ->
+              if j > 0 then Buffer.add_char b ',';
+              Buffer.add_string b (string_of_int c))
+            counts;
+          Buffer.add_string b
+            (Printf.sprintf "],\"sum\":%s,\"count\":%d,\"p50\":%s,\"p99\":%s"
+               (Json.float_repr sum) count
+               (Json.float_repr (Metrics.view_percentile e.view 50.0))
+               (Json.float_repr (Metrics.view_percentile e.view 99.0))));
+      Buffer.add_char b '}')
+    entries;
+  Buffer.add_string b "\n]}\n";
+  output_string oc (Buffer.contents b)
+
+let export_metrics ~file metrics =
+  let entries = Metrics.snapshot metrics in
+  with_out file (fun oc ->
+      if Filename.check_suffix file ".json" then write_metrics_json oc entries
+      else Openmetrics.write_snapshot oc entries)
+
+let export_series ~file series =
+  with_out file (fun oc ->
+      if Filename.check_suffix file ".csv" then Series.write_csv oc series
+      else Series.write_json oc series)
 
 let run_cmd =
   let doc = "Run one workload against one method and print the metrics." in
   let run meth sites duration update_rate query_rate keys theta epsilon profile
       seed loss latency ordering ritu_mode abort_p faults_spec trace_file
-      trace_format show_metrics =
+      trace_format show_metrics metrics_file series_file series_interval =
     match
       prepare_scenario ~meth ~duration ~update_rate ~query_rate ~keys ~theta
         ~epsilon ~profile ~loss ~latency ~ordering ~ritu_mode ~abort_p
@@ -271,7 +360,10 @@ let run_cmd =
         exit 1
     | Ok (spec, net_config, config) ->
         let faults = parse_faults faults_spec in
-        let obs = Obs.create ~tracing:(trace_file <> None) () in
+        let obs =
+          Obs.create ~tracing:(trace_file <> None)
+            ~series:(series_file <> None) ~series_interval ()
+        in
         let r =
           Scenario.run ~seed ~config ~net_config ~obs ?faults ~sites
             ~method_name:meth spec
@@ -323,6 +415,17 @@ let run_cmd =
             (fun e -> Format.printf "  %a@." Metrics.pp_entry e)
             (Metrics.snapshot obs.Obs.metrics)
         end;
+        (match metrics_file with
+        | Some file ->
+            export_metrics ~file obs.Obs.metrics;
+            Printf.printf "metrics -> %s\n" file
+        | None -> ());
+        (match series_file with
+        | Some file ->
+            export_series ~file obs.Obs.series;
+            Printf.printf "series: %d samples -> %s\n"
+              (Series.length obs.Obs.series) file
+        | None -> ());
         (* A schedule that leaves a site crashed or a partition standing
            cannot converge; only all-clear runs gate the exit status. *)
         let expect_convergence =
@@ -338,7 +441,8 @@ let run_cmd =
       $ query_rate_arg $ keys_arg $ theta_arg $ epsilon_arg $ profile_arg
       $ seed_arg $ loss_arg $ latency_arg $ ordering_arg $ ritu_mode_arg
       $ abort_arg $ faults_arg $ trace_file_arg $ trace_format_arg
-      $ metrics_arg)
+      $ print_metrics_arg $ metrics_file_arg $ series_file_arg
+      $ series_interval_arg)
 
 (* --- nemesis --- *)
 
@@ -374,8 +478,24 @@ let nemesis_cmd =
           ~doc:"Record each run's event trace into \
                 $(docv)/nemesis_METHOD_seedN.jsonl.")
   in
+  let series_dir_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "series-dir" ] ~docv:"DIR"
+          ~doc:"Dump each run's divergence series into \
+                $(docv)/nemesis_METHOD_seedN.series.json.")
+  in
+  let metrics_dir_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics-dir" ] ~docv:"DIR"
+          ~doc:"Export each run's final metrics registry (OpenMetrics) \
+                into $(docv)/nemesis_METHOD_seedN.om.")
+  in
   let run meth sites duration update_rate query_rate keys theta seed windows
-      crash_bias trace_dir =
+      crash_bias trace_dir series_dir metrics_dir =
     let methods =
       if String.lowercase_ascii meth = "all" then
         List.map (fun (m : Intf.meta) -> m.Intf.name) Registry.metas
@@ -389,15 +509,26 @@ let nemesis_cmd =
     in
     Printf.printf "nemesis schedule (seed %d): %s\n" seed
       (Schedule.to_spec schedule);
-    (match trace_dir with
-    | Some dir when not (Sys.file_exists dir) -> Sys.mkdir dir 0o755
-    | Some _ | None -> ());
+    List.iter
+      (function
+        | Some dir when not (Sys.file_exists dir) -> Sys.mkdir dir 0o755
+        | Some _ | None -> ())
+      [ trace_dir; series_dir; metrics_dir ];
     let t =
       Tablefmt.create
         ~title:
           (Printf.sprintf "nemesis on %d sites (seed %d, %d windows)" sites
              seed windows)
-        ~headers:[ "Method"; "Settled"; "Converged"; "Replays"; "Committed" ]
+        ~headers:
+          [
+            "Method";
+            "Settled";
+            "Converged";
+            "Replays";
+            "Committed";
+            "PeakDiv";
+            "ConvLag(ms)";
+          ]
     in
     let failures = ref [] in
     List.iter
@@ -411,7 +542,9 @@ let nemesis_cmd =
             prerr_endline m;
             exit 1
         | Ok (spec, net_config, config) ->
-            let obs = Obs.create ~tracing:true () in
+            (* Series always on here: the divergence columns come from it,
+               and nemesis runs are already paying for tracing. *)
+            let obs = Obs.create ~tracing:true ~series:true () in
             let r =
               Scenario.run ~seed ~config ~net_config ~obs ~faults:schedule
                 ~sites ~method_name:meth spec
@@ -421,17 +554,44 @@ let nemesis_cmd =
                 match record.Trace.ev with
                 | Trace.Recovery_replay _ -> incr replays
                 | _ -> ());
+            let dump_name ext =
+              Printf.sprintf "nemesis_%s_seed%d%s"
+                (String.lowercase_ascii
+                   (String.map (function '/' -> '_' | c -> c) meth))
+                seed ext
+            in
             (match trace_dir with
             | Some dir ->
-                let file =
-                  Filename.concat dir
-                    (Printf.sprintf "nemesis_%s_seed%d.jsonl"
-                       (String.lowercase_ascii
-                          (String.map (function '/' -> '_' | c -> c) meth))
-                       seed)
-                in
-                write_trace ~file ~format:`Jsonl ~sites obs.Obs.trace
+                write_trace
+                  ~file:(Filename.concat dir (dump_name ".jsonl"))
+                  ~format:`Jsonl ~sites obs.Obs.trace
             | None -> ());
+            (match series_dir with
+            | Some dir ->
+                export_series
+                  ~file:(Filename.concat dir (dump_name ".series.json"))
+                  obs.Obs.series
+            | None -> ());
+            (match metrics_dir with
+            | Some dir ->
+                export_metrics
+                  ~file:(Filename.concat dir (dump_name ".om"))
+                  obs.Obs.metrics
+            | None -> ());
+            (* Peak replica spread over the run and how long past the last
+               fault-schedule step the system needed to fully drain. *)
+            let peak_div =
+              match Series.column_index obs.Obs.series "esr/spread_max" with
+              | None -> 0.0
+              | Some i ->
+                  let peak = ref 0.0 in
+                  Series.iter obs.Obs.series (fun s ->
+                      peak := Float.max !peak s.Series.values.(i));
+                  !peak
+            in
+            let conv_lag =
+              Float.max 0.0 (r.Scenario.quiesce_time -. Schedule.clear_time schedule)
+            in
             let ok = r.Scenario.settled && r.Scenario.converged in
             if not ok then failures := meth :: !failures;
             Tablefmt.add_row t
@@ -442,6 +602,8 @@ let nemesis_cmd =
                 string_of_int !replays;
                 Printf.sprintf "%d/%d" r.Scenario.committed
                   r.Scenario.submitted_updates;
+                Tablefmt.cell_float peak_div;
+                Tablefmt.cell_float conv_lag;
               ])
       methods;
     Tablefmt.print t;
@@ -455,7 +617,7 @@ let nemesis_cmd =
     Term.(
       const run $ all_method_arg $ sites_arg $ duration_arg $ update_rate_arg
       $ query_rate_arg $ keys_arg $ theta_arg $ seed_arg $ windows_arg
-      $ crash_bias_arg $ trace_dir_arg)
+      $ crash_bias_arg $ trace_dir_arg $ series_dir_arg $ metrics_dir_arg)
 
 (* --- trace --- *)
 
@@ -532,6 +694,131 @@ let trace_cmd =
       $ seed_arg $ loss_arg $ latency_arg $ ordering_arg $ ritu_mode_arg
       $ abort_arg $ output_arg $ format_arg $ limit_arg)
 
+(* --- report --- *)
+
+let read_file file =
+  let ic = open_in_bin file in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* Parse a JSONL trace dump back into records.  Unparseable lines are
+   counted and reported rather than silently skipped. *)
+let read_trace_jsonl file =
+  let ic = open_in file in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let records = ref [] and bad = ref 0 in
+      (try
+         while true do
+           let line = input_line ic in
+           if String.trim line <> "" then
+             match Trace.record_of_json line with
+             | Ok r -> records := r :: !records
+             | Error _ -> incr bad
+         done
+       with End_of_file -> ());
+      (List.rev !records, !bad))
+
+let report_cmd =
+  let doc =
+    "Render a recorded run (a --trace JSONL dump, optionally with its \
+     --series dump) as a terminal dashboard, and optionally as a \
+     self-contained HTML report or a span-enriched Chrome trace."
+  in
+  let trace_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:"JSONL trace dump to analyze (from 'run --trace', 'trace -o' \
+                or 'nemesis --trace-dir').")
+  in
+  let series_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "series" ] ~docv:"FILE"
+          ~doc:"esr-series/1 dump matching the trace (enables the \
+                divergence charts and profile table).")
+  in
+  let label_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "label" ] ~docv:"NAME" ~doc:"Report label (default: trace file name).")
+  in
+  let html_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "html" ] ~docv:"FILE"
+          ~doc:"Also write a self-contained HTML report to $(docv).")
+  in
+  let chrome_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "chrome" ] ~docv:"FILE"
+          ~doc:"Also write a Chrome trace enriched with span-tree flow \
+                events (MSet propagation arrows) to $(docv).")
+  in
+  let run trace_file series_file label html_file chrome_file =
+    let records, bad = read_trace_jsonl trace_file in
+    if records = [] then begin
+      Printf.eprintf "report: no parseable trace records in %s\n" trace_file;
+      exit 1
+    end;
+    if bad > 0 then
+      Printf.eprintf "warning: %d unparseable trace lines skipped\n" bad;
+    let series =
+      match series_file with
+      | None -> None
+      | Some f -> (
+          match Series.dump_of_json (read_file f) with
+          | Ok d -> Some d
+          | Error m ->
+              Printf.eprintf "report: %s: %s\n" f m;
+              exit 1)
+    in
+    let label =
+      match label with
+      | Some l -> l
+      | None -> Filename.remove_extension (Filename.basename trace_file)
+    in
+    let input = Report.make ~label ?series records in
+    print_string (Report.dashboard input);
+    (match html_file with
+    | Some f ->
+        with_out f (fun oc -> output_string oc (Report.html input));
+        Printf.printf "html report -> %s\n" f
+    | None -> ());
+    match chrome_file with
+    | Some f ->
+        let sites = Report.sites_of records in
+        let spans = Spans.reconstruct records in
+        (* Rebuild a sink so the standard exporter does the base timeline;
+           the span flows ride in through [extra]. *)
+        let sink =
+          Trace.make ~capacity:(Stdlib.max 1 (List.length records)) ~enabled:true ()
+        in
+        List.iter
+          (fun (r : Trace.record) ->
+            match r.Trace.ev with
+            | Trace.Trace_meta _ -> ()
+            | ev -> Trace.emit sink ~time:r.Trace.time ev)
+          records;
+        with_out f (fun oc ->
+            Trace.write_chrome ~extra:(Spans.chrome_events ~sites spans) oc ~sites
+              sink);
+        Printf.printf "chrome trace -> %s\n" f
+    | None -> ()
+  in
+  Cmd.v (Cmd.info "report" ~doc)
+    Term.(
+      const run $ trace_arg $ series_arg $ label_arg $ html_arg $ chrome_arg)
+
 (* --- check --- *)
 
 let log_arg =
@@ -595,6 +882,7 @@ let main_cmd =
       run_cmd;
       nemesis_cmd;
       trace_cmd;
+      report_cmd;
       check_cmd;
       overlap_cmd;
       tables_cmd;

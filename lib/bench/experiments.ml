@@ -901,6 +901,105 @@ let e13_fault_availability () =
   Tablefmt.print t
 
 (* ------------------------------------------------------------------ *)
+(* E14: divergence profile over the fault schedule                     *)
+(* ------------------------------------------------------------------ *)
+
+(* The observatory's view of the E13 workload: instead of bucketing
+   commits into faulty/clear windows, the series samples max replica
+   spread every 100ms, so the table shows divergence building while a
+   site is down, spiking at the partition, and collapsing to zero at
+   quiescence (the paper's convergence claim, watched rather than merely
+   asserted at the end). *)
+let e14_divergence_profile () =
+  let module Harness = Esr_replica.Harness in
+  let module Schedule = Esr_fault.Schedule in
+  let module Obs = Esr_obs.Obs in
+  let module Series = Esr_obs.Series in
+  let methods = [ "ORDUP"; "COMMU"; "RITU"; "COMPE"; "2PC"; "QUORUM"; "QUASI" ] in
+  let t =
+    Tablefmt.create
+      ~title:
+        "E14: divergence profile — max replica spread (distance between the \
+         most and least advanced copy of any key) sampled every 100ms over \
+         the E13 fault schedule (crash@600:1 recover@1400:1 partition@1800 \
+         heal@2600); * marks rows inside a fault window"
+      ~headers:(("t (ms)" :: methods) @ [ "fault?" ])
+  in
+  let horizon = 3_400.0 in
+  let faulty time =
+    (time >= 600.0 && time < 1_400.0) || (time >= 1_800.0 && time < 2_600.0)
+  in
+  let schedule =
+    Schedule.make
+      [
+        { Schedule.at = 600.0; action = Schedule.Crash 1 };
+        { Schedule.at = 1_400.0; action = Schedule.Recover 1 };
+        { Schedule.at = 1_800.0; action = Schedule.Partition [ [ 0; 1 ]; [ 2; 3 ] ] };
+        { Schedule.at = 2_600.0; action = Schedule.Heal };
+      ]
+  in
+  (* Each job returns (spread at time t, peak spread, time of the last
+     divergent sample); the same update stream as E13, queries omitted
+     since replica spread is a pure update-propagation phenomenon. *)
+  let jobs =
+    List.map
+      (fun name () ->
+        let obs = Obs.create ~series:true ~series_interval:100.0 () in
+        let config = { Intf.default_config with Intf.twopc_timeout = 30_000.0 } in
+        let h = Harness.create ~config ~obs ~seed ~sites:4 ~method_name:name () in
+        let engine = Harness.engine h in
+        for i = 0 to 159 do
+          let time = float_of_int (i + 1) *. 20.0 in
+          ignore
+            (Engine.schedule_at engine ~time (fun () ->
+                 let key = Printf.sprintf "k%d" (i mod 8) in
+                 let intents =
+                   match name with
+                   | "RITU" | "QUORUM" ->
+                       [ Intf.Set (key, Esr_store.Value.Int (1_000 + i)) ]
+                   | _ -> [ Intf.Add (key, 1 + (i mod 3)) ]
+                 in
+                 Harness.submit_update h ~origin:(i mod 4) intents (fun _ -> ())))
+        done;
+        Harness.inject_faults h schedule;
+        Harness.arm_series h ~until:horizon;
+        ignore (Harness.settle h);
+        let series = obs.Obs.series in
+        let col = Option.get (Series.column_index series "esr/spread_max") in
+        let by_time = Hashtbl.create 64 in
+        let peak = ref 0.0 and last_div = ref 0.0 in
+        Series.iter series (fun s ->
+            let v = s.Series.values.(col) in
+            Hashtbl.replace by_time s.Series.at v;
+            if v > !peak then peak := v;
+            if v > 0.0 then last_div := s.Series.at);
+        (by_time, !peak, !last_div))
+      methods
+  in
+  let profiles = Pool.map (fun job -> job ()) jobs in
+  let cell v = if v = 0.0 then "0" else Printf.sprintf "%.0f" v in
+  let times = List.init 17 (fun i -> float_of_int (i + 1) *. 200.0) in
+  List.iter
+    (fun time ->
+      Tablefmt.add_row t
+        ((Printf.sprintf "%.0f" time
+         :: List.map
+              (fun (by_time, _, _) ->
+                match Hashtbl.find_opt by_time time with
+                | Some v -> cell v
+                | None -> "-")
+              profiles)
+        @ [ (if faulty time then "*" else "") ]))
+    times;
+  Tablefmt.add_separator t;
+  Tablefmt.add_row t
+    (("peak" :: List.map (fun (_, peak, _) -> cell peak) profiles) @ [ "" ]);
+  Tablefmt.add_row t
+    (("last divergent" :: List.map (fun (_, _, last) -> cell last) profiles)
+    @ [ "" ]);
+  Tablefmt.print t
+
+(* ------------------------------------------------------------------ *)
 (* A1: ablation — ORDUP ordering source                                *)
 (* ------------------------------------------------------------------ *)
 
@@ -1017,6 +1116,7 @@ let all =
     ("e11_quasi", e11_quasi);
     ("e12_partition_merge", e12_partition_merge);
     ("e13_fault_availability", e13_fault_availability);
+    ("e14_divergence_profile", e14_divergence_profile);
     ("a1_ordup_ordering", a1_ordup_ordering);
     ("a2_squeue_retry", a2_squeue_retry);
   ]

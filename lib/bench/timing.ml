@@ -5,10 +5,10 @@
    and writes the trajectory file BENCH_experiments.json that later PRs
    diff against.
 
-   Output schema (BENCH_experiments.json, version 2):
+   Output schema (BENCH_experiments.json, version 3):
 
      {
-       "schema": "esr-bench-experiments/2",
+       "schema": "esr-bench-experiments/3",
        "domains": { "sequential": 1, "parallel": <N> },
        "experiments": [
          { "name": "e1_scalability",
@@ -21,11 +21,21 @@
          ...
        ],
        "total": { "sequential_s": ..., "parallel_s": ..., "traced_s": ...,
-                  "speedup": ..., "trace_overhead": ... }
+                  "speedup": ..., "trace_overhead": ... },
+       "runs": [ { "at": <unix seconds>, "domains": ..., "experiments":
+                   [...], "total": {...} }, ... ]
      }
+
+   The top-level domains/experiments/total mirror the latest run so v2
+   consumers keep working; "runs" is the append-only history (oldest
+   first, capped at [max_history]).  A v2 file found on disk is absorbed
+   as one history entry with "at": 0.  After the sweep the summary prints
+   a delta line against the previous run so a perf regression shows up in
+   the `make bench` output itself, not only in the JSON diff.
 *)
 
 module Tablefmt = Esr_util.Tablefmt
+module Json = Esr_util.Json
 module Pool = Esr_exec.Pool
 module Obs = Esr_obs.Obs
 
@@ -68,41 +78,147 @@ let timed_captured f =
   Sys.remove path;
   (elapsed, bytes)
 
-let fnum v =
-  (* JSON number: fixed-point, never "inf"/"nan". *)
-  if Float.is_finite v then Printf.sprintf "%.6f" v else "0.0"
-
 let speedup ~seq ~par = if par > 0.0 then seq /. par else 0.0
 
-let write_json ~path ~par_domains samples =
-  let oc = open_out path in
-  let p fmt = Printf.fprintf oc fmt in
-  p "{\n";
-  p "  \"schema\": \"esr-bench-experiments/2\",\n";
-  p "  \"domains\": { \"sequential\": 1, \"parallel\": %d },\n" par_domains;
-  p "  \"experiments\": [\n";
-  List.iteri
-    (fun i s ->
-      p
-        "    { \"name\": %S, \"sequential_s\": %s, \"parallel_s\": %s, \
-         \"traced_s\": %s, \"speedup\": %s, \"trace_overhead\": %s, \
-         \"identical_output\": %b }%s\n"
-        s.name (fnum s.sequential_s) (fnum s.parallel_s) (fnum s.traced_s)
-        (fnum (speedup ~seq:s.sequential_s ~par:s.parallel_s))
-        (fnum (speedup ~seq:s.traced_s ~par:s.parallel_s))
-        s.identical
-        (if i = List.length samples - 1 then "" else ","))
-    samples;
-  p "  ],\n";
+let max_history = 25
+
+(* --- run history (schema v3) --- *)
+
+(* One run rendered as a Json value, shared by the top-level mirror and
+   the history entry. *)
+let run_json ?at ~par_domains samples =
   let tot_seq = List.fold_left (fun a s -> a +. s.sequential_s) 0.0 samples in
   let tot_par = List.fold_left (fun a s -> a +. s.parallel_s) 0.0 samples in
   let tot_tr = List.fold_left (fun a s -> a +. s.traced_s) 0.0 samples in
-  p
-    "  \"total\": { \"sequential_s\": %s, \"parallel_s\": %s, \"traced_s\": \
-     %s, \"speedup\": %s, \"trace_overhead\": %s }\n"
-    (fnum tot_seq) (fnum tot_par) (fnum tot_tr)
-    (fnum (speedup ~seq:tot_seq ~par:tot_par))
-    (fnum (speedup ~seq:tot_tr ~par:tot_par));
+  let experiment s =
+    Json.Obj
+      [
+        ("name", Json.Str s.name);
+        ("sequential_s", Json.Num s.sequential_s);
+        ("parallel_s", Json.Num s.parallel_s);
+        ("traced_s", Json.Num s.traced_s);
+        ("speedup", Json.Num (speedup ~seq:s.sequential_s ~par:s.parallel_s));
+        ("trace_overhead", Json.Num (speedup ~seq:s.traced_s ~par:s.parallel_s));
+        ("identical_output", Json.Bool s.identical);
+      ]
+  in
+  let total =
+    Json.Obj
+      [
+        ("sequential_s", Json.Num tot_seq);
+        ("parallel_s", Json.Num tot_par);
+        ("traced_s", Json.Num tot_tr);
+        ("speedup", Json.Num (speedup ~seq:tot_seq ~par:tot_par));
+        ("trace_overhead", Json.Num (speedup ~seq:tot_tr ~par:tot_par));
+      ]
+  in
+  let fields =
+    [
+      ( "domains",
+        Json.Obj
+          [ ("sequential", Json.Num 1.0);
+            ("parallel", Json.Num (float_of_int par_domains)) ] );
+      ("experiments", Json.Arr (List.map experiment samples));
+      ("total", total);
+    ]
+  in
+  match at with
+  | Some t -> Json.Obj (("at", Json.Num t) :: fields)
+  | None -> Json.Obj fields
+
+(* Absorb whatever trajectory file is already on disk into a history
+   list (oldest first).  A v2 file — one run at the top level — becomes a
+   single entry stamped "at": 0; unreadable or foreign files are treated
+   as no history rather than an error, since the bench must still run on
+   a fresh checkout. *)
+let read_history path =
+  if not (Sys.file_exists path) then []
+  else
+    let ic = open_in_bin path in
+    let len = in_channel_length ic in
+    let text = really_input_string ic len in
+    close_in ic;
+    match Json.parse text with
+    | Error _ -> []
+    | Ok doc -> (
+        match Option.bind (Json.member "schema" doc) Json.to_string with
+        | Some "esr-bench-experiments/3" ->
+            Option.value ~default:[]
+              (Option.bind (Json.member "runs" doc) Json.to_list)
+        | Some "esr-bench-experiments/2" ->
+            let keep k = Option.map (fun v -> (k, v)) (Json.member k doc) in
+            [
+              Json.Obj
+                (("at", Json.Num 0.0)
+                :: List.filter_map keep [ "domains"; "experiments"; "total" ]);
+            ]
+        | _ -> [])
+
+(* Per-experiment (parallel_s, traced_s) of a history entry, for deltas. *)
+let run_times entry =
+  match Option.bind (Json.member "experiments" entry) Json.to_list with
+  | None -> []
+  | Some exps ->
+      List.filter_map
+        (fun e ->
+          match
+            ( Option.bind (Json.member "name" e) Json.to_string,
+              Option.bind (Json.member "parallel_s" e) Json.to_float,
+              Option.bind (Json.member "traced_s" e) Json.to_float )
+          with
+          | Some name, Some par, Some tr -> Some (name, (par, tr))
+          | _ -> None)
+        exps
+
+(* Print how this sweep moved against the previous run: the total, plus
+   any experiment whose parallel wall-clock shifted by more than 10% (and
+   at least a millisecond, so the tiny a2-style microbenches don't flap). *)
+let print_delta ~previous samples =
+  let prev = run_times previous in
+  let prev_total = List.fold_left (fun a (_, (p, _)) -> a +. p) 0.0 prev in
+  let cur_total = List.fold_left (fun a s -> a +. s.parallel_s) 0.0 samples in
+  let pct cur old = (cur -. old) /. old *. 100.0 in
+  if prev_total > 0.0 then begin
+    Printf.printf "delta vs previous run: total parallel %.3fs -> %.3fs (%+.1f%%)\n"
+      prev_total cur_total (pct cur_total prev_total);
+    List.iter
+      (fun s ->
+        match List.assoc_opt s.name prev with
+        | Some (old_par, _)
+          when old_par > 0.0
+               && Float.abs (s.parallel_s -. old_par) > 0.001
+               && Float.abs (pct s.parallel_s old_par) > 10.0 ->
+            Printf.printf "  %-20s %.3fs -> %.3fs (%+.1f%%)\n" s.name old_par
+              s.parallel_s (pct s.parallel_s old_par)
+        | _ -> ())
+      samples
+  end
+
+let write_json ~path ~par_domains ~history samples =
+  let latest = run_json ~par_domains samples in
+  let entry = run_json ~at:(Unix.time ()) ~par_domains samples in
+  let runs = history @ [ entry ] in
+  let runs =
+    let drop = List.length runs - max_history in
+    if drop > 0 then List.filteri (fun i _ -> i >= drop) runs else runs
+  in
+  let oc = open_out path in
+  let p fmt = Printf.fprintf oc fmt in
+  p "{\n";
+  p "  \"schema\": \"esr-bench-experiments/3\",\n";
+  (match latest with
+  | Json.Obj fields ->
+      List.iter
+        (fun (k, v) -> p "  %S: %s,\n" k (Json.render v))
+        fields
+  | _ -> assert false);
+  p "  \"runs\": [\n";
+  List.iteri
+    (fun i r ->
+      p "    %s%s\n" (Json.render r)
+        (if i = List.length runs - 1 then "" else ","))
+    runs;
+  p "  ]\n";
   p "}\n";
   close_out oc
 
@@ -186,8 +302,13 @@ let run_timed ?path () =
       Tablefmt.cell_bool (List.for_all (fun s -> s.identical) samples);
     ];
   Tablefmt.print t;
-  write_json ~path ~par_domains samples;
-  Printf.printf "wrote %s\n" path;
+  let history = read_history path in
+  (match List.rev history with
+  | previous :: _ -> print_delta ~previous samples
+  | [] -> ());
+  write_json ~path ~par_domains ~history samples;
+  Printf.printf "wrote %s (%d runs in history)\n" path
+    (Stdlib.min max_history (List.length history + 1));
   if not (List.for_all (fun s -> s.identical) samples) then begin
     prerr_endline "timed sweep: parallel/traced output diverged from sequential";
     exit 3

@@ -185,11 +185,24 @@ let of_spec spec =
     in
     parse [] pieces
 
-let inject ?(on_crash = fun _ -> ()) ?(on_recover = fun _ -> ()) engine net t =
+let action_label = function
+  | Crash site -> Printf.sprintf "crash:%d" site
+  | Recover site -> Printf.sprintf "recover:%d" site
+  | Partition groups ->
+      Printf.sprintf "partition:%s"
+        (String.concat "|"
+           (List.map (fun g -> String.concat "," (List.map string_of_int g)) groups))
+  | Heal -> "heal"
+
+let inject ?(on_crash = fun _ -> ()) ?(on_recover = fun _ -> ()) ?annotate engine
+    net t =
   List.iter
     (fun { at; action } ->
       ignore
         (Engine.schedule_at engine ~time:at (fun () ->
+             (match annotate with
+             | Some f -> f ~time:at (action_label action)
+             | None -> ());
              match action with
              | Crash site ->
                  if Net.site_up net site then begin

@@ -55,9 +55,14 @@ val to_spec : t -> string
 
 val of_spec : string -> (t, string) result
 
+val action_label : action -> string
+(** Compact one-step label in the [--faults] DSL vocabulary
+    (["crash:2"], ["partition:0,1|2,3"], ...). *)
+
 val inject :
   ?on_crash:(int -> unit) ->
   ?on_recover:(int -> unit) ->
+  ?annotate:(time:float -> string -> unit) ->
   Esr_sim.Engine.t ->
   Esr_sim.Net.t ->
   t ->
@@ -68,4 +73,7 @@ val inject :
     stable-queue retransmission hooks — and then [on_recover site]
     (durable-log replay and catch-up).  [Partition]/[Heal] map onto the
     corresponding {!Esr_sim.Net} calls.  All actions are traced by the
-    network layer. *)
+    network layer; [annotate], when given, is additionally called at each
+    step's fire time with its {!action_label} (the harness points it at
+    {!Esr_obs.Series.annotate} so fault windows land in the series
+    dump). *)

@@ -55,12 +55,47 @@ let observe h v =
   h.sum <- h.sum +. v;
   h.count <- h.count + 1
 
+(* Bucket-interpolated percentile, Prometheus-style: find the bucket the
+   q-th ranked observation falls into and interpolate linearly inside it
+   (the first bucket's lower edge is 0, matching this repo's non-negative
+   instruments; the overflow bucket cannot be interpolated into, so it
+   clamps to the last finite bound). *)
+let percentile_of_buckets ~limits ~counts ~count q =
+  if count = 0 then 0.0
+  else begin
+    let q = Float.max 0.0 (Float.min 100.0 q) in
+    let target = q /. 100.0 *. float_of_int count in
+    let n = Array.length limits in
+    let rec walk i cumulative =
+      if i >= n then (* overflow bucket *)
+        if n = 0 then 0.0 else limits.(n - 1)
+      else
+        let cumulative' = cumulative +. float_of_int counts.(i) in
+        if cumulative' >= target && counts.(i) > 0 then
+          let lower = if i = 0 then 0.0 else limits.(i - 1) in
+          let upper = limits.(i) in
+          let into = (target -. cumulative) /. float_of_int counts.(i) in
+          lower +. ((upper -. lower) *. Float.max 0.0 (Float.min 1.0 into))
+        else walk (i + 1) cumulative'
+    in
+    walk 0 0.0
+  end
+
+let percentile h q =
+  percentile_of_buckets ~limits:h.limits ~counts:h.counts ~count:h.count q
+
 type view =
   | Counter_v of float
   | Gauge_v of float
   | Histogram_v of { limits : float array; counts : int array; sum : float; count : int }
 
 type entry = { group : string; name : string; site : int option; view : view }
+
+let view_percentile view q =
+  match view with
+  | Counter_v _ | Gauge_v _ -> invalid_arg "Metrics.view_percentile: not a histogram"
+  | Histogram_v { limits; counts; count; _ } ->
+      percentile_of_buckets ~limits ~counts ~count q
 
 let snapshot t =
   List.rev_map
@@ -95,11 +130,14 @@ let alist ?group t =
     (fun e ->
       match e.view with
       | Counter_v v | Gauge_v v -> [ (qualified e, v) ]
-      | Histogram_v { sum; count; _ } ->
+      | Histogram_v { limits; counts; sum; count } ->
           let mean = if count = 0 then 0.0 else sum /. float_of_int count in
+          let pct = percentile_of_buckets ~limits ~counts ~count in
           [
             (qualified e ^ ".count", float_of_int count);
             (qualified e ^ ".mean", mean);
+            (qualified e ^ ".p50", pct 50.0);
+            (qualified e ^ ".p99", pct 99.0);
           ])
     entries
 
@@ -110,7 +148,9 @@ let pp_entry ppf e =
   | Gauge_v v -> Format.fprintf ppf "%s/%s%s = %g (gauge)" e.group e.name site v
   | Histogram_v { limits; counts; sum; count } ->
       let mean = if count = 0 then 0.0 else sum /. float_of_int count in
-      Format.fprintf ppf "%s/%s%s: n=%d mean=%.2f [" e.group e.name site count mean;
+      let pct = percentile_of_buckets ~limits ~counts ~count in
+      Format.fprintf ppf "%s/%s%s: n=%d mean=%.2f p50=%.2f p99=%.2f [" e.group
+        e.name site count mean (pct 50.0) (pct 99.0);
       Array.iteri
         (fun i limit -> Format.fprintf ppf "%s<=%g:%d" (if i = 0 then "" else " ") limit counts.(i))
         limits;

@@ -45,6 +45,12 @@ val histogram :
 
 val observe : histogram -> float -> unit
 
+val percentile : histogram -> float -> float
+(** Bucket-interpolated percentile ([q] in [[0,100]], Prometheus-style):
+    linear interpolation inside the bucket the q-th ranked observation
+    falls into, with the first bucket anchored at 0 and the overflow
+    bucket clamped to the last finite bound.  0 on an empty histogram. *)
+
 (** {2 Snapshots} *)
 
 type view =
@@ -62,10 +68,15 @@ type entry = { group : string; name : string; site : int option; view : view }
 val snapshot : t -> entry list
 (** All instruments, in registration order, with materialized values. *)
 
+val view_percentile : view -> float -> float
+(** {!percentile} over a materialized {!Histogram_v} view.
+    @raise Invalid_argument on counter/gauge views. *)
+
 val alist : ?group:string -> t -> (string * float) list
 (** Flat compatibility view: counters and gauges become [(name, value)]
     pairs (site-qualified as ["name.sN"]); histograms expand to
-    [name.count] and [name.mean].  With [?group], only that group — the
+    [name.count], [name.mean], [name.p50] and [name.p99] (bucket-
+    interpolated).  With [?group], only that group — the
     pre-observability method stats lists are [alist ~group:"method"]. *)
 
 val pp_entry : Format.formatter -> entry -> unit

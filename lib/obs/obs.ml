@@ -1,10 +1,12 @@
-(** Per-run observability bundle: one trace sink + one metrics registry.
+(** Per-run observability bundle: trace sink + metrics registry + series.
 
     Every {!Esr_replica.Harness} owns exactly one [t]; the instrumented
     layers (engine counters, network, stable queues, replica methods)
     reach it through [Intf.env].  Metrics are always on — an increment
-    costs what the ad-hoc mutable counters it replaced cost.  Tracing
-    defaults to off and is zero-cost then (see {!Trace}).
+    costs what the ad-hoc mutable counters it replaced cost.  Tracing and
+    the time series default to off and are zero-cost then (see {!Trace},
+    {!Series}); the series samples the metrics registry plus whatever
+    derived probes the layers above install.
 
     [set_default_tracing] flips the default for harnesses that do not get
     an explicit [t] — the timed bench sweep uses it to measure the
@@ -12,10 +14,16 @@
     through every call site.  It is an [Atomic] because the bench pool
     runs experiment jobs on worker domains. *)
 
-type t = { trace : Trace.t; metrics : Metrics.t }
+type t = { trace : Trace.t; metrics : Metrics.t; series : Series.t }
 
-let create ?(tracing = false) ?trace_capacity () =
-  { trace = Trace.make ?capacity:trace_capacity ~enabled:tracing (); metrics = Metrics.create () }
+let create ?(tracing = false) ?trace_capacity ?(series = false) ?series_interval
+    ?series_capacity () =
+  let metrics = Metrics.create () in
+  let series =
+    Series.make ?interval:series_interval ?capacity:series_capacity ~enabled:series ()
+  in
+  Series.bind_registry series metrics;
+  { trace = Trace.make ?capacity:trace_capacity ~enabled:tracing (); metrics; series }
 
 let default_tracing = Atomic.make false
 let set_default_tracing b = Atomic.set default_tracing b

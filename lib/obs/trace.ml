@@ -33,6 +33,9 @@ type event =
   | Recovery_replay of { site : int; n_actions : int }
   | Flush_round of { round : int }
   | Converged of { ok : bool }
+  | Trace_meta of { dropped : int }
+      (* exporter-synthesized header: ring-buffer evictions that preceded
+         the first surviving record; never emitted by instrumentation *)
 
 type record = { time : float; ev : event }
 
@@ -85,28 +88,8 @@ let to_list t =
 
 (* --- JSON writing --- *)
 
-let buf_add_escaped b s =
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string b "\\\""
-      | '\\' -> Buffer.add_string b "\\\\"
-      | '\n' -> Buffer.add_string b "\\n"
-      | '\r' -> Buffer.add_string b "\\r"
-      | '\t' -> Buffer.add_string b "\\t"
-      | c when Char.code c < 0x20 ->
-          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char b c)
-    s
-
-(* Shortest decimal representation that round-trips exactly; JSON numbers
-   must not be "inf"/"nan", but virtual times and latencies are finite by
-   construction (guarded anyway). *)
-let float_repr v =
-  if not (Float.is_finite v) then "0"
-  else
-    let s = Printf.sprintf "%.12g" v in
-    if float_of_string s = v then s else Printf.sprintf "%.17g" v
+let buf_add_escaped = Esr_util.Json.buf_add_escaped
+let float_repr = Esr_util.Json.float_repr
 
 let reason_to_string = function
   | Loss -> "loss"
@@ -150,6 +133,7 @@ let type_name = function
   | Recovery_replay _ -> "recovery_replay"
   | Flush_round _ -> "flush_round"
   | Converged _ -> "converged"
+  | Trace_meta _ -> "meta"
 
 let record_to_json r =
   let b = Buffer.create 96 in
@@ -266,180 +250,49 @@ let record_to_json r =
       int "site" site;
       int "n_actions" n_actions
   | Flush_round { round } -> int "round" round
-  | Converged { ok } -> boolean "ok" ok);
+  | Converged { ok } -> boolean "ok" ok
+  | Trace_meta { dropped } ->
+      field_sep ();
+      Buffer.add_string b "\"meta\":{\"generator\":\"esrsim\"}";
+      int "dropped" dropped);
   Buffer.add_char b '}';
   Buffer.contents b
 
 (* --- JSON reading (the subset the writer produces) --- *)
 
-type json =
-  | Jnull
-  | Jbool of bool
-  | Jnum of float
-  | Jstr of string
-  | Jarr of json list
-  | Jobj of (string * json) list
+module Json = Esr_util.Json
 
 exception Parse of string
 
-let parse_json (s : string) : json =
-  let n = String.length s in
-  let pos = ref 0 in
-  let fail msg = raise (Parse (Printf.sprintf "%s at offset %d" msg !pos)) in
-  let peek () = if !pos < n then s.[!pos] else '\000' in
-  let advance () = incr pos in
-  let skip_ws () =
-    while !pos < n && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false) do
-      advance ()
-    done
-  in
-  let expect c = if peek () = c then advance () else fail (Printf.sprintf "expected %c" c) in
-  let literal word v =
-    if !pos + String.length word <= n && String.sub s !pos (String.length word) = word
-    then begin
-      pos := !pos + String.length word;
-      v
-    end
-    else fail ("bad literal " ^ word)
-  in
-  let parse_string () =
-    expect '"';
-    let b = Buffer.create 16 in
-    let rec loop () =
-      if !pos >= n then fail "unterminated string";
-      match s.[!pos] with
-      | '"' -> advance ()
-      | '\\' ->
-          advance ();
-          (match peek () with
-          | '"' -> Buffer.add_char b '"'
-          | '\\' -> Buffer.add_char b '\\'
-          | '/' -> Buffer.add_char b '/'
-          | 'n' -> Buffer.add_char b '\n'
-          | 'r' -> Buffer.add_char b '\r'
-          | 't' -> Buffer.add_char b '\t'
-          | 'b' -> Buffer.add_char b '\b'
-          | 'f' -> Buffer.add_char b '\012'
-          | 'u' ->
-              if !pos + 4 >= n then fail "bad \\u escape";
-              let code = int_of_string ("0x" ^ String.sub s (!pos + 1) 4) in
-              pos := !pos + 4;
-              if code < 0x80 then Buffer.add_char b (Char.chr code)
-              else fail "non-ASCII \\u escape unsupported"
-          | _ -> fail "bad escape");
-          advance ();
-          loop ()
-      | c ->
-          Buffer.add_char b c;
-          advance ();
-          loop ()
-    in
-    loop ();
-    Buffer.contents b
-  in
-  let parse_number () =
-    let start = !pos in
-    while
-      !pos < n
-      && match s.[!pos] with '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true | _ -> false
-    do
-      advance ()
-    done;
-    match float_of_string_opt (String.sub s start (!pos - start)) with
-    | Some v -> v
-    | None -> fail "bad number"
-  in
-  let rec parse_value () =
-    skip_ws ();
-    match peek () with
-    | '{' ->
-        advance ();
-        skip_ws ();
-        if peek () = '}' then begin
-          advance ();
-          Jobj []
-        end
-        else begin
-          let rec members acc =
-            skip_ws ();
-            let key = parse_string () in
-            skip_ws ();
-            expect ':';
-            let v = parse_value () in
-            skip_ws ();
-            match peek () with
-            | ',' ->
-                advance ();
-                members ((key, v) :: acc)
-            | '}' ->
-                advance ();
-                List.rev ((key, v) :: acc)
-            | _ -> fail "expected , or }"
-          in
-          Jobj (members [])
-        end
-    | '[' ->
-        advance ();
-        skip_ws ();
-        if peek () = ']' then begin
-          advance ();
-          Jarr []
-        end
-        else begin
-          let rec elements acc =
-            let v = parse_value () in
-            skip_ws ();
-            match peek () with
-            | ',' ->
-                advance ();
-                elements (v :: acc)
-            | ']' ->
-                advance ();
-                List.rev (v :: acc)
-            | _ -> fail "expected , or ]"
-          in
-          Jarr (elements [])
-        end
-    | '"' -> Jstr (parse_string ())
-    | 't' -> literal "true" (Jbool true)
-    | 'f' -> literal "false" (Jbool false)
-    | 'n' -> literal "null" Jnull
-    | _ -> Jnum (parse_number ())
-  in
-  let v = parse_value () in
-  skip_ws ();
-  if !pos <> n then fail "trailing garbage";
-  v
-
 let record_of_json line =
-  match parse_json line with
-  | exception Parse msg -> Error msg
-  | Jobj fields -> (
+  match Json.parse_exn line with
+  | exception Json.Parse_error msg -> Error msg
+  | Json.Obj fields -> (
       let find name = List.assoc_opt name fields in
       let get_int name =
         match find name with
-        | Some (Jnum v) -> int_of_float v
+        | Some (Json.Num v) -> int_of_float v
         | _ -> raise (Parse ("missing int field " ^ name))
       in
       let get_num name =
         match find name with
-        | Some (Jnum v) -> v
+        | Some (Json.Num v) -> v
         | _ -> raise (Parse ("missing number field " ^ name))
       in
       let get_str name =
         match find name with
-        | Some (Jstr v) -> v
+        | Some (Json.Str v) -> v
         | _ -> raise (Parse ("missing string field " ^ name))
       in
       let get_bool name =
         match find name with
-        | Some (Jbool v) -> v
+        | Some (Json.Bool v) -> v
         | _ -> raise (Parse ("missing bool field " ^ name))
       in
       let get_int_opt name =
         match find name with
-        | Some Jnull -> None
-        | Some (Jnum v) -> Some (int_of_float v)
+        | Some Json.Null -> None
+        | Some (Json.Num v) -> Some (int_of_float v)
         | _ -> raise (Parse ("missing nullable int field " ^ name))
       in
       let msg_fields () = (get_int "src", get_int "dst", get_str "cls") in
@@ -467,13 +320,13 @@ let record_of_json line =
           | "partition" ->
               let groups =
                 match find "groups" with
-                | Some (Jarr groups) ->
+                | Some (Json.Arr groups) ->
                     List.map
                       (function
-                        | Jarr members ->
+                        | Json.Arr members ->
                             List.map
                               (function
-                                | Jnum v -> int_of_float v
+                                | Json.Num v -> int_of_float v
                                 | _ -> raise (Parse "bad group member"))
                               members
                         | _ -> raise (Parse "bad group"))
@@ -535,6 +388,7 @@ let record_of_json line =
                 { site = get_int "site"; n_actions = get_int "n_actions" }
           | "flush_round" -> Flush_round { round = get_int "round" }
           | "converged" -> Converged { ok = get_bool "ok" }
+          | "meta" -> Trace_meta { dropped = get_int "dropped" }
           | other -> raise (Parse ("unknown event type " ^ other))
         in
         Ok { time; ev }
@@ -542,6 +396,15 @@ let record_of_json line =
   | _ -> Error "not a JSON object"
 
 let write_jsonl oc t =
+  (* Evictions are not silent: a wrapped ring leads the dump with a
+     self-describing meta record so consumers know the prefix is gone. *)
+  if t.n_dropped > 0 then begin
+    let oldest = if t.len > 0 then t.buf.(t.head).time else 0.0 in
+    output_string oc
+      (record_to_json
+         { time = oldest; ev = Trace_meta { dropped = t.n_dropped } });
+    output_char oc '\n'
+  end;
   iter t (fun r ->
       output_string oc (record_to_json r);
       output_char oc '\n')
@@ -559,7 +422,8 @@ let event_track ~sites = function
   | Mset_enqueued { origin; _ } -> origin
   | Mset_applied { site; _ } | Compensation_fired { site; _ } -> site
   | Volatile_dropped { site; _ } | Recovery_replay { site; _ } -> site
-  | Partition_event _ | Heal | Flush_round _ | Converged _ -> sites
+  | Partition_event _ | Heal | Flush_round _ | Converged _ | Trace_meta _ ->
+      sites
 
 (* Trace-viewer args payload: reuse the JSONL object minus ts/type. *)
 let event_args r =
@@ -574,7 +438,7 @@ let event_args r =
       | Some second_comma ->
           "{" ^ String.sub rest (second_comma + 1) (String.length rest - second_comma - 1))
 
-let write_chrome oc ~sites t =
+let write_chrome ?(extra = []) oc ~sites t =
   output_string oc "{\"traceEvents\":[\n";
   let first = ref true in
   let item line =
@@ -590,6 +454,11 @@ let write_chrome oc ~sites t =
          "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":%d,\"args\":{\"name\":\"%s\"}}"
          site name)
   done;
+  if t.n_dropped > 0 then
+    item
+      (Printf.sprintf
+         "{\"name\":\"trace_dropped\",\"ph\":\"M\",\"pid\":0,\"tid\":%d,\"args\":{\"dropped\":%d}}"
+         sites t.n_dropped);
   iter t (fun r ->
       let tid = event_track ~sites r.ev in
       let ts_us = r.time *. 1000.0 in
@@ -610,4 +479,5 @@ let write_chrome oc ~sites t =
               (type_name r.ev) (float_repr ts_us) tid args
       in
       item line);
+  List.iter item extra;
   output_string oc "\n],\"displayTimeUnit\":\"ms\",\"otherData\":{\"generator\":\"esrsim\",\"time_unit\":\"virtual ms\"}}\n"

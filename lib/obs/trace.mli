@@ -58,6 +58,11 @@ type event =
       (** recovery rebuilt the site image by replaying its durable log *)
   | Flush_round of { round : int }
   | Converged of { ok : bool }
+  | Trace_meta of { dropped : int }
+      (** exporter-synthesized header record: how many oldest events the
+          ring buffer evicted before the first surviving record.  Never
+          emitted by instrumentation; {!write_jsonl} leads with one when
+          {!dropped} [> 0], and {!record_of_json} round-trips it. *)
 
 type record = { time : float;  (** virtual ms *) ev : event }
 
@@ -91,10 +96,17 @@ val record_to_json : record -> string
 val record_of_json : string -> (record, string) result
 
 val write_jsonl : out_channel -> t -> unit
+(** When the ring wrapped ({!dropped} [> 0]) the first line is a
+    [Trace_meta] record
+    ([{"ts":..,"type":"meta","meta":{...},"dropped":N}]) so consumers
+    can tell a truncated dump from a complete one. *)
 
 (** {2 Chrome trace_event} *)
 
-val write_chrome : out_channel -> sites:int -> t -> unit
+val write_chrome : ?extra:string list -> out_channel -> sites:int -> t -> unit
 (** Complete ("X") events for served queries and committed updates (their
     latency becomes the span), instants for everything else; [tid] is the
-    site, [tid = sites] is the system track. *)
+    site, [tid = sites] is the system track.  A wrapped ring additionally
+    emits a ["trace_dropped"] metadata ("M") event on the system track.
+    [extra] event objects (e.g. {!Spans.chrome_events} span-tree flows)
+    are spliced into the event array after the trace's own events. *)

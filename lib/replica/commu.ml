@@ -439,6 +439,14 @@ let quiescent t =
          && Lock_counter.total_nonzero site.counters = 0)
        t.sites
 
+let backlog t =
+  Array.fold_left
+    (fun acc site ->
+      acc + List.length site.parked_queries + List.length site.parked_updates
+      + List.length site.active_queries)
+    (Hashtbl.length t.inflight)
+    t.sites
+
 let store t ~site = t.sites.(site).store
 let mvstore _ ~site:_ = None
 let history t ~site = t.sites.(site).hist

@@ -818,6 +818,15 @@ let quiescent t =
          && Lock_counter.total_nonzero site.counters = 0)
        t.sites
 
+let backlog t =
+  Array.fold_left
+    (fun acc site ->
+      acc + Hashtbl.length site.buffer + Hashtbl.length site.early
+      + Hashtbl.length site.pending_revokes
+      + List.length site.parked_queries)
+    (t.undecided + t.sagas_active + List.length t.deferred_local)
+    t.sites
+
 let store t ~site = t.sites.(site).store
 
 (* Introspection for tests: the site's remaining log entries (oldest

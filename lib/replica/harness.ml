@@ -10,6 +10,8 @@ module Prng = Esr_util.Prng
 module Obs = Esr_obs.Obs
 module Trace = Esr_obs.Trace
 module Metrics = Esr_obs.Metrics
+module Series = Esr_obs.Series
+module Value = Esr_store.Value
 
 type t = {
   engine : Engine.t;
@@ -31,6 +33,12 @@ type t = {
   flush_rounds : Metrics.counter;
   commit_latency : Metrics.histogram;
   query_charged : Metrics.histogram;
+  (* Epsilon budget across the run's limited-class queries: inconsistency
+     units actually charged vs. the cumulative limit granted.  Updated
+     only when the series is armed (zero-cost otherwise); read by the
+     [esr/eps_*] probes. *)
+  eps_consumed : float ref;
+  eps_limit : float ref;
 }
 
 let create ?(config = Intf.default_config) ?net_config ?(seed = 42)
@@ -72,6 +80,8 @@ let create ?(config = Intf.default_config) ?net_config ?(seed = 42)
         Metrics.histogram m ~group:"harness"
           ~buckets:[ 0.; 1.; 2.; 5.; 10.; 20.; 50. ]
           "query_charged";
+      eps_consumed = ref 0.0;
+      eps_limit = ref 0.0;
     }
   in
   Metrics.gauge_fn m ~group:"harness" "divergent_sites" (fun () ->
@@ -82,6 +92,86 @@ let create ?(config = Intf.default_config) ?net_config ?(seed = 42)
           incr n
       done;
       float_of_int !n);
+  let series = obs.Obs.series in
+  if Series.on series then begin
+    (* Derived ESR probes (the ["esr/"] prefix is what the report charts
+       pick up).  All pure reads of replica state on the sampling path —
+       nothing here can perturb the simulation. *)
+    let vdist a b =
+      match (a, b) with
+      | Value.Int x, Value.Int y -> float_of_int (abs (x - y))
+      | a, b -> if Value.equal a b then 0.0 else 1.0
+    in
+    (* Per-key replica spread: for each key anywhere in the system, the
+       largest pairwise distance between site copies (max - min for
+       integer domains). *)
+    let spread_stats () =
+      let keys = Hashtbl.create 64 in
+      for site = 0 to sites - 1 do
+        List.iter
+          (fun k -> Hashtbl.replace keys k ())
+          (Intf.Store.keys (Intf.boxed_store t.system ~site))
+      done;
+      let n_keys = ref 0 and divergent = ref 0 in
+      let s_max = ref 0.0 and s_sum = ref 0.0 in
+      Hashtbl.iter
+        (fun k () ->
+          incr n_keys;
+          let spread = ref 0.0 in
+          for a = 0 to sites - 1 do
+            for b = a + 1 to sites - 1 do
+              let va = Intf.Store.get (Intf.boxed_store t.system ~site:a) k in
+              let vb = Intf.Store.get (Intf.boxed_store t.system ~site:b) k in
+              spread := Float.max !spread (vdist va vb)
+            done
+          done;
+          if !spread > 0.0 then incr divergent;
+          s_max := Float.max !s_max !spread;
+          s_sum := !s_sum +. !spread)
+        keys;
+      let mean = if !n_keys = 0 then 0.0 else !s_sum /. float_of_int !n_keys in
+      (!s_max, mean, !divergent)
+    in
+    Series.probe series ~name:"esr/spread_max" (fun () ->
+        let m, _, _ = spread_stats () in
+        m);
+    Series.probe series ~name:"esr/spread_mean" (fun () ->
+        let _, m, _ = spread_stats () in
+        m);
+    Series.probe series ~name:"esr/divergent_keys" (fun () ->
+        let _, _, d = spread_stats () in
+        float_of_int d);
+    (* Outstanding update ETs: submitted, no outcome yet — the harness
+       view of the MSet backlog still working through the fabric. *)
+    Series.probe series ~name:"esr/backlog" (fun () ->
+        Metrics.value t.updates_submitted
+        -. Metrics.value t.updates_committed
+        -. Metrics.value t.updates_rejected);
+    Series.probe series ~name:"esr/eps_consumed" (fun () -> !(t.eps_consumed));
+    Series.probe series ~name:"esr/eps_limit" (fun () -> !(t.eps_limit));
+    (* Convergence lag: virtual ms since all replicas last held equal
+       state (0 while converged).  [last_equal] advances only at sample
+       points, so the lag is an upper bound at the sampling cadence. *)
+    let last_equal = ref 0.0 in
+    Series.probe series ~name:"esr/conv_lag" (fun () ->
+        let t_now = Engine.now engine in
+        let equal = ref true in
+        let s0 = Intf.boxed_store t.system ~site:0 in
+        for site = 1 to sites - 1 do
+          if !equal && not (Intf.Store.equal s0 (Intf.boxed_store t.system ~site))
+          then equal := false
+        done;
+        if !equal then begin
+          last_equal := t_now;
+          0.0
+        end
+        else t_now -. !last_equal);
+    Series.probe series ~name:"esr/sites_down" (fun () ->
+        float_of_int (List.length (Net.down_sites net)));
+    (* The running method's own view of its outstanding work. *)
+    Series.probe series ~name:"esr/method_backlog" (fun () ->
+        float_of_int (Intf.boxed_backlog t.system))
+  end;
   t
 
 let engine t = t.engine
@@ -94,11 +184,35 @@ let now t = Engine.now t.engine
 
 let run_for t duration = Engine.run ~until:(now t +. duration) t.engine
 
+let sample_series t = Series.sample t.obs.Obs.series ~time:(now t)
+
+(* Pre-schedule sampling ticks on the engine at the series cadence, from
+   the current virtual time up to [until].  Pre-scheduling (rather than a
+   self-rescheduling event) keeps [Engine.run]'s drain semantics intact:
+   the sampler never generates work past the horizon. *)
+let arm_series t ~until =
+  let series = t.obs.Obs.series in
+  if Series.on series then begin
+    let period = Series.interval series in
+    let time = ref (now t +. period) in
+    while !time <= until do
+      let at = !time in
+      ignore (Engine.schedule_at t.engine ~time:at (fun () -> sample_series t));
+      time := at +. period
+    done
+  end
+
 let inject_faults t schedule =
   match Esr_fault.Schedule.validate ~sites:t.env.Intf.sites schedule with
   | Error msg -> invalid_arg ("Harness.inject_faults: " ^ msg)
   | Ok () ->
-      Esr_fault.Schedule.inject t.engine t.net schedule
+      let series = t.obs.Obs.series in
+      let annotate =
+        if Series.on series then
+          Some (fun ~time label -> Series.annotate series ~time label)
+        else None
+      in
+      Esr_fault.Schedule.inject ?annotate t.engine t.net schedule
         ~on_crash:(fun site -> Intf.boxed_on_crash t.system ~site)
         ~on_recover:(fun site -> Intf.boxed_on_recover t.system ~site)
 
@@ -149,6 +263,9 @@ let settle_result ?(max_rounds = 10) t =
       Stuck reason
     else begin
       Engine.run t.engine;
+      (* One series row per drain round: this is where divergence decays
+         toward zero, which is exactly the tail the report charts. *)
+      if Series.on t.obs.Obs.series then sample_series t;
       if Intf.boxed_quiescent t.system then Drained
       else begin
         flush ();
@@ -229,6 +346,12 @@ let submit_query t ~site ~keys ~epsilon k =
   Intf.boxed_submit_query t.system ~site ~keys ~epsilon (fun outcome ->
       Metrics.incr t.queries_served;
       Metrics.observe t.query_charged (float_of_int outcome.Intf.charged);
+      (if Series.on t.obs.Obs.series then
+         match eps with
+         | Some limit ->
+             t.eps_consumed := !(t.eps_consumed) +. float_of_int outcome.Intf.charged;
+             t.eps_limit := !(t.eps_limit) +. float_of_int limit
+         | None -> ());
       if Trace.on trace then
         Trace.emit trace ~time:outcome.Intf.served_at
           (Trace.Query_served

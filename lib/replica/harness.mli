@@ -44,6 +44,17 @@ val now : t -> float
 val run_for : t -> float -> unit
 (** Advance virtual time by the given number of milliseconds. *)
 
+val sample_series : t -> unit
+(** Append one row to the bundle's {!Esr_obs.Series} at the current
+    virtual time (no-op when the series is disabled). *)
+
+val arm_series : t -> until:float -> unit
+(** Pre-schedule sampling ticks at the series cadence from now through
+    [until].  Pre-scheduling keeps [Engine.run]'s drain semantics: the
+    sampler generates no work past the horizon.  {!settle_result}
+    additionally samples once per drain round, which captures the
+    divergence decay after the workload ends.  No-op when disabled. *)
+
 val inject_faults : t -> Esr_fault.Schedule.t -> unit
 (** Arm a fault schedule on the engine before (or while) driving the
     workload: crashes wipe the method's volatile state at the target

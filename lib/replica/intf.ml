@@ -177,6 +177,12 @@ module type S = sig
       waiting for order, no undecided provisional updates, no parked
       queries. *)
 
+  val backlog : t -> int
+  (** How much in-protocol work is outstanding right now: buffered MSets
+      waiting for their order slot, undecided coordinations, parked ETs.
+      [quiescent t] implies [backlog t = 0].  Sampled by the
+      observability series as [esr/method_backlog]. *)
+
   val on_crash : t -> site:int -> unit
   (** The site's volatile state is gone: order buffers and provisional
       applies are dropped, parked/active queries at the site fail with a
@@ -214,6 +220,7 @@ type boxed = B : (module S with type t = 'a) * 'a -> boxed
 let boxed_meta (B ((module M), _)) = M.meta
 let boxed_flush (B ((module M), sys)) = M.flush sys
 let boxed_quiescent (B ((module M), sys)) = M.quiescent sys
+let boxed_backlog (B ((module M), sys)) = M.backlog sys
 let boxed_on_crash (B ((module M), sys)) ~site = M.on_crash sys ~site
 let boxed_on_recover (B ((module M), sys)) ~site = M.on_recover sys ~site
 let boxed_converged (B ((module M), sys)) = M.converged sys

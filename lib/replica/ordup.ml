@@ -504,6 +504,14 @@ let quiescent t =
     t.sites
   && Hashtbl.length t.pending_commits = 0
 
+let backlog t =
+  Array.fold_left
+    (fun acc site ->
+      acc + Hashtbl.length site.seq_buffer + List.length site.lam_buffer
+      + List.length site.parked + List.length site.active)
+    (Hashtbl.length t.pending_commits)
+    t.sites
+
 let store t ~site = t.sites.(site).store
 let mvstore _ ~site:_ = None
 let history t ~site = t.sites.(site).hist

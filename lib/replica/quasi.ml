@@ -373,6 +373,10 @@ let on_recover t ~site:site_id =
         (List.sort String.compare (Store.keys site.store))
   end
 
+let backlog t =
+  Hashtbl.length t.outcomes + Hashtbl.length t.query_replies
+  + List.length t.dirty
+
 let quiescent t =
   Hashtbl.length t.outcomes = 0
   && Hashtbl.length t.query_replies = 0

@@ -363,6 +363,7 @@ let on_recover t ~site:site_id =
   end
 
 let quiescent t = Hashtbl.length t.reads = 0 && Hashtbl.length t.writes = 0
+let backlog t = Hashtbl.length t.reads + Hashtbl.length t.writes
 
 let store t ~site = t.sites.(site).store
 let mvstore _ ~site:_ = None

@@ -301,6 +301,10 @@ let quiescent _ = true
 (* RITU keeps no protocol state beyond the transport: once the stable
    queues drain, the system is quiescent. *)
 
+let backlog _ = 0
+(* Same reason: all outstanding work is in the stable queues, which the
+   series already samples through the squeue registry gauges. *)
+
 let store t ~site = t.sites.(site).store
 
 let mvstore t ~site =

@@ -35,6 +35,7 @@ val on_recover : t -> site:int -> unit
     journaled protocol state, and resume.  Idempotent while up. *)
 
 val quiescent : t -> bool
+val backlog : t -> int
 val store : t -> site:int -> Esr_store.Store.t
 val mvstore : t -> site:int -> Esr_store.Mvstore.t option
 val history : t -> site:int -> Esr_core.Hist.t

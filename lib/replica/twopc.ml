@@ -461,6 +461,7 @@ let on_recover t ~site:site_id =
   end
 
 let quiescent t = Hashtbl.length t.coords = 0 && t.deferred_local = []
+let backlog t = Hashtbl.length t.coords + List.length t.deferred_local
 
 let store t ~site = t.sites.(site).store
 let mvstore _ ~site:_ = None

@@ -1,0 +1,43 @@
+(** Minimal JSON reader (and writer helpers) for the formats this repo
+    itself produces: trace JSONL lines, series dumps, and the bench
+    trajectory file.  Not a general-purpose JSON library — exactly the
+    subset our writers emit (finite numbers, ASCII escapes). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+val parse : string -> (t, string) result
+val parse_exn : string -> t
+(** @raise Parse_error with an offset-annotated message. *)
+
+(** {2 Accessors} — total, [None] on shape mismatch. *)
+
+val member : string -> t -> t option
+val to_float : t -> float option
+val to_int : t -> int option
+val to_string : t -> string option
+val to_bool : t -> bool option
+val to_list : t -> t list option
+
+(** {2 Writer helpers} *)
+
+val buf_add_escaped : Buffer.t -> string -> unit
+(** Append [s] to [b] with JSON string escaping (no surrounding quotes). *)
+
+val escape : string -> string
+
+val float_repr : float -> string
+(** Shortest decimal representation that parses back to the same float;
+    non-finite values render as ["0"] (our virtual times and latencies
+    are finite by construction). *)
+
+val render : t -> string
+(** Compact single-line serialization (inverse of {!parse} up to
+    whitespace and number formatting). *)

@@ -11,6 +11,8 @@ module Value = Esr_store.Value
 module Epsilon = Esr_core.Epsilon
 module Intf = Esr_replica.Intf
 module Harness = Esr_replica.Harness
+module Obs = Esr_obs.Obs
+module Series = Esr_obs.Series
 
 type partition_spec = {
   p_start : float;  (** virtual ms at which the network splits *)
@@ -116,6 +118,33 @@ let run ?(seed = 42) ?config ?net_config ?partition ?faults ?flush_every ?obs
   let key_cache = make_key_cache spec.Spec.n_keys in
   let scratch = Hashtbl.create 16 in
   let oracle = Oracle.create ~size:spec.Spec.n_keys () in
+  (* Derived series probes that need the workload's oracle: distance of
+     each replica to the committed-prefix state, i.e. the divergence the
+     paper's epsilon bounds are about.  Registered before arming so the
+     columns freeze with everything in place. *)
+  let series = (Harness.obs harness).Obs.series in
+  if Series.on series then begin
+    let metric =
+      match spec.Spec.profile with
+      | Spec.Blind_set -> `Mismatch
+      | Spec.Additive | Spec.Mixed_arith _ -> `Distance
+    in
+    let oracle_stats () =
+      let worst = ref 0.0 and sum = ref 0.0 in
+      for site = 0 to sites - 1 do
+        let d =
+          Oracle.error ~metric oracle
+            (Esr_store.Store.snapshot (Harness.store harness ~site))
+        in
+        worst := Float.max !worst d;
+        sum := !sum +. d
+      done;
+      (!worst, !sum /. float_of_int sites)
+    in
+    Series.probe series ~name:"esr/oracle_max" (fun () -> fst (oracle_stats ()));
+    Series.probe series ~name:"esr/oracle_mean" (fun () -> snd (oracle_stats ()))
+  end;
+  Harness.arm_series harness ~until:spec.Spec.duration;
   (* mutable tallies *)
   let submitted_updates = ref 0 and committed = ref 0 and rejected = ref 0 in
   let submitted_queries = ref 0 and served = ref 0 in

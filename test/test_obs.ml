@@ -6,6 +6,7 @@
 module Obs = Esr_obs.Obs
 module Trace = Esr_obs.Trace
 module Metrics = Esr_obs.Metrics
+module Openmetrics = Esr_obs.Openmetrics
 module Spec = Esr_workload.Spec
 module Scenario = Esr_workload.Scenario
 module Epsilon = Esr_core.Epsilon
@@ -113,6 +114,7 @@ let vocabulary : Trace.record list =
     r 11.0 (Trace.Compensation_fired { et = 7; site = 1; kind = `Revoke });
     r 11.5 (Trace.Flush_round { round = 4 });
     r 12.0 (Trace.Converged { ok = true });
+    r 12.5 (Trace.Trace_meta { dropped = 42 });
   ]
 
 let test_jsonl_round_trip () =
@@ -132,6 +134,47 @@ let test_jsonl_rejects_garbage () =
       | Error _ -> ()
       | Ok _ -> Alcotest.failf "accepted garbage: %s" line)
     [ ""; "{}"; "not json"; {|{"ts":1.0}|}; {|{"ts":1.0,"type":"nope"}|} ]
+
+let write_jsonl_lines t =
+  let path = Filename.temp_file "esr_trace" ".jsonl" in
+  let oc = open_out path in
+  Trace.write_jsonl oc t;
+  close_out oc;
+  let ic = open_in path in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> ());
+  close_in ic;
+  Sys.remove path;
+  List.rev !lines
+
+let test_wrapped_export_leads_with_meta () =
+  let t = Trace.make ~capacity:4 ~enabled:true () in
+  for i = 0 to 9 do
+    Trace.emit t ~time:(float_of_int i) (ev_at i)
+  done;
+  checki "dropped" 6 (Trace.dropped t);
+  let lines = write_jsonl_lines t in
+  checki "meta line + surviving records" 5 (List.length lines);
+  (match Trace.record_of_json (List.hd lines) with
+  | Ok { Trace.ev = Trace.Trace_meta { dropped }; _ } ->
+      checki "meta line carries the drop count" 6 dropped
+  | Ok _ -> Alcotest.fail "first line is not a meta record"
+  | Error e -> Alcotest.failf "meta line unparseable: %s" e);
+  (* An unwrapped sink must NOT emit the header — a complete dump is
+     distinguishable from a truncated one by the absence of the line. *)
+  let t' = Trace.make ~capacity:16 ~enabled:true () in
+  Trace.emit t' ~time:0.0 (ev_at 0);
+  let lines' = write_jsonl_lines t' in
+  checki "no meta line when nothing dropped" 1 (List.length lines');
+  match Trace.record_of_json (List.hd lines') with
+  | Ok { Trace.ev = Trace.Trace_meta _; _ } ->
+      Alcotest.fail "unwrapped dump starts with a meta record"
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "record unparseable: %s" e
 
 (* --- metrics registry --- *)
 
@@ -166,6 +209,80 @@ let test_metrics_histogram () =
       checkf "sum" 562.0 sum;
       checki "count" 4 count
   | _ -> Alcotest.fail "expected one histogram entry"
+
+(* Bucket-interpolated percentiles on a hand-computed distribution:
+   100 observations over buckets [10;20;50;100] filled 50/30/15/5.
+   target(q) = q/100*count lands in a bucket; the answer interpolates
+   linearly between the bucket's bounds. *)
+let test_percentiles_known_distribution () =
+  let m = Metrics.create () in
+  let h =
+    Metrics.histogram m ~group:"g" ~buckets:[ 10.0; 20.0; 50.0; 100.0 ] "lat"
+  in
+  let fill v n = for _ = 1 to n do Metrics.observe h v done in
+  fill 5.0 50;
+  fill 15.0 30;
+  fill 30.0 15;
+  fill 75.0 5;
+  (* p50: target 50 = the whole first bucket -> its upper bound. *)
+  checkf "p50" 10.0 (Metrics.percentile h 50.0);
+  (* p90: target 90, 80 below bucket [20,50), 10/15 into it. *)
+  checkf "p90" 40.0 (Metrics.percentile h 90.0);
+  (* p99: target 99, 95 below bucket [50,100), 4/5 into it. *)
+  checkf "p99" 90.0 (Metrics.percentile h 99.0);
+  (* empty histogram reads 0, not NaN *)
+  let h' = Metrics.histogram m ~group:"g" ~buckets:[ 1.0 ] "empty" in
+  checkf "empty" 0.0 (Metrics.percentile h' 99.0)
+
+let capture_openmetrics entries =
+  let path = Filename.temp_file "esr_om" ".om" in
+  let oc = open_out path in
+  Openmetrics.write_snapshot oc entries;
+  close_out oc;
+  let ic = open_in_bin path in
+  let body = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Sys.remove path;
+  body
+
+let test_openmetrics_exposition () =
+  let m = Metrics.create () in
+  let c = Metrics.counter m ~group:"method" "updates_committed" in
+  Metrics.add c 7.0;
+  Metrics.gauge_fn m ~group:"engine" "pending" (fun () -> 3.0);
+  let h = Metrics.histogram m ~group:"net" ~buckets:[ 10.0; 100.0 ] "lat" in
+  List.iter (Metrics.observe h) [ 5.0; 50.0; 500.0 ];
+  let body = capture_openmetrics (Metrics.snapshot m) in
+  let lines = String.split_on_char '\n' body in
+  let has l = List.mem l lines in
+  checkb "counter TYPE" true (has "# TYPE esr_method_updates_committed counter");
+  checkb "counter _total sample" true (has "esr_method_updates_committed_total 7");
+  checkb "gauge sample" true (has "esr_engine_pending 3");
+  checkb "histogram TYPE" true (has "# TYPE esr_net_lat histogram");
+  (* buckets are cumulative and close with +Inf = count *)
+  checkb "le=10" true (has "esr_net_lat_bucket{le=\"10\"} 1");
+  checkb "le=100" true (has "esr_net_lat_bucket{le=\"100\"} 2");
+  checkb "le=+Inf" true (has "esr_net_lat_bucket{le=\"+Inf\"} 3");
+  checkb "sum" true (has "esr_net_lat_sum 555");
+  checkb "count" true (has "esr_net_lat_count 3");
+  checkb "derived p50 family" true (has "# TYPE esr_net_lat_p50 gauge");
+  checkb "derived p99 gauge present" true
+    (List.exists
+       (fun l -> String.length l > 15 && String.sub l 0 15 = "esr_net_lat_p99")
+       lines);
+  (match List.rev lines with
+  | "" :: last :: _ -> checks "terminator" "# EOF" last
+  | _ -> Alcotest.fail "missing trailing newline after # EOF");
+  (* per-site instruments fold into one family with a site label *)
+  let m2 = Metrics.create () in
+  let s0 = Metrics.counter m2 ~group:"net" ~site:0 "sent" in
+  let _s1 = Metrics.counter m2 ~group:"net" ~site:1 "sent" in
+  Metrics.incr s0;
+  let body2 = capture_openmetrics (Metrics.snapshot m2) in
+  let lines2 = String.split_on_char '\n' body2 in
+  checkb "one family header" true
+    (1 = List.length (List.filter (fun l -> l = "# TYPE esr_net_sent counter") lines2));
+  checkb "site label" true (List.mem "esr_net_sent_total{site=\"0\"} 1" lines2)
 
 (* --- tracing must not perturb outcomes --- *)
 
@@ -320,6 +437,8 @@ let () =
           Alcotest.test_case "ring wraps, drops counted" `Quick
             test_trace_ring_wraps;
           Alcotest.test_case "iter oldest-first" `Quick test_trace_iter_order;
+          Alcotest.test_case "wrapped export leads with meta line" `Quick
+            test_wrapped_export_leads_with_meta;
         ] );
       ( "jsonl",
         [
@@ -333,6 +452,10 @@ let () =
             test_metrics_counter_and_alist;
           Alcotest.test_case "snapshot order" `Quick test_metrics_snapshot_order;
           Alcotest.test_case "histogram buckets" `Quick test_metrics_histogram;
+          Alcotest.test_case "percentiles on a known distribution" `Quick
+            test_percentiles_known_distribution;
+          Alcotest.test_case "openmetrics exposition" `Quick
+            test_openmetrics_exposition;
         ] );
       ( "invisibility",
         [
