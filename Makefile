@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-all trace report clean
+.PHONY: all build test bench bench-all bench-scale trace report clean
 
 all: build
 
@@ -17,6 +17,13 @@ bench:
 # Every table, experiment, and microbench, sequentially printed.
 bench-all:
 	dune exec bench/main.exe
+
+# The E15 million-op scale tier on its own: ~100 sites, ~10^5 keys,
+# >10^6 applied update operations per method. Wall-clock throughput is
+# printed to stderr; shrink or grow the tier with ESR_SCALE (or pass
+# `--scale F` through SCALE=F).
+bench-scale:
+	dune exec bench/main.exe -- $(if $(SCALE),--scale $(SCALE),) e15_scale
 
 # Capture a 3-site ORDUP run as a Chrome trace_event file and load it at
 # https://ui.perfetto.dev — one track per site plus a system track.

@@ -13,8 +13,10 @@
 
    Experiments fan their independent simulation jobs out over an OCaml 5
    domain pool; control the worker count with --domains N (or the
-   ESR_DOMAINS environment variable).  Tables are byte-identical for any
-   worker count. *)
+   ESR_DOMAINS environment variable) — the default is the machine's core
+   count minus one (min 1).  The E15 scale tier shrinks or grows with
+   --scale F (or ESR_SCALE).  Tables are byte-identical for any worker
+   count. *)
 
 module Pool = Esr_exec.Pool
 
@@ -38,8 +40,8 @@ let run_target name =
       list_targets ();
       exit 1
 
-(* Strip --domains N anywhere in the argument list; remaining arguments
-   are target names. *)
+(* Strip --domains N / --scale F anywhere in the argument list; remaining
+   arguments are target names. *)
 let rec parse_args = function
   | "--domains" :: n :: rest -> (
       match int_of_string_opt n with
@@ -51,6 +53,17 @@ let rec parse_args = function
           exit 1)
   | [ "--domains" ] ->
       prerr_endline "--domains expects a positive integer";
+      exit 1
+  | "--scale" :: f :: rest -> (
+      match float_of_string_opt f with
+      | Some s when s > 0.0 ->
+          Esr_bench.Experiments.set_scale s;
+          parse_args rest
+      | Some _ | None ->
+          Printf.eprintf "--scale expects a positive number, got %S\n" f;
+          exit 1)
+  | [ "--scale" ] ->
+      prerr_endline "--scale expects a positive number";
       exit 1
   | x :: rest -> x :: parse_args rest
   | [] -> []

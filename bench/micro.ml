@@ -1,5 +1,9 @@
 (* Bechamel microbenchmarks of the hot paths: the ESR checker, the lock
-   manager, the simulation engine, the stores, and the PRNG. *)
+   manager, the simulation engine, the stores, and the PRNG — plus a
+   bytes-per-op section (plain Gc.allocated_bytes deltas) that proves the
+   apply/propagate path stays allocation-free once warm.  The ns/op and
+   bytes/op numbers together are what guided the interned-key store work:
+   a path is only "stripped" when its bytes/op column reads 0. *)
 
 open Bechamel
 open Toolkit
@@ -7,6 +11,7 @@ module Op = Esr_store.Op
 module Value = Esr_store.Value
 module Store = Esr_store.Store
 module Mvstore = Esr_store.Mvstore
+module Keyspace = Esr_store.Keyspace
 module Gtime = Esr_clock.Gtime
 module Et = Esr_core.Et
 module Hist = Esr_core.Hist
@@ -14,6 +19,7 @@ module Esr_check = Esr_core.Esr_check
 module Lock_table = Esr_cc.Lock_table
 module Lock_mgr = Esr_cc.Lock_mgr
 module Engine = Esr_sim.Engine
+module Heap = Esr_sim.Heap
 module Prng = Esr_util.Prng
 
 (* A representative mixed history: 12 ETs, 6 keys, 120 operations. *)
@@ -57,13 +63,108 @@ let test_engine =
          done;
          Engine.run e))
 
+let test_heap =
+  let h = Heap.create ~hint:1024 () in
+  Test.make ~name:"heap/push+drop_min x1000 (warm)"
+    (Staged.stage (fun () ->
+         for i = 0 to 999 do
+           Heap.push h ~time:(float_of_int (i mod 97)) ~seq:i i
+         done;
+         while not (Heap.is_empty h) do
+           ignore (Heap.min_payload h);
+           Heap.drop_min h
+         done))
+
+(* Shared fixtures for the store benches: one keyspace, keys interned
+   once, stores pre-warmed so the timed loops measure steady state. *)
+let bench_keys = Array.init 64 (fun i -> Printf.sprintf "key%02d" i)
+
+let warm_store () =
+  let ks = Keyspace.create ~hint:64 () in
+  let s = Store.create ~size:64 ~keyspace:ks () in
+  Array.iter (fun k -> Store.set s k (Value.int 1)) bench_keys;
+  s
+
+let test_store_get =
+  let s = warm_store () in
+  Test.make ~name:"store/get (string key) x64"
+    (Staged.stage (fun () ->
+         Array.iter (fun k -> ignore (Store.get s k)) bench_keys))
+
+let test_store_get_id =
+  let s = warm_store () in
+  Test.make ~name:"store/get_id (interned) x64"
+    (Staged.stage (fun () ->
+         for id = 0 to 63 do
+           ignore (Store.get_id s id)
+         done))
+
+let test_store_set_id =
+  let s = warm_store () in
+  let v = Value.int 7 in
+  Test.make ~name:"store/set_id (interned) x64"
+    (Staged.stage (fun () ->
+         for id = 0 to 63 do
+           Store.set_id s id v
+         done))
+
 let test_store_apply =
-  Test.make ~name:"store/apply Incr x100"
+  Test.make ~name:"store/apply Incr x100 (result API)"
     (Staged.stage (fun () ->
          let s = Store.create () in
          for i = 1 to 100 do
            ignore (Store.apply s "x" (Op.Incr i))
          done))
+
+let test_store_apply_unit =
+  let s = warm_store () in
+  let op = Op.Incr 1 in
+  Test.make ~name:"store/apply_unit Incr x64 (string key)"
+    (Staged.stage (fun () ->
+         Array.iter (fun k -> ignore (Store.apply_unit s k op)) bench_keys))
+
+let test_store_apply_id_unit =
+  let s = warm_store () in
+  let op = Op.Incr 1 in
+  Test.make ~name:"store/apply_id_unit Incr x64 (interned)"
+    (Staged.stage (fun () ->
+         for id = 0 to 63 do
+           ignore (Store.apply_id_unit s id op)
+         done))
+
+let test_keyspace_intern =
+  let ks = Keyspace.create ~hint:64 () in
+  Array.iter (fun k -> ignore (Keyspace.intern ks k)) bench_keys;
+  Test.make ~name:"keyspace/intern hit x64"
+    (Staged.stage (fun () ->
+         Array.iter (fun k -> ignore (Keyspace.intern ks k)) bench_keys))
+
+(* The propagate inner loop as the methods run it: an MSet's worth of
+   pre-interned ops applied at one replica via the id path. *)
+let test_mset_apply =
+  let ks = Keyspace.create ~hint:64 () in
+  let s = Store.create ~size:64 ~keyspace:ks () in
+  let ops =
+    Array.to_list
+      (Array.map (fun k -> (Keyspace.intern ks k, Op.Incr 1)) bench_keys)
+  in
+  List.iter (fun (id, _) -> Store.set_id s id (Value.int 0)) ops;
+  Test.make ~name:"mset/apply 64 interned ops at a replica"
+    (Staged.stage (fun () ->
+         List.iter (fun (id, op) -> ignore (Store.apply_id_unit s id op)) ops))
+
+let test_mset_build =
+  let ks = Keyspace.create ~hint:64 () in
+  Array.iter (fun k -> ignore (Keyspace.intern ks k)) bench_keys;
+  Test.make ~name:"mset/build 8 iops (intern + cons)"
+    (Staged.stage (fun () ->
+         let rec build i acc =
+           if i < 0 then acc
+           else
+             build (i - 1)
+               ((Keyspace.intern ks bench_keys.(i), Op.Incr 1) :: acc)
+         in
+         ignore (build 7 [])))
 
 let test_mvstore =
   Test.make ~name:"mvstore/append+read x50"
@@ -86,9 +187,85 @@ let test_prng =
 
 let benchmarks =
   [
-    test_esr_checker; test_overlap; test_lock_mgr; test_engine;
-    test_store_apply; test_mvstore; test_prng;
+    test_esr_checker; test_overlap; test_lock_mgr; test_engine; test_heap;
+    test_store_get; test_store_get_id; test_store_set_id; test_store_apply;
+    test_store_apply_unit; test_store_apply_id_unit; test_keyspace_intern;
+    test_mset_apply; test_mset_build; test_mvstore; test_prng;
   ]
+
+(* --- bytes per operation -------------------------------------------- *)
+
+(* Minor-heap bytes allocated per call of [f], measured as a plain
+   [Gc.allocated_bytes] delta over [n] warm iterations.  This is exact
+   (the counter advances at every allocation), so a 0 here means the
+   path genuinely does not allocate. *)
+let bytes_per_op ?(n = 10_000) f =
+  f ();
+  (* warm: first call may grow tables/arrays *)
+  let before = Gc.allocated_bytes () in
+  for _ = 1 to n do
+    f ()
+  done;
+  let after = Gc.allocated_bytes () in
+  (after -. before) /. float_of_int n
+
+let bytes_report () =
+  print_endline "== Bytes/op (Gc.allocated_bytes delta, warm) ==";
+  let row name per_call ops =
+    (* per_call covers [ops] logical operations; report per-op. *)
+    Printf.printf "  %-44s %10.1f bytes/op\n" name (per_call /. float_of_int ops)
+  in
+  let s = warm_store () in
+  let op = Op.Incr 1 in
+  row "store/get (string key)"
+    (bytes_per_op (fun () ->
+         Array.iter (fun k -> ignore (Store.get s k)) bench_keys))
+    64;
+  row "store/get_id (interned)"
+    (bytes_per_op (fun () ->
+         for id = 0 to 63 do
+           ignore (Store.get_id s id)
+         done))
+    64;
+  row "store/set_id (interned)"
+    (let v = Value.int 7 in
+     bytes_per_op (fun () ->
+         for id = 0 to 63 do
+           Store.set_id s id v
+         done))
+    64;
+  row "store/apply_unit (string key)"
+    (bytes_per_op (fun () ->
+         Array.iter (fun k -> ignore (Store.apply_unit s k op)) bench_keys))
+    64;
+  row "store/apply_id_unit (interned)"
+    (bytes_per_op (fun () ->
+         for id = 0 to 63 do
+           ignore (Store.apply_id_unit s id op)
+         done))
+    64;
+  row "store/apply (result API, undo record)"
+    (bytes_per_op (fun () ->
+         Array.iter (fun k -> ignore (Store.apply s k op)) bench_keys))
+    64;
+  (let ks = Keyspace.create ~hint:64 () in
+   Array.iter (fun k -> ignore (Keyspace.intern ks k)) bench_keys;
+   row "keyspace/intern hit"
+     (bytes_per_op (fun () ->
+          Array.iter (fun k -> ignore (Keyspace.intern ks k)) bench_keys))
+     64);
+  (let h = Heap.create ~hint:1024 () in
+   row "heap/push+drop_min"
+     (bytes_per_op (fun () ->
+          for i = 0 to 63 do
+            Heap.push h ~time:(float_of_int i) ~seq:i i
+          done;
+          while not (Heap.is_empty h) do
+            ignore (Heap.min_payload h);
+            Heap.drop_min h
+          done))
+     128);
+  print_newline ()
 
 let run_all () =
   print_endline "== Microbenchmarks (Bechamel OLS, monotonic clock) ==";
@@ -111,4 +288,5 @@ let run_all () =
           | Some [] | None -> Printf.printf "  %-44s (no estimate)\n" name)
         rows)
     benchmarks;
-  print_newline ()
+  print_newline ();
+  bytes_report ()

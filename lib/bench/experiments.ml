@@ -28,6 +28,35 @@ module Pool = Esr_exec.Pool
 
 let seed = 20260704
 
+(* --- scale knob (E15) ----------------------------------------------- *)
+
+(* Multiplier on the E15 scale-tier workload: sites, keys and update
+   volume all scale linearly, so `--scale 0.02` (or ESR_SCALE=0.02) is a
+   CI-sized smoke of the same shape.  1.0 is the full million-op tier. *)
+let scale =
+  ref
+    (match Sys.getenv_opt "ESR_SCALE" with
+    | None -> 1.0
+    | Some s -> (
+        match float_of_string_opt (String.trim s) with
+        | Some f when f > 0.0 -> f
+        | Some _ | None -> 1.0))
+
+let set_scale f = if f > 0.0 then scale := f
+
+(* Side channel for the timed sweep: experiments that track their applied
+   update-operation volume add it here; {!Timing} reads and resets it
+   around each timed run to derive updates/sec without printing
+   wall-clock-dependent bytes into the byte-compared tables. *)
+let applied_ops = ref 0
+
+let note_applied n = applied_ops := !applied_ops + n
+
+let take_applied () =
+  let n = !applied_ops in
+  applied_ops := 0;
+  n
+
 (* The "very slow links / moderately high latency" regime of §2.4. *)
 let wan = Net.wan_config
 
@@ -1101,6 +1130,90 @@ let a2_squeue_retry () =
   add_grouped t ~per_group:(List.length retries) (par_rows jobs);
   Tablefmt.print t
 
+(* ------------------------------------------------------------------ *)
+(* E15: the million-op scale tier                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* One order of magnitude past every other experiment: ~100 sites,
+   ~10^5 keys, and >= 10^6 *applied update operations* per method at
+   scale 1.0 (an applied op = one operation of one committed update ET
+   executed at one replica, so applied = committed x ops/update x sites
+   for the full-replication methods below).  The async methods only —
+   the tier exists to exercise the interned-key stores, the
+   allocation-stripped apply path, and the SoA event heap at volume, not
+   to re-measure 2PC's round trips.
+
+   The table prints only deterministic values (the timed sweep
+   byte-compares it across domain counts and tracing); wall-clock
+   throughput goes through {!note_applied} into BENCH_experiments.json,
+   and a human-readable ops/sec line is printed to *stderr*. *)
+let e15_scale () =
+  let s = !scale in
+  let sites = Stdlib.max 4 (int_of_float ((100.0 *. s) +. 0.5)) in
+  let n_keys = Stdlib.max 64 (int_of_float ((100_000.0 *. s) +. 0.5)) in
+  let duration = 10_000.0 *. s in
+  let update_rate = 0.5 in  (* ETs per virtual ms -> ~5_000 x s update ETs *)
+  let ops_per_update = 2 in
+  let t =
+    Tablefmt.create
+      ~title:
+        (Printf.sprintf
+           "E15: scale tier at scale %g — %d sites, %d keys, ~%.0f update \
+            ETs x %d ops applied at every replica (async methods; \
+            deterministic columns only, throughput lands in \
+            BENCH_experiments.json)"
+           s sites n_keys (duration *. update_rate) ops_per_update)
+      ~headers:
+        [ "Method"; "Committed"; "Rejected"; "Applied ops"; "Msgs sent";
+          "Settled"; "Replicas equal" ]
+  in
+  let methods = [ "ORDUP"; "COMMU"; "RITU"; "QUASI" ] in
+  let t0 = Unix.gettimeofday () in
+  let jobs =
+    List.map
+      (fun name () ->
+        let spec =
+          {
+            Spec.duration;
+            update_rate;
+            query_rate = 0.002;
+            n_keys;
+            zipf_theta = 0.6;
+            ops_per_update;
+            keys_per_query = 1;
+            epsilon = Epsilon.Unlimited;
+            profile = profile_for name;
+          }
+        in
+        let r = Scenario.run ~seed ~sites ~method_name:name spec in
+        let applied = r.Scenario.committed * ops_per_update * sites in
+        ( applied,
+          [
+            name;
+            Tablefmt.cell_int r.Scenario.committed;
+            Tablefmt.cell_int r.Scenario.rejected;
+            Tablefmt.cell_int applied;
+            Tablefmt.cell_int r.Scenario.net_counters.Net.sent;
+            Tablefmt.cell_bool r.Scenario.settled;
+            Tablefmt.cell_bool r.Scenario.converged;
+          ] ))
+      methods
+  in
+  let results = par_rows jobs in
+  let elapsed = Unix.gettimeofday () -. t0 in
+  let applied = List.fold_left (fun a (n, _) -> a + n) 0 results in
+  note_applied applied;
+  add_rows t (List.map snd results);
+  Tablefmt.print t;
+  (* stderr on purpose: wall-clock numbers must not enter the
+     byte-compared stdout capture. *)
+  Printf.eprintf
+    "e15_scale: %d applied update ops in %.2fs wall = %.0f updates/sec \
+     (scale %g, %d sites, %d keys)\n%!"
+    applied elapsed
+    (if elapsed > 0.0 then float_of_int applied /. elapsed else 0.0)
+    s sites n_keys
+
 let all =
   [
     ("e1_scalability", e1_scalability);
@@ -1119,6 +1232,10 @@ let all =
     ("e14_divergence_profile", e14_divergence_profile);
     ("a1_ordup_ordering", a1_ordup_ordering);
     ("a2_squeue_retry", a2_squeue_retry);
+    (* Last on purpose: the timed sweep samples the GC's process-wide
+       top-of-heap after each experiment, so running the biggest workload
+       last makes its sample the true process peak. *)
+    ("e15_scale", e15_scale);
   ]
 
 let run_all () = List.iter (fun (_, f) -> f ()) all

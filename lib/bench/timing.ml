@@ -5,11 +5,12 @@
    and writes the trajectory file BENCH_experiments.json that later PRs
    diff against.
 
-   Output schema (BENCH_experiments.json, version 3):
+   Output schema (BENCH_experiments.json, version 4):
 
      {
-       "schema": "esr-bench-experiments/3",
-       "domains": { "sequential": 1, "parallel": <N> },
+       "schema": "esr-bench-experiments/4",
+       "domains": { "sequential": 1, "parallel": <N>,
+                    "requested": <N>, "physical_cores": <cores> },
        "experiments": [
          { "name": "e1_scalability",
            "sequential_s": <wall-clock, seconds>,
@@ -17,6 +18,11 @@
            "traced_s": <wall-clock with tracing on, seconds>,
            "speedup": <sequential_s / parallel_s>,
            "trace_overhead": <traced_s / parallel_s>,
+           "updates_per_sec": <applied update ops / parallel_s; 0 for
+                               experiments that don't report volume>,
+           "peak_heap_bytes": <GC top_heap after this experiment — the
+                               process peak *so far*, monotone down the
+                               list; the last entry is the true peak>,
            "identical_output": true },
          ...
        ],
@@ -26,12 +32,18 @@
                    [...], "total": {...} }, ... ]
      }
 
-   The top-level domains/experiments/total mirror the latest run so v2
+   The top-level domains/experiments/total mirror the latest run so v2/v3
    consumers keep working; "runs" is the append-only history (oldest
-   first, capped at [max_history]).  A v2 file found on disk is absorbed
-   as one history entry with "at": 0.  After the sweep the summary prints
+   first, capped at [max_history]).  A v3 file's runs are carried over
+   verbatim; a v2 file — one run at the top level — is absorbed as a
+   single history entry with "at": 0.  After the sweep the summary prints
    a delta line against the previous run so a perf regression shows up in
-   the `make bench` output itself, not only in the JSON diff.
+   the `make bench` output itself, not only in the JSON diff.  With
+   ESR_BENCH_GATE=1 the sweep additionally *fails* (exit 4) when total
+   parallel wall-clock regresses by more than 20% against the previous
+   run, or the scale tier's updates/sec drops by more than 20% — CI runs
+   the sweep twice into a scratch file so the gate compares like with
+   like on the same machine.
 *)
 
 module Tablefmt = Esr_util.Tablefmt
@@ -44,6 +56,8 @@ type sample = {
   sequential_s : float;
   parallel_s : float;
   traced_s : float;
+  updates_per_sec : float;
+  peak_heap_bytes : float;
   identical : bool;
 }
 
@@ -99,6 +113,8 @@ let run_json ?at ~par_domains samples =
         ("traced_s", Json.Num s.traced_s);
         ("speedup", Json.Num (speedup ~seq:s.sequential_s ~par:s.parallel_s));
         ("trace_overhead", Json.Num (speedup ~seq:s.traced_s ~par:s.parallel_s));
+        ("updates_per_sec", Json.Num s.updates_per_sec);
+        ("peak_heap_bytes", Json.Num s.peak_heap_bytes);
         ("identical_output", Json.Bool s.identical);
       ]
   in
@@ -117,7 +133,15 @@ let run_json ?at ~par_domains samples =
       ( "domains",
         Json.Obj
           [ ("sequential", Json.Num 1.0);
-            ("parallel", Json.Num (float_of_int par_domains)) ] );
+            ("parallel", Json.Num (float_of_int par_domains));
+            (* What the run asked for vs what the machine has: the pool
+               defaults to cores-1, but ESR_DOMAINS/--domains can request
+               more workers than cores, and a 1-core container can never
+               show a speedup — the file records enough to tell. *)
+            ("requested", Json.Num (float_of_int par_domains));
+            ( "physical_cores",
+              Json.Num (float_of_int (Domain.recommended_domain_count ())) )
+          ] );
       ("experiments", Json.Arr (List.map experiment samples));
       ("total", total);
     ]
@@ -127,10 +151,11 @@ let run_json ?at ~par_domains samples =
   | None -> Json.Obj fields
 
 (* Absorb whatever trajectory file is already on disk into a history
-   list (oldest first).  A v2 file — one run at the top level — becomes a
-   single entry stamped "at": 0; unreadable or foreign files are treated
-   as no history rather than an error, since the bench must still run on
-   a fresh checkout. *)
+   list (oldest first).  v4 and v3 files carry their runs over verbatim
+   (a v3 run simply lacks the throughput fields); a v2 file — one run at
+   the top level — becomes a single entry stamped "at": 0; unreadable or
+   foreign files are treated as no history rather than an error, since
+   the bench must still run on a fresh checkout. *)
 let read_history path =
   if not (Sys.file_exists path) then []
   else
@@ -142,7 +167,7 @@ let read_history path =
     | Error _ -> []
     | Ok doc -> (
         match Option.bind (Json.member "schema" doc) Json.to_string with
-        | Some "esr-bench-experiments/3" ->
+        | Some "esr-bench-experiments/4" | Some "esr-bench-experiments/3" ->
             Option.value ~default:[]
               (Option.bind (Json.member "runs" doc) Json.to_list)
         | Some "esr-bench-experiments/2" ->
@@ -154,7 +179,8 @@ let read_history path =
             ]
         | _ -> [])
 
-(* Per-experiment (parallel_s, traced_s) of a history entry, for deltas. *)
+(* Per-experiment (parallel_s, traced_s, updates_per_sec) of a history
+   entry, for deltas; a v3 entry has no throughput field and reads 0. *)
 let run_times entry =
   match Option.bind (Json.member "experiments" entry) Json.to_list with
   | None -> []
@@ -166,7 +192,12 @@ let run_times entry =
               Option.bind (Json.member "parallel_s" e) Json.to_float,
               Option.bind (Json.member "traced_s" e) Json.to_float )
           with
-          | Some name, Some par, Some tr -> Some (name, (par, tr))
+          | Some name, Some par, Some tr ->
+              let ups =
+                Option.value ~default:0.0
+                  (Option.bind (Json.member "updates_per_sec" e) Json.to_float)
+              in
+              Some (name, (par, tr, ups))
           | _ -> None)
         exps
 
@@ -175,7 +206,7 @@ let run_times entry =
    at least a millisecond, so the tiny a2-style microbenches don't flap). *)
 let print_delta ~previous samples =
   let prev = run_times previous in
-  let prev_total = List.fold_left (fun a (_, (p, _)) -> a +. p) 0.0 prev in
+  let prev_total = List.fold_left (fun a (_, (p, _, _)) -> a +. p) 0.0 prev in
   let cur_total = List.fold_left (fun a s -> a +. s.parallel_s) 0.0 samples in
   let pct cur old = (cur -. old) /. old *. 100.0 in
   if prev_total > 0.0 then begin
@@ -184,15 +215,61 @@ let print_delta ~previous samples =
     List.iter
       (fun s ->
         match List.assoc_opt s.name prev with
-        | Some (old_par, _)
+        | Some (old_par, _, _)
           when old_par > 0.0
                && Float.abs (s.parallel_s -. old_par) > 0.001
                && Float.abs (pct s.parallel_s old_par) > 10.0 ->
             Printf.printf "  %-20s %.3fs -> %.3fs (%+.1f%%)\n" s.name old_par
               s.parallel_s (pct s.parallel_s old_par)
         | _ -> ())
+      samples;
+    (* Throughput deltas for the experiments that report volume (E15). *)
+    List.iter
+      (fun s ->
+        if s.updates_per_sec > 0.0 then
+          match List.assoc_opt s.name prev with
+          | Some (_, _, old_ups) when old_ups > 0.0 ->
+              Printf.printf
+                "  %-20s %.0f -> %.0f updates/sec (%+.1f%%)\n" s.name old_ups
+                s.updates_per_sec (pct s.updates_per_sec old_ups)
+          | _ ->
+              Printf.printf "  %-20s %.0f updates/sec (no previous sample)\n"
+                s.name s.updates_per_sec)
       samples
   end
+
+(* The CI regression gate (ESR_BENCH_GATE=1): fail the sweep when it is
+   more than 20% slower than the previous recorded run — by total
+   parallel wall-clock, or by any experiment's reported updates/sec.
+   Meant for two back-to-back sweeps on the same machine; gating against
+   a file produced on different hardware would only measure the
+   hardware. *)
+let gate_regression ~previous samples =
+  let prev = run_times previous in
+  let prev_total = List.fold_left (fun a (_, (p, _, _)) -> a +. p) 0.0 prev in
+  let cur_total = List.fold_left (fun a s -> a +. s.parallel_s) 0.0 samples in
+  let failures = ref [] in
+  if prev_total > 0.0 && cur_total > prev_total *. 1.20 then
+    failures :=
+      Printf.sprintf "total parallel wall-clock %.3fs -> %.3fs (>+20%%)"
+        prev_total cur_total
+      :: !failures;
+  List.iter
+    (fun s ->
+      match List.assoc_opt s.name prev with
+      | Some (_, _, old_ups)
+        when old_ups > 0.0 && s.updates_per_sec < old_ups *. 0.80 ->
+          failures :=
+            Printf.sprintf "%s updates/sec %.0f -> %.0f (<-20%%)" s.name
+              old_ups s.updates_per_sec
+            :: !failures
+      | _ -> ())
+    samples;
+  match !failures with
+  | [] -> ()
+  | msgs ->
+      List.iter (fun m -> Printf.eprintf "bench gate: %s\n" m) msgs;
+      exit 4
 
 let write_json ~path ~par_domains ~history samples =
   let latest = run_json ~par_domains samples in
@@ -205,7 +282,7 @@ let write_json ~path ~par_domains ~history samples =
   let oc = open_out path in
   let p fmt = Printf.fprintf oc fmt in
   p "{\n";
-  p "  \"schema\": \"esr-bench-experiments/3\",\n";
+  p "  \"schema\": \"esr-bench-experiments/4\",\n";
   (match latest with
   | Json.Obj fields ->
       List.iter
@@ -236,9 +313,18 @@ let run_timed ?path () =
     List.map
       (fun (name, f) ->
         Pool.set_default_domains 1;
+        ignore (Experiments.take_applied ());
         let sequential_s, out_seq = timed_captured f in
+        ignore (Experiments.take_applied ());
         Pool.set_default_domains par_domains;
         let parallel_s, out_par = timed_captured f in
+        (* Applied update-op volume reported by the experiment (E15 does;
+           most experiments report nothing and land at 0).  Taken from
+           the *parallel* run: that is the configuration users run. *)
+        let applied = Experiments.take_applied () in
+        let updates_per_sec =
+          if parallel_s > 0.0 then float_of_int applied /. parallel_s else 0.0
+        in
         (* Third run: same parallel pool, with every harness recording a
            full event trace.  The printed tables must not change — the
            capture is byte-compared below — so the delta is the pure cost
@@ -249,10 +335,20 @@ let run_timed ?path () =
             ~finally:(fun () -> Obs.set_default_tracing false)
             (fun () -> timed_captured f)
         in
+        ignore (Experiments.take_applied ());
+        (* Process top-of-heap so far; monotone over the sweep, so the
+           last experiment's sample is the whole sweep's peak. *)
+        let peak_heap_bytes =
+          float_of_int
+            ((Gc.quick_stat ()).Gc.top_heap_words * (Sys.word_size / 8))
+        in
         let identical =
           String.equal out_seq out_par && String.equal out_par out_traced
         in
-        { name; sequential_s; parallel_s; traced_s; identical })
+        {
+          name; sequential_s; parallel_s; traced_s; updates_per_sec;
+          peak_heap_bytes; identical;
+        })
       Experiments.all
   in
   Pool.set_default_domains par_domains;
@@ -271,6 +367,8 @@ let run_timed ?path () =
           "Traced (s)";
           "Speedup";
           "Trace cost";
+          "Upd/s";
+          "Peak heap (MB)";
           "Identical output";
         ]
   in
@@ -284,6 +382,10 @@ let run_timed ?path () =
           Printf.sprintf "%.3f" s.traced_s;
           Printf.sprintf "%.2fx" (speedup ~seq:s.sequential_s ~par:s.parallel_s);
           Printf.sprintf "%.2fx" (speedup ~seq:s.traced_s ~par:s.parallel_s);
+          (if s.updates_per_sec > 0.0 then
+             Printf.sprintf "%.0f" s.updates_per_sec
+           else "-");
+          Printf.sprintf "%.1f" (s.peak_heap_bytes /. (1024.0 *. 1024.0));
           Tablefmt.cell_bool s.identical;
         ])
     samples;
@@ -299,6 +401,10 @@ let run_timed ?path () =
       Printf.sprintf "%.3f" tot_tr;
       Printf.sprintf "%.2fx" (speedup ~seq:tot_seq ~par:tot_par);
       Printf.sprintf "%.2fx" (speedup ~seq:tot_tr ~par:tot_par);
+      "-";
+      (match List.rev samples with
+      | last :: _ -> Printf.sprintf "%.1f" (last.peak_heap_bytes /. (1024.0 *. 1024.0))
+      | [] -> "-");
       Tablefmt.cell_bool (List.for_all (fun s -> s.identical) samples);
     ];
   Tablefmt.print t;
@@ -312,4 +418,7 @@ let run_timed ?path () =
   if not (List.for_all (fun s -> s.identical) samples) then begin
     prerr_endline "timed sweep: parallel/traced output diverged from sequential";
     exit 3
-  end
+  end;
+  match (Sys.getenv_opt "ESR_BENCH_GATE", List.rev history) with
+  | Some ("1" | "true"), previous :: _ -> gate_regression ~previous samples
+  | _ -> ()

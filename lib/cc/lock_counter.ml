@@ -3,7 +3,9 @@ type t = {
   weights : (string, float) Hashtbl.t;
 }
 
-let create () = { counts = Hashtbl.create 64; weights = Hashtbl.create 64 }
+let create ?(hint = 64) () =
+  let hint = Stdlib.max 1 hint in
+  { counts = Hashtbl.create hint; weights = Hashtbl.create hint }
 
 let count t key = Option.value (Hashtbl.find_opt t.counts key) ~default:0
 

@@ -13,7 +13,9 @@
 
 type t
 
-val create : unit -> t
+val create : ?hint:int -> unit -> t
+(** [hint] pre-sizes the counter tables (default 64) so heavy workloads
+    never rehash mid-run. *)
 
 val incr : t -> string -> int
 (** Returns the new count. *)

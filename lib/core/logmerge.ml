@@ -58,13 +58,13 @@ let merge ~majority ~minority =
     conflict_keys = keys dirty;
   }
 
-let apply hist =
-  let store = Store.create () in
+let apply ?keyspace ?size hist =
+  let store = Store.create ?keyspace ?size () in
   List.iter
     (fun (a : Et.action) ->
       if Op.is_update a.Et.op then
-        match Store.apply store a.Et.key a.Et.op with
-        | Ok _ -> ()
+        match Store.apply_unit store a.Et.key a.Et.op with
+        | Ok () -> ()
         | Error _ ->
             invalid_arg
               (Printf.sprintf "Logmerge.apply: %s failed on %s"

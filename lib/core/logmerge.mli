@@ -40,7 +40,8 @@ val merge : majority:Hist.t -> minority:Hist.t -> outcome
     not timestamp-resolvable) with the majority log or with a rolled-back
     sibling operation. *)
 
-val apply : Hist.t -> Esr_store.Store.t
+val apply :
+  ?keyspace:Esr_store.Keyspace.t -> ?size:int -> Hist.t -> Esr_store.Store.t
 (** Execute a history's update operations against a fresh store (queries
     skipped) — used to validate merge results and by the tests.  Raises
     [Invalid_argument] if an operation fails to apply. *)

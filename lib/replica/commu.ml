@@ -25,7 +25,9 @@ module Engine = Esr_sim.Engine
 module Squeue = Esr_squeue.Squeue
 module Trace = Esr_obs.Trace
 
-type mset = { et : Et.id; ops : (string * Op.t) list; origin : int }
+(* Ops carry keys pre-interned at the origin ({!Intf.iop}); the string
+   name rides along for the lock counters and the durable log. *)
+type mset = { et : Et.id; ops : Intf.iop list; origin : int }
 
 (* Pending |delta| an operation contributes to its object's weight. *)
 let op_weight = function
@@ -104,16 +106,18 @@ let apply_mset t site mset =
       (Trace.Mset_applied
          { et = mset.et; site = site.id; n_ops = List.length mset.ops });
   List.iter
-    (fun (key, op) ->
+    (fun (i : Intf.iop) ->
+      let key = i.Intf.key in
       ignore (Lock_counter.incr site.counters key);
-      ignore (Lock_counter.add_weight site.counters key (op_weight op));
-      (match Store.apply site.store key op with
-      | Ok _ -> ()
+      ignore (Lock_counter.add_weight site.counters key (op_weight i.Intf.op));
+      (match Store.apply_id_unit site.store i.Intf.id i.Intf.op with
+      | Ok () -> ()
       | Error _ -> invalid_arg "COMMU: commutative op failed to apply");
-      log_action site ~et:mset.et ~key op)
+      log_action site ~et:mset.et ~key i.Intf.op)
     mset.ops
 
-let charges_of ops = List.map (fun (key, op) -> (key, op_weight op)) ops
+let charges_of ops =
+  List.map (fun (i : Intf.iop) -> (i.Intf.key, op_weight i.Intf.op)) ops
 
 let complete_at site charges =
   List.iter
@@ -160,9 +164,11 @@ let create (env : Intf.env) =
            Array.init env.Intf.sites (fun id ->
                {
                  id;
-                 store = Store.create ~size:env.Intf.store_hint ();
+                 store =
+                   Store.create ~size:env.Intf.store_hint
+                     ~keyspace:env.Intf.keyspace ();
                  hist = Hist.empty;
-                 counters = Lock_counter.create ();
+                 counters = Lock_counter.create ~hint:env.Intf.store_hint ();
                  parked_queries = [];
                  parked_updates = [];
                  active_queries = [];
@@ -201,10 +207,20 @@ let submit_update t ~origin intents k =
       if intents = [] then k (Intf.Rejected "empty update ET")
       else begin
         t.n_updates <- t.n_updates + 1;
-        let ops = List.map Result.get_ok translated in
+        let ops =
+          List.map
+            (fun r ->
+              let key, op = Result.get_ok r in
+              {
+                Intf.id = Esr_store.Keyspace.intern t.env.Intf.keyspace key;
+                key;
+                op;
+              })
+            translated
+        in
         let et = t.env.Intf.next_et () in
         let site = t.sites.(origin) in
-        let keys = List.map fst ops in
+        let keys = List.map Intf.iop_key ops in
         let charges = charges_of ops in
         (* An ET whose own |delta| exceeds the value limit can never be
            admitted; waiting would hang it forever. *)
@@ -426,7 +442,7 @@ let on_recover t ~site:site_id =
   if site.down then begin
     site.down <- false;
     site.store <-
-      Recovery.replay_store ~obs:t.env.Intf.obs ~engine:t.env.Intf.engine
+      Recovery.replay_store ~keyspace:t.env.Intf.keyspace ~size:t.env.Intf.store_hint ~obs:t.env.Intf.obs ~engine:t.env.Intf.engine
         ~site:site_id site.hist
   end
 

@@ -462,12 +462,14 @@ let create (env : Intf.env) =
            Array.init env.Intf.sites (fun id ->
                {
                  id;
-                 store = Store.create ~size:env.Intf.store_hint ();
+                 store =
+                   Store.create ~size:env.Intf.store_hint
+                     ~keyspace:env.Intf.keyspace ();
                  hist = Hist.empty;
                  last_exec = 0;
                  buffer = Hashtbl.create 32;
                  log = [];
-                 counters = Lock_counter.create ();
+                 counters = Lock_counter.create ~hint:env.Intf.store_hint ();
                  early = Hashtbl.create 8;
                  parked_queries = [];
                  active = [];
@@ -790,7 +792,7 @@ let on_recover t ~site:site_id =
        so the replay lands exactly on the pre-crash image the journal's
        before-image chains describe)... *)
     site.store <-
-      Recovery.replay_store ~obs:t.env.Intf.obs ~engine:t.env.Intf.engine
+      Recovery.replay_store ~keyspace:t.env.Intf.keyspace ~size:t.env.Intf.store_hint ~obs:t.env.Intf.obs ~engine:t.env.Intf.engine
         ~site:site_id site.hist;
     (* ...re-ingest journaled-but-unexecuted provisional MSets... *)
     List.iter

@@ -11,6 +11,7 @@ module Op = Esr_store.Op
 module Value = Esr_store.Value
 module Store = Esr_store.Store
 module Mvstore = Esr_store.Mvstore
+module Keyspace = Esr_store.Keyspace
 module Epsilon = Esr_core.Epsilon
 module Hist = Esr_core.Hist
 
@@ -29,6 +30,14 @@ let pp_intent ppf = function
   | Mul (k, f) -> Format.fprintf ppf "mul %s*=%d" k f
 
 let intent_key = function Set (k, _) | Add (k, _) | Mul (k, _) -> k
+
+(** An operation with its key interned at the origin: replicas apply by
+    dense id (one array load) instead of re-hashing the key string at
+    every site.  The name rides along for the durable log and traces. *)
+type iop = { id : int; key : string; op : Op.t }
+
+let iop_key i = i.key
+let iop_op i = i.op
 
 type update_outcome =
   | Committed of { committed_at : float }
@@ -121,7 +130,10 @@ type env = {
   config : config;
   store_hint : int;
       (** expected keyspace size — methods pre-size their per-site store
-          hash tables with it so replicas never rehash mid-run *)
+          cell arrays with it so replicas never resize mid-run *)
+  keyspace : Keyspace.t;
+      (** run-wide key interner shared by every replica store, so a key's
+          dense id is stable across sites and MSets can carry ids *)
   next_et : unit -> Esr_core.Et.id;  (** shared ET id allocator *)
   obs : Esr_obs.Obs.t;
       (** per-run trace sink + metrics registry; methods emit MSet and
@@ -140,6 +152,7 @@ let make_env ?(config = default_config) ?(store_hint = 64) ?obs ~engine ~net
     sites = Esr_sim.Net.sites net;
     config;
     store_hint = Stdlib.max 1 store_hint;
+    keyspace = Keyspace.create ~hint:store_hint ();
     next_et =
       (fun () ->
         incr counter;

@@ -40,10 +40,12 @@ let order_leq a b =
   | Ticket _, Stamp _ | Stamp _, Ticket _ ->
       invalid_arg "Ordup: mixed order kinds"
 
+(* MSet ops carry keys pre-interned at the origin ({!Intf.iop}), so the
+   per-site apply loop is an array store, not a string hash. *)
 type mset = {
   et : Et.id;
   order : order;
-  ops : (string * Op.t) list;
+  ops : Intf.iop list;
   origin : int;
 }
 
@@ -116,15 +118,16 @@ let apply_mset t site mset =
       (Trace.Mset_applied
          { et = mset.et; site = site.id; n_ops = List.length mset.ops });
   List.iter
-    (fun (key, op) ->
-      (match Store.apply site.store key op with
-      | Ok _ -> ()
+    (fun (i : Intf.iop) ->
+      (match Store.apply_id_unit site.store i.Intf.id i.Intf.op with
+      | Ok () -> ()
       | Error _ ->
           (* ORDUP imposes no operation restriction; type errors are a
              workload bug, surfaced loudly. *)
           invalid_arg
-            (Printf.sprintf "ORDUP: op %s failed on %s" (Op.to_string op) key));
-      log_action site ~et:mset.et ~key op)
+            (Printf.sprintf "ORDUP: op %s failed on %s"
+               (Op.to_string i.Intf.op) i.Intf.key));
+      log_action site ~et:mset.et ~key:i.Intf.key i.Intf.op)
     mset.ops;
   (* Charge active queries that this update interleaves: it executes after
      the query's serialization point and touches its keys. *)
@@ -133,7 +136,9 @@ let apply_mset t site mset =
       if
         (not aq.aq_failed)
         && (not (order_leq mset.order aq.aq_order))
-        && List.exists (fun (k, _) -> List.mem k aq.aq_keys) mset.ops
+        && List.exists
+             (fun (i : Intf.iop) -> List.mem i.Intf.key aq.aq_keys)
+             mset.ops
       then
         if Epsilon.try_charge aq.aq_eps 1 then
           t.n_charged_units <- t.n_charged_units + 1
@@ -252,7 +257,9 @@ let create (env : Intf.env) =
            Array.init env.Intf.sites (fun id ->
                {
                  id;
-                 store = Store.create ~size:env.Intf.store_hint ();
+                 store =
+                   Store.create ~size:env.Intf.store_hint
+                     ~keyspace:env.Intf.keyspace ();
                  hist = Hist.empty;
                  last_exec = 0;
                  seq_buffer = Hashtbl.create 32;
@@ -274,10 +281,14 @@ let create (env : Intf.env) =
   in
   Lazy.force t
 
-let intent_to_op = function
-  | Intf.Set (k, v) -> (k, Op.Write v)
-  | Intf.Add (k, d) -> (k, Op.Incr d)
-  | Intf.Mul (k, f) -> (k, Op.Mult f)
+let intent_to_op env intent =
+  let key, op =
+    match intent with
+    | Intf.Set (k, v) -> (k, Op.Write v)
+    | Intf.Add (k, d) -> (k, Op.Incr d)
+    | Intf.Mul (k, f) -> (k, Op.Mult f)
+  in
+  { Intf.id = Esr_store.Keyspace.intern env.Intf.keyspace key; key; op }
 
 let submit_update t ~origin intents k =
   if t.sites.(origin).down then k (Intf.Rejected "origin site down")
@@ -285,7 +296,7 @@ let submit_update t ~origin intents k =
   else begin
     t.n_updates <- t.n_updates + 1;
     let et = t.env.Intf.next_et () in
-    let ops = List.map intent_to_op intents in
+    let ops = List.map (intent_to_op t.env) intents in
     let site = t.sites.(origin) in
     let order =
       match t.mode with
@@ -477,7 +488,7 @@ let on_recover t ~site:site_id =
     site.down <- false;
     (* Replay the durable log to rebuild the store image... *)
     site.store <-
-      Recovery.replay_store ~obs:t.env.Intf.obs ~engine:t.env.Intf.engine
+      Recovery.replay_store ~keyspace:t.env.Intf.keyspace ~size:t.env.Intf.store_hint ~obs:t.env.Intf.obs ~engine:t.env.Intf.engine
         ~site:site_id site.hist;
     (* ...then re-ingest the journaled-but-unapplied MSets into the order
        buffers.  The stable-queue backlog redelivers everything else. *)

@@ -145,8 +145,8 @@ let rec receive t ~site:site_id msg =
           (Trace.Mset_applied { et; site = site_id; n_ops = List.length ops });
       List.iter
         (fun (key, op) ->
-          (match Store.apply site.store key op with
-          | Ok _ -> ()
+          (match Store.apply_unit site.store key op with
+          | Ok () -> ()
           | Error _ -> invalid_arg "QUASI: op failed at primary");
           log_action site ~et ~key op)
         ops;
@@ -202,14 +202,16 @@ let create (env : Intf.env) =
            Array.init env.Intf.sites (fun id ->
                {
                  id;
-                 store = Store.create ~size:env.Intf.store_hint ();
+                 store =
+                   Store.create ~size:env.Intf.store_hint
+                     ~keyspace:env.Intf.keyspace ();
                  hist = Hist.empty;
-                 versions = Hashtbl.create 32;
+                 versions = Hashtbl.create (Stdlib.max 32 env.Intf.store_hint);
                  down = false;
                });
          fabric;
          refresh = env.Intf.config.Intf.quasi_refresh;
-         last_pushed = Hashtbl.create 32;
+         last_pushed = Hashtbl.create (Stdlib.max 32 env.Intf.store_hint);
          dirty = [];
          timer_armed = false;
          next_version = 0;
@@ -363,7 +365,7 @@ let on_recover t ~site:site_id =
   if site.down then begin
     site.down <- false;
     site.store <-
-      Recovery.replay_store ~obs:t.env.Intf.obs ~engine:t.env.Intf.engine
+      Recovery.replay_store ~keyspace:t.env.Intf.keyspace ~size:t.env.Intf.store_hint ~obs:t.env.Intf.obs ~engine:t.env.Intf.engine
         ~site:site_id site.hist;
     if site_id = primary then
       (* Anti-entropy resync: with the dirty/last-pushed bookkeeping lost,

@@ -207,8 +207,10 @@ let create (env : Intf.env) =
            Array.init n (fun id ->
                {
                  id;
-                 store = Store.create ~size:env.Intf.store_hint ();
-                 versions = Hashtbl.create 32;
+                 store =
+                   Store.create ~size:env.Intf.store_hint
+                     ~keyspace:env.Intf.keyspace ();
+                 versions = Hashtbl.create (Stdlib.max 32 env.Intf.store_hint);
                  hist = Hist.empty;
                  down = false;
                });
@@ -358,7 +360,7 @@ let on_recover t ~site:site_id =
   if site.down then begin
     site.down <- false;
     site.store <-
-      Recovery.replay_store ~obs:t.env.Intf.obs ~engine:t.env.Intf.engine
+      Recovery.replay_store ~keyspace:t.env.Intf.keyspace ~size:t.env.Intf.store_hint ~obs:t.env.Intf.obs ~engine:t.env.Intf.engine
         ~site:site_id site.hist
   end
 

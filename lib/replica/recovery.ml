@@ -25,8 +25,8 @@ let emit_replay ~(obs : Esr_obs.Obs.t) ~engine ~site ~n_actions =
       ~time:(Esr_sim.Engine.now engine)
       (Trace.Recovery_replay { site; n_actions })
 
-let replay_store ~obs ~engine ~site hist =
-  let store = Esr_core.Logmerge.apply hist in
+let replay_store ?keyspace ?size ~obs ~engine ~site hist =
+  let store = Esr_core.Logmerge.apply ?keyspace ?size hist in
   emit_replay ~obs ~engine ~site ~n_actions:(Hist.length hist);
   store
 

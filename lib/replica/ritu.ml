@@ -29,10 +29,11 @@ module Engine = Esr_sim.Engine
 module Squeue = Esr_squeue.Squeue
 module Trace = Esr_obs.Trace
 
+(* Writes carry keys pre-interned at the origin: (id, name, value). *)
 type mset = {
   et : Et.id;
   stamp : Gtime.t;
-  writes : (string * Value.t) list;
+  writes : (int * string * Value.t) list;
   origin : int;
 }
 
@@ -95,24 +96,28 @@ let apply_mset t site mset =
       (Trace.Mset_applied
          { et = mset.et; site = site.id; n_ops = List.length mset.writes });
   note_watermark site ~origin:mset.origin mset.stamp;
+  let stamp = mset.stamp in
   List.iter
-    (fun (key, value) ->
+    (fun (id, key, value) ->
       let op =
         match t.mode with
-        | `Single -> Op.Timed_write { ts = mset.stamp; value }
-        | `Multi -> Op.Append { ts = mset.stamp; value }
+        | `Single -> Op.Timed_write { ts = stamp; value }
+        | `Multi -> Op.Append { ts = stamp; value }
       in
       (match t.mode with
-      | `Single -> (
-          match Store.apply site.store key op with
-          | Ok undo -> if not undo.Store.applied then t.n_stale_ignored <- t.n_stale_ignored + 1
-          | Error _ -> invalid_arg "RITU: blind write failed")
+      | `Single ->
+          (* Latest-writer-wins by hand: a stale stamp can only hit a key
+             that already has a newer (materialized) cell, so skipping the
+             write leaves the store byte-identical to [Store.apply] while
+             allocating nothing. *)
+          if Gtime.compare stamp (Store.get_ts_id site.store id) > 0 then
+            Store.set_with_ts_id site.store id value stamp
+          else t.n_stale_ignored <- t.n_stale_ignored + 1
       | `Multi ->
-          ignore (Mvstore.append site.mv key ~ts:mset.stamp value);
+          ignore (Mvstore.append site.mv key ~ts:stamp value);
           (* Maintain the latest-version view for convergence checks. *)
-          ignore
-            (Store.apply site.store key
-               (Op.Timed_write { ts = mset.stamp; value })));
+          if Gtime.compare stamp (Store.get_ts_id site.store id) > 0 then
+            Store.set_with_ts_id site.store id value stamp);
       log_action site ~et:mset.et ~key op)
     mset.writes
 
@@ -139,8 +144,12 @@ let create (env : Intf.env) =
            Array.init env.Intf.sites (fun id ->
                {
                  id;
-                 store = Store.create ~size:env.Intf.store_hint ();
-                 mv = Mvstore.create ();
+                 store =
+                   Store.create ~size:env.Intf.store_hint
+                     ~keyspace:env.Intf.keyspace ();
+                 mv =
+                   Mvstore.create ~size:env.Intf.store_hint
+                     ~keyspace:env.Intf.keyspace ();
                  hist = Hist.empty;
                  clock = Lamport.create ();
                  watermarks = Array.make env.Intf.sites Gtime.zero;
@@ -176,6 +185,12 @@ let submit_update t ~origin intents k =
     let et = t.env.Intf.next_et () in
     let site = t.sites.(origin) in
     let stamp = Gtime.next site.clock ~site:origin in
+    let writes =
+      List.map
+        (fun (key, v) ->
+          (Esr_store.Keyspace.intern t.env.Intf.keyspace key, key, v))
+        writes
+    in
     let mset = { et; stamp; writes; origin } in
     let trace = t.env.Intf.obs.Esr_obs.Obs.trace in
     if Trace.on trace then
@@ -270,14 +285,20 @@ let on_recover t ~site:site_id =
     match t.mode with
     | `Single ->
         site.store <-
-          Recovery.replay_store ~obs:t.env.Intf.obs ~engine:t.env.Intf.engine
+          Recovery.replay_store ~keyspace:t.env.Intf.keyspace ~size:t.env.Intf.store_hint ~obs:t.env.Intf.obs ~engine:t.env.Intf.engine
             ~site:site_id site.hist
     | `Multi ->
         (* The log holds Append ops; replaying them naively is arrival
            order, but the latest-version view is last-writer-wins on the
            stamp — rebuild both images timestamp-aware. *)
-        let store = Store.create ~size:t.env.Intf.store_hint () in
-        let mv = Mvstore.create () in
+        let store =
+          Store.create ~size:t.env.Intf.store_hint
+            ~keyspace:t.env.Intf.keyspace ()
+        in
+        let mv =
+          Mvstore.create ~size:t.env.Intf.store_hint
+            ~keyspace:t.env.Intf.keyspace ()
+        in
         let actions = Hist.actions site.hist in
         List.iter
           (fun { Et.key; op; _ } ->

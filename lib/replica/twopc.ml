@@ -190,8 +190,8 @@ let rec receive t ~site:site_id msg =
                    { et; site = site.id; n_ops = List.length ops });
             List.iter
               (fun (key, op) ->
-                (match Store.apply site.store key op with
-                | Ok _ -> ()
+                (match Store.apply_unit site.store key op with
+                | Ok () -> ()
                 | Error _ -> invalid_arg "2PC: op failed to apply");
                 log_action site ~et ~key op)
               ops
@@ -260,7 +260,9 @@ let create (env : Intf.env) =
            Array.init env.Intf.sites (fun id ->
                {
                  id;
-                 store = Store.create ~size:env.Intf.store_hint ();
+                 store =
+                   Store.create ~size:env.Intf.store_hint
+                     ~keyspace:env.Intf.keyspace ();
                  hist = Hist.empty;
                  locks = Lock_mgr.create ~table:Lock_table.standard ();
                  prepared = Hashtbl.create 16;
@@ -450,7 +452,7 @@ let on_recover t ~site:site_id =
   if site.down then begin
     site.down <- false;
     site.store <-
-      Recovery.replay_store ~obs:t.env.Intf.obs ~engine:t.env.Intf.engine
+      Recovery.replay_store ~keyspace:t.env.Intf.keyspace ~size:t.env.Intf.store_hint ~obs:t.env.Intf.obs ~engine:t.env.Intf.engine
         ~site:site_id site.hist;
     (* Replay the site's own 2PC records that landed while it was down. *)
     let mine, others =

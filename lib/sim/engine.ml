@@ -56,10 +56,13 @@ let cancel t ev =
    surface.  Each heap entry is examined exactly once per pop: the state
    flag lives on the event record, so there is no side-table lookup. *)
 let rec pop_live t =
-  match Heap.pop t.heap with
-  | None -> None
-  | Some (time, _, ev) ->
-      if ev.state = Cancelled then pop_live t else Some (time, ev)
+  if Heap.is_empty t.heap then None
+  else begin
+    let time = Heap.min_time t.heap in
+    let ev = Heap.min_payload t.heap in
+    Heap.drop_min t.heap;
+    if ev.state = Cancelled then pop_live t else Some (time, ev)
+  end
 
 let execute t time ev =
   t.clock <- time;
@@ -75,31 +78,35 @@ let step t =
       execute t time ev;
       true
 
+(* The drain loops read the heap minimum in place ([min_time] /
+   [min_payload] / [drop_min]) instead of going through the option-boxed
+   [pop_live], so a warm event loop allocates nothing per event. *)
 let run ?until t =
   match until with
   | None ->
       let rec drain () =
-        match pop_live t with
-        | None -> ()
-        | Some (time, ev) ->
-            execute t time ev;
-            drain ()
+        if not (Heap.is_empty t.heap) then begin
+          let time = Heap.min_time t.heap in
+          let ev = Heap.min_payload t.heap in
+          Heap.drop_min t.heap;
+          if ev.state <> Cancelled then execute t time ev;
+          drain ()
+        end
       in
       drain ()
   | Some limit ->
       let rec drain () =
-        match pop_live t with
-        | None -> ()
-        | Some (time, ev) ->
-            if time > limit then
-              (* Not due yet: put it back untouched.  [schedule_at] used
-                 the event's seq as its heap sequence number, so re-pushing
-                 with the same pair preserves FIFO-among-ties exactly. *)
-              Heap.push t.heap ~time ~seq:ev.seq ev
-            else begin
-              execute t time ev;
-              drain ()
-            end
+        if not (Heap.is_empty t.heap) then begin
+          (* Peek before removing: an event past the limit never leaves
+             the heap, so its (time, seq) ordering is untouched. *)
+          let time = Heap.min_time t.heap in
+          if time <= limit then begin
+            let ev = Heap.min_payload t.heap in
+            Heap.drop_min t.heap;
+            if ev.state <> Cancelled then execute t time ev;
+            drain ()
+          end
+        end
       in
       drain ();
       if t.clock < limit then t.clock <- limit

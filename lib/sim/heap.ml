@@ -1,22 +1,40 @@
-type 'a entry = { time : float; seq : int; payload : 'a }
+(* Structure-of-arrays layout: times live in a flat float array (unboxed
+   by the runtime), seqs in an int array, payloads in their own array.
+   Sift comparisons touch only the scalar arrays — no pointer chasing —
+   and push/drop_min allocate nothing except when the arrays grow. *)
+type 'a t = {
+  mutable times : float array;
+  mutable seqs : int array;
+  mutable payloads : 'a array;
+  mutable len : int;
+  hint : int;
+}
 
-type 'a t = { mutable arr : 'a entry array; mutable len : int; hint : int }
+let create ?(hint = 16) () =
+  { times = [||]; seqs = [||]; payloads = [||]; len = 0; hint = Stdlib.max 1 hint }
 
-let create ?(hint = 16) () = { arr = [||]; len = 0; hint = Stdlib.max 1 hint }
 let size t = t.len
 let is_empty t = t.len = 0
 
-let lt a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+let lt t i j =
+  t.times.(i) < t.times.(j)
+  || (t.times.(i) = t.times.(j) && t.seqs.(i) < t.seqs.(j))
 
 let swap t i j =
-  let tmp = t.arr.(i) in
-  t.arr.(i) <- t.arr.(j);
-  t.arr.(j) <- tmp
+  let x = t.times.(i) in
+  t.times.(i) <- t.times.(j);
+  t.times.(j) <- x;
+  let s = t.seqs.(i) in
+  t.seqs.(i) <- t.seqs.(j);
+  t.seqs.(j) <- s;
+  let p = t.payloads.(i) in
+  t.payloads.(i) <- t.payloads.(j);
+  t.payloads.(j) <- p
 
 let rec sift_up t i =
   if i > 0 then begin
     let parent = (i - 1) / 2 in
-    if lt t.arr.(i) t.arr.(parent) then begin
+    if lt t i parent then begin
       swap t i parent;
       sift_up t parent
     end
@@ -25,39 +43,64 @@ let rec sift_up t i =
 let rec sift_down t i =
   let left = (2 * i) + 1 and right = (2 * i) + 2 in
   let smallest = ref i in
-  if left < t.len && lt t.arr.(left) t.arr.(!smallest) then smallest := left;
-  if right < t.len && lt t.arr.(right) t.arr.(!smallest) then smallest := right;
+  if left < t.len && lt t left !smallest then smallest := left;
+  if right < t.len && lt t right !smallest then smallest := right;
   if !smallest <> i then begin
     swap t i !smallest;
     sift_down t !smallest
   end
 
+let grow t payload =
+  let capacity = Stdlib.max t.hint (Stdlib.max 16 (2 * t.len)) in
+  let times = Array.make capacity 0.0 in
+  let seqs = Array.make capacity 0 in
+  let payloads = Array.make capacity payload in
+  Array.blit t.times 0 times 0 t.len;
+  Array.blit t.seqs 0 seqs 0 t.len;
+  Array.blit t.payloads 0 payloads 0 t.len;
+  t.times <- times;
+  t.seqs <- seqs;
+  t.payloads <- payloads
+
 let push t ~time ~seq payload =
-  let entry = { time; seq; payload } in
-  if t.len = Array.length t.arr then begin
-    let capacity = Stdlib.max t.hint (Stdlib.max 16 (2 * t.len)) in
-    let bigger = Array.make capacity entry in
-    Array.blit t.arr 0 bigger 0 t.len;
-    t.arr <- bigger
-  end;
-  t.arr.(t.len) <- entry;
-  t.len <- t.len + 1;
-  sift_up t (t.len - 1)
+  if t.len = Array.length t.times then grow t payload;
+  let i = t.len in
+  t.times.(i) <- time;
+  t.seqs.(i) <- seq;
+  t.payloads.(i) <- payload;
+  t.len <- i + 1;
+  sift_up t i
+
+let min_time t =
+  if t.len = 0 then invalid_arg "Heap.min_time: empty heap";
+  t.times.(0)
+
+let min_seq t =
+  if t.len = 0 then invalid_arg "Heap.min_seq: empty heap";
+  t.seqs.(0)
+
+let min_payload t =
+  if t.len = 0 then invalid_arg "Heap.min_payload: empty heap";
+  t.payloads.(0)
+
+let drop_min t =
+  if t.len = 0 then invalid_arg "Heap.drop_min: empty heap";
+  t.len <- t.len - 1;
+  let l = t.len in
+  if l > 0 then begin
+    t.times.(0) <- t.times.(l);
+    t.seqs.(0) <- t.seqs.(l);
+    t.payloads.(0) <- t.payloads.(l);
+    sift_down t 0
+  end
 
 let pop t =
   if t.len = 0 then None
   else begin
-    let top = t.arr.(0) in
-    t.len <- t.len - 1;
-    if t.len > 0 then begin
-      t.arr.(0) <- t.arr.(t.len);
-      sift_down t 0
-    end;
-    Some (top.time, top.seq, top.payload)
+    let time = t.times.(0) and seq = t.seqs.(0) and payload = t.payloads.(0) in
+    drop_min t;
+    Some (time, seq, payload)
   end
 
 let peek t =
-  if t.len = 0 then None
-  else
-    let top = t.arr.(0) in
-    Some (top.time, top.seq, top.payload)
+  if t.len = 0 then None else Some (t.times.(0), t.seqs.(0), t.payloads.(0))

@@ -2,7 +2,12 @@
 
     The sequence number makes the ordering of simultaneous events stable
     (FIFO among equal timestamps), which the simulator needs for
-    determinism. *)
+    determinism.
+
+    Internally a structure-of-arrays: times in a flat float array, seqs
+    in an int array, payloads in their own array.  [push] and [drop_min]
+    allocate nothing once the backing arrays are warm, which is what the
+    engine's event loop relies on at million-event scale. *)
 
 type 'a t
 
@@ -14,6 +19,23 @@ val size : 'a t -> int
 val is_empty : 'a t -> bool
 
 val push : 'a t -> time:float -> seq:int -> 'a -> unit
+
+val min_time : 'a t -> float
+(** Time of the minimum element.  @raise Invalid_argument on an empty
+    heap — guard with {!is_empty}. *)
+
+val min_seq : 'a t -> int
+(** Sequence number of the minimum element.  @raise Invalid_argument on
+    an empty heap. *)
+
+val min_payload : 'a t -> 'a
+(** Payload of the minimum element, without removing it.
+    @raise Invalid_argument on an empty heap. *)
+
+val drop_min : 'a t -> unit
+(** Remove the minimum element.  Combined with {!min_time} and
+    {!min_payload} this is the allocation-free alternative to {!pop}.
+    @raise Invalid_argument on an empty heap. *)
 
 val pop : 'a t -> (float * int * 'a) option
 (** Remove and return the minimum element. *)

@@ -78,13 +78,20 @@ let deliver t ~dst ~src seq payload =
   | Fifo ->
       if seq < recv.next_expected || Hashtbl.mem recv.reorder seq then
         t.n_dup <- t.n_dup + 1
+      else if seq = recv.next_expected && Hashtbl.length recv.reorder = 0 then begin
+        (* In-order fast path — the overwhelmingly common case on a
+           healthy link: no reorder-buffer round trip, no allocation. *)
+        recv.next_expected <- seq + 1;
+        t.n_delivered <- t.n_delivered + 1;
+        t.handler ~site:dst ~src payload
+      end
       else begin
         Hashtbl.replace recv.reorder seq payload;
         (* Hand up the contiguous prefix. *)
         let rec drain () =
-          match Hashtbl.find_opt recv.reorder recv.next_expected with
-          | None -> ()
-          | Some p ->
+          match Hashtbl.find recv.reorder recv.next_expected with
+          | exception Not_found -> ()
+          | p ->
               Hashtbl.remove recv.reorder recv.next_expected;
               recv.next_expected <- recv.next_expected + 1;
               t.n_delivered <- t.n_delivered + 1;

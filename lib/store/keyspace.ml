@@ -1,0 +1,50 @@
+(* String <-> dense int id interner shared by every replica of a run.
+
+   Interning happens once at ET submission; after that the apply and
+   propagate paths work on immediate ints, so per-op store access costs
+   one array load instead of a string hash.  The table only grows —
+   ids are never recycled — which is what makes it safe to share one
+   keyspace across all sites of a simulation. *)
+
+type t = {
+  ids : (string, int) Hashtbl.t;
+  mutable names : string array;  (* id -> name; first [n] slots live *)
+  mutable n : int;
+}
+
+let create ?(hint = 64) () =
+  let hint = Stdlib.max 1 hint in
+  { ids = Hashtbl.create hint; names = Array.make hint ""; n = 0 }
+
+let size t = t.n
+
+(* [find] returns -1 for unknown names instead of an option so the read
+   path stays allocation-free. *)
+let find t name =
+  match Hashtbl.find t.ids name with id -> id | exception Not_found -> -1
+
+let mem t name = find t name >= 0
+
+let intern t name =
+  match Hashtbl.find t.ids name with
+  | id -> id
+  | exception Not_found ->
+      let id = t.n in
+      if id = Array.length t.names then begin
+        let bigger = Array.make (Stdlib.max 8 (2 * id)) "" in
+        Array.blit t.names 0 bigger 0 id;
+        t.names <- bigger
+      end;
+      t.names.(id) <- name;
+      t.n <- id + 1;
+      Hashtbl.replace t.ids name id;
+      id
+
+let name t id =
+  if id < 0 || id >= t.n then invalid_arg "Keyspace.name: id out of range";
+  t.names.(id)
+
+let iter t f =
+  for id = 0 to t.n - 1 do
+    f id t.names.(id)
+  done

@@ -1,0 +1,32 @@
+(** String [<->] dense int id interner.
+
+    One keyspace is shared by every replica store of a run (created in
+    [Intf.make_env] from the workload's keyspace hint), so a key's id is
+    stable across sites and the apply path can address flat arrays
+    instead of hashing strings.  Ids are dense, assigned in first-intern
+    order, and never recycled. *)
+
+type t
+
+val create : ?hint:int -> unit -> t
+(** [hint] pre-sizes the table (default 64); pass the workload keyspace
+    size so interning never rehashes mid-run. *)
+
+val intern : t -> string -> int
+(** Id for [name], assigning the next dense id on first sight. *)
+
+val find : t -> string -> int
+(** Id for [name], or [-1] when it was never interned.  Allocation-free
+    (no option), for the read path. *)
+
+val mem : t -> string -> bool
+
+val name : t -> int -> string
+(** Inverse of {!intern}.  Raises [Invalid_argument] on an id that was
+    never assigned. *)
+
+val size : t -> int
+(** Number of interned keys; valid ids are [0 .. size - 1]. *)
+
+val iter : t -> (int -> string -> unit) -> unit
+(** [iter t f] calls [f id name] in id (= first-intern) order. *)

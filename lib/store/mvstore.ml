@@ -4,24 +4,48 @@ type key = string
 
 type version = { ts : Gtime.t; value : Value.t }
 
+(* Version lists live in a flat array indexed by interned key id
+   (newest first).  [touched] distinguishes a key whose versions were
+   all removed (still listed by [keys], as the hash-table representation
+   did) from one never written. *)
 type t = {
-  table : (key, version list ref) Hashtbl.t;  (* newest first *)
+  ks : Keyspace.t;
+  mutable vers : version list array;
+  mutable touched : bool array;
   mutable vtnc : Gtime.t;
 }
 
-let create () = { table = Hashtbl.create 64; vtnc = Gtime.zero }
+let create ?(size = 64) ?keyspace () =
+  let ks =
+    match keyspace with
+    | Some ks -> ks
+    | None -> Keyspace.create ~hint:size ()
+  in
+  let n = Stdlib.max 1 (Stdlib.max size (Keyspace.size ks)) in
+  { ks; vers = Array.make n []; touched = Array.make n false; vtnc = Gtime.zero }
 
-let versions_ref t key =
-  match Hashtbl.find_opt t.table key with
-  | Some r -> r
-  | None ->
-      let r = ref [] in
-      Hashtbl.replace t.table key r;
-      r
+let ensure_slot t id =
+  let n = Array.length t.vers in
+  if id >= n then begin
+    let cap = Stdlib.max (id + 1) (2 * n) in
+    let vers = Array.make cap [] and touched = Array.make cap false in
+    Array.blit t.vers 0 vers 0 n;
+    Array.blit t.touched 0 touched 0 n;
+    t.vers <- vers;
+    t.touched <- touched
+  end
+
+(* [find] rather than [intern]: reads on never-written keys must not
+   grow the keyspace. *)
+let slot t key =
+  let id = Keyspace.find t.ks key in
+  if id < 0 || id >= Array.length t.vers then -1 else id
 
 (* Insert keeping newest-first order; duplicates (same ts) rejected. *)
 let append t key ~ts value =
-  let r = versions_ref t key in
+  let id = Keyspace.intern t.ks key in
+  ensure_slot t id;
+  t.touched.(id) <- true;
   let rec insert = function
     | [] -> Some [ { ts; value } ]
     | v :: rest as all ->
@@ -30,49 +54,55 @@ let append t key ~ts value =
         else if c = 0 then None
         else Option.map (fun inserted -> v :: inserted) (insert rest)
   in
-  match insert !r with
+  match insert t.vers.(id) with
   | Some updated ->
-      r := updated;
+      t.vers.(id) <- updated;
       true
   | None -> false
 
 let remove_version t key ~ts =
-  match Hashtbl.find_opt t.table key with
-  | None -> false
-  | Some r ->
-      let before = List.length !r in
-      r := List.filter (fun v -> not (Gtime.equal v.ts ts)) !r;
-      List.length !r < before
+  let id = slot t key in
+  if id < 0 then false
+  else begin
+    let before = List.length t.vers.(id) in
+    t.vers.(id) <- List.filter (fun v -> not (Gtime.equal v.ts ts)) t.vers.(id);
+    List.length t.vers.(id) < before
+  end
 
 let vtnc t = t.vtnc
 
 let advance_vtnc t ts = if Gtime.compare ts t.vtnc > 0 then t.vtnc <- ts
 
 let read_at t key ~as_of =
-  match Hashtbl.find_opt t.table key with
-  | None -> None
-  | Some r -> List.find_opt (fun v -> Gtime.compare v.ts as_of <= 0) !r
+  let id = slot t key in
+  if id < 0 then None
+  else List.find_opt (fun v -> Gtime.compare v.ts as_of <= 0) t.vers.(id)
 
 let read_visible t key = read_at t key ~as_of:t.vtnc
 
 let read_latest t key =
-  match Hashtbl.find_opt t.table key with
-  | None -> None
-  | Some r -> ( match !r with [] -> None | newest :: _ -> Some newest)
+  let id = slot t key in
+  if id < 0 then None
+  else match t.vers.(id) with [] -> None | newest :: _ -> Some newest
 
 let versions_above_vtnc t key =
-  match Hashtbl.find_opt t.table key with
-  | None -> 0
-  | Some r ->
-      List.length (List.filter (fun v -> Gtime.compare v.ts t.vtnc > 0) !r)
+  let id = slot t key in
+  if id < 0 then 0
+  else
+    List.length
+      (List.filter (fun v -> Gtime.compare v.ts t.vtnc > 0) t.vers.(id))
 
 let versions t key =
-  match Hashtbl.find_opt t.table key with
-  | None -> []
-  | Some r -> List.rev !r
+  let id = slot t key in
+  if id < 0 then [] else List.rev t.vers.(id)
 
 let keys t =
-  Hashtbl.fold (fun k _ acc -> k :: acc) t.table [] |> List.sort String.compare
+  let acc = ref [] in
+  let n = Stdlib.min (Array.length t.vers) (Keyspace.size t.ks) in
+  for id = 0 to n - 1 do
+    if t.touched.(id) then acc := Keyspace.name t.ks id :: !acc
+  done;
+  List.sort String.compare !acc
 
 let equal a b =
   let same_versions k =

@@ -15,7 +15,10 @@ type version = { ts : Esr_clock.Gtime.t; value : Value.t }
 
 type t
 
-val create : unit -> t
+val create : ?size:int -> ?keyspace:Keyspace.t -> unit -> t
+(** [size] pre-sizes the version array (default 64); [keyspace] shares
+    the run-wide interner so version slots align with the flat single-
+    version store. *)
 
 val append : t -> key -> ts:Esr_clock.Gtime.t -> Value.t -> bool
 (** Insert a version.  Returns [false] (no-op) if a version with that

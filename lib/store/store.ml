@@ -6,35 +6,77 @@ type cell = { mutable value : Value.t; mutable ts : Gtime.t }
 
 type undo = { key : key; before : Value.t; before_ts : Gtime.t; applied : bool }
 
-type t = (key, cell) Hashtbl.t
+(* Cells live in a flat array indexed by interned key id.  Slots that
+   were never written hold the shared [absent] sentinel — it is never
+   mutated; the first write to a key swaps in a fresh cell.  Since the
+   sentinel reads as [Value.zero]/[Gtime.zero], the get path needs no
+   presence test at all. *)
+let absent = { value = Value.zero; ts = Gtime.zero }
 
-let create ?(size = 64) () = Hashtbl.create (Stdlib.max 1 size)
+type t = { ks : Keyspace.t; mutable cells : cell array }
 
-let mem t key = Hashtbl.mem t key
+let create ?(size = 64) ?keyspace () =
+  let ks =
+    match keyspace with
+    | Some ks -> ks
+    | None -> Keyspace.create ~hint:size ()
+  in
+  let n = Stdlib.max 1 (Stdlib.max size (Keyspace.size ks)) in
+  { ks; cells = Array.make n absent }
 
-let cell t key =
-  match Hashtbl.find_opt t key with
-  | Some c -> c
-  | None ->
-      let c = { value = Value.zero; ts = Gtime.zero } in
-      Hashtbl.replace t key c;
-      c
+let keyspace t = t.ks
+let intern t key = Keyspace.intern t.ks key
 
-let get t key =
-  match Hashtbl.find_opt t key with Some c -> c.value | None -> Value.zero
+(* A shared keyspace can outgrow this store's array (another replica
+   interned new keys); grow lazily on first touch. *)
+let ensure_slot t id =
+  let n = Array.length t.cells in
+  if id >= n then begin
+    let bigger = Array.make (Stdlib.max (id + 1) (2 * n)) absent in
+    Array.blit t.cells 0 bigger 0 n;
+    t.cells <- bigger
+  end
 
-let get_ts t key =
-  match Hashtbl.find_opt t key with Some c -> c.ts | None -> Gtime.zero
+let cell_id t id =
+  ensure_slot t id;
+  let c = Array.unsafe_get t.cells id in
+  if c == absent then begin
+    let c = { value = Value.zero; ts = Gtime.zero } in
+    Array.unsafe_set t.cells id c;
+    c
+  end
+  else c
 
+let cell t key = cell_id t (Keyspace.intern t.ks key)
+
+let mem_id t id =
+  id >= 0 && id < Array.length t.cells && t.cells.(id) != absent
+
+let mem t key = mem_id t (Keyspace.find t.ks key)
+
+let get_id t id =
+  if id < 0 || id >= Array.length t.cells then Value.zero
+  else (Array.unsafe_get t.cells id).value
+
+let get t key = get_id t (Keyspace.find t.ks key)
+
+let get_ts_id t id =
+  if id < 0 || id >= Array.length t.cells then Gtime.zero
+  else (Array.unsafe_get t.cells id).ts
+
+let get_ts t key = get_ts_id t (Keyspace.find t.ks key)
+
+let set_id t id value = (cell_id t id).value <- value
 let set t key value = (cell t key).value <- value
 
-let set_with_ts t key value ts =
-  let c = cell t key in
+let set_with_ts_id t id value ts =
+  let c = cell_id t id in
   c.value <- value;
   c.ts <- ts
 
-let apply t key op =
-  let c = cell t key in
+let set_with_ts t key value ts = set_with_ts_id t (intern t key) value ts
+
+let apply_cell c key op =
   let undo = { key; before = c.value; before_ts = c.ts; applied = true } in
   match op with
   | Op.Timed_write { ts; value } ->
@@ -52,6 +94,58 @@ let apply t key op =
           Ok undo
       | Error e -> Error e)
 
+let apply t key op = apply_cell (cell t key) key op
+let apply_id t id op = apply_cell (cell_id t id) (Keyspace.name t.ks id) op
+
+(* Undo-free apply for callers that discard the before-image (the common
+   case: every method but COMPE).  [Ok ()] is a static constant, so the
+   success path allocates only when the new value itself is boxed. *)
+let ok_unit : (unit, Op.apply_error) result = Ok ()
+
+let apply_cell_unit c op =
+  match op with
+  | Op.Read -> ok_unit
+  | Op.Write v ->
+      c.value <- v;
+      ok_unit
+  | Op.Incr d -> (
+      match c.value with
+      | Value.Int i ->
+          c.value <- Value.Int (i + d);
+          ok_unit
+      | Value.Str _ -> Error (Op.Type_mismatch "Incr on string value"))
+  | Op.Mult k -> (
+      match c.value with
+      | Value.Int i ->
+          c.value <- Value.Int (i * k);
+          ok_unit
+      | Value.Str _ -> Error (Op.Type_mismatch "Mult on string value"))
+  | Op.Div k -> (
+      match (k, c.value) with
+      | 0, Value.Int _ -> Error (Op.Division_error "Div by zero")
+      | _, Value.Int i ->
+          if i mod k <> 0 then
+            Error
+              (Op.Division_error
+                 (Printf.sprintf "%d not divisible by %d" i k))
+          else begin
+            c.value <- Value.Int (i / k);
+            ok_unit
+          end
+      | _, Value.Str _ -> Error (Op.Type_mismatch "Div on string value"))
+  | Op.Timed_write { ts; value } ->
+      if Gtime.compare ts c.ts > 0 then begin
+        c.value <- value;
+        c.ts <- ts
+      end;
+      ok_unit
+  | Op.Append { value = v; _ } ->
+      c.value <- v;
+      ok_unit
+
+let apply_unit t key op = apply_cell_unit (cell t key) op
+let apply_id_unit t id op = apply_cell_unit (cell_id t id) op
+
 let rollback t undo =
   let c = cell t undo.key in
   if undo.applied then begin
@@ -59,46 +153,52 @@ let rollback t undo =
     c.ts <- undo.before_ts
   end
 
+let fold_present t f acc =
+  let acc = ref acc in
+  let n = Stdlib.min (Array.length t.cells) (Keyspace.size t.ks) in
+  for id = 0 to n - 1 do
+    let c = t.cells.(id) in
+    if c != absent then acc := f id c !acc
+  done;
+  !acc
+
 let keys t =
-  Hashtbl.fold (fun k _ acc -> k :: acc) t [] |> List.sort String.compare
+  fold_present t (fun id _ acc -> Keyspace.name t.ks id :: acc) []
+  |> List.sort String.compare
 
 let snapshot t =
-  (* Single traversal: collect (key, value) pairs directly instead of
-     listing keys and then re-looking each one up. *)
-  Hashtbl.fold (fun k c acc -> (k, c.value) :: acc) t []
+  fold_present t (fun id c acc -> (Keyspace.name t.ks id, c.value) :: acc) []
   |> List.sort (fun (ka, _) (kb, _) -> String.compare ka kb)
 
 let equal a b =
-  (* One pass over each table, no intermediate sorted key lists: keys
-     missing on one side still compare as [Value.zero]. *)
-  let covers x y =
-    try
-      Hashtbl.iter
-        (fun k c ->
-          let other =
-            match Hashtbl.find_opt y k with
-            | Some cy -> cy.value
-            | None -> Value.zero
-          in
-          if not (Value.equal c.value other) then raise Exit)
-        x;
-      true
-    with Exit -> false
-  in
-  covers a b
-  && (* keys only in b must read as zero in a *)
-  (try
-     Hashtbl.iter
-       (fun k c ->
-         if (not (Hashtbl.mem a k)) && not (Value.equal c.value Value.zero)
-         then raise Exit)
-       b;
-     true
-   with Exit -> false)
+  if a.ks == b.ks then begin
+    (* Shared keyspace: a key has the same slot in both stores, so one
+       index-wise pass suffices (absent slots read [Value.zero]). *)
+    let la = Array.length a.cells and lb = Array.length b.cells in
+    let n = Stdlib.max la lb in
+    let rec go i =
+      i >= n
+      || Value.equal
+           (if i < la then a.cells.(i).value else Value.zero)
+           (if i < lb then b.cells.(i).value else Value.zero)
+         && go (i + 1)
+    in
+    go 0
+  end
+  else
+    (* Distinct keyspaces: fall back to name-based comparison; keys
+       missing on one side still compare as [Value.zero]. *)
+    let covers x y =
+      List.for_all (fun (k, v) -> Value.equal v (get y k)) (snapshot x)
+    in
+    covers a b && covers b a
 
 let copy t =
-  let fresh = create () in
-  Hashtbl.iter (fun k c -> Hashtbl.replace fresh k { value = c.value; ts = c.ts }) t;
+  let fresh = { ks = t.ks; cells = Array.make (Array.length t.cells) absent } in
+  ignore
+    (fold_present t
+       (fun id c () -> fresh.cells.(id) <- { value = c.value; ts = c.ts })
+       ());
   fresh
 
 let pp ppf t =

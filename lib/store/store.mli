@@ -4,8 +4,15 @@
     write, so [Timed_write] implements latest-writer-wins ("an RITU update
     trying to overwrite a newer version is ignored", §3.3).
 
+    Keys are interned into dense int ids through a {!Keyspace} (shared by
+    every replica of a run); cells live in a flat array indexed by id, so
+    the id-based accessors cost an array load instead of a string hash.
+    The string API is a thin wrapper and observationally unchanged.
+
     [apply] returns an {!undo} record; COMPE journals these to support
-    physical rollback of operations that have no logical inverse. *)
+    physical rollback of operations that have no logical inverse.  The
+    [_unit] variants skip the undo record (and its [Ok] box) for the
+    methods that discard it — the hot apply path. *)
 
 type key = string
 
@@ -18,9 +25,16 @@ type undo = {
 
 type t
 
-val create : ?size:int -> unit -> t
-(** [size] pre-sizes the hash table (default 64); workload drivers pass
-    the keyspace size so replicas never rehash mid-run. *)
+val create : ?size:int -> ?keyspace:Keyspace.t -> unit -> t
+(** [size] pre-sizes the cell array (default 64); workload drivers pass
+    the keyspace size so replicas never resize mid-run.  [keyspace]
+    shares an interner across stores (all replicas of a run use the one
+    in [Intf.env]); omitted, the store gets a private one. *)
+
+val keyspace : t -> Keyspace.t
+
+val intern : t -> key -> int
+(** Dense id for [key] in this store's keyspace (assigned on first use). *)
 
 val mem : t -> key -> bool
 
@@ -39,6 +53,21 @@ val apply : t -> key -> Op.t -> (undo, Op.apply_error) result
 (** Apply one operation.  [Timed_write] compares timestamps; a stale write
     is a successful no-op with [applied = false]. *)
 
+val apply_unit : t -> key -> Op.t -> (unit, Op.apply_error) result
+(** [apply] without the undo record: the success path returns a static
+    [Ok ()] and allocates only the new value's box. *)
+
+val mem_id : t -> int -> bool
+val get_id : t -> int -> Value.t
+val get_ts_id : t -> int -> Esr_clock.Gtime.t
+val set_id : t -> int -> Value.t -> unit
+val set_with_ts_id : t -> int -> Value.t -> Esr_clock.Gtime.t -> unit
+val apply_id : t -> int -> Op.t -> (undo, Op.apply_error) result
+
+val apply_id_unit : t -> int -> Op.t -> (unit, Op.apply_error) result
+(** Allocation-free apply by interned id — the propagate path of the
+    async methods. *)
+
 val rollback : t -> undo -> unit
 (** Restore the before-image recorded by [apply]. *)
 
@@ -51,7 +80,10 @@ val snapshot : t -> (key * Value.t) list
 
 val equal : t -> t -> bool
 (** Value equality over all keys (keys missing on one side compare as
-    {!Value.zero}). *)
+    {!Value.zero}).  O(keyspace) array walk when both stores share a
+    keyspace; name-based comparison otherwise. *)
 
 val copy : t -> t
+(** Fresh cells, shared keyspace. *)
+
 val pp : Format.formatter -> t -> unit

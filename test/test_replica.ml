@@ -662,6 +662,54 @@ let test_quorum_invalid_quorum_config () =
        false
      with Invalid_argument _ -> true)
 
+(* --- interned-store observational equivalence --- *)
+
+(* The interned flat store (and its growth path) must be invisible:
+   running the same workload with a 1-slot store hint — forcing repeated
+   doubling of both the keyspace and the per-site cell arrays — and a
+   comfortably oversized hint must produce identical commit counts,
+   identical per-site snapshots, and identical durable histories, for
+   every one of the seven methods. *)
+let prop_store_hint_invariance =
+  QCheck.Test.make
+    ~name:"store hint never changes observable behaviour (all 7 methods)"
+    ~count:10
+    (QCheck.make QCheck.Gen.(pair (int_range 1 1_000) (int_range 5 25)))
+    (fun (seed, n_updates) ->
+      List.for_all
+        (fun name ->
+          let run hint =
+            let h =
+              Harness.create ~config:default ~net_config:jittery ~seed
+                ~store_hint:hint ~sites:3 ~method_name:name ()
+            in
+            let engine = Harness.engine h in
+            let committed = ref 0 in
+            for i = 0 to n_updates - 1 do
+              ignore
+                (Engine.schedule_at engine
+                   ~time:(float_of_int (i + 1) *. 20.0)
+                   (fun () ->
+                     let key = Printf.sprintf "k%d" (i mod 7) in
+                     let intents =
+                       match name with
+                       | "RITU" | "QUORUM" -> [ Intf.Set (key, Value.int i) ]
+                       | _ -> [ Intf.Add (key, 1 + (i mod 3)) ]
+                     in
+                     Harness.submit_update h ~origin:(i mod 3) intents (function
+                       | Intf.Committed _ -> incr committed
+                       | Intf.Rejected _ -> ())))
+            done;
+            let settled = Harness.settle h in
+            let snaps =
+              List.init 3 (fun s -> Store.snapshot (Harness.store h ~site:s))
+            in
+            let hists = List.init 3 (fun s -> Harness.history h ~site:s) in
+            (settled, !committed, snaps, hists)
+          in
+          run 1 = run 2_048)
+        [ "ORDUP"; "COMMU"; "RITU"; "COMPE"; "2PC"; "QUORUM"; "QUASI" ])
+
 let () =
   Alcotest.run "esr_replica"
     [
@@ -758,4 +806,6 @@ let () =
             test_quasi_strict_query_reads_primary;
           Alcotest.test_case "periodic batches" `Quick test_quasi_periodic_batches;
         ] );
+      ( "interning",
+        [ QCheck_alcotest.to_alcotest prop_store_hint_invariance ] );
     ]

@@ -6,6 +6,7 @@ module Value = Esr_store.Value
 module Op = Esr_store.Op
 module Store = Esr_store.Store
 module Mvstore = Esr_store.Mvstore
+module Keyspace = Esr_store.Keyspace
 module Gtime = Esr_clock.Gtime
 
 let checkb = Alcotest.check Alcotest.bool
@@ -143,7 +144,121 @@ let prop_inverse_cancels =
               | Error _ -> false
               | Ok v2 -> Value.equal v0 v2)))
 
+(* --- Keyspace --- *)
+
+let test_keyspace_round_trip () =
+  let ks = Keyspace.create ~hint:2 () in
+  checki "empty" 0 (Keyspace.size ks);
+  checki "first id" 0 (Keyspace.intern ks "a");
+  checki "second id" 1 (Keyspace.intern ks "b");
+  checki "re-intern is stable" 0 (Keyspace.intern ks "a");
+  checki "size" 2 (Keyspace.size ks);
+  Alcotest.(check string) "name of 0" "a" (Keyspace.name ks 0);
+  Alcotest.(check string) "name of 1" "b" (Keyspace.name ks 1);
+  checki "find hit" 1 (Keyspace.find ks "b");
+  checki "find miss is -1" (-1) (Keyspace.find ks "zzz");
+  checkb "find does not intern" true (Keyspace.size ks = 2);
+  checkb "mem" true (Keyspace.mem ks "a");
+  checkb "not mem" false (Keyspace.mem ks "zzz")
+
+let test_keyspace_growth () =
+  let ks = Keyspace.create ~hint:1 () in
+  for i = 0 to 999 do
+    checki "dense ids in intern order" i
+      (Keyspace.intern ks (Printf.sprintf "key%d" i))
+  done;
+  checki "size" 1000 (Keyspace.size ks);
+  (* Every id still resolves after the doubling cascade. *)
+  for i = 0 to 999 do
+    Alcotest.(check string) "name survives growth"
+      (Printf.sprintf "key%d" i) (Keyspace.name ks i)
+  done;
+  let seen = ref 0 in
+  Keyspace.iter ks (fun _name _id -> incr seen);
+  checki "iter covers all" 1000 !seen;
+  Alcotest.check_raises "name out of range"
+    (Invalid_argument "Keyspace.name: id out of range") (fun () ->
+      ignore (Keyspace.name ks 1000))
+
 (* --- Store --- *)
+
+let test_store_id_api_round_trip () =
+  let ks = Keyspace.create () in
+  let a = Store.create ~keyspace:ks () and b = Store.create ~keyspace:ks () in
+  let id = Store.intern a "x" in
+  checki "shared keyspace, shared ids" id (Store.intern b "x");
+  Store.set_id a id (Value.int 9);
+  Alcotest.check value_t "get_id" (Value.int 9) (Store.get_id a id);
+  Alcotest.check value_t "string view agrees" (Value.int 9) (Store.get a "x");
+  checkb "mem_id" true (Store.mem_id a id);
+  checkb "b untouched" false (Store.mem_id b id);
+  Store.set_with_ts_id b id (Value.int 4) (gt 3 1);
+  checkb "ts_id round trip" true (Gtime.equal (Store.get_ts_id b id) (gt 3 1));
+  (match Store.apply_id_unit a id (Op.Incr 1) with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "apply_id_unit");
+  Alcotest.check value_t "apply_id_unit applied" (Value.int 10) (Store.get a "x");
+  checkb "apply_id_unit error surfaces" true
+    (Result.is_error (Store.apply_id_unit a id (Op.Div 3)))
+
+(* A store created tiny grows its flat cell array transparently as the
+   shared keyspace interns past it. *)
+let test_store_flat_growth () =
+  let ks = Keyspace.create ~hint:1 () in
+  let s = Store.create ~size:1 ~keyspace:ks () in
+  for i = 0 to 499 do
+    Store.set s (Printf.sprintf "k%d" i) (Value.int i)
+  done;
+  for i = 0 to 499 do
+    Alcotest.check value_t "value survives growth" (Value.int i)
+      (Store.get s (Printf.sprintf "k%d" i))
+  done;
+  checki "keys sees all" 500 (List.length (Store.keys s));
+  (* A second store on the same (now large) keyspace stays independent. *)
+  let t = Store.create ~keyspace:ks () in
+  checkb "fresh store empty" false (Store.mem t "k0");
+  Alcotest.check value_t "fresh store reads zero" Value.zero (Store.get t "k42")
+
+(* qcheck: the interned flat store is observationally a string->value
+   map — byte-for-byte the same snapshots as a plain Hashtbl model, for
+   any op sequence and any initial sizing. *)
+let prop_store_matches_hashtbl_model =
+  let keys = [| "a"; "b"; "c"; "d"; "e" |] in
+  QCheck.Test.make
+    ~name:"interned store == Hashtbl model (any ops, any hint)" ~count:300
+    (QCheck.make
+       QCheck.Gen.(
+         pair (int_range 1 64)
+           (list_size (int_range 1 40) (pair (int_range 0 4) arith_op_gen))))
+    (fun (hint, ops) ->
+      let s = Store.create ~size:hint () in
+      let model : (string, Value.t) Hashtbl.t = Hashtbl.create 8 in
+      List.iter
+        (fun (ki, op) ->
+          let key = keys.(ki) in
+          let before =
+            Option.value (Hashtbl.find_opt model key) ~default:Value.zero
+          in
+          match Op.apply_value op before with
+          | Ok v ->
+              (match Store.apply_unit s key op with
+              | Ok () -> ()
+              | Error _ -> QCheck.Test.fail_report "store errored, model ok");
+              Hashtbl.replace model key v
+          | Error _ -> (
+              match Store.apply_unit s key op with
+              | Ok () -> QCheck.Test.fail_report "store ok, model errored"
+              | Error _ -> ()))
+        ops;
+      let model_snapshot =
+        Hashtbl.fold (fun k v acc -> (k, v) :: acc) model []
+        |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+      in
+      let store_snapshot = Store.snapshot s in
+      List.length model_snapshot = List.length store_snapshot
+      && List.for_all2
+           (fun (k1, v1) (k2, v2) -> String.equal k1 k2 && Value.equal v1 v2)
+           model_snapshot store_snapshot)
 
 let test_store_missing_key_reads_zero () =
   let s = Store.create () in
@@ -324,6 +439,11 @@ let () =
   Alcotest.run "esr_store"
     [
       ("value", [ Alcotest.test_case "basics" `Quick test_value_basics ]);
+      ( "keyspace",
+        [
+          Alcotest.test_case "round trip" `Quick test_keyspace_round_trip;
+          Alcotest.test_case "growth" `Quick test_keyspace_growth;
+        ] );
       ( "op",
         [
           Alcotest.test_case "classes" `Quick test_op_classes;
@@ -349,7 +469,10 @@ let () =
             test_store_timed_write_stale_rollback_noop;
           Alcotest.test_case "equal/snapshot" `Quick test_store_equal_and_snapshot;
           Alcotest.test_case "copy independent" `Quick test_store_copy_independent;
+          Alcotest.test_case "id API round trip" `Quick test_store_id_api_round_trip;
+          Alcotest.test_case "flat growth" `Quick test_store_flat_growth;
           QCheck_alcotest.to_alcotest prop_store_rollback_reverses;
+          QCheck_alcotest.to_alcotest prop_store_matches_hashtbl_model;
         ] );
       ( "mvstore",
         [
