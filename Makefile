@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-all bench-scale trace report clean
+.PHONY: all build test bench bench-all bench-scale trace report soak clean
 
 all: build
 
@@ -40,6 +40,14 @@ report:
 	  --trace report-run.jsonl --series report-run.series.json
 	dune exec bin/esrsim.exe -- report --trace report-run.jsonl \
 	  --series report-run.series.json --html report.html --chrome report.json
+
+# E16 long soak at a reduced scale with the host-time profiler on:
+# resource-growth table on stdout, per-method artifact dumps (series
+# JSON, OpenMetrics, HTML report, esr-profile/1 dump) under soak-out/.
+# Grow the horizon with ESR_SCALE.
+soak:
+	ESR_SCALE=$(or $(ESR_SCALE),0.1) ESR_SOAK_DIR=soak-out \
+	  dune exec bin/esrsim.exe -- experiment --profile e16_soak
 
 clean:
 	dune clean

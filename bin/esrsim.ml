@@ -11,6 +11,7 @@ module Stats = Esr_util.Stats
 module Tablefmt = Esr_util.Tablefmt
 module Json = Esr_util.Json
 module Obs = Esr_obs.Obs
+module Prof = Esr_obs.Prof
 module Trace = Esr_obs.Trace
 module Metrics = Esr_obs.Metrics
 module Series = Esr_obs.Series
@@ -55,8 +56,18 @@ let experiment_cmd =
   let target =
     Arg.(value & pos 0 string "list" & info [] ~docv:"ID" ~doc:"Experiment id, 'all', 'timed', or 'list'.")
   in
-  let run domains target =
+  let exp_profile_arg =
+    Arg.(
+      value & flag
+      & info [ "profile" ]
+          ~doc:"Enable the host-time/allocation phase profiler in every \
+                harness the experiments create.  Printed tables are \
+                byte-identical either way; e16_soak additionally writes \
+                per-method profile dumps when ESR_SOAK_DIR is set.")
+  in
+  let run domains profiling target =
     set_domains domains;
+    Obs.set_default_profiling profiling;
     match target with
     | "list" ->
         print_endline "experiments:";
@@ -71,7 +82,8 @@ let experiment_cmd =
             Printf.eprintf "unknown experiment %S (try 'esrsim experiment list')\n" id;
             exit 1)
   in
-  Cmd.v (Cmd.info "experiment" ~doc) Term.(const run $ domains_arg $ target)
+  Cmd.v (Cmd.info "experiment" ~doc)
+    Term.(const run $ domains_arg $ exp_profile_arg $ target)
 
 (* --- methods --- *)
 
@@ -124,12 +136,12 @@ let theta_arg =
 let epsilon_arg =
   Arg.(value & opt int (-1) & info [ "e"; "epsilon" ] ~docv:"E" ~doc:"Per-query inconsistency limit; negative = unlimited.")
 
-let profile_arg =
+let op_profile_arg =
   let doc =
     "Operation profile: auto (match the method's restriction), additive, \
      blind-set, or mixed:FRAC (FRAC = Mul share)."
   in
-  Arg.(value & opt string "auto" & info [ "profile" ] ~docv:"P" ~doc)
+  Arg.(value & opt string "auto" & info [ "op-profile" ] ~docv:"P" ~doc)
 
 let seed_arg =
   Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Deterministic run seed.")
@@ -206,14 +218,14 @@ let prepare_scenario ~meth ~duration ~update_rate ~query_rate ~keys ~theta
       in
       Ok (spec, net_config, config)
 
-let write_trace ~file ~format ~sites (trace : Trace.t) =
+let write_trace ?(extra = []) ~file ~format ~sites (trace : Trace.t) =
   let oc = open_out file in
   Fun.protect
     ~finally:(fun () -> close_out oc)
     (fun () ->
       match format with
       | `Jsonl -> Trace.write_jsonl oc trace
-      | `Chrome -> Trace.write_chrome oc ~sites trace);
+      | `Chrome -> Trace.write_chrome ~extra oc ~sites trace);
   if Trace.dropped trace > 0 then
     Printf.eprintf
       "warning: trace ring buffer overflowed; %d oldest events dropped\n"
@@ -285,6 +297,17 @@ let series_interval_arg =
     & info [ "series-interval" ] ~docv:"MS"
         ~doc:"Virtual-time sampling cadence for --series.")
 
+let prof_file_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "profile" ] ~docv:"FILE"
+        ~doc:"Profile host wall-clock and GC allocation by phase (engine \
+              dispatch, apply, propagate, net delivery, WAL append, \
+              replay) during the run and write the esr-profile/1 JSON \
+              dump to $(docv).  A chrome-format --trace export gains a \
+              host-time track (pid 1) next to the virtual timeline.")
+
 let with_out file f =
   let oc = open_out file in
   Fun.protect ~finally:(fun () -> close_out oc) (fun () -> f oc)
@@ -350,7 +373,8 @@ let run_cmd =
   let doc = "Run one workload against one method and print the metrics." in
   let run meth sites duration update_rate query_rate keys theta epsilon profile
       seed loss latency ordering ritu_mode abort_p faults_spec trace_file
-      trace_format show_metrics metrics_file series_file series_interval =
+      trace_format show_metrics metrics_file series_file series_interval
+      prof_file =
     match
       prepare_scenario ~meth ~duration ~update_rate ~query_rate ~keys ~theta
         ~epsilon ~profile ~loss ~latency ~ordering ~ritu_mode ~abort_p
@@ -362,7 +386,8 @@ let run_cmd =
         let faults = parse_faults faults_spec in
         let obs =
           Obs.create ~tracing:(trace_file <> None)
-            ~series:(series_file <> None) ~series_interval ()
+            ~series:(series_file <> None) ~series_interval
+            ~profiling:(prof_file <> None) ()
         in
         let r =
           Scenario.run ~seed ~config ~net_config ~obs ?faults ~sites
@@ -405,7 +430,13 @@ let run_cmd =
         Tablefmt.print t;
         (match trace_file with
         | Some file ->
-            write_trace ~file ~format:trace_format ~sites obs.Obs.trace;
+            (* With profiling on, a chrome export carries the host-time
+               phase spans as a second process track. *)
+            let extra =
+              if Prof.on obs.Obs.prof then Prof.chrome_events obs.Obs.prof
+              else []
+            in
+            write_trace ~extra ~file ~format:trace_format ~sites obs.Obs.trace;
             Printf.printf "trace: %d events -> %s\n"
               (Trace.length obs.Obs.trace) file
         | None -> ());
@@ -426,6 +457,12 @@ let run_cmd =
             Printf.printf "series: %d samples -> %s\n"
               (Series.length obs.Obs.series) file
         | None -> ());
+        (match prof_file with
+        | Some file ->
+            with_out file (fun oc -> Prof.write_json oc obs.Obs.prof);
+            Printf.printf "profile: %d spans -> %s\n"
+              (Prof.span_count obs.Obs.prof) file
+        | None -> ());
         (* A schedule that leaves a site crashed or a partition standing
            cannot converge; only all-clear runs gate the exit status. *)
         let expect_convergence =
@@ -438,11 +475,11 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
       const run $ method_arg $ sites_arg $ duration_arg $ update_rate_arg
-      $ query_rate_arg $ keys_arg $ theta_arg $ epsilon_arg $ profile_arg
+      $ query_rate_arg $ keys_arg $ theta_arg $ epsilon_arg $ op_profile_arg
       $ seed_arg $ loss_arg $ latency_arg $ ordering_arg $ ritu_mode_arg
       $ abort_arg $ faults_arg $ trace_file_arg $ trace_format_arg
       $ print_metrics_arg $ metrics_file_arg $ series_file_arg
-      $ series_interval_arg)
+      $ series_interval_arg $ prof_file_arg)
 
 (* --- nemesis --- *)
 
@@ -690,7 +727,7 @@ let trace_cmd =
   Cmd.v (Cmd.info "trace" ~doc)
     Term.(
       const run $ method_arg $ sites_arg $ duration_arg $ update_rate_arg
-      $ query_rate_arg $ keys_arg $ theta_arg $ epsilon_arg $ profile_arg
+      $ query_rate_arg $ keys_arg $ theta_arg $ epsilon_arg $ op_profile_arg
       $ seed_arg $ loss_arg $ latency_arg $ ordering_arg $ ritu_mode_arg
       $ abort_arg $ output_arg $ format_arg $ limit_arg)
 
@@ -743,6 +780,15 @@ let report_cmd =
           ~doc:"esr-series/1 dump matching the trace (enables the \
                 divergence charts and profile table).")
   in
+  let profile_dump_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "profile" ] ~docv:"FILE"
+          ~doc:"esr-profile/1 dump matching the trace (from 'run \
+                --profile'); enables the host-time phase breakdown \
+                panel.")
+  in
   let label_arg =
     Arg.(
       value
@@ -764,7 +810,7 @@ let report_cmd =
           ~doc:"Also write a Chrome trace enriched with span-tree flow \
                 events (MSet propagation arrows) to $(docv).")
   in
-  let run trace_file series_file label html_file chrome_file =
+  let run trace_file series_file profile_file label html_file chrome_file =
     let records, bad = read_trace_jsonl trace_file in
     if records = [] then begin
       Printf.eprintf "report: no parseable trace records in %s\n" trace_file;
@@ -782,12 +828,22 @@ let report_cmd =
               Printf.eprintf "report: %s: %s\n" f m;
               exit 1)
     in
+    let profile =
+      match profile_file with
+      | None -> None
+      | Some f -> (
+          match Prof.dump_of_json (read_file f) with
+          | Ok d -> Some d
+          | Error m ->
+              Printf.eprintf "report: %s: %s\n" f m;
+              exit 1)
+    in
     let label =
       match label with
       | Some l -> l
       | None -> Filename.remove_extension (Filename.basename trace_file)
     in
-    let input = Report.make ~label ?series records in
+    let input = Report.make ~label ?series ?profile records in
     print_string (Report.dashboard input);
     (match html_file with
     | Some f ->
@@ -817,7 +873,8 @@ let report_cmd =
   in
   Cmd.v (Cmd.info "report" ~doc)
     Term.(
-      const run $ trace_arg $ series_arg $ label_arg $ html_arg $ chrome_arg)
+      const run $ trace_arg $ series_arg $ profile_dump_arg $ label_arg
+      $ html_arg $ chrome_arg)
 
 (* --- check --- *)
 

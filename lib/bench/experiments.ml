@@ -1214,6 +1214,184 @@ let e15_scale () =
     (if elapsed > 0.0 then float_of_int applied /. elapsed else 0.0)
     s sites n_keys
 
+(* ------------------------------------------------------------------ *)
+(* E16: long soak — log/journal growth under traffic plus a nemesis    *)
+(* ------------------------------------------------------------------ *)
+
+(* The resource observatory's long-haul run: every method faces the same
+   sustained update stream and the same seeded nemesis schedule (crash
+   and partition windows, all healed before quiescence) while the
+   harness's per-site [res/] gauges are sampled on virtual time.  The
+   table quantifies what grows without bound (durable logs, cumulative
+   WAL appends, journal enqueues) versus what drains (standing journal
+   depth), which is exactly the trade the paper's stable queues buy
+   availability with.
+
+   Printed columns are all counts on virtual time, so the timed sweep
+   byte-compares this table across domain counts, tracing and profiling
+   like every other experiment.  Per-method dumps — the esr-series/1
+   resource series, an OpenMetrics exposition, the HTML report and (when
+   profiling is on) the esr-profile/1 dump — are only written when
+   ESR_SOAK_DIR names a directory, so they never perturb stdout. *)
+let e16_soak () =
+  let module Harness = Esr_replica.Harness in
+  let module Obs = Esr_obs.Obs in
+  let module Series = Esr_obs.Series in
+  let module Trace = Esr_obs.Trace in
+  let module Prof = Esr_obs.Prof in
+  let module Report = Esr_obs.Report in
+  let module Openmetrics = Esr_obs.Openmetrics in
+  let module Metrics = Esr_obs.Metrics in
+  let module Nemesis = Esr_fault.Nemesis in
+  let module Schedule = Esr_fault.Schedule in
+  let s = !scale in
+  let sites = 4 in
+  let duration = Stdlib.max 1_200.0 (12_000.0 *. s) in
+  let update_every = 20.0 in
+  let n_updates = int_of_float (duration *. 0.8 /. update_every) in
+  let interval = duration /. 60.0 in
+  let soak_dir = Sys.getenv_opt "ESR_SOAK_DIR" in
+  (match soak_dir with
+  | Some dir when not (Sys.file_exists dir) -> Sys.mkdir dir 0o755
+  | Some _ | None -> ());
+  let profiling = Atomic.get Obs.default_profiling in
+  let schedule =
+    Nemesis.generate ~seed ~sites ~duration:(duration *. 0.7) ()
+  in
+  Printf.printf "e16 nemesis schedule (seed %d): %s\n" seed
+    (Schedule.to_spec schedule);
+  let t =
+    Tablefmt.create
+      ~title:
+        (Printf.sprintf
+           "E16: long soak at scale %g — %d sites, %.0f virtual ms of \
+            sustained updates under the seeded nemesis above; durable \
+            log / WAL / journal growth summed over sites (cumulative \
+            counters grow, standing depth drains to 0 at quiescence)"
+           s sites duration)
+      ~headers:
+        [ "Method"; "Committed"; "Log entries"; "Log KB"; "WAL appends";
+          "Journal enq"; "Journal depth"; "Replays";
+          "Log growth /1k ms"; "Converged" ]
+  in
+  let methods = [ "ORDUP"; "COMMU"; "RITU"; "COMPE"; "2PC"; "QUORUM"; "QUASI" ] in
+  let jobs =
+    List.map
+      (fun name () ->
+        let obs =
+          Obs.create ~tracing:true ~series:true ~series_interval:interval
+            ~profiling ()
+        in
+        let config =
+          { Intf.default_config with Intf.twopc_timeout = 30_000.0 }
+        in
+        let h = Harness.create ~config ~obs ~seed ~sites ~method_name:name () in
+        let engine = Harness.engine h in
+        let committed = ref 0 in
+        for i = 0 to n_updates - 1 do
+          let time = float_of_int (i + 1) *. update_every in
+          ignore
+            (Engine.schedule_at engine ~time (fun () ->
+                 let key = Printf.sprintf "k%d" (i mod 16) in
+                 let intents =
+                   match name with
+                   | "RITU" | "QUORUM" ->
+                       [ Intf.Set (key, Esr_store.Value.Int (1_000 + i)) ]
+                   | _ -> [ Intf.Add (key, 1 + (i mod 3)) ]
+                 in
+                 Harness.submit_update h ~origin:(i mod sites) intents
+                   (function
+                     | Intf.Committed _ -> incr committed
+                     | Intf.Rejected _ -> ())))
+        done;
+        Harness.inject_faults h schedule;
+        Harness.arm_series h ~until:duration;
+        let settled = Harness.settle h in
+        let res site = Intf.boxed_resources (Harness.system h) ~site in
+        let sum f =
+          List.fold_left (fun a i -> a + f (res i)) 0 (List.init sites Fun.id)
+        in
+        let replays = ref 0 in
+        Trace.iter obs.Obs.trace (fun r ->
+            match r.Trace.ev with
+            | Trace.Recovery_replay _ -> incr replays
+            | _ -> ());
+        (* Growth rate of the summed durable log over the sampled window
+           (virtual time, hence deterministic). *)
+        let series = obs.Obs.series in
+        let log_cols =
+          List.filter_map
+            (fun i ->
+              Series.column_index series
+                (Printf.sprintf "res/log_entries.s%d" i))
+            (List.init sites Fun.id)
+        in
+        let first = ref None and last = ref None in
+        Series.iter series (fun smp ->
+            if !first = None then first := Some smp;
+            last := Some smp);
+        let sum_at (smp : Series.sample) =
+          List.fold_left (fun a c -> a +. smp.Series.values.(c)) 0.0 log_cols
+        in
+        let growth =
+          match (!first, !last) with
+          | Some f, Some l when l.Series.at > f.Series.at ->
+              (sum_at l -. sum_at f) /. (l.Series.at -. f.Series.at) *. 1000.0
+          | _ -> 0.0
+        in
+        (* Dump the observability artefacts for this method, if asked. *)
+        (match soak_dir with
+        | Some dir ->
+            let out file f =
+              let oc = open_out file in
+              Fun.protect ~finally:(fun () -> close_out oc) (fun () -> f oc)
+            in
+            let base =
+              Filename.concat dir
+                (Printf.sprintf "e16_%s"
+                   (String.lowercase_ascii
+                      (String.map (function '/' -> '_' | c -> c) name)))
+            in
+            out (base ^ ".series.json") (fun oc -> Series.write_json oc series);
+            out (base ^ ".om") (fun oc ->
+                Openmetrics.write_snapshot oc (Metrics.snapshot obs.Obs.metrics));
+            if Prof.on obs.Obs.prof then
+              out (base ^ ".profile.json") (fun oc ->
+                  Prof.write_json oc obs.Obs.prof);
+            let records = ref [] in
+            Trace.iter obs.Obs.trace (fun r -> records := r :: !records);
+            let input =
+              Report.make ~label:("e16 " ^ name)
+                ~series:(Series.dump series)
+                ?profile:
+                  (if Prof.on obs.Obs.prof then Some (Prof.dump obs.Obs.prof)
+                   else None)
+                (List.rev !records)
+            in
+            out (base ^ ".html") (fun oc -> output_string oc (Report.html input))
+        | None -> ());
+        let applied = sum (fun r -> r.Intf.log_entries) in
+        ( applied,
+          [
+            name;
+            Tablefmt.cell_int !committed;
+            Tablefmt.cell_int (sum (fun r -> r.Intf.log_entries));
+            Printf.sprintf "%.1f"
+              (float_of_int (sum (fun r -> r.Intf.log_bytes)) /. 1024.0);
+            Tablefmt.cell_int (sum (fun r -> r.Intf.wal_appended));
+            Tablefmt.cell_int (sum (fun r -> r.Intf.journal_enqueued));
+            Tablefmt.cell_int (sum (fun r -> r.Intf.journal_depth));
+            Tablefmt.cell_int !replays;
+            Printf.sprintf "%.1f" growth;
+            Tablefmt.cell_bool (settled && Harness.converged h);
+          ] ))
+      methods
+  in
+  let results = par_rows jobs in
+  note_applied (List.fold_left (fun a (n, _) -> a + n) 0 results);
+  add_rows t (List.map snd results);
+  Tablefmt.print t
+
 let all =
   [
     ("e1_scalability", e1_scalability);
@@ -1232,6 +1410,7 @@ let all =
     ("e14_divergence_profile", e14_divergence_profile);
     ("a1_ordup_ordering", a1_ordup_ordering);
     ("a2_squeue_retry", a2_squeue_retry);
+    ("e16_soak", e16_soak);
     (* Last on purpose: the timed sweep samples the GC's process-wide
        top-of-heap after each experiment, so running the biggest workload
        last makes its sample the true process peak. *)

@@ -1,14 +1,16 @@
 (* Timed experiment sweep: runs every experiment once sequentially
-   (1 domain), once on the parallel pool, and once on the pool with
-   tracing enabled, records wall-clock seconds for each, verifies all
-   three outputs are byte-identical (tracing must not perturb results),
-   and writes the trajectory file BENCH_experiments.json that later PRs
-   diff against.
+   (1 domain), once on the parallel pool, once on the pool with tracing
+   enabled, and once on the pool with the host-time profiler enabled;
+   records wall-clock seconds for each, verifies all four outputs are
+   byte-identical (instrumentation must not perturb results), and writes
+   the trajectory file BENCH_experiments.json that later PRs diff
+   against.
 
-   Output schema (BENCH_experiments.json, version 4):
+   Output schema (BENCH_experiments.json, version 5):
 
      {
-       "schema": "esr-bench-experiments/4",
+       "schema": "esr-bench-experiments/5",
+       "scale": <the --scale / ESR_SCALE factor of this run>,
        "domains": { "sequential": 1, "parallel": <N>,
                     "requested": <N>, "physical_cores": <cores> },
        "experiments": [
@@ -16,10 +18,16 @@
            "sequential_s": <wall-clock, seconds>,
            "parallel_s": <wall-clock, seconds>,
            "traced_s": <wall-clock with tracing on, seconds>,
+           "profiled_s": <wall-clock with the phase profiler on, seconds>,
            "speedup": <sequential_s / parallel_s>,
            "trace_overhead": <traced_s / parallel_s>,
-           "updates_per_sec": <applied update ops / parallel_s; 0 for
-                               experiments that don't report volume>,
+           "profile_overhead": <profiled_s / parallel_s>,
+           "updates_per_sec": <applied update ops / parallel_s; omitted
+                               for experiments that don't report volume>,
+           "phases": { "apply": { "count": <spans>, "seconds": <host s>,
+                                  "alloc_bytes": <GC-allocated bytes> },
+                       ... },   -- from the profiled run, zero phases
+                                   omitted
            "peak_heap_bytes": <GC top_heap after this experiment — the
                                process peak *so far*, monotone down the
                                list; the last entry is the true peak>,
@@ -27,36 +35,44 @@
          ...
        ],
        "total": { "sequential_s": ..., "parallel_s": ..., "traced_s": ...,
-                  "speedup": ..., "trace_overhead": ... },
-       "runs": [ { "at": <unix seconds>, "domains": ..., "experiments":
-                   [...], "total": {...} }, ... ]
+                  "profiled_s": ..., "speedup": ..., "trace_overhead": ... },
+       "runs": [ { "at": <unix seconds>, "scale": ..., "domains": ...,
+                   "experiments": [...], "total": {...} }, ... ]
      }
 
-   The top-level domains/experiments/total mirror the latest run so v2/v3
-   consumers keep working; "runs" is the append-only history (oldest
-   first, capped at [max_history]).  A v3 file's runs are carried over
-   verbatim; a v2 file — one run at the top level — is absorbed as a
-   single history entry with "at": 0.  After the sweep the summary prints
-   a delta line against the previous run so a perf regression shows up in
-   the `make bench` output itself, not only in the JSON diff.  With
+   The top-level scale/domains/experiments/total mirror the latest run so
+   v2..v4 consumers keep working; "runs" is the append-only history
+   (oldest first, capped at [max_history]).  v5/v4/v3 files carry their
+   runs over verbatim (older entries simply lack the newer fields); a v2
+   file — one run at the top level — is absorbed as a single history
+   entry.  Every history entry carries a real wall-clock "at" stamp: new
+   entries are stamped at write time, and absorbed or legacy entries
+   whose "at" is missing or 0 are repaired with the file's mtime — the
+   closest available record of when that run actually happened.  After
+   the sweep the summary prints a delta line against the previous
+   *comparable* run — same --scale and same requested domain count;
+   comparing against a different tier would only measure the tier.  With
    ESR_BENCH_GATE=1 the sweep additionally *fails* (exit 4) when total
-   parallel wall-clock regresses by more than 20% against the previous
-   run, or the scale tier's updates/sec drops by more than 20% — CI runs
-   the sweep twice into a scratch file so the gate compares like with
-   like on the same machine.
+   parallel wall-clock regresses by more than 20% against that
+   comparable run, or any experiment's updates/sec drops by more than
+   20% — CI runs the sweep twice into a scratch file so the gate
+   compares like with like on the same machine.
 *)
 
 module Tablefmt = Esr_util.Tablefmt
 module Json = Esr_util.Json
 module Pool = Esr_exec.Pool
 module Obs = Esr_obs.Obs
+module Prof = Esr_obs.Prof
 
 type sample = {
   name : string;
   sequential_s : float;
   parallel_s : float;
   traced_s : float;
+  profiled_s : float;
   updates_per_sec : float;
+  phases : (string * Prof.agg) list;
   peak_heap_bytes : float;
   identical : bool;
 }
@@ -96,7 +112,7 @@ let speedup ~seq ~par = if par > 0.0 then seq /. par else 0.0
 
 let max_history = 25
 
-(* --- run history (schema v3) --- *)
+(* --- run history --- *)
 
 (* One run rendered as a Json value, shared by the top-level mirror and
    the history entry. *)
@@ -104,19 +120,39 @@ let run_json ?at ~par_domains samples =
   let tot_seq = List.fold_left (fun a s -> a +. s.sequential_s) 0.0 samples in
   let tot_par = List.fold_left (fun a s -> a +. s.parallel_s) 0.0 samples in
   let tot_tr = List.fold_left (fun a s -> a +. s.traced_s) 0.0 samples in
+  let tot_pr = List.fold_left (fun a s -> a +. s.profiled_s) 0.0 samples in
   let experiment s =
+    let phase (name, (a : Prof.agg)) =
+      ( name,
+        Json.Obj
+          [
+            ("count", Json.Num (float_of_int a.Prof.count));
+            ("seconds", Json.Num a.Prof.seconds);
+            ("alloc_bytes", Json.Num a.Prof.alloc_bytes);
+          ] )
+    in
     Json.Obj
-      [
-        ("name", Json.Str s.name);
-        ("sequential_s", Json.Num s.sequential_s);
-        ("parallel_s", Json.Num s.parallel_s);
-        ("traced_s", Json.Num s.traced_s);
-        ("speedup", Json.Num (speedup ~seq:s.sequential_s ~par:s.parallel_s));
-        ("trace_overhead", Json.Num (speedup ~seq:s.traced_s ~par:s.parallel_s));
-        ("updates_per_sec", Json.Num s.updates_per_sec);
-        ("peak_heap_bytes", Json.Num s.peak_heap_bytes);
-        ("identical_output", Json.Bool s.identical);
-      ]
+      ([
+         ("name", Json.Str s.name);
+         ("sequential_s", Json.Num s.sequential_s);
+         ("parallel_s", Json.Num s.parallel_s);
+         ("traced_s", Json.Num s.traced_s);
+         ("profiled_s", Json.Num s.profiled_s);
+         ("speedup", Json.Num (speedup ~seq:s.sequential_s ~par:s.parallel_s));
+         ("trace_overhead", Json.Num (speedup ~seq:s.traced_s ~par:s.parallel_s));
+         ("profile_overhead", Json.Num (speedup ~seq:s.profiled_s ~par:s.parallel_s));
+       ]
+      (* Only experiments that measure volume carry throughput: a 0 here
+         used to mean "unmeasured" but read as a measurement of zero;
+         omit the field instead. *)
+      @ (if s.updates_per_sec > 0.0 then
+           [ ("updates_per_sec", Json.Num s.updates_per_sec) ]
+         else [])
+      @ [
+          ("phases", Json.Obj (List.map phase s.phases));
+          ("peak_heap_bytes", Json.Num s.peak_heap_bytes);
+          ("identical_output", Json.Bool s.identical);
+        ])
   in
   let total =
     Json.Obj
@@ -124,12 +160,14 @@ let run_json ?at ~par_domains samples =
         ("sequential_s", Json.Num tot_seq);
         ("parallel_s", Json.Num tot_par);
         ("traced_s", Json.Num tot_tr);
+        ("profiled_s", Json.Num tot_pr);
         ("speedup", Json.Num (speedup ~seq:tot_seq ~par:tot_par));
         ("trace_overhead", Json.Num (speedup ~seq:tot_tr ~par:tot_par));
       ]
   in
   let fields =
     [
+      ("scale", Json.Num !Experiments.scale);
       ( "domains",
         Json.Obj
           [ ("sequential", Json.Num 1.0);
@@ -151,11 +189,16 @@ let run_json ?at ~par_domains samples =
   | None -> Json.Obj fields
 
 (* Absorb whatever trajectory file is already on disk into a history
-   list (oldest first).  v4 and v3 files carry their runs over verbatim
-   (a v3 run simply lacks the throughput fields); a v2 file — one run at
-   the top level — becomes a single entry stamped "at": 0; unreadable or
-   foreign files are treated as no history rather than an error, since
-   the bench must still run on a fresh checkout. *)
+   list (oldest first).  v5, v4 and v3 files carry their runs over
+   verbatim (older runs simply lack the newer fields); a v2 file — one
+   run at the top level — becomes a single entry; unreadable or foreign
+   files are treated as no history rather than an error, since the bench
+   must still run on a fresh checkout.
+
+   Every returned entry carries a real wall-clock "at": entries whose
+   stamp is missing or 0 (the old v2-absorption placeholder) are
+   repaired with the file's mtime, the closest surviving record of when
+   that run actually happened. *)
 let read_history path =
   if not (Sys.file_exists path) then []
   else
@@ -163,21 +206,59 @@ let read_history path =
     let len = in_channel_length ic in
     let text = really_input_string ic len in
     close_in ic;
+    let mtime = (Unix.stat path).Unix.st_mtime in
+    let repair_at entry =
+      match entry with
+      | Json.Obj fields -> (
+          match Option.bind (Json.member "at" entry) Json.to_float with
+          | Some t when t > 0.0 -> entry
+          | Some _ | None ->
+              Json.Obj
+                (("at", Json.Num mtime)
+                :: List.filter (fun (k, _) -> k <> "at") fields))
+      | _ -> entry
+    in
     match Json.parse text with
     | Error _ -> []
     | Ok doc -> (
         match Option.bind (Json.member "schema" doc) Json.to_string with
-        | Some "esr-bench-experiments/4" | Some "esr-bench-experiments/3" ->
-            Option.value ~default:[]
-              (Option.bind (Json.member "runs" doc) Json.to_list)
+        | Some "esr-bench-experiments/5" | Some "esr-bench-experiments/4"
+        | Some "esr-bench-experiments/3" ->
+            List.map repair_at
+              (Option.value ~default:[]
+                 (Option.bind (Json.member "runs" doc) Json.to_list))
         | Some "esr-bench-experiments/2" ->
             let keep k = Option.map (fun v -> (k, v)) (Json.member k doc) in
             [
               Json.Obj
-                (("at", Json.Num 0.0)
+                (("at", Json.Num mtime)
                 :: List.filter_map keep [ "domains"; "experiments"; "total" ]);
             ]
         | _ -> [])
+
+(* Satellite of the regression gate: a prior run is only comparable when
+   it was recorded at the same --scale and the same requested domain
+   count — a 2% smoke baseline must never gate a full-scale run (or vice
+   versa), and a 1-domain run must never gate an 8-domain one.  Entries
+   predating v5 carry no scale and never match. *)
+let comparable ~scale ~requested entry =
+  let scale_of =
+    Option.bind (Json.member "scale" entry) Json.to_float
+  in
+  let requested_of =
+    Option.bind (Json.member "domains" entry) (fun d ->
+        Option.bind (Json.member "requested" d) Json.to_float)
+  in
+  match (scale_of, requested_of) with
+  | Some s, Some r ->
+      Float.abs (s -. scale) < 1e-9 && int_of_float r = requested
+  | _ -> false
+
+(* Newest comparable entry, if any (history is oldest first). *)
+let last_comparable ~scale ~requested history =
+  List.fold_left
+    (fun acc e -> if comparable ~scale ~requested e then Some e else acc)
+    None history
 
 (* Per-experiment (parallel_s, traced_s, updates_per_sec) of a history
    entry, for deltas; a v3 entry has no throughput field and reads 0. *)
@@ -282,7 +363,7 @@ let write_json ~path ~par_domains ~history samples =
   let oc = open_out path in
   let p fmt = Printf.fprintf oc fmt in
   p "{\n";
-  p "  \"schema\": \"esr-bench-experiments/4\",\n";
+  p "  \"schema\": \"esr-bench-experiments/5\",\n";
   (match latest with
   | Json.Obj fields ->
       List.iter
@@ -336,6 +417,27 @@ let run_timed ?path () =
             (fun () -> timed_captured f)
         in
         ignore (Experiments.take_applied ());
+        (* Fourth run: the host-time phase profiler on in every harness.
+           Same byte-compare discipline; the per-phase totals land in the
+           JSON as this experiment's wall-clock/allocation breakdown.
+           [reset_totals] scopes the process-wide aggregation to this
+           experiment (worker-domain harnesses included — the pool joins
+           its workers before [timed_captured] returns). *)
+        Obs.set_default_profiling true;
+        Prof.reset_totals ();
+        let profiled_s, out_profiled =
+          Fun.protect
+            ~finally:(fun () -> Obs.set_default_profiling false)
+            (fun () -> timed_captured f)
+        in
+        let phases =
+          List.filter_map
+            (fun (p, (a : Prof.agg)) ->
+              if a.Prof.count > 0 then Some (Prof.phase_name p, a) else None)
+            (Prof.totals ())
+        in
+        Prof.reset_totals ();
+        ignore (Experiments.take_applied ());
         (* Process top-of-heap so far; monotone over the sweep, so the
            last experiment's sample is the whole sweep's peak. *)
         let peak_heap_bytes =
@@ -343,11 +445,13 @@ let run_timed ?path () =
             ((Gc.quick_stat ()).Gc.top_heap_words * (Sys.word_size / 8))
         in
         let identical =
-          String.equal out_seq out_par && String.equal out_par out_traced
+          String.equal out_seq out_par
+          && String.equal out_par out_traced
+          && String.equal out_par out_profiled
         in
         {
-          name; sequential_s; parallel_s; traced_s; updates_per_sec;
-          peak_heap_bytes; identical;
+          name; sequential_s; parallel_s; traced_s; profiled_s;
+          updates_per_sec; phases; peak_heap_bytes; identical;
         })
       Experiments.all
   in
@@ -356,8 +460,9 @@ let run_timed ?path () =
     Tablefmt.create
       ~title:
         (Printf.sprintf
-           "Timed experiment sweep: wall-clock, 1 domain vs %d domains vs \
-            %d domains traced (output byte-compared between all runs)"
+           "Timed experiment sweep: wall-clock, 1 domain vs %d domains, \
+            plus traced and profiled runs on %d domains (output \
+            byte-compared between all four runs)"
            par_domains par_domains)
       ~headers:
         [
@@ -365,8 +470,10 @@ let run_timed ?path () =
           "Sequential (s)";
           "Parallel (s)";
           "Traced (s)";
+          "Profiled (s)";
           "Speedup";
           "Trace cost";
+          "Prof cost";
           "Upd/s";
           "Peak heap (MB)";
           "Identical output";
@@ -380,8 +487,10 @@ let run_timed ?path () =
           Printf.sprintf "%.3f" s.sequential_s;
           Printf.sprintf "%.3f" s.parallel_s;
           Printf.sprintf "%.3f" s.traced_s;
+          Printf.sprintf "%.3f" s.profiled_s;
           Printf.sprintf "%.2fx" (speedup ~seq:s.sequential_s ~par:s.parallel_s);
           Printf.sprintf "%.2fx" (speedup ~seq:s.traced_s ~par:s.parallel_s);
+          Printf.sprintf "%.2fx" (speedup ~seq:s.profiled_s ~par:s.parallel_s);
           (if s.updates_per_sec > 0.0 then
              Printf.sprintf "%.0f" s.updates_per_sec
            else "-");
@@ -393,14 +502,17 @@ let run_timed ?path () =
   let tot_seq = List.fold_left (fun a s -> a +. s.sequential_s) 0.0 samples in
   let tot_par = List.fold_left (fun a s -> a +. s.parallel_s) 0.0 samples in
   let tot_tr = List.fold_left (fun a s -> a +. s.traced_s) 0.0 samples in
+  let tot_pr = List.fold_left (fun a s -> a +. s.profiled_s) 0.0 samples in
   Tablefmt.add_row t
     [
       "total";
       Printf.sprintf "%.3f" tot_seq;
       Printf.sprintf "%.3f" tot_par;
       Printf.sprintf "%.3f" tot_tr;
+      Printf.sprintf "%.3f" tot_pr;
       Printf.sprintf "%.2fx" (speedup ~seq:tot_seq ~par:tot_par);
       Printf.sprintf "%.2fx" (speedup ~seq:tot_tr ~par:tot_par);
+      Printf.sprintf "%.2fx" (speedup ~seq:tot_pr ~par:tot_par);
       "-";
       (match List.rev samples with
       | last :: _ -> Printf.sprintf "%.1f" (last.peak_heap_bytes /. (1024.0 *. 1024.0))
@@ -409,16 +521,24 @@ let run_timed ?path () =
     ];
   Tablefmt.print t;
   let history = read_history path in
-  (match List.rev history with
-  | previous :: _ -> print_delta ~previous samples
-  | [] -> ());
+  let previous =
+    last_comparable ~scale:!Experiments.scale ~requested:par_domains history
+  in
+  (match previous with
+  | Some previous -> print_delta ~previous samples
+  | None ->
+      if history <> [] then
+        Printf.printf
+          "no comparable previous run (same --scale and domain count); \
+           delta and gate skipped\n");
   write_json ~path ~par_domains ~history samples;
   Printf.printf "wrote %s (%d runs in history)\n" path
     (Stdlib.min max_history (List.length history + 1));
   if not (List.for_all (fun s -> s.identical) samples) then begin
-    prerr_endline "timed sweep: parallel/traced output diverged from sequential";
+    prerr_endline
+      "timed sweep: parallel/traced/profiled output diverged from sequential";
     exit 3
   end;
-  match (Sys.getenv_opt "ESR_BENCH_GATE", List.rev history) with
-  | Some ("1" | "true"), previous :: _ -> gate_regression ~previous samples
+  match (Sys.getenv_opt "ESR_BENCH_GATE", previous) with
+  | Some ("1" | "true"), Some previous -> gate_regression ~previous samples
   | _ -> ()

@@ -9,6 +9,12 @@ let of_actions actions = List.rev actions
 let empty = []
 let append t action = action :: t
 let length = List.length
+
+(* Per-action retained-byte model: one list cons (3 words) + the action
+   record (4 words) + a boxed operation payload (~3 words); key names are
+   interned run-wide and not charged here. *)
+let bytes_per_action = 10 * (Sys.word_size / 8)
+let approx_bytes t = List.length t * bytes_per_action
 let actions t = List.rev t
 let nth t i = List.nth (actions t) i
 

@@ -22,6 +22,13 @@ val of_string : string -> t
     malformed token. *)
 
 val length : t -> int
+
+val approx_bytes : t -> int
+(** Modelled retained bytes of the log: [length] times a fixed per-action
+    cost (list cons + action record + boxed operation payload, ~10 words),
+    excluding the interned key names shared with the run-wide keyspace.
+    Resource probes chart its growth; it is an estimate, not a census. *)
+
 val actions : t -> Et.action list
 (** In execution order. *)
 

@@ -1,31 +1,51 @@
-(** Per-run observability bundle: trace sink + metrics registry + series.
+(** Per-run observability bundle: trace sink + metrics registry + series
+    + host-time profiler.
 
     Every {!Esr_replica.Harness} owns exactly one [t]; the instrumented
     layers (engine counters, network, stable queues, replica methods)
     reach it through [Intf.env].  Metrics are always on — an increment
-    costs what the ad-hoc mutable counters it replaced cost.  Tracing and
-    the time series default to off and are zero-cost then (see {!Trace},
-    {!Series}); the series samples the metrics registry plus whatever
-    derived probes the layers above install.
+    costs what the ad-hoc mutable counters it replaced cost.  Tracing,
+    the time series and the profiler default to off and are zero-cost
+    then (see {!Trace}, {!Series}, {!Prof}); the series samples the
+    metrics registry plus whatever derived probes the layers above
+    install.
 
-    [set_default_tracing] flips the default for harnesses that do not get
-    an explicit [t] — the timed bench sweep uses it to measure the
-    tracing-on overhead of whole experiments without threading a sink
-    through every call site.  It is an [Atomic] because the bench pool
-    runs experiment jobs on worker domains. *)
+    [set_default_tracing] / [set_default_profiling] flip the defaults for
+    harnesses that do not get an explicit [t] — the timed bench sweep
+    uses them to measure the tracing-on and profiling-on overhead of
+    whole experiments without threading a sink through every call site.
+    They are [Atomic]s because the bench pool runs experiment jobs on
+    worker domains. *)
 
-type t = { trace : Trace.t; metrics : Metrics.t; series : Series.t }
+type t = {
+  trace : Trace.t;
+  metrics : Metrics.t;
+  series : Series.t;
+  prof : Prof.t;
+}
 
 let create ?(tracing = false) ?trace_capacity ?(series = false) ?series_interval
-    ?series_capacity () =
+    ?series_capacity ?(profiling = false) ?prof_span_capacity () =
   let metrics = Metrics.create () in
   let series =
     Series.make ?interval:series_interval ?capacity:series_capacity ~enabled:series ()
   in
   Series.bind_registry series metrics;
-  { trace = Trace.make ?capacity:trace_capacity ~enabled:tracing (); metrics; series }
+  {
+    trace = Trace.make ?capacity:trace_capacity ~enabled:tracing ();
+    metrics;
+    series;
+    prof = Prof.make ?span_capacity:prof_span_capacity ~enabled:profiling ();
+  }
 
 let default_tracing = Atomic.make false
 let set_default_tracing b = Atomic.set default_tracing b
 
-let default () = create ~tracing:(Atomic.get default_tracing) ()
+let default_profiling = Atomic.make false
+let set_default_profiling b = Atomic.set default_profiling b
+
+let default () =
+  create
+    ~tracing:(Atomic.get default_tracing)
+    ~profiling:(Atomic.get default_profiling)
+    ()

@@ -13,9 +13,11 @@ type input = {
   label : string;
   records : Trace.record list;
   series : Series.dump option;
+  profile : Prof.dump option;
 }
 
-let make ?(label = "run") ?series records = { label; records; series }
+let make ?(label = "run") ?series ?profile records =
+  { label; records; series; profile }
 
 let sites_of records =
   let open Trace in
@@ -195,6 +197,119 @@ let series_table input =
         Some t
       end
 
+(* {2 Resources panel} *)
+
+(* The harness registers one [res/<metric>.sN] gauge per site; sum them
+   per metric so the panel charts system-wide footprint.  Returns the
+   metric names (registration order) and synthesized samples whose
+   [values.(i)] is metric [i]'s total. *)
+let res_totals (d : Series.dump) =
+  let metrics = ref [] and index = Hashtbl.create 16 in
+  let groups = Array.make (Array.length d.d_columns) (-1) in
+  Array.iteri
+    (fun i c ->
+      if String.length c > 4 && String.sub c 0 4 = "res/" then begin
+        let short = String.sub c 4 (String.length c - 4) in
+        let metric =
+          match String.rindex_opt short '.' with
+          | Some dot
+            when dot + 2 <= String.length short && short.[dot + 1] = 's' ->
+              String.sub short 0 dot
+          | _ -> short
+        in
+        let g =
+          match Hashtbl.find_opt index metric with
+          | Some g -> g
+          | None ->
+              let g = Hashtbl.length index in
+              Hashtbl.add index metric g;
+              metrics := metric :: !metrics;
+              g
+        in
+        groups.(i) <- g
+      end)
+    d.d_columns;
+  let metrics = List.rev !metrics in
+  let n = List.length metrics in
+  if n = 0 then ([], [])
+  else
+    ( metrics,
+      List.map
+        (fun (s : Series.sample) ->
+          let values = Array.make n 0.0 in
+          Array.iteri
+            (fun i g ->
+              if g >= 0 && i < Array.length s.Series.values then
+                values.(g) <- values.(g) +. s.Series.values.(i))
+            groups;
+          { Series.at = s.Series.at; values })
+        d.d_samples )
+
+(* Start/end/growth-rate annotation per resource, system-wide.  The rate
+   is per 1000 virtual ms, taken over the sampled window — for the
+   monotone series (logs, cumulative journal appends) this is the
+   standing growth the soak experiment quantifies. *)
+let resources_table input =
+  match input.series with
+  | None -> None
+  | Some d -> (
+      match res_totals d with
+      | [], _ | _, ([] | [ _ ]) -> None
+      | metrics, samples ->
+          let first = List.hd samples in
+          let last = List.nth samples (List.length samples - 1) in
+          let dt = last.Series.at -. first.Series.at in
+          let t =
+            Tablefmt.create ~title:"Resource growth (summed over sites)"
+              ~headers:[ "resource"; "start"; "end"; "delta"; "per 1k ms" ]
+          in
+          List.iteri
+            (fun i metric ->
+              let v0 = first.Series.values.(i)
+              and v1 = last.Series.values.(i) in
+              let delta = v1 -. v0 in
+              let rate = if dt > 0.0 then delta /. dt *. 1000.0 else 0.0 in
+              Tablefmt.add_row t [ metric; f2 v0; f2 v1; f2 delta; f2 rate ])
+            metrics;
+          Some t)
+
+(* {2 Profile panel} *)
+
+let profile_table input =
+  match input.profile with
+  | None -> None
+  | Some (p : Prof.dump) ->
+      let total_s =
+        List.fold_left (fun acc (_, a) -> acc +. a.Prof.seconds) 0.0 p.Prof.d_phases
+      in
+      if total_s <= 0.0 then None
+      else begin
+        let t =
+          Tablefmt.create ~title:"Host-time phase breakdown"
+            ~headers:[ "phase"; "spans"; "total ms"; "mean us"; "alloc MB"; "share" ]
+        in
+        List.iter
+          (fun (phase, (a : Prof.agg)) ->
+            if a.Prof.count > 0 then
+              Tablefmt.add_row t
+                [
+                  Prof.phase_name phase;
+                  string_of_int a.Prof.count;
+                  f2 (a.Prof.seconds *. 1e3);
+                  f2 (a.Prof.seconds /. float_of_int a.Prof.count *. 1e6);
+                  f2 (a.Prof.alloc_bytes /. 1048576.0);
+                  Printf.sprintf "%.1f%%" (a.Prof.seconds /. total_s *. 100.0);
+                ])
+          p.Prof.d_phases;
+        if p.Prof.d_spans_dropped > 0 then
+          Tablefmt.add_row t
+            [
+              Printf.sprintf "(%d spans dropped)" p.Prof.d_spans_dropped;
+              ""; ""; ""; ""; "";
+            ];
+        Some t
+      end
+
 let slowest_table spans =
   let committed =
     List.filter_map
@@ -244,6 +359,16 @@ let dashboard input =
       Buffer.add_string b (Tablefmt.render t)
   | None -> ());
   (match series_table input with
+  | Some t ->
+      Buffer.add_char b '\n';
+      Buffer.add_string b (Tablefmt.render t)
+  | None -> ());
+  (match resources_table input with
+  | Some t ->
+      Buffer.add_char b '\n';
+      Buffer.add_string b (Tablefmt.render t)
+  | None -> ());
+  (match profile_table input with
   | Some t ->
       Buffer.add_char b '\n';
       Buffer.add_string b (Tablefmt.render t)
@@ -391,10 +516,46 @@ let html input =
         out "%s"
           (svg_chart ~title:"inconsistency charged vs. limit" ~windows
              ~samples:d.d_samples budget)
-      end
+      end;
+      (match res_totals d with
+      | [], _ | _, ([] | [ _ ]) -> ()
+      | metrics, samples ->
+          out "<h2>Resources</h2>\n";
+          let first = List.hd samples in
+          let last = List.nth samples (List.length samples - 1) in
+          let dt = last.Series.at -. first.Series.at in
+          let indexed = List.mapi (fun i m -> (i, m)) metrics in
+          let pick names = List.filter (fun (_, m) -> List.mem m names) indexed in
+          let growth = pick [ "log_entries"; "wal_appended"; "journal_enqueued" ] in
+          let standing = pick [ "wal_entries"; "journal_depth" ] in
+          if growth <> [] then
+            out "%s"
+              (svg_chart ~title:"log / journal growth (summed over sites)"
+                 ~windows ~samples growth);
+          if standing <> [] then
+            out "%s"
+              (svg_chart ~title:"standing journal depth (summed over sites)"
+                 ~windows ~samples standing);
+          (* Growth-rate annotations: the per-1k-ms slope of each series
+             over the sampled window. *)
+          out "<p>";
+          List.iteri
+            (fun i metric ->
+              let delta = last.Series.values.(i) -. first.Series.values.(i) in
+              let rate = if dt > 0.0 then delta /. dt *. 1000.0 else 0.0 in
+              out "%s: %+.1f (%.2f/1k ms)%s" (html_escape metric) delta rate
+                (if i = List.length metrics - 1 then "" else " &middot; "))
+            metrics;
+          out "</p>\n")
   | _ -> out "<p>No series dump supplied; charts omitted.</p>\n");
+  (match profile_table input with
+  | Some t ->
+      out "<h2>Host-time profile</h2>\n";
+      out "%s" (html_table t)
+  | None -> ());
   (match faults_table input with Some t -> out "%s" (html_table t) | None -> ());
   (match series_table input with Some t -> out "%s" (html_table t) | None -> ());
+  (match resources_table input with Some t -> out "%s" (html_table t) | None -> ());
   (match slowest_table spans with Some t -> out "%s" (html_table t) | None -> ());
   out "<h2>Span accounting</h2><pre>commit events: %d\ncommitted span trees: %d\ncomplete: %s\norphan msets: %d\nretransmitted legs: %d</pre>\n"
     spans.Spans.n_commit_events (Spans.n_committed spans)

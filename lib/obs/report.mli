@@ -11,9 +11,15 @@ type input = {
   label : string;
   records : Trace.record list;
   series : Series.dump option;
+  profile : Prof.dump option;
 }
 
-val make : ?label:string -> ?series:Series.dump -> Trace.record list -> input
+val make :
+  ?label:string ->
+  ?series:Series.dump ->
+  ?profile:Prof.dump ->
+  Trace.record list ->
+  input
 
 val sites_of : Trace.record list -> int
 (** Largest site id referenced, plus one. *)
@@ -23,7 +29,10 @@ val fault_windows : Trace.record list -> (float * float) list
 
 val dashboard : input -> string
 (** Fixed-width tables: run summary with span accounting and critical-path
-    means, fault timeline, downsampled divergence profile, slowest spans. *)
+    means, fault timeline, downsampled divergence profile, resource growth
+    (from [res/] series columns, with per-1k-ms rate annotations),
+    host-time phase breakdown (when a profile dump is supplied), slowest
+    spans. *)
 
 val html : input -> string
 (** One self-contained page (inline CSS + SVG, no external assets). *)

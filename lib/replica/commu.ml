@@ -24,6 +24,7 @@ module Lock_counter = Esr_cc.Lock_counter
 module Engine = Esr_sim.Engine
 module Squeue = Esr_squeue.Squeue
 module Trace = Esr_obs.Trace
+module Prof = Esr_obs.Prof
 
 (* Ops carry keys pre-interned at the origin ({!Intf.iop}); the string
    name rides along for the lock counters and the durable log. *)
@@ -99,7 +100,7 @@ let wake_updates site =
   site.parked_updates <- [];
   List.iter (fun p -> p.resume ()) waiting
 
-let apply_mset t site mset =
+let apply_mset_inner t site mset =
   let trace = t.env.Intf.obs.Esr_obs.Obs.trace in
   if Trace.on trace then
     Trace.emit trace ~time:(Engine.now t.env.engine)
@@ -115,6 +116,16 @@ let apply_mset t site mset =
       | Error _ -> invalid_arg "COMMU: commutative op failed to apply");
       log_action site ~et:mset.et ~key i.Intf.op)
     mset.ops
+
+let apply_mset t site mset =
+  let prof = t.env.Intf.obs.Esr_obs.Obs.prof in
+  if Prof.on prof then begin
+    let t0 = Prof.start prof in
+    let a0 = Prof.alloc0 prof in
+    apply_mset_inner t site mset;
+    Prof.record prof ~site:site.id Prof.Apply ~t0 ~a0
+  end
+  else apply_mset_inner t site mset
 
 let charges_of ops =
   List.map (fun (i : Intf.iop) -> (i.Intf.key, op_weight i.Intf.op)) ops
@@ -282,7 +293,14 @@ let submit_update t ~origin intents k =
             if t.env.Intf.sites > 1 then begin
               Hashtbl.replace t.inflight et
                 { charges; waiting_acks = t.env.Intf.sites - 1 };
-              Squeue.broadcast t.fabric ~src:origin (Apply mset)
+              let prof = t.env.Intf.obs.Esr_obs.Obs.prof in
+              if Prof.on prof then begin
+                let t0 = Prof.start prof in
+                let a0 = Prof.alloc0 prof in
+                Squeue.broadcast t.fabric ~src:origin (Apply mset);
+                Prof.record prof ~site:origin Prof.Propagate ~t0 ~a0
+              end
+              else Squeue.broadcast t.fabric ~src:origin (Apply mset)
             end
             else complete_at site charges;
             (* The update ET commits locally and propagates asynchronously. *)
@@ -480,3 +498,16 @@ let stats t =
     ("update_waits", float_of_int t.n_update_waits);
     ("charged_units", float_of_int t.n_charged_units);
   ]
+
+(* COMMU applies on receipt, so it keeps no receipt journal: the durable
+   log plus the completion protocol is its whole recovery story. *)
+let resources t ~site:site_id =
+  let site = t.sites.(site_id) in
+  {
+    Intf.no_resources with
+    Intf.log_entries = Hist.length site.hist;
+    log_bytes = Hist.approx_bytes site.hist;
+    journal_depth = Squeue.journal_depth t.fabric ~site:site_id;
+    journal_enqueued = Squeue.journaled t.fabric ~site:site_id;
+    store_words = Store.live_words site.store;
+  }

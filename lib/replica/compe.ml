@@ -36,6 +36,7 @@ module Engine = Esr_sim.Engine
 module Squeue = Esr_squeue.Squeue
 module Prng = Esr_util.Prng
 module Trace = Esr_obs.Trace
+module Prof = Esr_obs.Prof
 
 type mset = {
   et : Et.id;
@@ -369,7 +370,7 @@ and remove_first key = function
   | [] -> []
   | head :: rest -> if String.equal head key then rest else head :: remove_first key rest
 
-let execute t site mset =
+let execute_inner t site mset =
   Recovery.Wal.consume t.wal ~site:site.id ~key:mset.et;
   match Hashtbl.find_opt site.early mset.et with
   | Some false ->
@@ -403,6 +404,16 @@ let execute t site mset =
           Hashtbl.remove site.early mset.et;
           process_decision t site mset.et ~commit:true
       | Some false | None -> ())
+
+let execute t site mset =
+  let prof = t.env.Intf.obs.Esr_obs.Obs.prof in
+  if Prof.on prof then begin
+    let t0 = Prof.start prof in
+    let a0 = Prof.alloc0 prof in
+    execute_inner t site mset;
+    Prof.record prof ~site:site.id Prof.Apply ~t0 ~a0
+  end
+  else execute_inner t site mset
 
 let rec drain t site =
   match Hashtbl.find_opt site.buffer (site.last_exec + 1) with
@@ -481,7 +492,9 @@ let create (env : Intf.env) =
                });
          fabric;
          outcomes = Hashtbl.create 32;
-         wal = Recovery.Wal.create ~sites:env.Intf.sites;
+         wal =
+           Recovery.Wal.create ~prof:env.Intf.obs.Esr_obs.Obs.prof
+             ~sites:env.Intf.sites ();
          decisions = Hashtbl.create 32;
          deferred_local = [];
          undecided = 0;
@@ -523,7 +536,14 @@ let launch_step t ~origin ~saga ops ~on_decision =
     Trace.emit trace ~time:(Engine.now t.env.engine)
       (Trace.Mset_enqueued { et; origin; n_ops = List.length ops });
   t.undecided <- t.undecided + 1;
-  Squeue.broadcast t.fabric ~src:origin (Provisional mset);
+  let prof = t.env.Intf.obs.Esr_obs.Obs.prof in
+  if Prof.on prof then begin
+    let t0 = Prof.start prof in
+    let a0 = Prof.alloc0 prof in
+    Squeue.broadcast t.fabric ~src:origin (Provisional mset);
+    Prof.record prof ~site:origin Prof.Propagate ~t0 ~a0
+  end
+  else Squeue.broadcast t.fabric ~src:origin (Provisional mset);
   receive t ~site:origin (Provisional mset);
   let config = t.env.Intf.config in
   let d_apply ~commit =
@@ -862,3 +882,15 @@ let stats t =
     ("saga_aborts", float_of_int t.n_saga_aborts);
     ("revokes", float_of_int t.n_revokes);
   ]
+
+let resources t ~site:site_id =
+  let site = t.sites.(site_id) in
+  {
+    Intf.log_entries = Hist.length site.hist;
+    log_bytes = Hist.approx_bytes site.hist;
+    wal_entries = Recovery.Wal.size t.wal ~site:site_id;
+    wal_appended = Recovery.Wal.appended t.wal ~site:site_id;
+    journal_depth = Squeue.journal_depth t.fabric ~site:site_id;
+    journal_enqueued = Squeue.journaled t.fabric ~site:site_id;
+    store_words = Store.live_words site.store;
+  }

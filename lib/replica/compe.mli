@@ -55,3 +55,7 @@ val mvstore : t -> site:int -> Esr_store.Mvstore.t option
 val history : t -> site:int -> Esr_core.Hist.t
 val converged : t -> bool
 val stats : t -> (string * float) list
+
+val resources : t -> site:int -> Intf.resources
+(** Per-site durable/volatile footprint, including the provisional-MSet
+    receipt journal (the WAL fields). *)

@@ -49,6 +49,7 @@ let create ?(config = Intf.default_config) ?net_config ?(seed = 42)
   let net_prng = Prng.split prng in
   let net = Net.create ?config:net_config ~obs engine ~sites ~prng:net_prng in
   let env = Intf.make_env ~config ?store_hint ~obs ~engine ~net ~prng () in
+  Engine.set_prof engine obs.Obs.prof;
   let m = obs.Obs.metrics in
   let g name f = Metrics.gauge_fn m ~group:"engine" name f in
   g "scheduled" (fun () -> float_of_int (Engine.scheduled engine));
@@ -84,6 +85,24 @@ let create ?(config = Intf.default_config) ?net_config ?(seed = 42)
       eps_limit = ref 0.0;
     }
   in
+  (* Per-site resource probes (group ["res"]): pure reads of each
+     replica's durable/volatile footprint, evaluated only at snapshot
+     time.  Through the series registry binding they become [res/...]
+     columns, which is what the soak experiment and the report's
+     resources panel chart. *)
+  for site = 0 to sites - 1 do
+    let rg name f =
+      Metrics.gauge_fn m ~group:"res" ~site name (fun () ->
+          float_of_int (f (Intf.boxed_resources t.system ~site)))
+    in
+    rg "log_entries" (fun r -> r.Intf.log_entries);
+    rg "log_bytes" (fun r -> r.Intf.log_bytes);
+    rg "wal_entries" (fun r -> r.Intf.wal_entries);
+    rg "wal_appended" (fun r -> r.Intf.wal_appended);
+    rg "journal_depth" (fun r -> r.Intf.journal_depth);
+    rg "journal_enqueued" (fun r -> r.Intf.journal_enqueued);
+    rg "store_words" (fun r -> r.Intf.store_words)
+  done;
   Metrics.gauge_fn m ~group:"harness" "divergent_sites" (fun () ->
       let s0 = Intf.boxed_store t.system ~site:0 in
       let n = ref 0 in

@@ -51,6 +51,34 @@ type query_outcome = {
   served_at : float;
 }
 
+(** Per-site durable/volatile footprint, read by the resource probes the
+    harness registers (group ["res"] gauges and [res/] series columns).
+    All pure reads at sampling cadence; nothing here may perturb the
+    simulation.  The cumulative fields ([wal_appended],
+    [journal_enqueued]) are monotone even though their current-depth
+    counterparts drain, which is what lets the soak experiment chart
+    churn as well as standing growth. *)
+type resources = {
+  log_entries : int;  (** durable Hist operation-log length (append-only) *)
+  log_bytes : int;  (** modelled retained bytes of that log *)
+  wal_entries : int;  (** receipt-journal records not yet consumed *)
+  wal_appended : int;  (** cumulative receipt-journal appends *)
+  journal_depth : int;  (** stable-queue journal entries, this site as sender *)
+  journal_enqueued : int;  (** cumulative stable-queue appends by this site *)
+  store_words : int;  (** live heap words of the materialized store image *)
+}
+
+let no_resources =
+  {
+    log_entries = 0;
+    log_bytes = 0;
+    wal_entries = 0;
+    wal_appended = 0;
+    journal_depth = 0;
+    journal_enqueued = 0;
+    store_words = 0;
+  }
+
 (** Family and Table 1 characteristics of a method. *)
 type family = Forward | Backward | Synchronous
 
@@ -226,6 +254,11 @@ module type S = sig
 
   val stats : t -> (string * float) list
   (** Method-specific counters for the experiment tables. *)
+
+  val resources : t -> site:int -> resources
+  (** The site's durable/volatile footprint right now.  Pure reads;
+      sampled by the [res/] series probes and the group ["res"] gauges.
+      Methods without a receipt journal report zero WAL fields. *)
 end
 
 type boxed = B : (module S with type t = 'a) * 'a -> boxed
@@ -241,6 +274,7 @@ let boxed_store (B ((module M), sys)) ~site = M.store sys ~site
 let boxed_mvstore (B ((module M), sys)) ~site = M.mvstore sys ~site
 let boxed_history (B ((module M), sys)) ~site = M.history sys ~site
 let boxed_stats (B ((module M), sys)) = M.stats sys
+let boxed_resources (B ((module M), sys)) ~site = M.resources sys ~site
 
 let boxed_submit_update (B ((module M), sys)) ~origin intents k =
   M.submit_update sys ~origin intents k

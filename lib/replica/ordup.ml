@@ -30,6 +30,7 @@ module Sequencer = Esr_clock.Sequencer
 module Engine = Esr_sim.Engine
 module Squeue = Esr_squeue.Squeue
 module Trace = Esr_obs.Trace
+module Prof = Esr_obs.Prof
 
 type order = Ticket of int | Stamp of Gtime.t
 
@@ -111,7 +112,7 @@ let meta =
 let log_action site ~et ~key op =
   site.hist <- Hist.append site.hist (Et.action ~et ~key op)
 
-let apply_mset t site mset =
+let apply_mset_inner t site mset =
   let trace = t.env.Intf.obs.Esr_obs.Obs.trace in
   if Trace.on trace then
     Trace.emit trace ~time:(Engine.now t.env.engine)
@@ -151,6 +152,16 @@ let apply_mset t site mset =
         Hashtbl.remove t.pending_commits mset.et;
         k (Intf.Committed { committed_at = Engine.now t.env.engine })
     | None -> ()
+
+let apply_mset t site mset =
+  let prof = t.env.Intf.obs.Esr_obs.Obs.prof in
+  if Prof.on prof then begin
+    let t0 = Prof.start prof in
+    let a0 = Prof.alloc0 prof in
+    apply_mset_inner t site mset;
+    Prof.record prof ~site:site.id Prof.Apply ~t0 ~a0
+  end
+  else apply_mset_inner t site mset
 
 let order_reached site = function
   | Ticket n -> site.last_exec >= n
@@ -272,7 +283,9 @@ let create (env : Intf.env) =
                });
          fabric;
          pending_commits = Hashtbl.create 32;
-         wal = Recovery.Wal.create ~sites:env.Intf.sites;
+         wal =
+           Recovery.Wal.create ~prof:env.Intf.obs.Esr_obs.Obs.prof
+             ~sites:env.Intf.sites ();
          n_fallbacks = 0;
          n_charged_units = 0;
          n_updates = 0;
@@ -311,7 +324,14 @@ let submit_update t ~origin intents k =
     Hashtbl.replace t.pending_commits et (origin, k);
     (* Remote replicas get the MSet through the stable queues; the origin
        buffers it directly (local enqueue is not subject to the network). *)
-    Squeue.broadcast t.fabric ~src:origin (Update mset);
+    let prof = t.env.Intf.obs.Esr_obs.Obs.prof in
+    if Prof.on prof then begin
+      let t0 = Prof.start prof in
+      let a0 = Prof.alloc0 prof in
+      Squeue.broadcast t.fabric ~src:origin (Update mset);
+      Prof.record prof ~site:origin Prof.Propagate ~t0 ~a0
+    end
+    else Squeue.broadcast t.fabric ~src:origin (Update mset);
     receive t ~site:origin (Update mset)
   end
 
@@ -538,3 +558,15 @@ let stats t =
     ("consistent_fallbacks", float_of_int t.n_fallbacks);
     ("charged_units", float_of_int t.n_charged_units);
   ]
+
+let resources t ~site:site_id =
+  let site = t.sites.(site_id) in
+  {
+    Intf.log_entries = Hist.length site.hist;
+    log_bytes = Hist.approx_bytes site.hist;
+    wal_entries = Recovery.Wal.size t.wal ~site:site_id;
+    wal_appended = Recovery.Wal.appended t.wal ~site:site_id;
+    journal_depth = Squeue.journal_depth t.fabric ~site:site_id;
+    journal_enqueued = Squeue.journaled t.fabric ~site:site_id;
+    store_words = Store.live_words site.store;
+  }

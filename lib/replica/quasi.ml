@@ -31,6 +31,7 @@ module Epsilon = Esr_core.Epsilon
 module Engine = Esr_sim.Engine
 module Squeue = Esr_squeue.Squeue
 module Trace = Esr_obs.Trace
+module Prof = Esr_obs.Prof
 
 let primary = 0
 
@@ -101,8 +102,18 @@ let push_key t key =
   Hashtbl.replace t.last_pushed key value;
   t.next_version <- t.next_version + 1;
   t.n_refreshes <- t.n_refreshes + 1;
-  Squeue.broadcast t.fabric ~src:primary
-    (Refresh { key; value; version = t.next_version })
+  (* Refresh pushes are QUASI's update propagation. *)
+  let prof = t.env.Intf.obs.Esr_obs.Obs.prof in
+  if Prof.on prof then begin
+    let t0 = Prof.start prof in
+    let a0 = Prof.alloc0 prof in
+    Squeue.broadcast t.fabric ~src:primary
+      (Refresh { key; value; version = t.next_version });
+    Prof.record prof ~site:primary Prof.Propagate ~t0 ~a0
+  end
+  else
+    Squeue.broadcast t.fabric ~src:primary
+      (Refresh { key; value; version = t.next_version })
 
 let rec arm_timer t tau =
   if not t.timer_armed then begin
@@ -143,13 +154,23 @@ let rec receive t ~site:site_id msg =
       if Trace.on trace then
         Trace.emit trace ~time:(Engine.now t.env.engine)
           (Trace.Mset_applied { et; site = site_id; n_ops = List.length ops });
-      List.iter
-        (fun (key, op) ->
-          (match Store.apply_unit site.store key op with
-          | Ok () -> ()
-          | Error _ -> invalid_arg "QUASI: op failed at primary");
-          log_action site ~et ~key op)
-        ops;
+      let apply () =
+        List.iter
+          (fun (key, op) ->
+            (match Store.apply_unit site.store key op with
+            | Ok () -> ()
+            | Error _ -> invalid_arg "QUASI: op failed at primary");
+            log_action site ~et ~key op)
+          ops
+      in
+      let prof = t.env.Intf.obs.Esr_obs.Obs.prof in
+      if Prof.on prof then begin
+        let t0 = Prof.start prof in
+        let a0 = Prof.alloc0 prof in
+        apply ();
+        Prof.record prof ~site:site_id Prof.Apply ~t0 ~a0
+      end
+      else apply ();
       after_primary_update t (List.map fst ops);
       let reply = Update_done { et } in
       if origin = site_id then receive t ~site:origin reply
@@ -409,3 +430,16 @@ let stats t =
     ("refreshes", float_of_int t.n_refreshes);
     ("primary_reads", float_of_int t.n_primary_reads);
   ]
+
+(* Refresh versions live with the data; there is no receipt journal, so
+   the WAL fields stay zero. *)
+let resources t ~site:site_id =
+  let site = t.sites.(site_id) in
+  {
+    Intf.no_resources with
+    Intf.log_entries = Hist.length site.hist;
+    log_bytes = Hist.approx_bytes site.hist;
+    journal_depth = Squeue.journal_depth t.fabric ~site:site_id;
+    journal_enqueued = Squeue.journaled t.fabric ~site:site_id;
+    store_words = Store.live_words site.store;
+  }

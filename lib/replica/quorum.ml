@@ -23,6 +23,7 @@ module Et = Esr_core.Et
 module Engine = Esr_sim.Engine
 module Squeue = Esr_squeue.Squeue
 module Trace = Esr_obs.Trace
+module Prof = Esr_obs.Prof
 
 type version = { v : int; writer : int; seq : int }
 (* [seq] is a per-system unique stamp: two rounds that read the same stale
@@ -132,9 +133,19 @@ let rec receive t ~site:site_id msg =
         if Trace.on trace then
           Trace.emit trace ~time:(Engine.now t.env.engine)
             (Trace.Mset_applied { et; site = site.id; n_ops = 1 });
-        Hashtbl.replace site.versions key version;
-        Store.set site.store key value;
-        log_action site ~et ~key (Op.Write value)
+        let install () =
+          Hashtbl.replace site.versions key version;
+          Store.set site.store key value;
+          log_action site ~et ~key (Op.Write value)
+        in
+        let prof = t.env.Intf.obs.Esr_obs.Obs.prof in
+        if Prof.on prof then begin
+          let t0 = Prof.start prof in
+          let a0 = Prof.alloc0 prof in
+          install ();
+          Prof.record prof ~site:site.id Prof.Apply ~t0 ~a0
+        end
+        else install ()
       end;
       (* Acks flow back to the writer regardless: the quorum counts
          participation, not freshness. *)
@@ -181,9 +192,20 @@ let write_round t ~origin ~et ~key ~value ~version ~done_ ~fail =
       w_done = done_;
       w_fail = fail;
     };
-  for dst = 0 to t.env.Intf.sites - 1 do
-    post t ~src:origin ~dst (Write_req { wid; et; key; value; version })
-  done
+  (* The write broadcast is QUORUM's update propagation. *)
+  let fan_out () =
+    for dst = 0 to t.env.Intf.sites - 1 do
+      post t ~src:origin ~dst (Write_req { wid; et; key; value; version })
+    done
+  in
+  let prof = t.env.Intf.obs.Esr_obs.Obs.prof in
+  if Prof.on prof then begin
+    let t0 = Prof.start prof in
+    let a0 = Prof.alloc0 prof in
+    fan_out ();
+    Prof.record prof ~site:origin Prof.Propagate ~t0 ~a0
+  end
+  else fan_out ()
 
 let create (env : Intf.env) =
   let n = env.Intf.sites in
@@ -381,3 +403,16 @@ let stats t =
     ("queries", float_of_int t.n_queries);
     ("rejected", float_of_int t.n_rejected);
   ]
+
+(* Versions live with the data; there is no receipt journal, so the WAL
+   fields stay zero. *)
+let resources t ~site:site_id =
+  let site = t.sites.(site_id) in
+  {
+    Intf.no_resources with
+    Intf.log_entries = Hist.length site.hist;
+    log_bytes = Hist.approx_bytes site.hist;
+    journal_depth = Squeue.journal_depth t.fabric ~site:site_id;
+    journal_enqueued = Squeue.journaled t.fabric ~site:site_id;
+    store_words = Store.live_words site.store;
+  }

@@ -16,6 +16,7 @@
     order buffers before the stable-queue backlog resumes delivery. *)
 
 module Trace = Esr_obs.Trace
+module Prof = Esr_obs.Prof
 module Hist = Esr_core.Hist
 
 let emit_replay ~(obs : Esr_obs.Obs.t) ~engine ~site ~n_actions =
@@ -26,7 +27,17 @@ let emit_replay ~(obs : Esr_obs.Obs.t) ~engine ~site ~n_actions =
       (Trace.Recovery_replay { site; n_actions })
 
 let replay_store ?keyspace ?size ~obs ~engine ~site hist =
-  let store = Esr_core.Logmerge.apply ?keyspace ?size hist in
+  let prof = obs.Esr_obs.Obs.prof in
+  let store =
+    if Prof.on prof then begin
+      let t0 = Prof.start prof in
+      let a0 = Prof.alloc0 prof in
+      let store = Esr_core.Logmerge.apply ?keyspace ?size hist in
+      Prof.record prof ~site Prof.Replay ~t0 ~a0;
+      store
+    end
+    else Esr_core.Logmerge.apply ?keyspace ?size hist
+  in
   emit_replay ~obs ~engine ~site ~n_actions:(Hist.length hist);
   store
 
@@ -48,15 +59,28 @@ module Wal = struct
   type ('k, 'a) t = {
     journals : ('k, 'a entry) Hashtbl.t array;  (* per site *)
     mutable next_seq : int;
+    appended_by : int array;  (* cumulative per-site appends, monotone *)
+    prof : Prof.t;
   }
 
-  let create ~sites =
-    { journals = Array.init sites (fun _ -> Hashtbl.create 16); next_seq = 0 }
+  let create ?(prof = Prof.disabled) ~sites () =
+    {
+      journals = Array.init sites (fun _ -> Hashtbl.create 16);
+      next_seq = 0;
+      appended_by = Array.make sites 0;
+      prof;
+    }
 
   let append t ~site ~key record =
+    let prof = t.prof in
+    let profiling = Prof.on prof in
+    let t0 = if profiling then Prof.start prof else 0.0 in
+    let a0 = if profiling then Prof.alloc0 prof else 0.0 in
     let seq = t.next_seq in
     t.next_seq <- seq + 1;
-    Hashtbl.replace t.journals.(site) key { seq; record }
+    t.appended_by.(site) <- t.appended_by.(site) + 1;
+    Hashtbl.replace t.journals.(site) key { seq; record };
+    if profiling then Prof.record prof ~site Prof.Wal_append ~t0 ~a0
 
   let consume t ~site ~key = Hashtbl.remove t.journals.(site) key
 
@@ -67,4 +91,6 @@ module Wal = struct
     |> List.map (fun e -> e.record)
 
   let size t ~site = Hashtbl.length t.journals.(site)
+
+  let appended t ~site = t.appended_by.(site)
 end

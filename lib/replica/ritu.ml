@@ -28,6 +28,7 @@ module Lamport = Esr_clock.Lamport
 module Engine = Esr_sim.Engine
 module Squeue = Esr_squeue.Squeue
 module Trace = Esr_obs.Trace
+module Prof = Esr_obs.Prof
 
 (* Writes carry keys pre-interned at the origin: (id, name, value). *)
 type mset = {
@@ -89,7 +90,7 @@ let note_watermark site ~origin ts =
     Gtime.make ~counter:(Lamport.peek site.clock) ~site:site.id;
   refresh_vtnc site
 
-let apply_mset t site mset =
+let apply_mset_inner t site mset =
   let trace = t.env.Intf.obs.Esr_obs.Obs.trace in
   if Trace.on trace then
     Trace.emit trace ~time:(Engine.now t.env.engine)
@@ -120,6 +121,16 @@ let apply_mset t site mset =
             Store.set_with_ts_id site.store id value stamp);
       log_action site ~et:mset.et ~key op)
     mset.writes
+
+let apply_mset t site mset =
+  let prof = t.env.Intf.obs.Esr_obs.Obs.prof in
+  if Prof.on prof then begin
+    let t0 = Prof.start prof in
+    let a0 = Prof.alloc0 prof in
+    apply_mset_inner t site mset;
+    Prof.record prof ~site:site.id Prof.Apply ~t0 ~a0
+  end
+  else apply_mset_inner t site mset
 
 let receive t ~site:site_id msg =
   let site = t.sites.(site_id) in
@@ -197,7 +208,14 @@ let submit_update t ~origin intents k =
       Trace.emit trace ~time:(Engine.now t.env.engine)
         (Trace.Mset_enqueued { et; origin; n_ops = List.length writes });
     apply_mset t site mset;
-    Squeue.broadcast t.fabric ~src:origin (Update mset);
+    let prof = t.env.Intf.obs.Esr_obs.Obs.prof in
+    if Prof.on prof then begin
+      let t0 = Prof.start prof in
+      let a0 = Prof.alloc0 prof in
+      Squeue.broadcast t.fabric ~src:origin (Update mset);
+      Prof.record prof ~site:origin Prof.Propagate ~t0 ~a0
+    end
+    else Squeue.broadcast t.fabric ~src:origin (Update mset);
     k (Intf.Committed { committed_at = Engine.now t.env.engine })
   end
 
@@ -350,3 +368,16 @@ let stats t =
     ("fresh_reads", float_of_int t.n_fresh_reads);
     ("vtnc_reads", float_of_int t.n_vtnc_reads);
   ]
+
+(* RITU applies on receipt (stale stamps are ignored or become versions),
+   so there is no receipt journal; the WAL fields stay zero. *)
+let resources t ~site:site_id =
+  let site = t.sites.(site_id) in
+  {
+    Intf.no_resources with
+    Intf.log_entries = Hist.length site.hist;
+    log_bytes = Hist.approx_bytes site.hist;
+    journal_depth = Squeue.journal_depth t.fabric ~site:site_id;
+    journal_enqueued = Squeue.journaled t.fabric ~site:site_id;
+    store_words = Store.live_words site.store;
+  }

@@ -33,6 +33,7 @@ module Lock_mgr = Esr_cc.Lock_mgr
 module Engine = Esr_sim.Engine
 module Squeue = Esr_squeue.Squeue
 module Trace = Esr_obs.Trace
+module Prof = Esr_obs.Prof
 
 type msg =
   | Lock_req of { et : Et.id; keys : string list; coordinator : int }
@@ -146,12 +147,25 @@ let rec receive t ~site:site_id msg =
       match Hashtbl.find_opt t.coords et with
       | None -> ()
       | Some coord ->
-          if not coord.c_decided then
-            (* Phase 1 proper: prepare everywhere, coordinator included. *)
-            for dst = 0 to Array.length t.sites - 1 do
-              post t ~src:coord.c_site ~dst
-                (Prepare { et; ops = coord.c_ops; coordinator = coord.c_site })
-            done)
+          if not coord.c_decided then begin
+            (* Phase 1 proper: prepare everywhere, coordinator included.
+               The fan-out is 2PC's update propagation, so it carries the
+               Propagate profiling phase. *)
+            let fan_out () =
+              for dst = 0 to Array.length t.sites - 1 do
+                post t ~src:coord.c_site ~dst
+                  (Prepare { et; ops = coord.c_ops; coordinator = coord.c_site })
+              done
+            in
+            let prof = t.env.Intf.obs.Esr_obs.Obs.prof in
+            if Prof.on prof then begin
+              let t0 = Prof.start prof in
+              let a0 = Prof.alloc0 prof in
+              fan_out ();
+              Prof.record prof ~site:coord.c_site Prof.Propagate ~t0 ~a0
+            end
+            else fan_out ()
+          end)
   | Prepare { et; ops; coordinator } ->
       let requests =
         List.map (fun (key, op) -> (key, Lock_table.W, Some op)) ops
@@ -188,13 +202,23 @@ let rec receive t ~site:site_id msg =
               Trace.emit trace ~time:(Engine.now t.env.engine)
                 (Trace.Mset_applied
                    { et; site = site.id; n_ops = List.length ops });
-            List.iter
-              (fun (key, op) ->
-                (match Store.apply_unit site.store key op with
-                | Ok () -> ()
-                | Error _ -> invalid_arg "2PC: op failed to apply");
-                log_action site ~et ~key op)
-              ops
+            let apply () =
+              List.iter
+                (fun (key, op) ->
+                  (match Store.apply_unit site.store key op with
+                  | Ok () -> ()
+                  | Error _ -> invalid_arg "2PC: op failed to apply");
+                  log_action site ~et ~key op)
+                ops
+            in
+            let prof = t.env.Intf.obs.Esr_obs.Obs.prof in
+            if Prof.on prof then begin
+              let t0 = Prof.start prof in
+              let a0 = Prof.alloc0 prof in
+              apply ();
+              Prof.record prof ~site:site.id Prof.Apply ~t0 ~a0
+            end
+            else apply ()
           end;
           Lock_mgr.release_all site.locks ~txn:et);
       post t ~src:site_id ~dst:coordinator (Done { et })
@@ -480,3 +504,16 @@ let stats t =
     ("aborted", float_of_int t.n_aborted);
     ("lock_waits", float_of_int t.n_lock_waits);
   ]
+
+(* 2PC's durable protocol state is the prepared table, not a receipt
+   journal, so the WAL fields stay zero. *)
+let resources t ~site:site_id =
+  let site = t.sites.(site_id) in
+  {
+    Intf.no_resources with
+    Intf.log_entries = Hist.length site.hist;
+    log_bytes = Hist.approx_bytes site.hist;
+    journal_depth = Squeue.journal_depth t.fabric ~site:site_id;
+    journal_enqueued = Squeue.journaled t.fabric ~site:site_id;
+    store_words = Store.live_words site.store;
+  }

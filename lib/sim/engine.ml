@@ -1,3 +1,5 @@
+module Prof = Esr_obs.Prof
+
 type state = Pending | Cancelled | Fired
 
 type event = { seq : int; body : unit -> unit; mutable state : state }
@@ -9,6 +11,9 @@ type t = {
   mutable live : int;
   mutable executed : int;
   mutable cancelled : int;
+  mutable prof : Prof.t;
+      (* host-time profiler around every dispatched event body; the shared
+         disabled instance until the harness installs a live one *)
 }
 
 type event_id = event
@@ -21,7 +26,10 @@ let create ?(hint = 64) () =
     live = 0;
     executed = 0;
     cancelled = 0;
+    prof = Prof.disabled;
   }
+
+let set_prof t prof = t.prof <- prof
 
 let now t = t.clock
 
@@ -69,7 +77,15 @@ let execute t time ev =
   t.live <- t.live - 1;
   t.executed <- t.executed + 1;
   ev.state <- Fired;
-  ev.body ()
+  (* Profiling off is the common case and must stay allocation-free on
+     this path: one load-and-branch, then the direct call. *)
+  if Prof.on t.prof then begin
+    let t0 = Prof.start t.prof in
+    let a0 = Prof.alloc0 t.prof in
+    ev.body ();
+    Prof.record t.prof Prof.Engine_dispatch ~t0 ~a0
+  end
+  else ev.body ()
 
 let step t =
   match pop_live t with

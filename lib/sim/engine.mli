@@ -18,6 +18,13 @@ val create : ?hint:int -> unit -> t
 (** [hint] pre-sizes the event heap (default 64); workload drivers that
     know their arrival volume pass it to skip the growth cascade. *)
 
+val set_prof : t -> Esr_obs.Prof.t -> unit
+(** Install a host-time profiler: every dispatched event body is then
+    recorded as an [Engine_dispatch] phase span (inclusive of nested
+    phases).  The engine starts with {!Esr_obs.Prof.disabled}, which
+    keeps dispatch allocation-free — the harness installs the run's
+    profiler when one is enabled. *)
+
 val now : t -> float
 (** Current virtual time. *)
 

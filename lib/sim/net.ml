@@ -47,6 +47,7 @@ type t = {
   sent_by : int array;  (* per-src sends *)
   delivered_to : int array;  (* per-dst first+duplicate deliveries *)
   trace : Trace.t;
+  prof : Esr_obs.Prof.t;
   mutable recover_hooks : (int -> unit) list;  (* fired by [recover] *)
   mutable heal_hooks : (unit -> unit) list;  (* fired by [heal] *)
 }
@@ -90,6 +91,10 @@ let create ?(config = default_config) ?obs engine ~sites ~prng =
         (match obs with
         | Some (o : Esr_obs.Obs.t) -> o.Esr_obs.Obs.trace
         | None -> Trace.make ~capacity:1 ~enabled:false ());
+      prof =
+        (match obs with
+        | Some o -> o.Esr_obs.Obs.prof
+        | None -> Esr_obs.Prof.disabled);
       recover_hooks = [];
       heal_hooks = [];
     }
@@ -140,7 +145,15 @@ let deliver_later t ~src ~dst ~cls callback =
            if Trace.on t.trace then
              Trace.emit t.trace ~time:(Engine.now t.engine)
                (Trace.Msg_delivered { src; dst; cls });
-           callback ()
+           let prof = t.prof in
+           if Esr_obs.Prof.on prof then begin
+             let t0 = Esr_obs.Prof.start prof in
+             let a0 = Esr_obs.Prof.alloc0 prof in
+             callback ();
+             Esr_obs.Prof.record prof ~site:dst Esr_obs.Prof.Net_delivery ~t0
+               ~a0
+           end
+           else callback ()
          end))
 
 let send ?(cls = "msg") t ~src ~dst callback =

@@ -54,6 +54,7 @@ type 'a t = {
   mutable n_retx : int;
   mutable n_acks : int;
   mutable n_pending : int;
+  journaled_by : int array;  (* cumulative per-src journal appends *)
 }
 
 let register_metrics t (m : Esr_obs.Metrics.t) =
@@ -229,6 +230,7 @@ let create ?(mode = Unordered) ?(retry_interval = 50.0) ?backoff ?obs net
       n_retx = 0;
       n_acks = 0;
       n_pending = 0;
+      journaled_by = Array.make n 0;
     }
   in
   (match obs with
@@ -249,6 +251,7 @@ let send t ~src ~dst payload =
     { payload; last_sent = Engine.now (Net.engine t.net) };
   t.n_enqueued <- t.n_enqueued + 1;
   t.n_pending <- t.n_pending + 1;
+  t.journaled_by.(src) <- t.journaled_by.(src) + 1;
   transmit t ~src ~dst seq payload;
   arm_timer t ~src ~dst
 
@@ -258,6 +261,15 @@ let broadcast t ~src payload =
   done
 
 let pending t = t.n_pending
+
+(* Sender-side journal footprint of one site: entries it has durably
+   queued but not yet seen acknowledged, across all its channels. *)
+let journal_depth t ~site =
+  let n = ref 0 in
+  Array.iter (fun chan -> n := !n + Hashtbl.length chan.unacked) t.chans.(site);
+  !n
+
+let journaled t ~site = t.journaled_by.(site)
 
 let counters t =
   {

@@ -65,6 +65,14 @@ val pending : 'a t -> int
 (** Messages enqueued but not yet acknowledged, across all channels.  Zero
     means the fabric is quiescent: nothing more will be delivered. *)
 
+val journal_depth : 'a t -> site:int -> int
+(** Current sender-side journal footprint of [site]: messages it enqueued
+    that are not yet acknowledged, summed over its outbound channels. *)
+
+val journaled : 'a t -> site:int -> int
+(** Cumulative journal appends by [site] as sender — monotone, unlike
+    {!journal_depth}, so resource series can chart journal churn. *)
+
 type counters = {
   enqueued : int;
   delivered_first : int;  (** messages handed to the handler *)

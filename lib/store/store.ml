@@ -207,3 +207,5 @@ let pp ppf t =
     (fun (k, v) -> Format.fprintf ppf "%s = %a@," k Value.pp v)
     (snapshot t);
   Format.fprintf ppf "@]"
+
+let live_words t = Obj.reachable_words (Obj.repr t.cells)

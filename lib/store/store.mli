@@ -87,3 +87,10 @@ val copy : t -> t
 (** Fresh cells, shared keyspace. *)
 
 val pp : Format.formatter -> t -> unit
+
+val live_words : t -> int
+(** Heap words reachable from this store's cell image — the array, the
+    cells, boxed values and timestamps — excluding the shared keyspace
+    (cells never reference key names), so per-site figures add up without
+    double counting.  O(live image) walk; meant for resource probes at
+    sampling cadence, not hot paths. *)
