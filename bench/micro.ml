@@ -12,6 +12,7 @@ module Value = Esr_store.Value
 module Store = Esr_store.Store
 module Mvstore = Esr_store.Mvstore
 module Keyspace = Esr_store.Keyspace
+module Sharding = Esr_store.Sharding
 module Gtime = Esr_clock.Gtime
 module Et = Esr_core.Et
 module Hist = Esr_core.Hist
@@ -176,6 +177,32 @@ let test_mvstore =
          done;
          ignore (Mvstore.read_latest m "x")))
 
+(* Sharded-routing hot path: the per-op membership test every method
+   runs when applying a routed MSet, and the per-MSet destination-set
+   union (reset + add the touched ids + iterate the replica union) that
+   replaces a broadcast under partial replication. *)
+let bench_sharding () =
+  Sharding.create ~policy:Sharding.Ring ~shards:64 ~factor:3 ~sites:64 ()
+
+let test_shard_lookup =
+  let sh = bench_sharding () in
+  Test.make ~name:"shard/replicates_id x64"
+    (Staged.stage (fun () ->
+         for id = 0 to 63 do
+           ignore (Sharding.replicates_id sh ~site:(id land 7) ~id)
+         done))
+
+let test_shard_dests =
+  let sh = bench_sharding () in
+  let c = Sharding.Dests.cursor sh in
+  Test.make ~name:"shard/dests reset+union 8 ids+iter"
+    (Staged.stage (fun () ->
+         Sharding.Dests.reset c;
+         for id = 0 to 7 do
+           Sharding.Dests.add_id c id
+         done;
+         Sharding.Dests.iter c ignore))
+
 let test_prng =
   Test.make ~name:"prng/bits64 x1000"
     (Staged.stage
@@ -190,7 +217,8 @@ let benchmarks =
     test_esr_checker; test_overlap; test_lock_mgr; test_engine; test_heap;
     test_store_get; test_store_get_id; test_store_set_id; test_store_apply;
     test_store_apply_unit; test_store_apply_id_unit; test_keyspace_intern;
-    test_mset_apply; test_mset_build; test_mvstore; test_prng;
+    test_mset_apply; test_mset_build; test_mvstore; test_shard_lookup;
+    test_shard_dests; test_prng;
   ]
 
 (* --- bytes per operation -------------------------------------------- *)
@@ -254,6 +282,22 @@ let bytes_report () =
      (bytes_per_op (fun () ->
           Array.iter (fun k -> ignore (Keyspace.intern ks k)) bench_keys))
      64);
+  (let sh = bench_sharding () in
+   row "shard/replicates_id"
+     (bytes_per_op (fun () ->
+          for id = 0 to 63 do
+            ignore (Sharding.replicates_id sh ~site:(id land 7) ~id)
+          done))
+     64;
+   let c = Sharding.Dests.cursor sh in
+   row "shard/dests reset+union 8 ids+iter"
+     (bytes_per_op (fun () ->
+          Sharding.Dests.reset c;
+          for id = 0 to 7 do
+            Sharding.Dests.add_id c id
+          done;
+          Sharding.Dests.iter c ignore))
+     8);
   (let h = Heap.create ~hint:1024 () in
    row "heap/push+drop_min"
      (bytes_per_op (fun () ->

@@ -161,6 +161,47 @@ let ritu_mode_arg =
 let abort_arg =
   Arg.(value & opt float 0.0 & info [ "abort-probability" ] ~doc:"COMPE global abort probability.")
 
+let placement_arg =
+  Arg.(
+    value & opt string "all"
+    & info [ "placement" ] ~docv:"POLICY"
+        ~doc:"Replica placement policy: all (full replication, the \
+              default), ring (each shard at consecutive sites) or hash.")
+
+let shards_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "shards" ] ~docv:"N"
+        ~doc:"Number of key shards (default: one per site under partial \
+              placement).")
+
+let replication_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "replication" ] ~docv:"R"
+        ~doc:"Replication factor: copies of each shard (default: all \
+              sites for --placement all, min 3 sites otherwise).  \
+              R = sites reproduces full replication exactly.")
+
+(* Build the shard map the CLI knobs describe.  [None] when the result is
+   full replication, so the default env path — and the printed summary —
+   stays byte-identical to the pre-sharding CLI. *)
+let make_sharding ~sites ~placement ~shards ~replication =
+  match Esr_store.Sharding.policy_of_string placement with
+  | Error m ->
+      Printf.eprintf "--placement: %s\n" m;
+      exit 1
+  | Ok policy -> (
+      match
+        Esr_store.Sharding.create ~policy ?shards ?factor:replication ~sites ()
+      with
+      | exception Invalid_argument m ->
+          prerr_endline m;
+          exit 1
+      | s -> if Esr_store.Sharding.is_full s then None else Some s)
+
 let parse_profile ~meth s =
   match String.lowercase_ascii s with
   | "auto" -> (
@@ -372,9 +413,9 @@ let export_series ~file series =
 let run_cmd =
   let doc = "Run one workload against one method and print the metrics." in
   let run meth sites duration update_rate query_rate keys theta epsilon profile
-      seed loss latency ordering ritu_mode abort_p faults_spec trace_file
-      trace_format show_metrics metrics_file series_file series_interval
-      prof_file =
+      seed loss latency ordering ritu_mode abort_p placement shards replication
+      faults_spec trace_file trace_format show_metrics metrics_file series_file
+      series_interval prof_file =
     match
       prepare_scenario ~meth ~duration ~update_rate ~query_rate ~keys ~theta
         ~epsilon ~profile ~loss ~latency ~ordering ~ritu_mode ~abort_p
@@ -384,13 +425,14 @@ let run_cmd =
         exit 1
     | Ok (spec, net_config, config) ->
         let faults = parse_faults faults_spec in
+        let sharding = make_sharding ~sites ~placement ~shards ~replication in
         let obs =
           Obs.create ~tracing:(trace_file <> None)
             ~series:(series_file <> None) ~series_interval
             ~profiling:(prof_file <> None) ()
         in
         let r =
-          Scenario.run ~seed ~config ~net_config ~obs ?faults ~sites
+          Scenario.run ~seed ~config ~net_config ?sharding ~obs ?faults ~sites
             ~method_name:meth spec
         in
         let t =
@@ -400,6 +442,9 @@ let run_cmd =
         in
         let add name v = Tablefmt.add_row t [ name; v ] in
         add "spec" (Format.asprintf "%a" Spec.pp spec);
+        (match sharding with
+        | Some s -> add "sharding" (Format.asprintf "%a" Esr_store.Sharding.pp s)
+        | None -> ());
         (match faults with
         | Some schedule -> add "faults" (Schedule.to_spec schedule)
         | None -> ());
@@ -477,9 +522,10 @@ let run_cmd =
       const run $ method_arg $ sites_arg $ duration_arg $ update_rate_arg
       $ query_rate_arg $ keys_arg $ theta_arg $ epsilon_arg $ op_profile_arg
       $ seed_arg $ loss_arg $ latency_arg $ ordering_arg $ ritu_mode_arg
-      $ abort_arg $ faults_arg $ trace_file_arg $ trace_format_arg
-      $ print_metrics_arg $ metrics_file_arg $ series_file_arg
-      $ series_interval_arg $ prof_file_arg)
+      $ abort_arg $ placement_arg $ shards_arg $ replication_arg $ faults_arg
+      $ trace_file_arg $ trace_format_arg $ print_metrics_arg
+      $ metrics_file_arg $ series_file_arg $ series_interval_arg
+      $ prof_file_arg)
 
 (* --- nemesis --- *)
 

@@ -1392,6 +1392,134 @@ let e16_soak () =
   add_rows t (List.map snd results);
   Tablefmt.print t
 
+(* ------------------------------------------------------------------ *)
+(* E17: sharded scale — interest-routed propagation vs full fanout     *)
+(* ------------------------------------------------------------------ *)
+
+(* The partial-replication payoff, measured: the same workload on the
+   same site count, once fully replicated (every update MSet reaches
+   every site) and once under ring placement with 3 copies per shard
+   (updates reach only the interested replicas).  Messages per committed
+   update should track the replication factor, not the site count —
+   at 200 sites and factor 3 the sharded fanout is ~1.5% of full — and
+   the per-site store footprint should shrink roughly by factor/sites,
+   because a site only materialises the shards it replicates.
+
+   Printed columns are all virtual-time-deterministic, so the timed
+   sweep byte-compares this table like every other experiment; applied
+   update-op volume goes through {!note_applied} so the sweep derives an
+   updates/sec figure for the sharded tier too. *)
+let e17_sharded_scale () =
+  let module Sharding = Esr_store.Sharding in
+  let module Obs = Esr_obs.Obs in
+  let module Metrics = Esr_obs.Metrics in
+  let s = !scale in
+  let sites = Stdlib.max 8 (int_of_float ((200.0 *. s) +. 0.5)) in
+  let factor = 3 in
+  let n_keys = 4_096 in
+  let duration = 2_000.0 in
+  let t =
+    Tablefmt.create
+      ~title:
+        (Printf.sprintf
+           "E17: sharded scale at scale %g — %d sites, full replication vs \
+            ring placement with %d copies per shard (%d shards, %d keys); \
+            interest-routed propagation cuts messages per committed update \
+            from O(sites) to O(factor), and the per-site store shrinks \
+            with the replication factor"
+           s sites factor sites n_keys)
+      ~headers:
+        [ "Method"; "Copies"; "Committed"; "Msgs sent"; "Msgs/update";
+          "vs full"; "Store words/site"; "Settled"; "Converged" ]
+  in
+  let methods = [ "ORDUP"; "COMMU"; "RITU"; "QUASI" ] in
+  let ops_per_update = 2 in
+  let factors = [ sites; factor ] in
+  let jobs =
+    List.concat_map
+      (fun name ->
+        List.map
+          (fun copies () ->
+            let spec =
+              {
+                Spec.duration;
+                update_rate = 0.25;
+                query_rate = 0.01;
+                n_keys;
+                zipf_theta = 0.6;
+                ops_per_update;
+                keys_per_query = 1;
+                epsilon = Epsilon.Unlimited;
+                profile = profile_for name;
+              }
+            in
+            let sharding =
+              if copies = sites then None
+              else
+                Some
+                  (Sharding.create ~policy:Sharding.Ring ~shards:sites
+                     ~factor:copies ~sites ())
+            in
+            let obs = Obs.create () in
+            let r =
+              Scenario.run ~seed ?sharding ~obs ~sites ~method_name:name spec
+            in
+            (* Mean per-site store footprint, read off the harness's
+               [res/store_words] gauges at quiescence. *)
+            let store_words =
+              List.fold_left
+                (fun a (e : Metrics.entry) ->
+                  match (e.Metrics.group, e.Metrics.name, e.Metrics.view) with
+                  | "res", "store_words", Metrics.Gauge_v v -> a +. v
+                  | _ -> a)
+                0.0
+                (Metrics.snapshot obs.Obs.metrics)
+              /. float_of_int sites
+            in
+            let applied = r.Scenario.committed * ops_per_update * copies in
+            (applied, (name, copies, r, store_words)))
+          factors)
+      methods
+  in
+  let results = par_rows jobs in
+  note_applied (List.fold_left (fun a (n, _) -> a + n) 0 results);
+  (* Pair each sharded run with its full-replication twin (they are
+     adjacent in job order) to print the fanout ratio. *)
+  let msgs_per_update (r : Scenario.result) =
+    if r.Scenario.committed = 0 then 0.0
+    else
+      float_of_int r.Scenario.net_counters.Net.sent
+      /. float_of_int r.Scenario.committed
+  in
+  let full_mpu = Hashtbl.create 8 in
+  List.iter
+    (fun (_, (name, copies, r, _)) ->
+      if copies = sites then Hashtbl.replace full_mpu name (msgs_per_update r))
+    results;
+  List.iter
+    (fun (_, (name, copies, r, store_words)) ->
+      let mpu = msgs_per_update r in
+      let ratio =
+        match Hashtbl.find_opt full_mpu name with
+        | Some f when f > 0.0 -> Printf.sprintf "%.3fx" (mpu /. f)
+        | _ -> "n/a"
+      in
+      Tablefmt.add_row t
+        [
+          name;
+          Tablefmt.cell_int copies;
+          Tablefmt.cell_int r.Scenario.committed;
+          Tablefmt.cell_int r.Scenario.net_counters.Net.sent;
+          Printf.sprintf "%.1f" mpu;
+          ratio;
+          Printf.sprintf "%.0f" store_words;
+          Tablefmt.cell_bool r.Scenario.settled;
+          Tablefmt.cell_bool r.Scenario.converged;
+        ];
+      if copies <> sites then Tablefmt.add_separator t)
+    results;
+  Tablefmt.print t
+
 let all =
   [
     ("e1_scalability", e1_scalability);
@@ -1411,9 +1539,11 @@ let all =
     ("a1_ordup_ordering", a1_ordup_ordering);
     ("a2_squeue_retry", a2_squeue_retry);
     ("e16_soak", e16_soak);
-    (* Last on purpose: the timed sweep samples the GC's process-wide
-       top-of-heap after each experiment, so running the biggest workload
-       last makes its sample the true process peak. *)
+    ("e17_sharded_scale", e17_sharded_scale);
+    (* Last on purpose: the big scale tier stays at the end so everything
+       cheaper has already run if it is interrupted; since schema v6 the
+       timed sweep samples peak heap per experiment (GC alarm), so the
+       ordering no longer affects the recorded peaks. *)
     ("e15_scale", e15_scale);
   ]
 

@@ -6,10 +6,10 @@
    the trajectory file BENCH_experiments.json that later PRs diff
    against.
 
-   Output schema (BENCH_experiments.json, version 5):
+   Output schema (BENCH_experiments.json, version 6):
 
      {
-       "schema": "esr-bench-experiments/5",
+       "schema": "esr-bench-experiments/6",
        "scale": <the --scale / ESR_SCALE factor of this run>,
        "domains": { "sequential": 1, "parallel": <N>,
                     "requested": <N>, "physical_cores": <cores> },
@@ -28,9 +28,14 @@
                                   "alloc_bytes": <GC-allocated bytes> },
                        ... },   -- from the profiled run, zero phases
                                    omitted
-           "peak_heap_bytes": <GC top_heap after this experiment — the
-                               process peak *so far*, monotone down the
-                               list; the last entry is the true peak>,
+           "peak_heap_bytes": <peak major-heap size observed *during*
+                               this experiment's four runs, sampled at
+                               every major-cycle end by a GC alarm on
+                               the main domain.  Up to v5 this was the
+                               GC's process-wide top_heap high-water,
+                               which never resets and so recorded every
+                               experiment after the first big one at the
+                               same monotone value>,
            "identical_output": true },
          ...
        ],
@@ -50,7 +55,8 @@
    whose "at" is missing or 0 are repaired with the file's mtime — the
    closest available record of when that run actually happened.  After
    the sweep the summary prints a delta line against the previous
-   *comparable* run — same --scale and same requested domain count;
+   *comparable* run — same --scale and same requested domain count
+   (v6/v5/v4/v3 files carry their histories over verbatim);
    comparing against a different tier would only measure the tier.  With
    ESR_BENCH_GATE=1 the sweep additionally *fails* (exit 4) when total
    parallel wall-clock regresses by more than 20% against that
@@ -222,8 +228,8 @@ let read_history path =
     | Error _ -> []
     | Ok doc -> (
         match Option.bind (Json.member "schema" doc) Json.to_string with
-        | Some "esr-bench-experiments/5" | Some "esr-bench-experiments/4"
-        | Some "esr-bench-experiments/3" ->
+        | Some "esr-bench-experiments/6" | Some "esr-bench-experiments/5"
+        | Some "esr-bench-experiments/4" | Some "esr-bench-experiments/3" ->
             List.map repair_at
               (Option.value ~default:[]
                  (Option.bind (Json.member "runs" doc) Json.to_list))
@@ -363,7 +369,7 @@ let write_json ~path ~par_domains ~history samples =
   let oc = open_out path in
   let p fmt = Printf.fprintf oc fmt in
   p "{\n";
-  p "  \"schema\": \"esr-bench-experiments/5\",\n";
+  p "  \"schema\": \"esr-bench-experiments/6\",\n";
   (match latest with
   | Json.Obj fields ->
       List.iter
@@ -393,6 +399,20 @@ let run_timed ?path () =
   let samples =
     List.map
       (fun (name, f) ->
+        (* Per-experiment peak heap (schema v6): the GC's top_heap_words
+           is a process-wide high-water that never resets, so the old
+           after-each-experiment sample recorded every experiment past
+           the first big one at the same monotone value.  Instead watch
+           the major heap while *this* experiment's four runs execute: a
+           GC alarm samples the heap size at every major-cycle end on
+           the main domain, and the max is this experiment's peak. *)
+        let heap_peak = ref 0 in
+        let sample_heap () =
+          let h = (Gc.quick_stat ()).Gc.heap_words in
+          if h > !heap_peak then heap_peak := h
+        in
+        sample_heap ();
+        let heap_alarm = Gc.create_alarm sample_heap in
         Pool.set_default_domains 1;
         ignore (Experiments.take_applied ());
         let sequential_s, out_seq = timed_captured f in
@@ -438,11 +458,10 @@ let run_timed ?path () =
         in
         Prof.reset_totals ();
         ignore (Experiments.take_applied ());
-        (* Process top-of-heap so far; monotone over the sweep, so the
-           last experiment's sample is the whole sweep's peak. *)
+        Gc.delete_alarm heap_alarm;
+        sample_heap ();
         let peak_heap_bytes =
-          float_of_int
-            ((Gc.quick_stat ()).Gc.top_heap_words * (Sys.word_size / 8))
+          float_of_int (!heap_peak * (Sys.word_size / 8))
         in
         let identical =
           String.equal out_seq out_par
@@ -514,9 +533,14 @@ let run_timed ?path () =
       Printf.sprintf "%.2fx" (speedup ~seq:tot_tr ~par:tot_par);
       Printf.sprintf "%.2fx" (speedup ~seq:tot_pr ~par:tot_par);
       "-";
-      (match List.rev samples with
-      | last :: _ -> Printf.sprintf "%.1f" (last.peak_heap_bytes /. (1024.0 *. 1024.0))
-      | [] -> "-");
+      (match samples with
+      | [] -> "-"
+      | _ ->
+          Printf.sprintf "%.1f"
+            (List.fold_left
+               (fun a s -> Float.max a s.peak_heap_bytes)
+               0.0 samples
+            /. (1024.0 *. 1024.0)));
       Tablefmt.cell_bool (List.for_all (fun s -> s.identical) samples);
     ];
   Tablefmt.print t;

@@ -17,6 +17,8 @@
 
 module Op = Esr_store.Op
 module Store = Esr_store.Store
+module Keyspace = Esr_store.Keyspace
+module Sharding = Esr_store.Sharding
 module Hist = Esr_core.Hist
 module Et = Esr_core.Et
 module Epsilon = Esr_core.Epsilon
@@ -70,6 +72,8 @@ type t = {
   sites : site array;
   fabric : msg Squeue.t;
   inflight : (Et.id, inflight) Hashtbl.t;
+  full : bool;  (* replicate-everywhere: keep the historical broadcast path *)
+  dests : Sharding.Dests.t;  (* scratch interest cursor (routing only) *)
   mutable n_updates : int;
   mutable n_queries : int;
   mutable n_rejected : int;
@@ -108,13 +112,20 @@ let apply_mset_inner t site mset =
          { et = mset.et; site = site.id; n_ops = List.length mset.ops });
   List.iter
     (fun (i : Intf.iop) ->
-      let key = i.Intf.key in
-      ignore (Lock_counter.incr site.counters key);
-      ignore (Lock_counter.add_weight site.counters key (op_weight i.Intf.op));
-      (match Store.apply_id_unit site.store i.Intf.id i.Intf.op with
-      | Ok () -> ()
-      | Error _ -> invalid_arg "COMMU: commutative op failed to apply");
-      log_action site ~et:mset.et ~key i.Intf.op)
+      (* Partial replication: a site executes only the ops on keys it
+         replicates (with the full map every op qualifies). *)
+      if
+        t.full
+        || Sharding.replicates_id t.env.Intf.sharding ~site:site.id ~id:i.Intf.id
+      then begin
+        let key = i.Intf.key in
+        ignore (Lock_counter.incr site.counters key);
+        ignore (Lock_counter.add_weight site.counters key (op_weight i.Intf.op));
+        (match Store.apply_id_unit site.store i.Intf.id i.Intf.op with
+        | Ok () -> ()
+        | Error _ -> invalid_arg "COMMU: commutative op failed to apply");
+        log_action site ~et:mset.et ~key i.Intf.op
+      end)
     mset.ops
 
 let apply_mset t site mset =
@@ -130,14 +141,34 @@ let apply_mset t site mset =
 let charges_of ops =
   List.map (fun (i : Intf.iop) -> (i.Intf.key, op_weight i.Intf.op)) ops
 
-let complete_at site charges =
+let complete_at t site charges =
   List.iter
     (fun (key, w) ->
-      ignore (Lock_counter.decr site.counters key);
-      ignore (Lock_counter.remove_weight site.counters key w))
+      (* Only counters this site actually raised (it applied only the
+         replicated subset of the MSet). *)
+      if
+        t.full
+        || Sharding.replicates_id t.env.Intf.sharding ~site:site.id
+             ~id:(Keyspace.find t.env.Intf.keyspace key)
+      then begin
+        ignore (Lock_counter.decr site.counters key);
+        ignore (Lock_counter.remove_weight site.counters key w)
+      end)
     charges;
   wake_queries site;
   wake_updates site
+
+(* Interest set of an ET, rebuilt from its charge keys: the sites that
+   replicate at least one touched shard.  Shared scratch cursor — valid
+   only until the next [interested] call. *)
+let interested t charges =
+  let c = t.dests in
+  Sharding.Dests.reset c;
+  List.iter
+    (fun (key, _) ->
+      Sharding.Dests.add_id c (Keyspace.find t.env.Intf.keyspace key))
+    charges;
+  c
 
 let receive t ~site:site_id msg =
   let site = t.sites.(site_id) in
@@ -153,11 +184,15 @@ let receive t ~site:site_id msg =
           record.waiting_acks <- record.waiting_acks - 1;
           if record.waiting_acks = 0 then begin
             Hashtbl.remove t.inflight et;
-            Squeue.broadcast t.fabric ~src:site_id
-              (Complete { et; charges = record.charges });
-            complete_at site record.charges
+            let complete = Complete { et; charges = record.charges } in
+            if t.full then Squeue.broadcast t.fabric ~src:site_id complete
+            else
+              Squeue.multicast t.fabric ~src:site_id
+                ~dests:(interested t record.charges)
+                complete;
+            complete_at t site record.charges
           end)
-  | Complete { et = _; charges } -> complete_at site charges
+  | Complete { et = _; charges } -> complete_at t site charges
 
 let create (env : Intf.env) =
   let rec t =
@@ -187,6 +222,8 @@ let create (env : Intf.env) =
                });
          fabric;
          inflight = Hashtbl.create 32;
+         full = Sharding.is_full env.Intf.sharding;
+         dests = Sharding.Dests.cursor env.Intf.sharding;
          n_updates = 0;
          n_queries = 0;
          n_rejected = 0;
@@ -290,19 +327,33 @@ let submit_update t ~origin intents k =
               Trace.emit trace ~time:(Engine.now t.env.engine)
                 (Trace.Mset_enqueued { et; origin; n_ops = List.length ops });
             apply_mset t site mset;
-            if t.env.Intf.sites > 1 then begin
-              Hashtbl.replace t.inflight et
-                { charges; waiting_acks = t.env.Intf.sites - 1 };
+            (* Interest routing: the MSet travels only to sites replicating
+               a touched shard.  With the full map that is everybody. *)
+            let n_remote =
+              if t.full then t.env.Intf.sites - 1
+              else
+                let c = interested t charges in
+                if Sharding.Dests.mem c origin then Sharding.Dests.count c - 1
+                else Sharding.Dests.count c
+            in
+            if n_remote > 0 then begin
+              Hashtbl.replace t.inflight et { charges; waiting_acks = n_remote };
+              let propagate () =
+                if t.full then Squeue.broadcast t.fabric ~src:origin (Apply mset)
+                else
+                  Squeue.multicast t.fabric ~src:origin
+                    ~dests:(interested t charges) (Apply mset)
+              in
               let prof = t.env.Intf.obs.Esr_obs.Obs.prof in
               if Prof.on prof then begin
                 let t0 = Prof.start prof in
                 let a0 = Prof.alloc0 prof in
-                Squeue.broadcast t.fabric ~src:origin (Apply mset);
+                propagate ();
                 Prof.record prof ~site:origin Prof.Propagate ~t0 ~a0
               end
-              else Squeue.broadcast t.fabric ~src:origin (Apply mset)
+              else propagate ()
             end
-            else complete_at site charges;
+            else complete_at t site charges;
             (* The update ET commits locally and propagates asynchronously. *)
             k (Intf.Committed { committed_at = Engine.now t.env.engine })
           end
@@ -486,8 +537,9 @@ let mvstore _ ~site:_ = None
 let history t ~site = t.sites.(site).hist
 
 let converged t =
-  let reference = t.sites.(0).store in
-  Array.for_all (fun site -> Store.equal site.store reference) t.sites
+  (* Shard-aware: a site is only compared on the keys it replicates. *)
+  Sharding.converged t.env.Intf.sharding ~keyspace:t.env.Intf.keyspace
+    ~store:(fun site -> t.sites.(site).store)
 
 let stats t =
   [

@@ -27,6 +27,8 @@
 module Op = Esr_store.Op
 module Value = Esr_store.Value
 module Store = Esr_store.Store
+module Keyspace = Esr_store.Keyspace
+module Sharding = Esr_store.Sharding
 module Hist = Esr_core.Hist
 module Et = Esr_core.Et
 module Epsilon = Esr_core.Epsilon
@@ -114,7 +116,12 @@ type decision = {
 
 type t = {
   env : Intf.env;
+  full : bool;  (* replication factor = sites: historical broadcast path *)
+  dests : Sharding.Dests.t;  (* reusable routing cursor (launch path) *)
   sequencer : Sequencer.t;
+  site_issued : int array;
+      (* per-site dense ticket streams under partial replication — the
+         same interest-ordered sequencer as ordup.ml *)
   prng : Prng.t;
   sites : site array;
   fabric : msg Squeue.t;
@@ -378,10 +385,22 @@ let execute_inner t site mset =
       Hashtbl.remove site.early mset.et;
       t.n_skips <- t.n_skips + 1
   | (Some true | None) as early ->
+      (* Union routing delivers the whole MSet to every interested site;
+         each site executes (and counter-covers, and may later compensate)
+         only the shards it replicates. *)
+      let ops =
+        if t.full then mset.ops
+        else
+          List.filter
+            (fun (key, _) ->
+              Sharding.replicates_id t.env.Intf.sharding ~site:site.id
+                ~id:(Keyspace.find t.env.Intf.keyspace key))
+            mset.ops
+      in
       let entry =
         {
           e_et = mset.et;
-          e_ops = mset.ops;
+          e_ops = ops;
           e_saga = mset.saga;
           e_undos = [];
           e_decided = false;
@@ -391,13 +410,13 @@ let execute_inner t site mset =
       if Trace.on trace then
         Trace.emit trace ~time:(Engine.now t.env.engine)
           (Trace.Mset_applied
-             { et = mset.et; site = site.id; n_ops = List.length mset.ops });
+             { et = mset.et; site = site.id; n_ops = List.length ops });
       apply_entry_ops site entry;
       List.iter
         (fun (key, op) ->
           ignore (Lock_counter.incr site.counters key);
           log_action site ~et:mset.et ~key op)
-        mset.ops;
+        ops;
       site.log <- entry :: site.log;
       (match early with
       | Some true ->
@@ -455,6 +474,23 @@ let local_receive t ~site msg =
   if t.sites.(site).down then t.deferred_local <- (site, msg) :: t.deferred_local
   else receive t ~site msg
 
+(* Coordinator-record fan-out (Decide / Revoke): every site under full
+   replication, only the launch-time participant set otherwise.  The
+   origin's copy bypasses the network in both cases. *)
+let fan_coord t ~origin parts msg =
+  match parts with
+  | None ->
+      Squeue.broadcast t.fabric ~src:origin msg;
+      local_receive t ~site:origin msg
+  | Some arr ->
+      let has_origin = ref false in
+      Array.iter
+        (fun dst ->
+          if dst = origin then has_origin := true
+          else Squeue.send t.fabric ~src:origin ~dst msg)
+        arr;
+      if !has_origin then local_receive t ~site:origin msg
+
 let create (env : Intf.env) =
   let rec t =
     lazy
@@ -467,7 +503,10 @@ let create (env : Intf.env) =
        in
        {
          env;
+         full = Sharding.is_full env.Intf.sharding;
+         dests = Sharding.Dests.cursor env.Intf.sharding;
          sequencer = Sequencer.create ();
+         site_issued = Array.make env.Intf.sites 0;
          prng = Prng.split env.Intf.prng;
          sites =
            Array.init env.Intf.sites (fun id ->
@@ -529,30 +568,72 @@ let intent_to_op = function
    committed", Sec 4.1). *)
 let launch_step t ~origin ~saga ops ~on_decision =
   let et = t.env.Intf.next_et () in
-  let ticket = Sequencer.next t.sequencer in
-  let mset = { et; ticket; ops; origin; saga } in
+  let parts =
+    if t.full then None
+    else begin
+      (* Participants: the union of the touched shards' replica sets
+         (keys interned here so every later lookup agrees on the shard). *)
+      let c = t.dests in
+      Sharding.Dests.reset c;
+      List.iter
+        (fun (key, _) ->
+          Sharding.Dests.add_id c (Keyspace.intern t.env.Intf.keyspace key))
+        ops;
+      let arr = Array.make (Sharding.Dests.count c) 0 in
+      let i = ref 0 in
+      Sharding.Dests.iter c (fun s ->
+          arr.(!i) <- s;
+          incr i);
+      Some arr
+    end
+  in
   let trace = t.env.Intf.obs.Esr_obs.Obs.trace in
   if Trace.on trace then
     Trace.emit trace ~time:(Engine.now t.env.engine)
       (Trace.Mset_enqueued { et; origin; n_ops = List.length ops });
   t.undecided <- t.undecided + 1;
   let prof = t.env.Intf.obs.Esr_obs.Obs.prof in
-  if Prof.on prof then begin
-    let t0 = Prof.start prof in
-    let a0 = Prof.alloc0 prof in
-    Squeue.broadcast t.fabric ~src:origin (Provisional mset);
-    Prof.record prof ~site:origin Prof.Propagate ~t0 ~a0
-  end
-  else Squeue.broadcast t.fabric ~src:origin (Provisional mset);
-  receive t ~site:origin (Provisional mset);
+  (match parts with
+  | None ->
+      let ticket = Sequencer.next t.sequencer in
+      let mset = { et; ticket; ops; origin; saga } in
+      if Prof.on prof then begin
+        let t0 = Prof.start prof in
+        let a0 = Prof.alloc0 prof in
+        Squeue.broadcast t.fabric ~src:origin (Provisional mset);
+        Prof.record prof ~site:origin Prof.Propagate ~t0 ~a0
+      end
+      else Squeue.broadcast t.fabric ~src:origin (Provisional mset);
+      receive t ~site:origin (Provisional mset)
+  | Some arr ->
+      (* Per-site dense tickets, assigned in one atomic step (ordup.ml). *)
+      let local = ref None in
+      let propagate () =
+        Array.iter
+          (fun dst ->
+            t.site_issued.(dst) <- t.site_issued.(dst) + 1;
+            let m = { et; ticket = t.site_issued.(dst); ops; origin; saga } in
+            if dst = origin then local := Some m
+            else Squeue.send t.fabric ~src:origin ~dst (Provisional m))
+          arr
+      in
+      if Prof.on prof then begin
+        let t0 = Prof.start prof in
+        let a0 = Prof.alloc0 prof in
+        propagate ();
+        Prof.record prof ~site:origin Prof.Propagate ~t0 ~a0
+      end
+      else propagate ();
+      (match !local with
+      | Some m -> receive t ~site:origin (Provisional m)
+      | None -> ()));
   let config = t.env.Intf.config in
   let d_apply ~commit =
     if not commit then t.n_aborts <- t.n_aborts + 1;
     t.undecided <- t.undecided - 1;
-    (* If the origin is down, the stable queue holds the broadcast and the
+    (* If the origin is down, the stable queue holds the fan-out and the
        local copy is stashed as a coordinator record for replay. *)
-    Squeue.broadcast t.fabric ~src:origin (Decide { et; commit });
-    local_receive t ~site:origin (Decide { et; commit });
+    fan_coord t ~origin parts (Decide { et; commit });
     on_decision ~et ~commit
   in
   let d = { d_origin = origin; d_done = false; d_apply } in
@@ -568,7 +649,7 @@ let launch_step t ~origin ~saga ops ~on_decision =
            in
            d_apply ~commit
          end));
-  et
+  (et, parts)
 
 let submit_update t ~origin intents k =
   if t.sites.(origin).down then k (Intf.Rejected "origin site down")
@@ -604,32 +685,52 @@ let submit_saga t ~origin steps k =
       t.sagas_active <- t.sagas_active - 1;
       k outcome
     in
-    let rec run_step step_index committed_ets = function
+    let rec run_step step_index committed = function
       | [] ->
-          (* All steps committed: release the deferred counters. *)
-          Squeue.broadcast t.fabric ~src:origin (Saga_end { sid });
-          local_receive t ~site:origin (Saga_end { sid });
+          (* All steps committed: release the deferred counters at every
+             site that executed a step. *)
+          (if t.full then begin
+             Squeue.broadcast t.fabric ~src:origin (Saga_end { sid });
+             local_receive t ~site:origin (Saga_end { sid })
+           end
+           else begin
+             let seen = Array.make t.env.Intf.sites false in
+             List.iter
+               (fun (_, parts) ->
+                 match parts with
+                 | Some arr -> Array.iter (fun s -> seen.(s) <- true) arr
+                 | None -> ())
+               committed;
+             for dst = 0 to t.env.Intf.sites - 1 do
+               if seen.(dst) && dst <> origin then
+                 Squeue.send t.fabric ~src:origin ~dst (Saga_end { sid })
+             done;
+             if seen.(origin) then local_receive t ~site:origin (Saga_end { sid })
+           end);
           finish (Intf.Committed { committed_at = Engine.now t.env.engine })
       | intents :: rest ->
           t.n_updates <- t.n_updates + 1;
           let ops = List.map intent_to_op intents in
-          ignore
-            (launch_step t ~origin ~saga:(Some sid) ops
-               ~on_decision:(fun ~et ~commit ->
-                 if commit then run_step (step_index + 1) (et :: committed_ets) rest
-                 else begin
-                   (* Backward recovery: compensate the committed prefix,
-                      newest first. *)
-                   t.n_saga_aborts <- t.n_saga_aborts + 1;
-                   List.iter
-                     (fun prev_et ->
-                       Squeue.broadcast t.fabric ~src:origin (Revoke { et = prev_et });
-                       local_receive t ~site:origin (Revoke { et = prev_et }))
-                     committed_ets;
-                   finish
-                     (Intf.Rejected
-                        (Printf.sprintf "saga aborted at step %d" step_index))
-                 end))
+          let step_parts = ref None in
+          let _, parts =
+            launch_step t ~origin ~saga:(Some sid) ops
+              ~on_decision:(fun ~et ~commit ->
+                if commit then
+                  run_step (step_index + 1) ((et, !step_parts) :: committed) rest
+                else begin
+                  (* Backward recovery: compensate the committed prefix,
+                     newest first, at exactly the sites that executed it. *)
+                  t.n_saga_aborts <- t.n_saga_aborts + 1;
+                  List.iter
+                    (fun (prev_et, prev_parts) ->
+                      fan_coord t ~origin prev_parts (Revoke { et = prev_et }))
+                    committed;
+                  finish
+                    (Intf.Rejected
+                       (Printf.sprintf "saga aborted at step %d" step_index))
+                end)
+          in
+          step_parts := parts
     in
     run_step 1 [] steps
   end
@@ -862,8 +963,12 @@ let mvstore _ ~site:_ = None
 let history t ~site = t.sites.(site).hist
 
 let converged t =
-  let reference = t.sites.(0).store in
-  Array.for_all (fun site -> Store.equal site.store reference) t.sites
+  if t.full then
+    let reference = t.sites.(0).store in
+    Array.for_all (fun site -> Store.equal site.store reference) t.sites
+  else
+    Sharding.converged t.env.Intf.sharding ~keyspace:t.env.Intf.keyspace
+      ~store:(fun site -> t.sites.(site).store)
 
 let stats t =
   [

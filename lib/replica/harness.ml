@@ -12,6 +12,7 @@ module Trace = Esr_obs.Trace
 module Metrics = Esr_obs.Metrics
 module Series = Esr_obs.Series
 module Value = Esr_store.Value
+module Sharding = Esr_store.Sharding
 
 type t = {
   engine : Engine.t;
@@ -42,13 +43,20 @@ type t = {
 }
 
 let create ?(config = Intf.default_config) ?net_config ?(seed = 42)
-    ?store_hint ?engine_hint ?obs ~sites ~method_name () =
+    ?store_hint ?engine_hint ?sharding ?obs ~sites ~method_name () =
   let obs = match obs with Some o -> o | None -> Obs.default () in
   let engine = Engine.create ?hint:engine_hint () in
   let prng = Prng.create seed in
   let net_prng = Prng.split prng in
   let net = Net.create ?config:net_config ~obs engine ~sites ~prng:net_prng in
-  let env = Intf.make_env ~config ?store_hint ~obs ~engine ~net ~prng () in
+  let env = Intf.make_env ~config ?store_hint ?sharding ~obs ~engine ~net ~prng () in
+  let sharding = env.Intf.sharding in
+  let keyspace = env.Intf.keyspace in
+  (* Probes below only consult the shard map when replication is partial:
+     under full replication the literal historical comparisons run, so
+     every gauge and series value is byte-identical to the unsharded
+     build. *)
+  let full = Sharding.is_full sharding in
   Engine.set_prof engine obs.Obs.prof;
   let m = obs.Obs.metrics in
   let g name f = Metrics.gauge_fn m ~group:"engine" name f in
@@ -104,13 +112,19 @@ let create ?(config = Intf.default_config) ?net_config ?(seed = 42)
     rg "store_words" (fun r -> r.Intf.store_words)
   done;
   Metrics.gauge_fn m ~group:"harness" "divergent_sites" (fun () ->
-      let s0 = Intf.boxed_store t.system ~site:0 in
-      let n = ref 0 in
-      for site = 1 to sites - 1 do
-        if not (Intf.Store.equal s0 (Intf.boxed_store t.system ~site)) then
-          incr n
-      done;
-      float_of_int !n);
+      if full then begin
+        let s0 = Intf.boxed_store t.system ~site:0 in
+        let n = ref 0 in
+        for site = 1 to sites - 1 do
+          if not (Intf.Store.equal s0 (Intf.boxed_store t.system ~site)) then
+            incr n
+        done;
+        float_of_int !n
+      end
+      else
+        float_of_int
+          (Sharding.divergent_replicas sharding ~keyspace ~store:(fun site ->
+               Intf.boxed_store t.system ~site)));
   let series = obs.Obs.series in
   if Series.on series then begin
     (* Derived ESR probes (the ["esr/"] prefix is what the report charts
@@ -122,8 +136,10 @@ let create ?(config = Intf.default_config) ?net_config ?(seed = 42)
       | a, b -> if Value.equal a b then 0.0 else 1.0
     in
     (* Per-key replica spread: for each key anywhere in the system, the
-       largest pairwise distance between site copies (max - min for
-       integer domains). *)
+       largest pairwise distance between copies at the sites replicating
+       that key's shard (max - min for integer domains).  Under full
+       replication every site replicates every shard, so the pair set is
+       the historical all-pairs loop. *)
     let spread_stats () =
       let keys = Hashtbl.create 64 in
       for site = 0 to sites - 1 do
@@ -137,13 +153,32 @@ let create ?(config = Intf.default_config) ?net_config ?(seed = 42)
         (fun k () ->
           incr n_keys;
           let spread = ref 0.0 in
-          for a = 0 to sites - 1 do
-            for b = a + 1 to sites - 1 do
-              let va = Intf.Store.get (Intf.boxed_store t.system ~site:a) k in
-              let vb = Intf.Store.get (Intf.boxed_store t.system ~site:b) k in
-              spread := Float.max !spread (vdist va vb)
-            done
-          done;
+          (if full then
+             for a = 0 to sites - 1 do
+               for b = a + 1 to sites - 1 do
+                 let va = Intf.Store.get (Intf.boxed_store t.system ~site:a) k in
+                 let vb = Intf.Store.get (Intf.boxed_store t.system ~site:b) k in
+                 spread := Float.max !spread (vdist va vb)
+               done
+             done
+           else begin
+             let reps =
+               Sharding.replicas sharding
+                 (Sharding.shard_of_id sharding (Esr_store.Keyspace.find keyspace k))
+             in
+             let n = Array.length reps in
+             for a = 0 to n - 1 do
+               for b = a + 1 to n - 1 do
+                 let va =
+                   Intf.Store.get (Intf.boxed_store t.system ~site:reps.(a)) k
+                 in
+                 let vb =
+                   Intf.Store.get (Intf.boxed_store t.system ~site:reps.(b)) k
+                 in
+                 spread := Float.max !spread (vdist va vb)
+               done
+             done
+           end);
           if !spread > 0.0 then incr divergent;
           s_max := Float.max !s_max !spread;
           s_sum := !s_sum +. !spread)
@@ -175,11 +210,19 @@ let create ?(config = Intf.default_config) ?net_config ?(seed = 42)
     Series.probe series ~name:"esr/conv_lag" (fun () ->
         let t_now = Engine.now engine in
         let equal = ref true in
-        let s0 = Intf.boxed_store t.system ~site:0 in
-        for site = 1 to sites - 1 do
-          if !equal && not (Intf.Store.equal s0 (Intf.boxed_store t.system ~site))
-          then equal := false
-        done;
+        (if full then begin
+           let s0 = Intf.boxed_store t.system ~site:0 in
+           for site = 1 to sites - 1 do
+             if
+               !equal
+               && not (Intf.Store.equal s0 (Intf.boxed_store t.system ~site))
+             then equal := false
+           done
+         end
+         else
+           equal :=
+             Sharding.converged sharding ~keyspace ~store:(fun site ->
+                 Intf.boxed_store t.system ~site));
         if !equal then begin
           last_equal := t_now;
           0.0

@@ -21,6 +21,7 @@ val create :
   ?seed:int ->
   ?store_hint:int ->
   ?engine_hint:int ->
+  ?sharding:Esr_store.Sharding.t ->
   ?obs:Esr_obs.Obs.t ->
   sites:int ->
   method_name:string ->
@@ -30,6 +31,10 @@ val create :
     run deterministic.  [method_name] is resolved by {!Registry.make}.
     [store_hint] (expected keyspace size) and [engine_hint] (expected
     event volume) pre-size the per-site stores and the event heap.
+    [sharding] selects a partial-replication map (default: full
+    replication, {!Esr_store.Sharding.full}); it must be sized for
+    [sites].  Under partial replication the divergence probes and the
+    convergence oracle compare a site only on the keys it replicates.
     [obs] supplies the observability bundle; by default a fresh one is
     created with tracing set from {!Esr_obs.Obs.set_default_tracing}
     (normally off, which makes instrumentation zero-cost). *)

@@ -12,6 +12,7 @@ module Value = Esr_store.Value
 module Store = Esr_store.Store
 module Mvstore = Esr_store.Mvstore
 module Keyspace = Esr_store.Keyspace
+module Sharding = Esr_store.Sharding
 module Epsilon = Esr_core.Epsilon
 module Hist = Esr_core.Hist
 
@@ -162,6 +163,12 @@ type env = {
   keyspace : Keyspace.t;
       (** run-wide key interner shared by every replica store, so a key's
           dense id is stable across sites and MSets can carry ids *)
+  sharding : Sharding.t;
+      (** shard -> replica-set placement map; methods route MSets and
+          propagation only to the sites replicating the touched shards.
+          Defaults to {!Sharding.full} (every site replicates every
+          shard), which preserves the historical broadcast behaviour
+          byte-for-byte. *)
   next_et : unit -> Esr_core.Et.id;  (** shared ET id allocator *)
   obs : Esr_obs.Obs.t;
       (** per-run trace sink + metrics registry; methods emit MSet and
@@ -169,18 +176,28 @@ type env = {
           queues.  Defaults to a fresh bundle with tracing off. *)
 }
 
-let make_env ?(config = default_config) ?(store_hint = 64) ?obs ~engine ~net
-    ~prng () =
+let make_env ?(config = default_config) ?(store_hint = 64) ?sharding ?obs
+    ~engine ~net ~prng () =
   let counter = ref 0 in
   let obs = match obs with Some o -> o | None -> Esr_obs.Obs.default () in
+  let sites = Esr_sim.Net.sites net in
+  let sharding =
+    match sharding with
+    | Some s ->
+        if Sharding.sites s <> sites then
+          invalid_arg "Intf.make_env: sharding sized for a different site count";
+        s
+    | None -> Sharding.full ~sites
+  in
   {
     engine;
     net;
     prng;
-    sites = Esr_sim.Net.sites net;
+    sites;
     config;
     store_hint = Stdlib.max 1 store_hint;
     keyspace = Keyspace.create ~hint:store_hint ();
+    sharding;
     next_et =
       (fun () ->
         incr counter;

@@ -21,6 +21,7 @@
 module Op = Esr_store.Op
 module Value = Esr_store.Value
 module Store = Esr_store.Store
+module Sharding = Esr_store.Sharding
 module Hist = Esr_core.Hist
 module Et = Esr_core.Et
 module Epsilon = Esr_core.Epsilon
@@ -48,6 +49,10 @@ type mset = {
   order : order;
   ops : Intf.iop list;
   origin : int;
+  commit_site : int;
+      (* the site whose in-order execution commits the ET: the origin when
+         it replicates a touched shard (always, under full replication),
+         otherwise the lowest interested replica *)
 }
 
 type msg = Update of mset | Watermark of Gtime.t
@@ -85,7 +90,14 @@ type site = {
 type t = {
   env : Intf.env;
   mode : [ `Sequencer | `Lamport ];
+  full : bool;  (* replication factor = sites: historical broadcast path *)
+  dests : Sharding.Dests.t;  (* reusable routing cursor (submit path) *)
   sequencer : Sequencer.t;
+  site_issued : int array;
+      (* sequencer mode under partial replication: per-site dense ticket
+         streams (a site executes ITS OWN stream gap-free; cross-site
+         order is inherited from submission order, which assigns every
+         interested site its next ticket atomically) *)
   sites : site array;
   fabric : msg Squeue.t;
   (* origin site and commit callback; the callback is volatile origin-side
@@ -120,15 +132,23 @@ let apply_mset_inner t site mset =
          { et = mset.et; site = site.id; n_ops = List.length mset.ops });
   List.iter
     (fun (i : Intf.iop) ->
-      (match Store.apply_id_unit site.store i.Intf.id i.Intf.op with
-      | Ok () -> ()
-      | Error _ ->
-          (* ORDUP imposes no operation restriction; type errors are a
-             workload bug, surfaced loudly. *)
-          invalid_arg
-            (Printf.sprintf "ORDUP: op %s failed on %s"
-               (Op.to_string i.Intf.op) i.Intf.key));
-      log_action site ~et:mset.et ~key:i.Intf.key i.Intf.op)
+      (* Union routing delivers the whole MSet to every interested site;
+         each site materializes only the shards it replicates. *)
+      if
+        t.full
+        || Sharding.replicates_id t.env.Intf.sharding ~site:site.id
+             ~id:i.Intf.id
+      then begin
+        (match Store.apply_id_unit site.store i.Intf.id i.Intf.op with
+        | Ok () -> ()
+        | Error _ ->
+            (* ORDUP imposes no operation restriction; type errors are a
+               workload bug, surfaced loudly. *)
+            invalid_arg
+              (Printf.sprintf "ORDUP: op %s failed on %s"
+                 (Op.to_string i.Intf.op) i.Intf.key));
+        log_action site ~et:mset.et ~key:i.Intf.key i.Intf.op
+      end)
     mset.ops;
   (* Charge active queries that this update interleaves: it executes after
      the query's serialization point and touches its keys. *)
@@ -146,7 +166,7 @@ let apply_mset_inner t site mset =
         else aq.aq_failed <- true)
     site.active;
   Recovery.Wal.consume t.wal ~site:site.id ~key:mset.et;
-  if mset.origin = site.id then
+  if mset.commit_site = site.id then
     match Hashtbl.find_opt t.pending_commits mset.et with
     | Some (_, k) ->
         Hashtbl.remove t.pending_commits mset.et;
@@ -263,7 +283,10 @@ let create (env : Intf.env) =
        {
          env;
          mode = env.Intf.config.Intf.ordup_ordering;
+         full = Sharding.is_full env.Intf.sharding;
+         dests = Sharding.Dests.cursor env.Intf.sharding;
          sequencer = Sequencer.create ();
+         site_issued = Array.make env.Intf.sites 0;
          sites =
            Array.init env.Intf.sites (fun id ->
                {
@@ -311,35 +334,112 @@ let submit_update t ~origin intents k =
     let et = t.env.Intf.next_et () in
     let ops = List.map (intent_to_op t.env) intents in
     let site = t.sites.(origin) in
-    let order =
-      match t.mode with
-      | `Sequencer -> Ticket (Sequencer.next t.sequencer)
-      | `Lamport -> Stamp (Gtime.next site.clock ~site:origin)
-    in
-    let mset = { et; order; ops; origin } in
-    let trace = t.env.Intf.obs.Esr_obs.Obs.trace in
-    if Trace.on trace then
-      Trace.emit trace ~time:(Engine.now t.env.engine)
-        (Trace.Mset_enqueued { et; origin; n_ops = List.length ops });
-    Hashtbl.replace t.pending_commits et (origin, k);
-    (* Remote replicas get the MSet through the stable queues; the origin
-       buffers it directly (local enqueue is not subject to the network). *)
-    let prof = t.env.Intf.obs.Esr_obs.Obs.prof in
-    if Prof.on prof then begin
-      let t0 = Prof.start prof in
-      let a0 = Prof.alloc0 prof in
-      Squeue.broadcast t.fabric ~src:origin (Update mset);
-      Prof.record prof ~site:origin Prof.Propagate ~t0 ~a0
+    if t.full then begin
+      let order =
+        match t.mode with
+        | `Sequencer -> Ticket (Sequencer.next t.sequencer)
+        | `Lamport -> Stamp (Gtime.next site.clock ~site:origin)
+      in
+      let mset = { et; order; ops; origin; commit_site = origin } in
+      let trace = t.env.Intf.obs.Esr_obs.Obs.trace in
+      if Trace.on trace then
+        Trace.emit trace ~time:(Engine.now t.env.engine)
+          (Trace.Mset_enqueued { et; origin; n_ops = List.length ops });
+      Hashtbl.replace t.pending_commits et (origin, k);
+      (* Remote replicas get the MSet through the stable queues; the origin
+         buffers it directly (local enqueue is not subject to the network). *)
+      let prof = t.env.Intf.obs.Esr_obs.Obs.prof in
+      if Prof.on prof then begin
+        let t0 = Prof.start prof in
+        let a0 = Prof.alloc0 prof in
+        Squeue.broadcast t.fabric ~src:origin (Update mset);
+        Prof.record prof ~site:origin Prof.Propagate ~t0 ~a0
+      end
+      else Squeue.broadcast t.fabric ~src:origin (Update mset);
+      receive t ~site:origin (Update mset)
     end
-    else Squeue.broadcast t.fabric ~src:origin (Update mset);
-    receive t ~site:origin (Update mset)
+    else begin
+      let c = t.dests in
+      Sharding.Dests.reset c;
+      List.iter (fun (i : Intf.iop) -> Sharding.Dests.add_id c i.Intf.id) ops;
+      let commit_site =
+        if Sharding.Dests.mem c origin then origin
+        else begin
+          let first = ref (-1) in
+          Sharding.Dests.iter c (fun s -> if !first < 0 then first := s);
+          !first
+        end
+      in
+      let trace = t.env.Intf.obs.Esr_obs.Obs.trace in
+      if Trace.on trace then
+        Trace.emit trace ~time:(Engine.now t.env.engine)
+          (Trace.Mset_enqueued { et; origin; n_ops = List.length ops });
+      Hashtbl.replace t.pending_commits et (origin, k);
+      let prof = t.env.Intf.obs.Esr_obs.Obs.prof in
+      match t.mode with
+      | `Sequencer ->
+          (* Per-site dense tickets: each interested site gets the next
+             number of its own stream, assigned here in one atomic step so
+             every stream lists concurrent ETs in the same (submission)
+             order. *)
+          let local = ref None in
+          let propagate () =
+            Sharding.Dests.iter c (fun dst ->
+                t.site_issued.(dst) <- t.site_issued.(dst) + 1;
+                let m =
+                  { et; order = Ticket t.site_issued.(dst); ops; origin;
+                    commit_site }
+                in
+                if dst = origin then local := Some m
+                else Squeue.send t.fabric ~src:origin ~dst (Update m))
+          in
+          if Prof.on prof then begin
+            let t0 = Prof.start prof in
+            let a0 = Prof.alloc0 prof in
+            propagate ();
+            Prof.record prof ~site:origin Prof.Propagate ~t0 ~a0
+          end
+          else propagate ();
+          (match !local with
+          | Some m -> receive t ~site:origin (Update m)
+          | None -> ())
+      | `Lamport ->
+          (* Interested sites get the MSet; everyone else still needs the
+             stamp as a watermark, or their delivery-order proof (and any
+             parked SR query) would stall until the final flush. *)
+          let stamp = Gtime.next site.clock ~site:origin in
+          let mset = { et; order = Stamp stamp; ops; origin; commit_site } in
+          let propagate () =
+            for dst = 0 to t.env.Intf.sites - 1 do
+              if dst <> origin then
+                if Sharding.Dests.mem c dst then
+                  Squeue.send t.fabric ~src:origin ~dst (Update mset)
+                else Squeue.send t.fabric ~src:origin ~dst (Watermark stamp)
+            done
+          in
+          if Prof.on prof then begin
+            let t0 = Prof.start prof in
+            let a0 = Prof.alloc0 prof in
+            propagate ();
+            Prof.record prof ~site:origin Prof.Propagate ~t0 ~a0
+          end
+          else propagate ();
+          if Sharding.Dests.mem c origin then
+            receive t ~site:origin (Update mset)
+          else receive t ~site:origin (Watermark stamp)
+    end
   end
 
 (* The query's serialization point: everything ordered at or before this
    is "the past" the query should see. *)
 let query_order t site =
   match t.mode with
-  | `Sequencer -> Ticket (Sequencer.issued t.sequencer)
+  | `Sequencer ->
+      (* Under partial replication each site executes its own dense
+         stream, so the serialization point is the last ticket issued FOR
+         this site, not the global count. *)
+      if t.full then Ticket (Sequencer.issued t.sequencer)
+      else Ticket t.site_issued.(site.id)
   | `Lamport -> Stamp (Gtime.make ~counter:(Lamport.peek site.clock) ~site:site.id)
 
 (* Updates ordered before the query's point but not yet executed locally:
@@ -548,8 +648,12 @@ let mvstore _ ~site:_ = None
 let history t ~site = t.sites.(site).hist
 
 let converged t =
-  let reference = t.sites.(0).store in
-  Array.for_all (fun site -> Store.equal site.store reference) t.sites
+  if t.full then
+    let reference = t.sites.(0).store in
+    Array.for_all (fun site -> Store.equal site.store reference) t.sites
+  else
+    Sharding.converged t.env.Intf.sharding ~keyspace:t.env.Intf.keyspace
+      ~store:(fun site -> t.sites.(site).store)
 
 let stats t =
   [

@@ -25,6 +25,8 @@
 module Op = Esr_store.Op
 module Value = Esr_store.Value
 module Store = Esr_store.Store
+module Keyspace = Esr_store.Keyspace
+module Sharding = Esr_store.Sharding
 module Hist = Esr_core.Hist
 module Et = Esr_core.Et
 module Epsilon = Esr_core.Epsilon
@@ -61,6 +63,8 @@ type pending_query = {
 
 type t = {
   env : Intf.env;
+  full : bool;  (* replication factor = sites: historical broadcast path *)
+  dests : Sharding.Dests.t;  (* reusable routing cursor (refresh path) *)
   sites : site array;
   fabric : msg Squeue.t;
   refresh : [ `Immediate | `Periodic of float | `Drift of float ];
@@ -102,18 +106,26 @@ let push_key t key =
   Hashtbl.replace t.last_pushed key value;
   t.next_version <- t.next_version + 1;
   t.n_refreshes <- t.n_refreshes + 1;
-  (* Refresh pushes are QUASI's update propagation. *)
+  (* Refresh pushes are QUASI's update propagation: only the sites keeping
+     a quasi-copy of the key's shard need them. *)
+  let propagate () =
+    let msg = Refresh { key; value; version = t.next_version } in
+    if t.full then Squeue.broadcast t.fabric ~src:primary msg
+    else begin
+      let c = t.dests in
+      Sharding.Dests.reset c;
+      Sharding.Dests.add_id c (Keyspace.find t.env.Intf.keyspace key);
+      Squeue.multicast t.fabric ~src:primary ~dests:c msg
+    end
+  in
   let prof = t.env.Intf.obs.Esr_obs.Obs.prof in
   if Prof.on prof then begin
     let t0 = Prof.start prof in
     let a0 = Prof.alloc0 prof in
-    Squeue.broadcast t.fabric ~src:primary
-      (Refresh { key; value; version = t.next_version });
+    propagate ();
     Prof.record prof ~site:primary Prof.Propagate ~t0 ~a0
   end
-  else
-    Squeue.broadcast t.fabric ~src:primary
-      (Refresh { key; value; version = t.next_version })
+  else propagate ()
 
 let rec arm_timer t tau =
   if not t.timer_armed then begin
@@ -219,6 +231,8 @@ let create (env : Intf.env) =
        in
        {
          env;
+         full = Sharding.is_full env.Intf.sharding;
+         dests = Sharding.Dests.cursor env.Intf.sharding;
          sites =
            Array.init env.Intf.sites (fun id ->
                {
@@ -421,7 +435,29 @@ let history t ~site = t.sites.(site).hist
 
 let converged t =
   let reference = t.sites.(primary).store in
-  Array.for_all (fun site -> Store.equal site.store reference) t.sites
+  if t.full then
+    Array.for_all (fun site -> Store.equal site.store reference) t.sites
+  else begin
+    (* The primary's copy is the master; each quasi-copy must agree with
+       it on exactly the keys (shards) it replicates. *)
+    let sh = t.env.Intf.sharding in
+    let n = Keyspace.size t.env.Intf.keyspace in
+    let ok = ref true in
+    let id = ref 0 in
+    while !ok && !id < n do
+      let v = Store.get_id reference !id in
+      let reps = Sharding.replicas sh (Sharding.shard_of_id sh !id) in
+      for i = 0 to Array.length reps - 1 do
+        let s = reps.(i) in
+        if
+          !ok && s <> primary
+          && not (Value.equal (Store.get_id t.sites.(s).store !id) v)
+        then ok := false
+      done;
+      incr id
+    done;
+    !ok
+  end
 
 let stats t =
   [

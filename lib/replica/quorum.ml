@@ -18,6 +18,8 @@
 module Op = Esr_store.Op
 module Value = Esr_store.Value
 module Store = Esr_store.Store
+module Keyspace = Esr_store.Keyspace
+module Sharding = Esr_store.Sharding
 module Hist = Esr_core.Hist
 module Et = Esr_core.Et
 module Engine = Esr_sim.Engine
@@ -80,6 +82,7 @@ type site = {
 
 type t = {
   env : Intf.env;
+  full : bool;  (* replication factor = sites: historical broadcast path *)
   sites : site array;
   fabric : msg Squeue.t;
   reads : (int, read_round) Hashtbl.t;
@@ -164,6 +167,25 @@ and post t ~src ~dst msg =
   if src = dst then receive t ~site:dst msg
   else Squeue.send t.fabric ~src ~dst msg
 
+(* Round fan-out: every site under full replication (the historical
+   behaviour), only the key's replica set otherwise — quorums intersect
+   within the replica set, not the whole system. *)
+let fan_key t key f =
+  if t.full then
+    for dst = 0 to t.env.Intf.sites - 1 do
+      f dst
+    done
+  else begin
+    let sh = t.env.Intf.sharding in
+    let reps =
+      Sharding.replicas sh
+        (Sharding.shard_of_id sh (Keyspace.find t.env.Intf.keyspace key))
+    in
+    for i = 0 to Array.length reps - 1 do
+      f reps.(i)
+    done
+  end
+
 let read_round t ~origin ~et ~key ~needed ~update ~done_ ~fail =
   let rid = t.next_round in
   t.next_round <- rid + 1;
@@ -177,9 +199,8 @@ let read_round t ~origin ~et ~key ~needed ~update ~done_ ~fail =
       r_fail = fail;
       r_update = update;
     };
-  for dst = 0 to t.env.Intf.sites - 1 do
-    post t ~src:origin ~dst (Version_req { rid; et; key; requester = origin })
-  done
+  fan_key t key (fun dst ->
+      post t ~src:origin ~dst (Version_req { rid; et; key; requester = origin }))
 
 let write_round t ~origin ~et ~key ~value ~version ~done_ ~fail =
   let wid = t.next_round in
@@ -192,11 +213,10 @@ let write_round t ~origin ~et ~key ~value ~version ~done_ ~fail =
       w_done = done_;
       w_fail = fail;
     };
-  (* The write broadcast is QUORUM's update propagation. *)
+  (* The write fan-out is QUORUM's update propagation. *)
   let fan_out () =
-    for dst = 0 to t.env.Intf.sites - 1 do
-      post t ~src:origin ~dst (Write_req { wid; et; key; value; version })
-    done
+    fan_key t key (fun dst ->
+        post t ~src:origin ~dst (Write_req { wid; et; key; value; version }))
   in
   let prof = t.env.Intf.obs.Esr_obs.Obs.prof in
   if Prof.on prof then begin
@@ -209,11 +229,17 @@ let write_round t ~origin ~et ~key ~value ~version ~done_ ~fail =
 
 let create (env : Intf.env) =
   let n = env.Intf.sites in
-  let majority = (n / 2) + 1 in
+  (* Under partial replication, quorums live inside each key's replica
+     set: intersection must hold among the [factor] copies, not among all
+     sites.  With factor = sites this is exactly the historical rule. *)
+  let copies = Sharding.factor env.Intf.sharding in
+  let majority = (copies / 2) + 1 in
   let read_quorum = Option.value env.Intf.config.Intf.quorum_reads ~default:majority in
   let write_quorum = Option.value env.Intf.config.Intf.quorum_writes ~default:majority in
-  if read_quorum + write_quorum <= n then
-    invalid_arg "Quorum.create: r + w must exceed the number of sites";
+  if read_quorum + write_quorum <= copies then
+    invalid_arg "Quorum.create: r + w must exceed the number of copies";
+  if read_quorum > copies || write_quorum > copies then
+    invalid_arg "Quorum.create: a quorum cannot exceed the replication factor";
   let rec t =
     lazy
       (let fabric =
@@ -225,6 +251,7 @@ let create (env : Intf.env) =
        in
        {
          env;
+         full = Sharding.is_full env.Intf.sharding;
          sites =
            Array.init n (fun id ->
                {
@@ -254,6 +281,9 @@ let submit_update t ~origin intents notify =
   | _ when t.sites.(origin).down -> notify (Intf.Rejected "origin site down")
   | [ Intf.Set (key, value) ] ->
       t.n_updates <- t.n_updates + 1;
+      (* Pin the key's shard before routing: both rounds and every later
+         access must agree on the replica set. *)
+      if not t.full then ignore (Keyspace.intern t.env.Intf.keyspace key);
       let et = t.env.Intf.next_et () in
       let trace = t.env.Intf.obs.Esr_obs.Obs.trace in
       if Trace.on trace then
@@ -394,8 +424,12 @@ let mvstore _ ~site:_ = None
 let history t ~site = t.sites.(site).hist
 
 let converged t =
-  let reference = t.sites.(0).store in
-  Array.for_all (fun site -> Store.equal site.store reference) t.sites
+  if t.full then
+    let reference = t.sites.(0).store in
+    Array.for_all (fun site -> Store.equal site.store reference) t.sites
+  else
+    Sharding.converged t.env.Intf.sharding ~keyspace:t.env.Intf.keyspace
+      ~store:(fun site -> t.sites.(site).store)
 
 let stats t =
   [

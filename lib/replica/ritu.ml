@@ -20,6 +20,8 @@ module Op = Esr_store.Op
 module Value = Esr_store.Value
 module Store = Esr_store.Store
 module Mvstore = Esr_store.Mvstore
+module Keyspace = Esr_store.Keyspace
+module Sharding = Esr_store.Sharding
 module Hist = Esr_core.Hist
 module Et = Esr_core.Et
 module Epsilon = Esr_core.Epsilon
@@ -54,6 +56,8 @@ type site = {
 type t = {
   env : Intf.env;
   mode : [ `Single | `Multi ];
+  full : bool;  (* replication factor = sites: historical broadcast path *)
+  dests : Sharding.Dests.t;  (* reusable routing cursor (submit path) *)
   sites : site array;
   fabric : msg Squeue.t;
   mutable n_updates : int;
@@ -100,26 +104,29 @@ let apply_mset_inner t site mset =
   let stamp = mset.stamp in
   List.iter
     (fun (id, key, value) ->
-      let op =
-        match t.mode with
-        | `Single -> Op.Timed_write { ts = stamp; value }
-        | `Multi -> Op.Append { ts = stamp; value }
-      in
-      (match t.mode with
-      | `Single ->
-          (* Latest-writer-wins by hand: a stale stamp can only hit a key
-             that already has a newer (materialized) cell, so skipping the
-             write leaves the store byte-identical to [Store.apply] while
-             allocating nothing. *)
-          if Gtime.compare stamp (Store.get_ts_id site.store id) > 0 then
-            Store.set_with_ts_id site.store id value stamp
-          else t.n_stale_ignored <- t.n_stale_ignored + 1
-      | `Multi ->
-          ignore (Mvstore.append site.mv key ~ts:stamp value);
-          (* Maintain the latest-version view for convergence checks. *)
-          if Gtime.compare stamp (Store.get_ts_id site.store id) > 0 then
-            Store.set_with_ts_id site.store id value stamp);
-      log_action site ~et:mset.et ~key op)
+      if t.full || Sharding.replicates_id t.env.Intf.sharding ~site:site.id ~id
+      then begin
+        let op =
+          match t.mode with
+          | `Single -> Op.Timed_write { ts = stamp; value }
+          | `Multi -> Op.Append { ts = stamp; value }
+        in
+        (match t.mode with
+        | `Single ->
+            (* Latest-writer-wins by hand: a stale stamp can only hit a key
+               that already has a newer (materialized) cell, so skipping the
+               write leaves the store byte-identical to [Store.apply] while
+               allocating nothing. *)
+            if Gtime.compare stamp (Store.get_ts_id site.store id) > 0 then
+              Store.set_with_ts_id site.store id value stamp
+            else t.n_stale_ignored <- t.n_stale_ignored + 1
+        | `Multi ->
+            ignore (Mvstore.append site.mv key ~ts:stamp value);
+            (* Maintain the latest-version view for convergence checks. *)
+            if Gtime.compare stamp (Store.get_ts_id site.store id) > 0 then
+              Store.set_with_ts_id site.store id value stamp);
+        log_action site ~et:mset.et ~key op
+      end)
     mset.writes
 
 let apply_mset t site mset =
@@ -131,6 +138,14 @@ let apply_mset t site mset =
     Prof.record prof ~site:site.id Prof.Apply ~t0 ~a0
   end
   else apply_mset_inner t site mset
+
+(* Union of the replica sets of an MSet's write shards: the only sites
+   whose stores the writes can change. *)
+let interested t writes =
+  let c = t.dests in
+  Sharding.Dests.reset c;
+  List.iter (fun (id, _, _) -> Sharding.Dests.add_id c id) writes;
+  c
 
 let receive t ~site:site_id msg =
   let site = t.sites.(site_id) in
@@ -151,6 +166,8 @@ let create (env : Intf.env) =
        {
          env;
          mode = env.Intf.config.Intf.ritu_mode;
+         full = Sharding.is_full env.Intf.sharding;
+         dests = Sharding.Dests.cursor env.Intf.sharding;
          sites =
            Array.init env.Intf.sites (fun id ->
                {
@@ -208,14 +225,22 @@ let submit_update t ~origin intents k =
       Trace.emit trace ~time:(Engine.now t.env.engine)
         (Trace.Mset_enqueued { et; origin; n_ops = List.length writes });
     apply_mset t site mset;
+    let propagate () =
+      if t.full then Squeue.broadcast t.fabric ~src:origin (Update mset)
+      else
+        (* Blind writes only matter to the replicas of their shards; commit
+           stays immediate and local either way (read-independence). *)
+        Squeue.multicast t.fabric ~src:origin ~dests:(interested t writes)
+          (Update mset)
+    in
     let prof = t.env.Intf.obs.Esr_obs.Obs.prof in
     if Prof.on prof then begin
       let t0 = Prof.start prof in
       let a0 = Prof.alloc0 prof in
-      Squeue.broadcast t.fabric ~src:origin (Update mset);
+      propagate ();
       Prof.record prof ~site:origin Prof.Propagate ~t0 ~a0
     end
-    else Squeue.broadcast t.fabric ~src:origin (Update mset);
+    else propagate ();
     k (Intf.Committed { committed_at = Engine.now t.env.engine })
   end
 
@@ -352,12 +377,36 @@ let mvstore t ~site =
 let history t ~site = t.sites.(site).hist
 
 let converged t =
-  let reference = t.sites.(0) in
-  Array.for_all
-    (fun site ->
-      Store.equal site.store reference.store
-      && (t.mode = `Single || Mvstore.equal site.mv reference.mv))
-    t.sites
+  if t.full then
+    let reference = t.sites.(0) in
+    Array.for_all
+      (fun site ->
+        Store.equal site.store reference.store
+        && (t.mode = `Single || Mvstore.equal site.mv reference.mv))
+      t.sites
+  else begin
+    let sh = t.env.Intf.sharding in
+    let ks = t.env.Intf.keyspace in
+    Sharding.converged sh ~keyspace:ks ~store:(fun site -> t.sites.(site).store)
+    && (t.mode = `Single
+       ||
+       (* Replicas of a shard must also agree on the full version lists of
+          its keys, not just the latest-writer view. *)
+       let ok = ref true in
+       let id = ref 0 in
+       let n = Keyspace.size ks in
+       while !ok && !id < n do
+         let key = Keyspace.name ks !id in
+         let reps = Sharding.replicas sh (Sharding.shard_of_id sh !id) in
+         let reference = Mvstore.versions t.sites.(reps.(0)).mv key in
+         for i = 1 to Array.length reps - 1 do
+           if !ok && Mvstore.versions t.sites.(reps.(i)).mv key <> reference
+           then ok := false
+         done;
+         incr id
+       done;
+       !ok)
+  end
 
 let stats t =
   [

@@ -26,6 +26,8 @@
 
 module Op = Esr_store.Op
 module Store = Esr_store.Store
+module Keyspace = Esr_store.Keyspace
+module Sharding = Esr_store.Sharding
 module Hist = Esr_core.Hist
 module Et = Esr_core.Et
 module Lock_table = Esr_cc.Lock_table
@@ -48,6 +50,10 @@ type coord_state = {
   c_et : Et.id;
   c_site : int;  (* the coordinator's site id *)
   c_ops : (string * Op.t) list;
+  c_parts : int array option;
+      (* participant sites (ascending) under partial replication: the
+         union of the touched shards' replica sets; [None] = every site
+         (full replication, the historical write-all) *)
   mutable c_votes : int;  (* votes still awaited *)
   mutable c_acks : int;  (* completion acks still awaited *)
   mutable c_aborted : bool;
@@ -81,6 +87,8 @@ type site = {
 
 type t = {
   env : Intf.env;
+  full : bool;  (* replication factor = sites: historical write-all path *)
+  dests : Sharding.Dests.t;  (* reusable routing cursor (submit path) *)
   sites : site array;
   fabric : msg Squeue.t;
   coords : (Et.id, coord_state) Hashtbl.t;
@@ -148,14 +156,23 @@ let rec receive t ~site:site_id msg =
       | None -> ()
       | Some coord ->
           if not coord.c_decided then begin
-            (* Phase 1 proper: prepare everywhere, coordinator included.
-               The fan-out is 2PC's update propagation, so it carries the
-               Propagate profiling phase. *)
+            (* Phase 1 proper: prepare at every participant, coordinator
+               included when it participates.  The fan-out is 2PC's update
+               propagation, so it carries the Propagate profiling phase. *)
             let fan_out () =
-              for dst = 0 to Array.length t.sites - 1 do
-                post t ~src:coord.c_site ~dst
-                  (Prepare { et; ops = coord.c_ops; coordinator = coord.c_site })
-              done
+              match coord.c_parts with
+              | None ->
+                  for dst = 0 to Array.length t.sites - 1 do
+                    post t ~src:coord.c_site ~dst
+                      (Prepare { et; ops = coord.c_ops; coordinator = coord.c_site })
+                  done
+              | Some parts ->
+                  Array.iter
+                    (fun dst ->
+                      post t ~src:coord.c_site ~dst
+                        (Prepare
+                           { et; ops = coord.c_ops; coordinator = coord.c_site }))
+                    parts
             in
             let prof = t.env.Intf.obs.Esr_obs.Obs.prof in
             if Prof.on prof then begin
@@ -167,6 +184,17 @@ let rec receive t ~site:site_id msg =
             else fan_out ()
           end)
   | Prepare { et; ops; coordinator } ->
+      (* A participant locks, logs and applies only the ops of the shards
+         it replicates (it joined the union for at least one of them). *)
+      let ops =
+        if t.full then ops
+        else
+          List.filter
+            (fun (key, _) ->
+              Sharding.replicates_id t.env.Intf.sharding ~site:site_id
+                ~id:(Keyspace.find t.env.Intf.keyspace key))
+            ops
+      in
       let requests =
         List.map (fun (key, op) -> (key, Lock_table.W, Some op)) ops
       in
@@ -254,12 +282,26 @@ and coordinator_vote t et yes =
             coord.c_notify (Intf.Rejected "2PC: aborted (deadlock vote)")
           end;
           (* Phase 2: route the decision to every participant. *)
-          for dst = 0 to Array.length t.sites - 1 do
-            post t ~src:coord.c_site ~dst
-              (Decision { et = coord.c_et; commit; coordinator = coord.c_site })
-          done
+          send_decision t coord ~commit
         end
       end
+
+(* Decisions go to every participant — plus the lock service at site 0,
+   which must release the ET's global locks even when it replicates none
+   of the touched shards. *)
+and send_decision t coord ~commit =
+  let msg dst =
+    post t ~src:coord.c_site ~dst
+      (Decision { et = coord.c_et; commit; coordinator = coord.c_site })
+  in
+  match coord.c_parts with
+  | None ->
+      for dst = 0 to Array.length t.sites - 1 do
+        msg dst
+      done
+  | Some parts ->
+      if Array.length parts = 0 || parts.(0) <> 0 then msg 0;
+      Array.iter msg parts
 
 and coordinator_done t et =
   match Hashtbl.find_opt t.coords et with
@@ -280,6 +322,8 @@ let create (env : Intf.env) =
        in
        {
          env;
+         full = Sharding.is_full env.Intf.sharding;
+         dests = Sharding.Dests.cursor env.Intf.sharding;
          sites =
            Array.init env.Intf.sites (fun id ->
                {
@@ -323,13 +367,42 @@ let submit_update t ~origin intents notify =
       Trace.emit trace ~time:(Engine.now t.env.engine)
         (Trace.Mset_enqueued { et; origin; n_ops = List.length ops });
     let n = t.env.Intf.sites in
+    let parts =
+      if t.full then None
+      else begin
+        (* Participants: the union of the touched shards' replica sets
+           (keys interned here so every later lookup agrees on the shard). *)
+        let c = t.dests in
+        Sharding.Dests.reset c;
+        List.iter
+          (fun (key, _) ->
+            Sharding.Dests.add_id c (Keyspace.intern t.env.Intf.keyspace key))
+          ops;
+        let arr = Array.make (Sharding.Dests.count c) 0 in
+        let i = ref 0 in
+        Sharding.Dests.iter c (fun s ->
+            arr.(!i) <- s;
+            incr i);
+        Some arr
+      end
+    in
+    let votes = match parts with None -> n | Some p -> Array.length p in
+    let acks =
+      match parts with
+      | None -> n
+      | Some p ->
+          (* Every participant acks its decision, and so does the lock
+             service at site 0 when it is not itself a participant. *)
+          Array.length p + (if Array.length p > 0 && p.(0) = 0 then 0 else 1)
+    in
     let coord =
       {
         c_et = et;
         c_site = origin;
         c_ops = ops;
-        c_votes = n;
-        c_acks = n;
+        c_parts = parts;
+        c_votes = votes;
+        c_acks = acks;
         c_aborted = false;
         c_decided = false;
         c_notify = notify;
@@ -348,10 +421,7 @@ let submit_update t ~origin intents notify =
              coord.c_decided <- true;
              t.n_aborted <- t.n_aborted + 1;
              coord.c_notify (Intf.Rejected "2PC: aborted (timeout)");
-             for dst = 0 to n - 1 do
-               post t ~src:origin ~dst
-                 (Decision { et; commit = false; coordinator = origin })
-             done
+             send_decision t coord ~commit:false
            end))
   end
 
@@ -457,14 +527,11 @@ let on_crash t ~site:site_id =
       |> List.sort (fun (a, _) (b, _) -> compare a b)
     in
     List.iter
-      (fun (et, coord) ->
+      (fun (_, coord) ->
         coord.c_decided <- true;
         t.n_aborted <- t.n_aborted + 1;
         coord.c_notify (Intf.Rejected "2PC: aborted (origin site crashed)");
-        for dst = 0 to Array.length t.sites - 1 do
-          post t ~src:site_id ~dst
-            (Decision { et; commit = false; coordinator = site_id })
-        done)
+        send_decision t coord ~commit:false)
       orphaned;
     Recovery.emit_volatile_dropped ~obs:t.env.Intf.obs ~engine:t.env.Intf.engine
       ~site:site_id ~buffered:0 ~queries_failed:(List.length waiting)
@@ -494,8 +561,12 @@ let mvstore _ ~site:_ = None
 let history t ~site = t.sites.(site).hist
 
 let converged t =
-  let reference = t.sites.(0).store in
-  Array.for_all (fun site -> Store.equal site.store reference) t.sites
+  if t.full then
+    let reference = t.sites.(0).store in
+    Array.for_all (fun site -> Store.equal site.store reference) t.sites
+  else
+    Sharding.converged t.env.Intf.sharding ~keyspace:t.env.Intf.keyspace
+      ~store:(fun site -> t.sites.(site).store)
 
 let stats t =
   [

@@ -194,6 +194,13 @@ let send ?(cls = "msg") t ~src ~dst callback =
     end
   end
 
+let send_shard ?cls t ~sharding ~shard ~src callback =
+  let reps = Esr_store.Sharding.replicas sharding shard in
+  for i = 0 to Array.length reps - 1 do
+    let dst = Array.unsafe_get reps i in
+    if dst <> src then send ?cls t ~src ~dst callback
+  done
+
 let partition t groups =
   let seen = Array.make t.n_sites false in
   List.iteri

@@ -51,6 +51,21 @@ val send : ?cls:string -> t -> src:int -> dst:int -> (unit -> unit) -> unit
     in trace events (default ["msg"]); stable queues pass
     ["data"] / ["ack"]. *)
 
+val send_shard :
+  ?cls:string ->
+  t ->
+  sharding:Esr_store.Sharding.t ->
+  shard:int ->
+  src:int ->
+  (unit -> unit) ->
+  unit
+(** Interest-routed multicast: {!send} [callback] to every site
+    replicating [shard] under [sharding], except [src] itself, in
+    ascending site order.  Each destination goes through the full
+    per-message fate machinery (loss, partition, crash accounting), so
+    the counters read exactly as if the sends had been issued one by
+    one — because they are. *)
+
 (** {2 Failure injection} *)
 
 val partition : t -> int list list -> unit

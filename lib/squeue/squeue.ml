@@ -260,6 +260,10 @@ let broadcast t ~src payload =
     if dst <> src then send t ~src ~dst payload
   done
 
+let multicast t ~src ~dests payload =
+  Esr_store.Sharding.Dests.iter dests (fun dst ->
+      if dst <> src then send t ~src ~dst payload)
+
 let pending t = t.n_pending
 
 (* Sender-side journal footprint of one site: entries it has durably

@@ -61,6 +61,11 @@ val send : 'a t -> src:int -> dst:int -> 'a -> unit
 val broadcast : 'a t -> src:int -> 'a -> unit
 (** [send] to every site except [src]. *)
 
+val multicast : 'a t -> src:int -> dests:Esr_store.Sharding.Dests.t -> 'a -> unit
+(** [send] to every site in the destination cursor except [src], in
+    ascending site order — with a full-replication cursor this is exactly
+    {!broadcast}. *)
+
 val pending : 'a t -> int
 (** Messages enqueued but not yet acknowledged, across all channels.  Zero
     means the fabric is quiescent: nothing more will be delivered. *)

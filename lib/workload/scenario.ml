@@ -98,8 +98,8 @@ let gen_query_keys prng zipf ~key_cache (spec : Spec.t) =
       key_cache.(Dist.Zipf.sample zipf prng))
   |> List.sort_uniq String.compare
 
-let run ?(seed = 42) ?config ?net_config ?partition ?faults ?flush_every ?obs
-    ~sites ~method_name (spec : Spec.t) =
+let run ?(seed = 42) ?config ?net_config ?partition ?faults ?flush_every
+    ?sharding ?obs ~sites ~method_name (spec : Spec.t) =
   let engine_hint =
     (* Expected arrivals; each spawns a handful of network events. *)
     let arrivals =
@@ -108,9 +108,12 @@ let run ?(seed = 42) ?config ?net_config ?partition ?faults ?flush_every ?obs
     Stdlib.max 64 (4 * int_of_float arrivals)
   in
   let harness =
-    Harness.create ?config ?net_config ?obs ~seed ~store_hint:spec.Spec.n_keys
-      ~engine_hint ~sites ~method_name ()
+    Harness.create ?config ?net_config ?sharding ?obs ~seed
+      ~store_hint:spec.Spec.n_keys ~engine_hint ~sites ~method_name ()
   in
+  let sharding = (Harness.env harness).Intf.sharding in
+  let keyspace = (Harness.env harness).Intf.keyspace in
+  let full = Esr_store.Sharding.is_full sharding in
   let engine = Harness.engine harness in
   let net = Harness.net harness in
   let prng = Prng.create (seed * 7919) in
@@ -217,6 +220,21 @@ let run ?(seed = 42) ?config ?net_config ?partition ?faults ?flush_every ?obs
       if in_window submit_time then incr w_qs;
       let site = Prng.int prng sites in
       let keys = gen_query_keys prng zipf ~key_cache spec in
+      (* Under partial replication, re-home the query onto a replica of
+         its first key's shard.  The drawn site seeds a deterministic
+         pick ([route_site]), so the PRNG call sequence — and therefore
+         the whole workload — is unchanged bit-for-bit vs. full
+         replication. *)
+      let site =
+        if full then site
+        else
+          match keys with
+          | [] -> site
+          | k :: _ ->
+              Esr_store.Sharding.route_site sharding
+                ~id:(Esr_store.Keyspace.find keyspace k)
+                ~site
+      in
       Harness.submit_query harness ~site ~keys ~epsilon:spec.Spec.epsilon
         (fun outcome ->
           incr served;

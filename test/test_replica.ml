@@ -710,6 +710,129 @@ let prop_store_hint_invariance =
           run 1 = run 2_048)
         [ "ORDUP"; "COMMU"; "RITU"; "COMPE"; "2PC"; "QUORUM"; "QUASI" ])
 
+(* --- sharding: identity under full replication, convergence under
+   partial replication, fanout scaling --- *)
+
+module Sharding = Esr_store.Sharding
+
+let all_methods = [ "ORDUP"; "COMMU"; "RITU"; "COMPE"; "2PC"; "QUORUM"; "QUASI" ]
+
+(* Drive [n_updates] through a harness built with the given shard map
+   and return every observable: settled flag, commit count, per-site
+   snapshots and durable histories. *)
+let run_sharded ?sharding ~seed ~sites ~n_updates name =
+  let h =
+    Harness.create ~config:default ~net_config:jittery ~seed ?sharding ~sites
+      ~method_name:name ()
+  in
+  let engine = Harness.engine h in
+  let committed = ref 0 in
+  for i = 0 to n_updates - 1 do
+    ignore
+      (Engine.schedule_at engine
+         ~time:(float_of_int (i + 1) *. 20.0)
+         (fun () ->
+           let key = Printf.sprintf "k%d" (i mod 7) in
+           let intents =
+             match name with
+             | "RITU" | "QUORUM" -> [ Intf.Set (key, Value.int i) ]
+             | _ -> [ Intf.Add (key, 1 + (i mod 3)) ]
+           in
+           Harness.submit_update h ~origin:(i mod sites) intents (function
+             | Intf.Committed _ -> incr committed
+             | Intf.Rejected _ -> ())))
+  done;
+  let settled = Harness.settle h in
+  let snaps =
+    List.init sites (fun s -> Store.snapshot (Harness.store h ~site:s))
+  in
+  let hists = List.init sites (fun s -> Harness.history h ~site:s) in
+  (h, (settled, !committed, snaps, hists))
+
+(* A replication factor of n_sites must be invisible: the default env
+   (no shard map), an explicit All-policy map, and a Ring map with
+   factor = sites must all produce identical observables for every one
+   of the seven methods. *)
+let prop_sharding_identity =
+  QCheck.Test.make
+    ~name:"factor = sites reproduces full replication (all 7 methods)"
+    ~count:8
+    (QCheck.make QCheck.Gen.(pair (int_range 1 1_000) (int_range 5 20)))
+    (fun (seed, n_updates) ->
+      List.for_all
+        (fun name ->
+          let sites = 3 in
+          let run sharding =
+            snd (run_sharded ?sharding ~seed ~sites ~n_updates name)
+          in
+          let base = run None in
+          base = run (Some (Sharding.full ~sites))
+          && base
+             = run
+                 (Some
+                    (Sharding.create ~policy:Sharding.Ring ~shards:5
+                       ~factor:sites ~sites ())))
+        all_methods)
+
+(* Under genuinely partial replication every method must still settle
+   and pass its own shard-aware convergence oracle, for both partial
+   placement policies. *)
+let prop_sharding_convergence =
+  QCheck.Test.make
+    ~name:"partial replication converges (all 7 methods, ring & hash)"
+    ~count:6
+    (QCheck.make
+       QCheck.Gen.(triple (int_range 1 1_000) (int_range 5 20) bool))
+    (fun (seed, n_updates, hash) ->
+      let policy = if hash then Sharding.Hash else Sharding.Ring in
+      List.for_all
+        (fun name ->
+          let sites = 5 in
+          let sharding =
+            Sharding.create ~policy ~shards:7 ~factor:2 ~sites ()
+          in
+          let h, (settled, committed, _, _) =
+            run_sharded ~sharding ~seed ~sites ~n_updates name
+          in
+          ignore committed;
+          settled && Harness.converged h)
+        all_methods)
+
+(* The tentpole claim at unit-test scale: transport volume tracks the
+   replication factor, not the site count.  The same workload on 24
+   sites enqueues several times fewer stable-queue messages under
+   factor-3 ring placement than under full replication. *)
+let test_sharding_fanout_scales_with_factor () =
+  let squeue_enqueued h =
+    List.fold_left
+      (fun a (e : Esr_obs.Metrics.entry) ->
+        match (e.Esr_obs.Metrics.group, e.Esr_obs.Metrics.name, e.Esr_obs.Metrics.view) with
+        | "squeue", "enqueued", Esr_obs.Metrics.Counter_v v -> a +. v
+        | _ -> a)
+      0.0 (Harness.stats h)
+  in
+  let sites = 24 and n_updates = 20 in
+  List.iter
+    (fun name ->
+      let h_full, (settled_full, _, _, _) =
+        run_sharded ~seed:11 ~sites ~n_updates name
+      in
+      let sharding =
+        Sharding.create ~policy:Sharding.Ring ~shards:sites ~factor:3 ~sites ()
+      in
+      let h_shard, (settled_shard, _, _, _) =
+        run_sharded ~sharding ~seed:11 ~sites ~n_updates name
+      in
+      checkb (name ^ " full settled") true settled_full;
+      checkb (name ^ " sharded settled") true settled_shard;
+      checkb (name ^ " sharded converged") true (Harness.converged h_shard);
+      let full = squeue_enqueued h_full and shard = squeue_enqueued h_shard in
+      checkb
+        (Printf.sprintf "%s fanout shrinks (%.0f -> %.0f)" name full shard)
+        true
+        (shard <= full *. 0.5))
+    all_methods
+
 let () =
   Alcotest.run "esr_replica"
     [
@@ -808,4 +931,11 @@ let () =
         ] );
       ( "interning",
         [ QCheck_alcotest.to_alcotest prop_store_hint_invariance ] );
+      ( "sharding",
+        [
+          QCheck_alcotest.to_alcotest prop_sharding_identity;
+          QCheck_alcotest.to_alcotest prop_sharding_convergence;
+          Alcotest.test_case "fanout scales with factor" `Quick
+            test_sharding_fanout_scales_with_factor;
+        ] );
     ]

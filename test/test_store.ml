@@ -435,6 +435,143 @@ let prop_mv_appends_commute =
       QCheck.assume (List.length distinct = List.length versions);
       Mvstore.equal a b)
 
+(* --- Sharding: deterministic placement and routing --- *)
+
+module Sharding = Esr_store.Sharding
+
+(* Every shard is replicated at exactly [factor] sites, strictly
+   ascending and in range, and the O(1) membership test agrees with the
+   replica arrays — for both partial policies across a spread of
+   geometries. *)
+let test_sharding_placement_exact_factor () =
+  List.iter
+    (fun policy ->
+      List.iter
+        (fun (sites, shards, factor) ->
+          let sh = Sharding.create ~policy ~shards ~factor ~sites () in
+          let label =
+            Printf.sprintf "%s s=%d sh=%d f=%d"
+              (Sharding.policy_to_string policy)
+              sites shards factor
+          in
+          for shard = 0 to shards - 1 do
+            let reps = Sharding.replicas sh shard in
+            checki (label ^ " exact factor") factor (Array.length reps);
+            Array.iteri
+              (fun i site ->
+                checkb (label ^ " in range") true (site >= 0 && site < sites);
+                if i > 0 then
+                  checkb (label ^ " ascending") true (reps.(i - 1) < site))
+              reps;
+            for site = 0 to sites - 1 do
+              checkb
+                (Printf.sprintf "%s membership shard=%d site=%d" label shard site)
+                (Array.exists (( = ) site) reps)
+                (Sharding.replicates sh ~site ~shard)
+            done
+          done)
+        [ (4, 4, 1); (5, 7, 2); (8, 8, 3); (16, 5, 3); (9, 9, 9) ])
+    [ Sharding.Ring; Sharding.Hash ]
+
+(* Placement is a pure function of the parameters: two independent maps
+   agree replica-for-replica, so every site computes the same routing
+   without coordination. *)
+let test_sharding_deterministic () =
+  List.iter
+    (fun policy ->
+      let mk () = Sharding.create ~policy ~shards:13 ~factor:3 ~sites:11 () in
+      let a = mk () and b = mk () in
+      for shard = 0 to 12 do
+        Alcotest.(check (array int))
+          (Printf.sprintf "shard %d" shard)
+          (Sharding.replicas a shard) (Sharding.replicas b shard)
+      done)
+    [ Sharding.Ring; Sharding.Hash ]
+
+let test_sharding_full_is_everywhere () =
+  let full = Sharding.full ~sites:6 in
+  checkb "All is full" true (Sharding.is_full full);
+  (* factor = sites is full regardless of policy. *)
+  let ring = Sharding.create ~policy:Sharding.Ring ~shards:9 ~factor:6 ~sites:6 () in
+  checkb "ring factor=sites is full" true (Sharding.is_full ring);
+  for shard = 0 to Sharding.shards ring - 1 do
+    for site = 0 to 5 do
+      checkb "everywhere" true (Sharding.replicates ring ~site ~shard)
+    done
+  done;
+  let partial = Sharding.create ~policy:Sharding.Ring ~factor:2 ~sites:6 () in
+  checkb "factor<sites not full" false (Sharding.is_full partial)
+
+let test_sharding_route_site () =
+  let sh = Sharding.create ~policy:Sharding.Ring ~shards:8 ~factor:2 ~sites:8 () in
+  for id = 0 to 15 do
+    let shard = Sharding.shard_of_id sh id in
+    for site = 0 to 7 do
+      let routed = Sharding.route_site sh ~id ~site in
+      checkb "routed to a replica" true
+        (Sharding.replicates sh ~site:routed ~shard);
+      if Sharding.replicates sh ~site ~shard then
+        checki "interested site keeps the query" site routed
+    done
+  done;
+  let full = Sharding.full ~sites:8 in
+  for site = 0 to 7 do
+    checki "identity under full" site (Sharding.route_site full ~id:3 ~site)
+  done
+
+(* The destination cursor computes exactly the set union of the touched
+   shards' replica sets, visits it in ascending order, and resets in
+   O(1) to an empty set. *)
+let test_sharding_dests_union () =
+  let sh = Sharding.create ~policy:Sharding.Hash ~shards:16 ~factor:3 ~sites:12 () in
+  let c = Sharding.Dests.cursor sh in
+  let ids = [ 0; 5; 9; 5; 31 ] in
+  Sharding.Dests.reset c;
+  List.iter (Sharding.Dests.add_id c) ids;
+  let expected =
+    List.sort_uniq compare
+      (List.concat_map
+         (fun id ->
+           Array.to_list (Sharding.replicas sh (Sharding.shard_of_id sh id)))
+         ids)
+  in
+  let visited = ref [] in
+  Sharding.Dests.iter c (fun s -> visited := s :: !visited);
+  Alcotest.(check (list int)) "union, ascending" expected (List.rev !visited);
+  checki "count" (List.length expected) (Sharding.Dests.count c);
+  List.iter
+    (fun s -> checkb "mem" (List.mem s expected) (Sharding.Dests.mem c s))
+    (List.init 12 Fun.id);
+  Sharding.Dests.reset c;
+  checki "reset empties" 0 (Sharding.Dests.count c);
+  checkb "reset clears mem" false (Sharding.Dests.mem c (List.hd expected));
+  Sharding.Dests.add_site c 7;
+  checkb "add_site forces membership" true (Sharding.Dests.mem c 7);
+  checki "add_site count" 1 (Sharding.Dests.count c)
+
+let prop_sharding_placement =
+  QCheck.Test.make
+    ~name:"placement: every shard gets exactly factor distinct ascending replicas"
+    ~count:200
+    (QCheck.make
+       QCheck.Gen.(
+         quad (int_range 1 40) (int_range 1 64) (int_range 1 40) bool))
+    (fun (sites, shards, factor, hash) ->
+      let factor = 1 + (factor mod sites) in
+      let policy = if hash then Sharding.Hash else Sharding.Ring in
+      let sh = Sharding.create ~policy ~shards ~factor ~sites () in
+      let ok = ref true in
+      for shard = 0 to shards - 1 do
+        let reps = Sharding.replicas sh shard in
+        if Array.length reps <> factor then ok := false;
+        Array.iteri
+          (fun i s ->
+            if s < 0 || s >= sites then ok := false;
+            if i > 0 && reps.(i - 1) >= s then ok := false)
+          reps
+      done;
+      !ok)
+
 let () =
   Alcotest.run "esr_store"
     [
@@ -484,5 +621,19 @@ let () =
           Alcotest.test_case "remove version" `Quick test_mv_remove_version;
           Alcotest.test_case "equality" `Quick test_mv_equal;
           QCheck_alcotest.to_alcotest prop_mv_appends_commute;
+        ] );
+      ( "sharding",
+        [
+          Alcotest.test_case "placement exact factor" `Quick
+            test_sharding_placement_exact_factor;
+          Alcotest.test_case "placement deterministic" `Quick
+            test_sharding_deterministic;
+          Alcotest.test_case "full replicates everywhere" `Quick
+            test_sharding_full_is_everywhere;
+          Alcotest.test_case "route_site lands on a replica" `Quick
+            test_sharding_route_site;
+          Alcotest.test_case "dests cursor union" `Quick
+            test_sharding_dests_union;
+          QCheck_alcotest.to_alcotest prop_sharding_placement;
         ] );
     ]
