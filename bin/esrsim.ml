@@ -299,6 +299,35 @@ let faults_arg =
               partition\\@1000:0 1|2 3; heal\\@1500\".  Crashed sites lose \
               their volatile state and replay the durable log on recovery.")
 
+let checkpoint_interval_arg =
+  Arg.(
+    value & opt float 0.0
+    & info [ "checkpoint-interval" ] ~docv:"MS"
+        ~doc:"Take an asynchronous checkpoint cut at every site every \
+              $(docv) virtual ms: the site image is snapshotted at a \
+              consistent cut without pausing traffic, and the durable \
+              log and reclaimable journal records behind the cut are \
+              truncated; crash recovery then replays checkpoint + tail. \
+              0 (the default) disables checkpointing, which is \
+              byte-identical to older builds.")
+
+let checkpoint_retain_arg =
+  Arg.(
+    value
+    & opt int Esr_replica.Checkpoint.default_retain
+    & info [ "checkpoint-retain" ] ~docv:"N"
+        ~doc:"Snapshots retained per site (newest is used for recovery).")
+
+let make_checkpoint ~interval ~retain =
+  if interval <= 0.0 then None
+  else begin
+    if retain < 1 then begin
+      prerr_endline "--checkpoint-retain: must be at least 1";
+      exit 1
+    end;
+    Some { Esr_replica.Checkpoint.interval; retain }
+  end
+
 let parse_faults = function
   | None -> None
   | Some s -> (
@@ -414,8 +443,8 @@ let run_cmd =
   let doc = "Run one workload against one method and print the metrics." in
   let run meth sites duration update_rate query_rate keys theta epsilon profile
       seed loss latency ordering ritu_mode abort_p placement shards replication
-      faults_spec trace_file trace_format show_metrics metrics_file series_file
-      series_interval prof_file =
+      faults_spec checkpoint_interval checkpoint_retain trace_file trace_format
+      show_metrics metrics_file series_file series_interval prof_file =
     match
       prepare_scenario ~meth ~duration ~update_rate ~query_rate ~keys ~theta
         ~epsilon ~profile ~loss ~latency ~ordering ~ritu_mode ~abort_p
@@ -426,14 +455,18 @@ let run_cmd =
     | Ok (spec, net_config, config) ->
         let faults = parse_faults faults_spec in
         let sharding = make_sharding ~sites ~placement ~shards ~replication in
+        let checkpoint =
+          make_checkpoint ~interval:checkpoint_interval
+            ~retain:checkpoint_retain
+        in
         let obs =
           Obs.create ~tracing:(trace_file <> None)
             ~series:(series_file <> None) ~series_interval
             ~profiling:(prof_file <> None) ()
         in
         let r =
-          Scenario.run ~seed ~config ~net_config ?sharding ~obs ?faults ~sites
-            ~method_name:meth spec
+          Scenario.run ~seed ~config ~net_config ?sharding ~obs ?faults
+            ?checkpoint ~sites ~method_name:meth spec
         in
         let t =
           Tablefmt.create
@@ -447,6 +480,11 @@ let run_cmd =
         | None -> ());
         (match faults with
         | Some schedule -> add "faults" (Schedule.to_spec schedule)
+        | None -> ());
+        (match checkpoint with
+        | Some { Esr_replica.Checkpoint.interval; retain } ->
+            add "checkpoint"
+              (Printf.sprintf "interval %g ms, retain %d" interval retain)
         | None -> ());
         add "updates committed" (Printf.sprintf "%d / %d" r.Scenario.committed r.Scenario.submitted_updates);
         add "updates rejected" (string_of_int r.Scenario.rejected);
@@ -523,9 +561,9 @@ let run_cmd =
       $ query_rate_arg $ keys_arg $ theta_arg $ epsilon_arg $ op_profile_arg
       $ seed_arg $ loss_arg $ latency_arg $ ordering_arg $ ritu_mode_arg
       $ abort_arg $ placement_arg $ shards_arg $ replication_arg $ faults_arg
-      $ trace_file_arg $ trace_format_arg $ print_metrics_arg
-      $ metrics_file_arg $ series_file_arg $ series_interval_arg
-      $ prof_file_arg)
+      $ checkpoint_interval_arg $ checkpoint_retain_arg $ trace_file_arg
+      $ trace_format_arg $ print_metrics_arg $ metrics_file_arg
+      $ series_file_arg $ series_interval_arg $ prof_file_arg)
 
 (* --- nemesis --- *)
 

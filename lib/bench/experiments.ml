@@ -1520,6 +1520,195 @@ let e17_sharded_scale () =
     results;
   Tablefmt.print t
 
+(* ------------------------------------------------------------------ *)
+(* E18: bounded soak — checkpoint + GC bounds log depth and replay     *)
+(* ------------------------------------------------------------------ *)
+
+(* The robustness claim of DESIGN.md §12, measured over days of virtual
+   time: with asynchronous checkpointing on, the *standing* durable-log
+   depth and the crash-replay length stay bounded by the checkpoint
+   cadence while the *cumulative* work (entries folded into snapshots)
+   keeps growing — and the final replica state is exactly what an
+   identical run without checkpointing reaches, which the Off-match
+   column checks store-for-store against a same-seed checkpointing-off
+   twin of every run.
+
+   Every method faces the same sustained update stream and the same
+   seeded continuous nemesis: crash and partition windows spread over
+   80% of the horizon, all healed before quiescence, so tail replays
+   happen mid-run at whatever cut positions the cadence produced.  Cut
+   times are multiples of the interval and nemesis crash times come from
+   a continuous PRNG, so the exact ties {!Esr_fault.Schedule.validate}
+   rejects cannot occur.  All printed columns are virtual-time counts,
+   so the table byte-compares across domain counts, tracing and
+   profiling like every other experiment. *)
+let e18_bounded_soak () =
+  let module Harness = Esr_replica.Harness in
+  let module Obs = Esr_obs.Obs in
+  let module Series = Esr_obs.Series in
+  let module Checkpoint = Esr_replica.Checkpoint in
+  let module Nemesis = Esr_fault.Nemesis in
+  let module Schedule = Esr_fault.Schedule in
+  let module Store = Esr_store.Store in
+  let s = !scale in
+  let sites = 4 in
+  (* Two virtual days at full scale; the update, checkpoint and series
+     cadences all scale with the horizon, so the event volume — and the
+     wall-clock cost — stays fixed as the virtual horizon stretches. *)
+  let duration = Stdlib.max 4_800.0 (172_800_000.0 *. s) in
+  let update_every = duration /. 4_000.0 in
+  let n_updates = int_of_float (duration *. 0.8 /. update_every) in
+  let ckpt_interval = duration /. 96.0 in
+  let series_interval = duration /. 60.0 in
+  let profile =
+    {
+      Nemesis.max_faults = 10;
+      crash_bias = 0.6;
+      min_window = duration *. 0.002;
+      max_window = duration *. 0.02;
+    }
+  in
+  let schedule =
+    Nemesis.generate ~profile ~seed ~sites ~duration:(duration *. 0.8) ()
+  in
+  Printf.printf "e18 nemesis schedule (seed %d): %s\n" seed
+    (Schedule.to_spec schedule);
+  let t =
+    Tablefmt.create
+      ~title:
+        (Printf.sprintf
+           "E18: bounded soak at scale %g — %d sites, %.0f virtual ms of \
+            sustained updates under the seeded nemesis above, checkpoint \
+            cut every %.0f ms (retain %d); standing log depth (Max depth) \
+            and replay length (Max tail) stay bounded while folded \
+            entries grow, and the final stores match a same-seed \
+            checkpointing-off twin (Off-match)"
+           s sites duration ckpt_interval Checkpoint.default_retain)
+      ~headers:
+        [ "Method"; "Committed"; "Cuts"; "Folded"; "Journal GC";
+          "Max depth"; "Final log"; "WAL hw"; "Replays"; "Max tail";
+          "Off-match"; "Converged" ]
+  in
+  let methods = [ "ORDUP"; "COMMU"; "RITU"; "COMPE"; "2PC"; "QUORUM"; "QUASI" ] in
+  let config = { Intf.default_config with Intf.twopc_timeout = 30_000.0 } in
+  (* Identical workload for the checkpointed run and its off twin: same
+     arrival times, same intents, same fault schedule. *)
+  let drive name h =
+    let engine = Harness.engine h in
+    let committed = ref 0 in
+    for i = 0 to n_updates - 1 do
+      let time = float_of_int (i + 1) *. update_every in
+      ignore
+        (Engine.schedule_at engine ~time (fun () ->
+             let key = Printf.sprintf "k%d" (i mod 16) in
+             let intents =
+               match name with
+               | "RITU" | "QUORUM" ->
+                   [ Intf.Set (key, Esr_store.Value.Int (1_000 + i)) ]
+               | _ -> [ Intf.Add (key, 1 + (i mod 3)) ]
+             in
+             Harness.submit_update h ~origin:(i mod sites) intents (function
+               | Intf.Committed _ -> incr committed
+               | Intf.Rejected _ -> ())))
+    done;
+    Harness.inject_faults h schedule;
+    committed
+  in
+  let jobs =
+    List.map
+      (fun name () ->
+        (* Off twin first: its final stores are the reference the
+           checkpointed run must reproduce exactly. *)
+        let off =
+          let obs = Obs.create () in
+          let h =
+            Harness.create ~config ~obs ~seed ~sites ~method_name:name ()
+          in
+          ignore (drive name h);
+          ignore (Harness.settle h);
+          List.init sites (fun i -> Store.snapshot (Harness.store h ~site:i))
+        in
+        let obs = Obs.create ~series:true ~series_interval () in
+        let h =
+          Harness.create ~config ~obs ~seed ~sites ~method_name:name
+            ~checkpoint:
+              {
+                Checkpoint.interval = ckpt_interval;
+                retain = Checkpoint.default_retain;
+              }
+            ()
+        in
+        let committed = drive name h in
+        Harness.arm_series h ~until:duration;
+        Harness.arm_checkpoints h ~until:duration;
+        let settled = Harness.settle h in
+        let c =
+          match (Harness.env h).Intf.checkpoint with
+          | Some c -> c
+          | None -> assert false
+        in
+        let sum f =
+          List.fold_left (fun a i -> a + f i) 0 (List.init sites Fun.id)
+        in
+        let maxi f =
+          List.fold_left (fun a i -> Stdlib.max a (f i)) 0
+            (List.init sites Fun.id)
+        in
+        let res site = Intf.boxed_resources (Harness.system h) ~site in
+        (* Counted from the checkpoint stats rather than the trace: over
+           a days-long horizon the bounded trace ring wraps and evicts
+           the early Recovery_replay events. *)
+        let replays = sum (fun i -> Checkpoint.tail_replays c ~site:i) in
+        (* Peak standing log depth over the sampled horizon, summed over
+           sites: the quantity checkpointing bounds.  Compare with
+           Folded, the cumulative entries absorbed into snapshots, which
+           grows with the horizon. *)
+        let series = obs.Obs.series in
+        let log_cols =
+          List.filter_map
+            (fun i ->
+              Series.column_index series
+                (Printf.sprintf "res/log_entries.s%d" i))
+            (List.init sites Fun.id)
+        in
+        let max_depth = ref 0.0 in
+        Series.iter series (fun smp ->
+            let v =
+              List.fold_left
+                (fun a col -> a +. smp.Series.values.(col))
+                0.0 log_cols
+            in
+            if v > !max_depth then max_depth := v);
+        let final_log = sum (fun i -> (res i).Intf.log_entries) in
+        let folded = sum (fun i -> Checkpoint.truncated_log c ~site:i) in
+        let off_match =
+          List.for_all2
+            (fun snap i -> snap = Store.snapshot (Harness.store h ~site:i))
+            off (List.init sites Fun.id)
+        in
+        ( folded + final_log,
+          [
+            name;
+            Tablefmt.cell_int !committed;
+            Tablefmt.cell_int (sum (fun i -> Checkpoint.cuts c ~site:i));
+            Tablefmt.cell_int folded;
+            Tablefmt.cell_int
+              (sum (fun i -> Checkpoint.truncated_journal c ~site:i));
+            Tablefmt.cell_int (int_of_float !max_depth);
+            Tablefmt.cell_int final_log;
+            Tablefmt.cell_int (sum (fun i -> (res i).Intf.wal_high_water));
+            Tablefmt.cell_int replays;
+            Tablefmt.cell_int (maxi (fun i -> Checkpoint.max_tail c ~site:i));
+            Tablefmt.cell_bool off_match;
+            Tablefmt.cell_bool (settled && Harness.converged h);
+          ] ))
+      methods
+  in
+  let results = par_rows jobs in
+  note_applied (List.fold_left (fun a (n, _) -> a + n) 0 results);
+  add_rows t (List.map snd results);
+  Tablefmt.print t
+
 let all =
   [
     ("e1_scalability", e1_scalability);
@@ -1540,6 +1729,7 @@ let all =
     ("a2_squeue_retry", a2_squeue_retry);
     ("e16_soak", e16_soak);
     ("e17_sharded_scale", e17_sharded_scale);
+    ("e18_bounded_soak", e18_bounded_soak);
     (* Last on purpose: the big scale tier stays at the end so everything
        cheaper has already run if it is interrupted; since schema v6 the
        timed sweep samples peak heap per experiment (GC alarm), so the

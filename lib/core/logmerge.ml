@@ -58,8 +58,12 @@ let merge ~majority ~minority =
     conflict_keys = keys dirty;
   }
 
-let apply ?keyspace ?size hist =
-  let store = Store.create ?keyspace ?size () in
+let apply ?base ?keyspace ?size hist =
+  let store =
+    match base with
+    | Some store -> store
+    | None -> Store.create ?keyspace ?size ()
+  in
   List.iter
     (fun (a : Et.action) ->
       if Op.is_update a.Et.op then

@@ -41,10 +41,19 @@ val merge : majority:Hist.t -> minority:Hist.t -> outcome
     sibling operation. *)
 
 val apply :
-  ?keyspace:Esr_store.Keyspace.t -> ?size:int -> Hist.t -> Esr_store.Store.t
+  ?base:Esr_store.Store.t ->
+  ?keyspace:Esr_store.Keyspace.t ->
+  ?size:int ->
+  Hist.t ->
+  Esr_store.Store.t
 (** Execute a history's update operations against a fresh store (queries
-    skipped) — used to validate merge results and by the tests.  Raises
-    [Invalid_argument] if an operation fails to apply. *)
+    skipped) — used to validate merge results and by the tests.  With
+    [base] the operations fold onto that store in place (and [base] is
+    returned) instead of starting from scratch: checkpoint + tail-replay
+    recovery hands in a copy of the newest snapshot, so the caller owns
+    [base] and must not share it.  [keyspace]/[size] are ignored when
+    [base] is given.  Raises [Invalid_argument] if an operation fails to
+    apply. *)
 
 val equivalent_states : Hist.t -> Hist.t -> bool
 (** Whether two histories produce identical stores from scratch. *)

@@ -17,11 +17,28 @@ let is_empty t = t = []
 
 let make steps = List.stable_sort (fun a b -> Float.compare a.at b.at) steps
 
-let validate ~sites t =
+let validate ?checkpoint ~sites t =
   let check_site s =
     if s < 0 || s >= sites then
       Error (Printf.sprintf "site %d out of range [0,%d)" s sites)
     else Ok ()
+  in
+  (* A crash at the exact virtual time of a checkpoint cut would leave
+     the cut/crash interleaving to engine tie-breaking (scheduling
+     order), which is deterministic but invisible in the schedule —
+     reject it instead of leaving the semantics unspecified.  Cut times
+     are the positive multiples of the interval; times are floats, so
+     only an exact collision trips this. *)
+  let check_crash_time at =
+    match checkpoint with
+    | Some interval
+      when interval > 0.0 && at > 0.0 && Float.rem at interval = 0.0 ->
+        Error
+          (Printf.sprintf
+             "crash at t=%g coincides with a checkpoint cut (interval %g): \
+              move the crash off the cut time"
+             at interval)
+    | _ -> Ok ()
   in
   let rec check_steps = function
     | [] -> Ok ()
@@ -31,7 +48,11 @@ let validate ~sites t =
         else
           let step_ok =
             match action with
-            | Crash s | Recover s -> check_site s
+            | Crash s -> (
+                match check_crash_time at with
+                | Error _ as e -> e
+                | Ok () -> check_site s)
+            | Recover s -> check_site s
             | Heal -> Ok ()
             | Partition groups ->
                 let seen = Hashtbl.create 8 in

@@ -36,9 +36,16 @@ val is_empty : t -> bool
 val make : step list -> t
 (** Sort by time (stable, so equal-time steps keep list order). *)
 
-val validate : sites:int -> t -> (unit, string) result
+val validate : ?checkpoint:float -> sites:int -> t -> (unit, string) result
 (** Check every referenced site is in [[0, sites)], partition groups do
-    not repeat a site, and times are non-negative and finite. *)
+    not repeat a site, and times are non-negative and finite.  With
+    [checkpoint] (a cut interval in virtual ms), additionally reject any
+    crash scheduled at the {e exact} virtual time of a checkpoint cut (a
+    positive multiple of the interval): the cut/crash interleaving at an
+    identical timestamp would be decided by engine scheduling order, so
+    the schedule must move the crash off the cut time instead.  Nemesis
+    schedules draw crash times from a continuous PRNG, so they only
+    collide if the caller picks a commensurate interval on purpose. *)
 
 val all_clear : t -> bool
 (** Whether the schedule leaves the system whole at the end: every crashed

@@ -42,7 +42,8 @@ let sites_of records =
       | Mset_applied { site; _ }
       | Compensation_fired { site; _ }
       | Volatile_dropped { site; _ }
-      | Recovery_replay { site; _ } ->
+      | Recovery_replay { site; _ }
+      | Checkpoint_cut { site; _ } ->
           see site
       | Partition_event { groups } -> List.iter (List.iter see) groups
       | Heal | Flush_round _ | Converged _ | Trace_meta _ -> ())
@@ -104,6 +105,11 @@ let fault_events records =
           Some (time, Printf.sprintf "site %d lost %d buffered MSets" site buffered)
       | Recovery_replay { site; n_actions } ->
           Some (time, Printf.sprintf "site %d replayed %d log actions" site n_actions)
+      | Checkpoint_cut { site; folded; reclaimed } ->
+          Some
+            ( time,
+              Printf.sprintf "site %d checkpointed %d log + %d journal entries"
+                site folded reclaimed )
       | _ -> None)
     records
 

@@ -31,6 +31,7 @@ type event =
       updates_rejected : int;
     }
   | Recovery_replay of { site : int; n_actions : int }
+  | Checkpoint_cut of { site : int; folded : int; reclaimed : int }
   | Flush_round of { round : int }
   | Converged of { ok : bool }
   | Trace_meta of { dropped : int }
@@ -131,6 +132,7 @@ let type_name = function
   | Compensation_fired _ -> "compensation_fired"
   | Volatile_dropped _ -> "volatile_dropped"
   | Recovery_replay _ -> "recovery_replay"
+  | Checkpoint_cut _ -> "checkpoint_cut"
   | Flush_round _ -> "flush_round"
   | Converged _ -> "converged"
   | Trace_meta _ -> "meta"
@@ -249,6 +251,10 @@ let record_to_json r =
   | Recovery_replay { site; n_actions } ->
       int "site" site;
       int "n_actions" n_actions
+  | Checkpoint_cut { site; folded; reclaimed } ->
+      int "site" site;
+      int "folded" folded;
+      int "reclaimed" reclaimed
   | Flush_round { round } -> int "round" round
   | Converged { ok } -> boolean "ok" ok
   | Trace_meta { dropped } ->
@@ -386,6 +392,13 @@ let record_of_json line =
           | "recovery_replay" ->
               Recovery_replay
                 { site = get_int "site"; n_actions = get_int "n_actions" }
+          | "checkpoint_cut" ->
+              Checkpoint_cut
+                {
+                  site = get_int "site";
+                  folded = get_int "folded";
+                  reclaimed = get_int "reclaimed";
+                }
           | "flush_round" -> Flush_round { round = get_int "round" }
           | "converged" -> Converged { ok = get_bool "ok" }
           | "meta" -> Trace_meta { dropped = get_int "dropped" }
@@ -421,7 +434,9 @@ let event_track ~sites = function
   | Query_begin { site; _ } | Query_served { site; _ } -> site
   | Mset_enqueued { origin; _ } -> origin
   | Mset_applied { site; _ } | Compensation_fired { site; _ } -> site
-  | Volatile_dropped { site; _ } | Recovery_replay { site; _ } -> site
+  | Volatile_dropped { site; _ } | Recovery_replay { site; _ }
+  | Checkpoint_cut { site; _ } ->
+      site
   | Partition_event _ | Heal | Flush_round _ | Converged _ | Trace_meta _ ->
       sites
 

@@ -55,7 +55,13 @@ type event =
       updates_rejected : int;  (** un-notified origin outcomes rejected *)
     }  (** a site crash wiped its volatile state *)
   | Recovery_replay of { site : int; n_actions : int }
-      (** recovery rebuilt the site image by replaying its durable log *)
+      (** recovery rebuilt the site image by replaying its durable log
+          (the tail behind the newest checkpoint, when one exists) *)
+  | Checkpoint_cut of { site : int; folded : int; reclaimed : int }
+      (** a consistent virtual-time cut snapshotted the site image:
+          [folded] durable-log entries were absorbed into the snapshot
+          and truncated, [reclaimed] journal records were garbage
+          collected behind the watermark *)
   | Flush_round of { round : int }
   | Converged of { ok : bool }
   | Trace_meta of { dropped : int }

@@ -533,7 +533,7 @@ let create (env : Intf.env) =
          outcomes = Hashtbl.create 32;
          wal =
            Recovery.Wal.create ~prof:env.Intf.obs.Esr_obs.Obs.prof
-             ~sites:env.Intf.sites ();
+             ~hint:env.Intf.store_hint ~sites:env.Intf.sites ();
          decisions = Hashtbl.create 32;
          deferred_local = [];
          undecided = 0;
@@ -913,8 +913,9 @@ let on_recover t ~site:site_id =
        so the replay lands exactly on the pre-crash image the journal's
        before-image chains describe)... *)
     site.store <-
-      Recovery.replay_store ~keyspace:t.env.Intf.keyspace ~size:t.env.Intf.store_hint ~obs:t.env.Intf.obs ~engine:t.env.Intf.engine
-        ~site:site_id site.hist;
+      Recovery.replay_site ?ckpt:t.env.Intf.checkpoint
+        ~keyspace:t.env.Intf.keyspace ~size:t.env.Intf.store_hint
+        ~obs:t.env.Intf.obs ~engine:t.env.Intf.engine ~site:site_id site.hist;
     (* ...re-ingest journaled-but-unexecuted provisional MSets... *)
     List.iter
       (fun mset -> Hashtbl.replace site.buffer mset.ticket mset)
@@ -929,6 +930,37 @@ let on_recover t ~site:site_id =
     List.iter (fun (_, msg) -> receive t ~site:site_id msg) mine;
     wake_queries site
   end
+
+let checkpoint t ~site:site_id =
+  match t.env.Intf.checkpoint with
+  | None -> ()
+  | Some c ->
+      let site = t.sites.(site_id) in
+      if not site.down then begin
+        let dedup = Squeue.gc_site t.fabric ~site:site_id in
+        (* The Time Warp undo/redo journal is reclaimable behind the
+           oldest undecided entry: a full rollback only ever rewinds from
+           an undecided entry forward, so decided entries older than every
+           undecided one can never be rewound again.  In the newest-first
+           list that is the maximal all-decided suffix.  After pruning,
+           the before-image chains describe mutations since the cut; the
+           checkpoint image anchors them. *)
+        let keep, prunable =
+          let rec split = function
+            | [] -> ([], [])
+            | e :: rest ->
+                let keep, prunable = split rest in
+                if keep = [] && e.e_decided then ([], e :: prunable)
+                else (e :: keep, prunable)
+          in
+          split site.log
+        in
+        site.log <- keep;
+        let reclaimed = dedup + List.length prunable in
+        site.hist <-
+          Checkpoint.cut c ~engine:t.env.Intf.engine ~site:site_id
+            ~store:site.store ~hist:site.hist ~reclaimed ()
+      end
 
 let quiescent t =
   t.undecided = 0 && t.sagas_active = 0 && t.deferred_local = []
@@ -995,6 +1027,7 @@ let resources t ~site:site_id =
     log_bytes = Hist.approx_bytes site.hist;
     wal_entries = Recovery.Wal.size t.wal ~site:site_id;
     wal_appended = Recovery.Wal.appended t.wal ~site:site_id;
+    wal_high_water = Recovery.Wal.high_water t.wal ~site:site_id;
     journal_depth = Squeue.journal_depth t.fabric ~site:site_id;
     journal_enqueued = Squeue.journaled t.fabric ~site:site_id;
     store_words = Store.live_words site.store;

@@ -43,13 +43,16 @@ type t = {
 }
 
 let create ?(config = Intf.default_config) ?net_config ?(seed = 42)
-    ?store_hint ?engine_hint ?sharding ?obs ~sites ~method_name () =
+    ?store_hint ?engine_hint ?sharding ?obs ?checkpoint ~sites ~method_name () =
   let obs = match obs with Some o -> o | None -> Obs.default () in
   let engine = Engine.create ?hint:engine_hint () in
   let prng = Prng.create seed in
   let net_prng = Prng.split prng in
   let net = Net.create ?config:net_config ~obs engine ~sites ~prng:net_prng in
-  let env = Intf.make_env ~config ?store_hint ?sharding ~obs ~engine ~net ~prng () in
+  let env =
+    Intf.make_env ~config ?store_hint ?sharding ~obs ?checkpoint ~engine ~net
+      ~prng ()
+  in
   let sharding = env.Intf.sharding in
   let keyspace = env.Intf.keyspace in
   (* Probes below only consult the shard map when replication is partial:
@@ -107,10 +110,31 @@ let create ?(config = Intf.default_config) ?net_config ?(seed = 42)
     rg "log_bytes" (fun r -> r.Intf.log_bytes);
     rg "wal_entries" (fun r -> r.Intf.wal_entries);
     rg "wal_appended" (fun r -> r.Intf.wal_appended);
+    rg "wal_high_water" (fun r -> r.Intf.wal_high_water);
     rg "journal_depth" (fun r -> r.Intf.journal_depth);
     rg "journal_enqueued" (fun r -> r.Intf.journal_enqueued);
     rg "store_words" (fun r -> r.Intf.store_words)
   done;
+  (* Checkpoint gauges (group ["ckpt"], [ckpt/] series columns): only
+     registered when the run checkpoints, so a checkpoint-off run's
+     metrics snapshot — and therefore every report and series dump — is
+     byte-identical to before this group existed. *)
+  (match env.Intf.checkpoint with
+  | None -> ()
+  | Some c ->
+      for site = 0 to sites - 1 do
+        let cg name f =
+          Metrics.gauge_fn m ~group:"ckpt" ~site name (fun () ->
+              float_of_int (f c ~site))
+        in
+        cg "cuts" Checkpoint.cuts;
+        cg "truncated_log" Checkpoint.truncated_log;
+        cg "truncated_journal" Checkpoint.truncated_journal;
+        cg "baseline" Checkpoint.baseline;
+        cg "tail_replays" Checkpoint.tail_replays;
+        cg "last_tail" Checkpoint.last_tail;
+        cg "max_tail" Checkpoint.max_tail
+      done);
   Metrics.gauge_fn m ~group:"harness" "divergent_sites" (fun () ->
       if full then begin
         let s0 = Intf.boxed_store t.system ~site:0 in
@@ -264,8 +288,35 @@ let arm_series t ~until =
     done
   end
 
+(* Pre-schedule checkpoint cuts at every multiple of the interval through
+   [until], mirroring {!arm_series}: pre-scheduling keeps [Engine.run]'s
+   drain semantics (no work generated past the horizon).  Each tick cuts
+   every site at the same virtual instant — one consistent system-wide
+   cut per tick.  No-op when the run does not checkpoint. *)
+let arm_checkpoints t ~until =
+  match t.env.Intf.checkpoint with
+  | None -> ()
+  | Some c ->
+      let period = Checkpoint.interval c in
+      let sites = t.env.Intf.sites in
+      let time = ref (now t +. period) in
+      while !time <= until do
+        let at = !time in
+        ignore
+          (Engine.schedule_at t.engine ~time:at (fun () ->
+               for site = 0 to sites - 1 do
+                 Intf.boxed_checkpoint t.system ~site
+               done));
+        time := at +. period
+      done
+
 let inject_faults t schedule =
-  match Esr_fault.Schedule.validate ~sites:t.env.Intf.sites schedule with
+  let checkpoint =
+    Option.map Checkpoint.interval t.env.Intf.checkpoint
+  in
+  match
+    Esr_fault.Schedule.validate ?checkpoint ~sites:t.env.Intf.sites schedule
+  with
   | Error msg -> invalid_arg ("Harness.inject_faults: " ^ msg)
   | Ok () ->
       let series = t.obs.Obs.series in

@@ -23,6 +23,7 @@ val create :
   ?engine_hint:int ->
   ?sharding:Esr_store.Sharding.t ->
   ?obs:Esr_obs.Obs.t ->
+  ?checkpoint:Checkpoint.config ->
   sites:int ->
   method_name:string ->
   unit ->
@@ -37,7 +38,12 @@ val create :
     convergence oracle compare a site only on the keys it replicates.
     [obs] supplies the observability bundle; by default a fresh one is
     created with tracing set from {!Esr_obs.Obs.set_default_tracing}
-    (normally off, which makes instrumentation zero-cost). *)
+    (normally off, which makes instrumentation zero-cost).
+    [checkpoint] enables asynchronous checkpointing (DESIGN.md §12): cuts
+    are taken at the configured cadence once {!arm_checkpoints} arms
+    them, per-site [ckpt/] gauges are registered, and crash recovery
+    replays checkpoint + tail.  Omitted (the default), no checkpoint
+    state exists and behaviour is byte-identical to earlier builds. *)
 
 val engine : t -> Esr_sim.Engine.t
 val net : t -> Esr_sim.Net.t
@@ -60,13 +66,23 @@ val arm_series : t -> until:float -> unit
     additionally samples once per drain round, which captures the
     divergence decay after the workload ends.  No-op when disabled. *)
 
+val arm_checkpoints : t -> until:float -> unit
+(** Pre-schedule checkpoint cuts at every multiple of the checkpoint
+    interval from now through [until] — one consistent system-wide cut
+    per tick, every site cut at the same virtual instant (each via
+    {!Intf.S.checkpoint}).  Mirrors {!arm_series}: pre-scheduling keeps
+    [Engine.run]'s drain semantics.  No-op when the harness was created
+    without [?checkpoint]. *)
+
 val inject_faults : t -> Esr_fault.Schedule.t -> unit
 (** Arm a fault schedule on the engine before (or while) driving the
     workload: crashes wipe the method's volatile state at the target
     site ({!Intf.S.on_crash}), recoveries replay the durable log and
     catch up ({!Intf.S.on_recover}); partitions and heals act on the
     network alone.  Raises [Invalid_argument] if the schedule references
-    a site outside this system.  *)
+    a site outside this system, or — when the run checkpoints — if a
+    crash lands on the exact virtual time of a checkpoint cut
+    ({!Esr_fault.Schedule.validate}). *)
 
 (** Why {!settle_result} could not drain the system. *)
 type stuck_reason =

@@ -64,6 +64,7 @@ type resources = {
   log_bytes : int;  (** modelled retained bytes of that log *)
   wal_entries : int;  (** receipt-journal records not yet consumed *)
   wal_appended : int;  (** cumulative receipt-journal appends *)
+  wal_high_water : int;  (** peak simultaneous receipt-journal records *)
   journal_depth : int;  (** stable-queue journal entries, this site as sender *)
   journal_enqueued : int;  (** cumulative stable-queue appends by this site *)
   store_words : int;  (** live heap words of the materialized store image *)
@@ -75,6 +76,7 @@ let no_resources =
     log_bytes = 0;
     wal_entries = 0;
     wal_appended = 0;
+    wal_high_water = 0;
     journal_depth = 0;
     journal_enqueued = 0;
     store_words = 0;
@@ -174,13 +176,22 @@ type env = {
       (** per-run trace sink + metrics registry; methods emit MSet and
           compensation events through it and hand it to their stable
           queues.  Defaults to a fresh bundle with tracing off. *)
+  checkpoint : Checkpoint.t option;
+      (** asynchronous checkpoint state shared by the method's
+          {!S.checkpoint} hook and its recovery path.  [None] (the
+          default) disables checkpointing entirely: no cuts are taken,
+          logs and journals grow as they always have, and behaviour is
+          byte-identical to pre-checkpoint builds. *)
 }
 
 let make_env ?(config = default_config) ?(store_hint = 64) ?sharding ?obs
-    ~engine ~net ~prng () =
+    ?checkpoint ~engine ~net ~prng () =
   let counter = ref 0 in
   let obs = match obs with Some o -> o | None -> Esr_obs.Obs.default () in
   let sites = Esr_sim.Net.sites net in
+  let checkpoint =
+    Option.map (fun cfg -> Checkpoint.create ~obs ~sites cfg) checkpoint
+  in
   let sharding =
     match sharding with
     | Some s ->
@@ -203,6 +214,7 @@ let make_env ?(config = default_config) ?(store_hint = 64) ?sharding ?obs
         incr counter;
         !counter);
     obs;
+    checkpoint;
   }
 
 (** The uniform replica-control method interface. *)
@@ -255,7 +267,18 @@ module type S = sig
   (** Crash recovery: rebuild the site's image by replaying its durable
       operation log (traced as [Recovery_replay]), then resume normal
       processing — the stable-queue backlog redelivers everything that
-      was not acknowledged before or during the outage.  Idempotent. *)
+      was not acknowledged before or during the outage.  When the run
+      checkpoints ([env.checkpoint]), replay starts from a copy of the
+      site's newest snapshot and folds only the log tail.  Idempotent. *)
+
+  val checkpoint : t -> site:int -> unit
+  (** Take an asynchronous checkpoint cut at [site] (see
+      {!Checkpoint.cut}): snapshot the site image, truncate the durable
+      log behind the cut, and garbage-collect whatever journal records
+      the method declares reclaimable (stable-queue dedup records behind
+      the delivery watermark; COMPE additionally prunes decided undo-log
+      entries).  No-op when [env.checkpoint] is [None] or the site is
+      down — a crashed site's next cut happens after it has recovered. *)
 
   val store : t -> site:int -> Store.t
   (** Site-local single-version state, for convergence checks. *)
@@ -286,6 +309,7 @@ let boxed_quiescent (B ((module M), sys)) = M.quiescent sys
 let boxed_backlog (B ((module M), sys)) = M.backlog sys
 let boxed_on_crash (B ((module M), sys)) ~site = M.on_crash sys ~site
 let boxed_on_recover (B ((module M), sys)) ~site = M.on_recover sys ~site
+let boxed_checkpoint (B ((module M), sys)) ~site = M.checkpoint sys ~site
 let boxed_converged (B ((module M), sys)) = M.converged sys
 let boxed_store (B ((module M), sys)) ~site = M.store sys ~site
 let boxed_mvstore (B ((module M), sys)) ~site = M.mvstore sys ~site

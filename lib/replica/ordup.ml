@@ -308,7 +308,7 @@ let create (env : Intf.env) =
          pending_commits = Hashtbl.create 32;
          wal =
            Recovery.Wal.create ~prof:env.Intf.obs.Esr_obs.Obs.prof
-             ~sites:env.Intf.sites ();
+             ~hint:env.Intf.store_hint ~sites:env.Intf.sites ();
          n_fallbacks = 0;
          n_charged_units = 0;
          n_updates = 0;
@@ -606,10 +606,12 @@ let on_recover t ~site:site_id =
   let site = t.sites.(site_id) in
   if site.down then begin
     site.down <- false;
-    (* Replay the durable log to rebuild the store image... *)
+    (* Replay the durable log — checkpoint + tail when the run
+       checkpoints — to rebuild the store image... *)
     site.store <-
-      Recovery.replay_store ~keyspace:t.env.Intf.keyspace ~size:t.env.Intf.store_hint ~obs:t.env.Intf.obs ~engine:t.env.Intf.engine
-        ~site:site_id site.hist;
+      Recovery.replay_site ?ckpt:t.env.Intf.checkpoint
+        ~keyspace:t.env.Intf.keyspace ~size:t.env.Intf.store_hint
+        ~obs:t.env.Intf.obs ~engine:t.env.Intf.engine ~site:site_id site.hist;
     (* ...then re-ingest the journaled-but-unapplied MSets into the order
        buffers.  The stable-queue backlog redelivers everything else. *)
     List.iter
@@ -626,6 +628,21 @@ let on_recover t ~site:site_id =
     | `Lamport -> drain_lamport t site);
     wake_parked site
   end
+
+let checkpoint t ~site:site_id =
+  match t.env.Intf.checkpoint with
+  | None -> ()
+  | Some c ->
+      let site = t.sites.(site_id) in
+      if not site.down then begin
+        (* Unapplied MSets straddling the cut stay in the receipt journal
+           ([t.wal]); only the stable-queue dedup records behind the
+           delivery watermark are reclaimable here. *)
+        let reclaimed = Squeue.gc_site t.fabric ~site:site_id in
+        site.hist <-
+          Checkpoint.cut c ~engine:t.env.Intf.engine ~site:site_id
+            ~store:site.store ~hist:site.hist ~reclaimed ()
+      end
 
 let quiescent t =
   Array.for_all
@@ -670,6 +687,7 @@ let resources t ~site:site_id =
     log_bytes = Hist.approx_bytes site.hist;
     wal_entries = Recovery.Wal.size t.wal ~site:site_id;
     wal_appended = Recovery.Wal.appended t.wal ~site:site_id;
+    wal_high_water = Recovery.Wal.high_water t.wal ~site:site_id;
     journal_depth = Squeue.journal_depth t.fabric ~site:site_id;
     journal_enqueued = Squeue.journaled t.fabric ~site:site_id;
     store_words = Store.live_words site.store;

@@ -412,9 +412,22 @@ let on_recover t ~site:site_id =
   if site.down then begin
     site.down <- false;
     site.store <-
-      Recovery.replay_store ~keyspace:t.env.Intf.keyspace ~size:t.env.Intf.store_hint ~obs:t.env.Intf.obs ~engine:t.env.Intf.engine
-        ~site:site_id site.hist
+      Recovery.replay_site ?ckpt:t.env.Intf.checkpoint
+        ~keyspace:t.env.Intf.keyspace ~size:t.env.Intf.store_hint
+        ~obs:t.env.Intf.obs ~engine:t.env.Intf.engine ~site:site_id site.hist
   end
+
+let checkpoint t ~site:site_id =
+  match t.env.Intf.checkpoint with
+  | None -> ()
+  | Some c ->
+      let site = t.sites.(site_id) in
+      if not site.down then begin
+        let reclaimed = Squeue.gc_site t.fabric ~site:site_id in
+        site.hist <-
+          Checkpoint.cut c ~engine:t.env.Intf.engine ~site:site_id
+            ~store:site.store ~hist:site.hist ~reclaimed ()
+      end
 
 let quiescent t = Hashtbl.length t.reads = 0 && Hashtbl.length t.writes = 0
 let backlog t = Hashtbl.length t.reads + Hashtbl.length t.writes

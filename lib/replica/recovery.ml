@@ -26,20 +26,34 @@ let emit_replay ~(obs : Esr_obs.Obs.t) ~engine ~site ~n_actions =
       ~time:(Esr_sim.Engine.now engine)
       (Trace.Recovery_replay { site; n_actions })
 
-let replay_store ?keyspace ?size ~obs ~engine ~site hist =
+let replay_store ?base ?keyspace ?size ~obs ~engine ~site hist =
   let prof = obs.Esr_obs.Obs.prof in
   let store =
     if Prof.on prof then begin
       let t0 = Prof.start prof in
       let a0 = Prof.alloc0 prof in
-      let store = Esr_core.Logmerge.apply ?keyspace ?size hist in
+      let store = Esr_core.Logmerge.apply ?base ?keyspace ?size hist in
       Prof.record prof ~site Prof.Replay ~t0 ~a0;
       store
     end
-    else Esr_core.Logmerge.apply ?keyspace ?size hist
+    else Esr_core.Logmerge.apply ?base ?keyspace ?size hist
   in
   emit_replay ~obs ~engine ~site ~n_actions:(Hist.length hist);
   store
+
+(* Checkpoint-aware site-image replay: start from a fresh copy of the
+   site's newest snapshot when the run checkpoints (folding only the log
+   tail), or from scratch otherwise, and record the tail length for the
+   [ckpt/] gauges.  With [ckpt = None] this is exactly the historical
+   {!replay_store}. *)
+let replay_site ?ckpt ?keyspace ?size ~obs ~engine ~site hist =
+  match ckpt with
+  | None -> replay_store ?keyspace ?size ~obs ~engine ~site hist
+  | Some c ->
+      let base = Checkpoint.base c ~site in
+      let store = replay_store ?base ?keyspace ?size ~obs ~engine ~site hist in
+      Checkpoint.note_tail_replay c ~site ~len:(Hist.length hist);
+      store
 
 let emit_volatile_dropped ~(obs : Esr_obs.Obs.t) ~engine ~site ~buffered
     ~queries_failed ~updates_rejected =
@@ -60,14 +74,21 @@ module Wal = struct
     journals : ('k, 'a entry) Hashtbl.t array;  (* per site *)
     mutable next_seq : int;
     appended_by : int array;  (* cumulative per-site appends, monotone *)
+    high_water_by : int array;  (* peak simultaneous records per site *)
     prof : Prof.t;
   }
 
-  let create ?(prof = Prof.disabled) ~sites () =
+  let create ?(prof = Prof.disabled) ?(hint = 16) ~sites () =
+    (* [hint] scales the per-site tables with the workload (the run's
+       store hint) instead of the historical fixed 16: at the million-op
+       tier a journal holding thousands of in-flight MSets would
+       otherwise rehash repeatedly during bursts. *)
+    let hint = Stdlib.max 16 hint in
     {
-      journals = Array.init sites (fun _ -> Hashtbl.create 16);
+      journals = Array.init sites (fun _ -> Hashtbl.create hint);
       next_seq = 0;
       appended_by = Array.make sites 0;
+      high_water_by = Array.make sites 0;
       prof;
     }
 
@@ -80,6 +101,8 @@ module Wal = struct
     t.next_seq <- seq + 1;
     t.appended_by.(site) <- t.appended_by.(site) + 1;
     Hashtbl.replace t.journals.(site) key { seq; record };
+    let depth = Hashtbl.length t.journals.(site) in
+    if depth > t.high_water_by.(site) then t.high_water_by.(site) <- depth;
     if profiling then Prof.record prof ~site Prof.Wal_append ~t0 ~a0
 
   let consume t ~site ~key = Hashtbl.remove t.journals.(site) key
@@ -93,4 +116,6 @@ module Wal = struct
   let size t ~site = Hashtbl.length t.journals.(site)
 
   let appended t ~site = t.appended_by.(site)
+
+  let high_water t ~site = t.high_water_by.(site)
 end

@@ -328,19 +328,33 @@ let on_recover t ~site:site_id =
     match t.mode with
     | `Single ->
         site.store <-
-          Recovery.replay_store ~keyspace:t.env.Intf.keyspace ~size:t.env.Intf.store_hint ~obs:t.env.Intf.obs ~engine:t.env.Intf.engine
-            ~site:site_id site.hist
+          Recovery.replay_site ?ckpt:t.env.Intf.checkpoint
+            ~keyspace:t.env.Intf.keyspace ~size:t.env.Intf.store_hint
+            ~obs:t.env.Intf.obs ~engine:t.env.Intf.engine ~site:site_id
+            site.hist
     | `Multi ->
         (* The log holds Append ops; replaying them naively is arrival
            order, but the latest-version view is last-writer-wins on the
-           stamp — rebuild both images timestamp-aware. *)
+           stamp — rebuild both images timestamp-aware.  When the run
+           checkpoints, both images start from copies of the newest
+           snapshot pair and only the log tail folds on top (Append is
+           idempotent and Timed_write is latest-writer-wins, so a tail
+           action already absorbed by the snapshot would be harmless
+           anyway). *)
+        let ckpt = t.env.Intf.checkpoint in
         let store =
-          Store.create ~size:t.env.Intf.store_hint
-            ~keyspace:t.env.Intf.keyspace ()
+          match Option.bind ckpt (fun c -> Checkpoint.base c ~site:site_id) with
+          | Some base -> base
+          | None ->
+              Store.create ~size:t.env.Intf.store_hint
+                ~keyspace:t.env.Intf.keyspace ()
         in
         let mv =
-          Mvstore.create ~size:t.env.Intf.store_hint
-            ~keyspace:t.env.Intf.keyspace ()
+          match Option.bind ckpt (fun c -> Checkpoint.base_mv c ~site:site_id) with
+          | Some base -> base
+          | None ->
+              Mvstore.create ~size:t.env.Intf.store_hint
+                ~keyspace:t.env.Intf.keyspace ()
         in
         let actions = Hist.actions site.hist in
         List.iter
@@ -358,8 +372,32 @@ let on_recover t ~site:site_id =
         site.store <- store;
         site.mv <- mv;
         Recovery.emit_replay ~obs:t.env.Intf.obs ~engine:t.env.Intf.engine
-          ~site:site_id ~n_actions:(List.length actions)
+          ~site:site_id ~n_actions:(List.length actions);
+        Option.iter
+          (fun c ->
+            Checkpoint.note_tail_replay c ~site:site_id
+              ~len:(Hist.length site.hist))
+          ckpt
   end
+
+let checkpoint t ~site:site_id =
+  match t.env.Intf.checkpoint with
+  | None -> ()
+  | Some c ->
+      let site = t.sites.(site_id) in
+      if not site.down then begin
+        let reclaimed = Squeue.gc_site t.fabric ~site:site_id in
+        site.hist <-
+          (match t.mode with
+          | `Single ->
+              Checkpoint.cut c ~engine:t.env.Intf.engine ~site:site_id
+                ~store:site.store ~hist:site.hist ~reclaimed ()
+          | `Multi ->
+              (* Snapshot the version store alongside the latest-writer
+                 image: Multi recovery rebuilds both. *)
+              Checkpoint.cut c ~engine:t.env.Intf.engine ~site:site_id
+                ~mv:site.mv ~store:site.store ~hist:site.hist ~reclaimed ())
+      end
 
 let quiescent _ = true
 (* RITU keeps no protocol state beyond the transport: once the stable

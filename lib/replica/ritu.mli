@@ -34,6 +34,12 @@ val on_recover : t -> site:int -> unit
 (** Rebuild the volatile image by replaying the durable log, re-ingest
     journaled protocol state, and resume.  Idempotent while up. *)
 
+val checkpoint : t -> site:int -> unit
+(** Asynchronous checkpoint cut at the site (see {!Checkpoint.cut}):
+    snapshot the image, truncate the durable log, and reclaim journal
+    records behind the watermark.  No-op when the run does not
+    checkpoint or the site is down. *)
+
 val quiescent : t -> bool
 val backlog : t -> int
 val store : t -> site:int -> Esr_store.Store.t

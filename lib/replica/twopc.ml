@@ -543,8 +543,9 @@ let on_recover t ~site:site_id =
   if site.down then begin
     site.down <- false;
     site.store <-
-      Recovery.replay_store ~keyspace:t.env.Intf.keyspace ~size:t.env.Intf.store_hint ~obs:t.env.Intf.obs ~engine:t.env.Intf.engine
-        ~site:site_id site.hist;
+      Recovery.replay_site ?ckpt:t.env.Intf.checkpoint
+        ~keyspace:t.env.Intf.keyspace ~size:t.env.Intf.store_hint
+        ~obs:t.env.Intf.obs ~engine:t.env.Intf.engine ~site:site_id site.hist;
     (* Replay the site's own 2PC records that landed while it was down. *)
     let mine, others =
       List.partition (fun (s, _) -> s = site_id) (List.rev t.deferred_local)
@@ -552,6 +553,18 @@ let on_recover t ~site:site_id =
     t.deferred_local <- List.rev others;
     List.iter (fun (_, msg) -> receive t ~site:site_id msg) mine
   end
+
+let checkpoint t ~site:site_id =
+  match t.env.Intf.checkpoint with
+  | None -> ()
+  | Some c ->
+      let site = t.sites.(site_id) in
+      if not site.down then begin
+        let reclaimed = Squeue.gc_site t.fabric ~site:site_id in
+        site.hist <-
+          Checkpoint.cut c ~engine:t.env.Intf.engine ~site:site_id
+            ~store:site.store ~hist:site.hist ~reclaimed ()
+      end
 
 let quiescent t = Hashtbl.length t.coords = 0 && t.deferred_local = []
 let backlog t = Hashtbl.length t.coords + List.length t.deferred_local

@@ -24,9 +24,13 @@ type 'a chan = {
          channel makes no progress and resets on ack *)
 }
 
-(* Receiver-side state of one src->dst channel. *)
+(* Receiver-side state of one src->dst channel.  [seen_floor] is the
+   dedup watermark: every sequence number below it has been delivered and
+   its individual [seen] record reclaimed (checkpoint GC).  It stays 0
+   unless {!gc_site} runs, keeping the historical behaviour bit-exact. *)
 type 'a recv = {
   seen : (int, unit) Hashtbl.t;  (* for Unordered dedup *)
+  mutable seen_floor : int;  (* all seqs < floor are known-delivered *)
   mutable next_expected : int;  (* for Fifo *)
   reorder : (int, 'a) Hashtbl.t;  (* Fifo gap buffer *)
 }
@@ -70,7 +74,8 @@ let deliver t ~dst ~src seq payload =
   let recv = t.recvs.(dst).(src) in
   match t.mode with
   | Unordered ->
-      if Hashtbl.mem recv.seen seq then t.n_dup <- t.n_dup + 1
+      if seq < recv.seen_floor || Hashtbl.mem recv.seen seq then
+        t.n_dup <- t.n_dup + 1
       else begin
         Hashtbl.replace recv.seen seq ();
         t.n_delivered <- t.n_delivered + 1;
@@ -212,7 +217,12 @@ let create ?(mode = Unordered) ?(retry_interval = 50.0) ?backoff ?obs net
     }
   in
   let fresh_recv _ =
-    { seen = Hashtbl.create 8; next_expected = 0; reorder = Hashtbl.create 8 }
+    {
+      seen = Hashtbl.create 8;
+      seen_floor = 0;
+      next_expected = 0;
+      reorder = Hashtbl.create 8;
+    }
   in
   let t =
     {
@@ -274,6 +284,40 @@ let journal_depth t ~site =
   !n
 
 let journaled t ~site = t.journaled_by.(site)
+
+(* Receiver-side dedup journal footprint of one site: individually
+   retained sequence records across its inbound channels (the part the
+   checkpoint GC reclaims; the watermark itself is O(1) per channel). *)
+let dedup_depth t ~site =
+  let n = ref 0 in
+  Array.iter (fun recv -> n := !n + Hashtbl.length recv.seen) t.recvs.(site);
+  !n
+
+(* Checkpoint GC over one site's inbound dedup journals: advance each
+   channel's watermark over the contiguous prefix of delivered sequence
+   numbers and drop the individual records behind it.  A retransmission
+   below the floor is suppressed by the floor alone, so exactly-once
+   delivery is unaffected.  Returns the number of records reclaimed.
+   Fifo channels retain nothing per-seq ([next_expected] already is the
+   watermark), so there is nothing to collect. *)
+let gc_site t ~site =
+  match t.mode with
+  | Fifo -> 0
+  | Unordered ->
+      let reclaimed = ref 0 in
+      Array.iter
+        (fun recv ->
+          let continue = ref true in
+          while !continue do
+            if Hashtbl.mem recv.seen recv.seen_floor then begin
+              Hashtbl.remove recv.seen recv.seen_floor;
+              recv.seen_floor <- recv.seen_floor + 1;
+              incr reclaimed
+            end
+            else continue := false
+          done)
+        t.recvs.(site);
+      !reclaimed
 
 let counters t =
   {

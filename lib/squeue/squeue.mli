@@ -78,6 +78,21 @@ val journaled : 'a t -> site:int -> int
 (** Cumulative journal appends by [site] as sender — monotone, unlike
     {!journal_depth}, so resource series can chart journal churn. *)
 
+val dedup_depth : 'a t -> site:int -> int
+(** Receiver-side dedup journal footprint of [site]: individually
+    retained sequence records across its inbound channels.  This is the
+    structure {!gc_site} compacts; without GC it grows with every
+    message the site ever received on an [Unordered] fabric. *)
+
+val gc_site : 'a t -> site:int -> int
+(** Checkpoint GC of [site]'s inbound dedup journals: advance each
+    channel's seen-watermark over the contiguous prefix of delivered
+    sequence numbers and reclaim the per-seq records behind it, returning
+    how many were dropped.  Exactly-once delivery is preserved — a
+    retransmission below the watermark is suppressed by the watermark
+    itself.  Never called (the default), the fabric behaves exactly as
+    before.  [Fifo] fabrics retain nothing per-seq and return 0. *)
+
 type counters = {
   enqueued : int;
   delivered_first : int;  (** messages handed to the handler *)

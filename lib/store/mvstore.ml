@@ -104,6 +104,14 @@ let keys t =
   done;
   List.sort String.compare !acc
 
+let copy t =
+  {
+    ks = t.ks;
+    vers = Array.copy t.vers;
+    touched = Array.copy t.touched;
+    vtnc = t.vtnc;
+  }
+
 let equal a b =
   let same_versions k =
     let va = versions a k and vb = versions b k in

@@ -52,6 +52,12 @@ val versions : t -> key -> version list
 (** All versions, oldest first. *)
 
 val keys : t -> key list
+
+val copy : t -> t
+(** Snapshot sharing the keyspace and the (immutable) version lists; the
+    slot arrays are fresh, so later appends to either side never show
+    through.  O(keyspace). *)
+
 val equal : t -> t -> bool
 (** Same keys with identical version lists. *)
 

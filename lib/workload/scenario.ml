@@ -99,7 +99,7 @@ let gen_query_keys prng zipf ~key_cache (spec : Spec.t) =
   |> List.sort_uniq String.compare
 
 let run ?(seed = 42) ?config ?net_config ?partition ?faults ?flush_every
-    ?sharding ?obs ~sites ~method_name (spec : Spec.t) =
+    ?sharding ?obs ?checkpoint ~sites ~method_name (spec : Spec.t) =
   let engine_hint =
     (* Expected arrivals; each spawns a handful of network events. *)
     let arrivals =
@@ -108,7 +108,7 @@ let run ?(seed = 42) ?config ?net_config ?partition ?faults ?flush_every
     Stdlib.max 64 (4 * int_of_float arrivals)
   in
   let harness =
-    Harness.create ?config ?net_config ?sharding ?obs ~seed
+    Harness.create ?config ?net_config ?sharding ?obs ?checkpoint ~seed
       ~store_hint:spec.Spec.n_keys ~engine_hint ~sites ~method_name ()
   in
   let sharding = (Harness.env harness).Intf.sharding in
@@ -148,6 +148,7 @@ let run ?(seed = 42) ?config ?net_config ?partition ?faults ?flush_every
     Series.probe series ~name:"esr/oracle_mean" (fun () -> snd (oracle_stats ()))
   end;
   Harness.arm_series harness ~until:spec.Spec.duration;
+  Harness.arm_checkpoints harness ~until:spec.Spec.duration;
   (* mutable tallies *)
   let submitted_updates = ref 0 and committed = ref 0 and rejected = ref 0 in
   let submitted_queries = ref 0 and served = ref 0 in
