@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-all bench-scale trace report soak clean
+.PHONY: all build test bench bench-all bench-scale trace report soak audit clean
 
 all: build
 
@@ -40,6 +40,17 @@ report:
 	  --trace report-run.jsonl --series report-run.series.json
 	dune exec bin/esrsim.exe -- report --trace report-run.jsonl \
 	  --series report-run.series.json --html report.html --chrome report.json
+
+# The CI audit gate, locally: three seeded nemesis schedules against
+# all seven methods, full and ring-sharded placement, with the runtime
+# consistency auditor tapped into every run. Exits 2 on any violation;
+# per-run esr-audit/1 certificates land in audit-certs/.
+audit:
+	mkdir -p audit-certs
+	for seed in 7 23 47; do \
+	  dune exec bin/esrsim.exe -- audit -m all --sharded --seed $$seed \
+	    --ledger audit-certs/certs-$$seed.jsonl || exit 2; \
+	done
 
 # E16 long soak at a reduced scale with the host-time profiler on:
 # resource-growth table on stdout, per-method artifact dumps (series

@@ -18,6 +18,7 @@ module Series = Esr_obs.Series
 module Spans = Esr_obs.Spans
 module Openmetrics = Esr_obs.Openmetrics
 module Report = Esr_obs.Report
+module Audit = Esr_obs.Audit
 module Net = Esr_sim.Net
 module Dist = Esr_util.Dist
 module Epsilon = Esr_core.Epsilon
@@ -439,12 +440,22 @@ let export_series ~file series =
       if Filename.check_suffix file ".csv" then Series.write_csv oc series
       else Series.write_json oc series)
 
+let audit_flag_arg =
+  Arg.(
+    value & flag
+    & info [ "audit" ]
+        ~doc:"Tap the runtime consistency auditor into the run (tracing is \
+              forced on): delivery, ordering, epsilon, crash, checkpoint \
+              and convergence invariants are checked online against the \
+              live event stream, and the certificate is printed after the \
+              summary.  Exit status 2 when any invariant is violated.")
+
 let run_cmd =
   let doc = "Run one workload against one method and print the metrics." in
   let run meth sites duration update_rate query_rate keys theta epsilon profile
       seed loss latency ordering ritu_mode abort_p placement shards replication
       faults_spec checkpoint_interval checkpoint_retain trace_file trace_format
-      show_metrics metrics_file series_file series_interval prof_file =
+      show_metrics metrics_file series_file series_interval prof_file do_audit =
     match
       prepare_scenario ~meth ~duration ~update_rate ~query_rate ~keys ~theta
         ~epsilon ~profile ~loss ~latency ~ordering ~ritu_mode ~abort_p
@@ -460,13 +471,29 @@ let run_cmd =
             ~retain:checkpoint_retain
         in
         let obs =
-          Obs.create ~tracing:(trace_file <> None)
+          Obs.create
+            ~tracing:(trace_file <> None || do_audit)
             ~series:(series_file <> None) ~series_interval
             ~profiling:(prof_file <> None) ()
         in
+        (* A JSONL --trace streams through a file sink as events are
+           emitted, so long horizons keep their full history even after
+           the in-memory ring wraps.  Chrome exports still come from the
+           ring (the format needs the whole timeline up front). *)
+        let streamed =
+          match (trace_file, trace_format) with
+          | Some file, `Jsonl ->
+              let oc = open_out file in
+              Trace.file_sink obs.Obs.trace oc;
+              Some oc
+          | _ -> None
+        in
+        let audit =
+          if do_audit then Some (Audit.create ~label:meth ()) else None
+        in
         let r =
           Scenario.run ~seed ~config ~net_config ?sharding ~obs ?faults
-            ?checkpoint ~sites ~method_name:meth spec
+            ?checkpoint ?audit ~sites ~method_name:meth spec
         in
         let t =
           Tablefmt.create
@@ -512,16 +539,24 @@ let run_cmd =
         List.iter (fun (k, v) -> add ("method: " ^ k) (Tablefmt.cell_float v)) r.Scenario.method_stats;
         Tablefmt.print t;
         (match trace_file with
-        | Some file ->
-            (* With profiling on, a chrome export carries the host-time
-               phase spans as a second process track. *)
-            let extra =
-              if Prof.on obs.Obs.prof then Prof.chrome_events obs.Obs.prof
-              else []
-            in
-            write_trace ~extra ~file ~format:trace_format ~sites obs.Obs.trace;
-            Printf.printf "trace: %d events -> %s\n"
-              (Trace.length obs.Obs.trace) file
+        | Some file -> (
+            match streamed with
+            | Some oc ->
+                close_out oc;
+                Printf.printf "trace: %d events -> %s\n"
+                  (Trace.length obs.Obs.trace + Trace.dropped obs.Obs.trace)
+                  file
+            | None ->
+                (* With profiling on, a chrome export carries the host-time
+                   phase spans as a second process track. *)
+                let extra =
+                  if Prof.on obs.Obs.prof then Prof.chrome_events obs.Obs.prof
+                  else []
+                in
+                write_trace ~extra ~file ~format:trace_format ~sites
+                  obs.Obs.trace;
+                Printf.printf "trace: %d events -> %s\n"
+                  (Trace.length obs.Obs.trace) file)
         | None -> ());
         if show_metrics then begin
           print_endline "metrics:";
@@ -546,6 +581,14 @@ let run_cmd =
             Printf.printf "profile: %d spans -> %s\n"
               (Prof.span_count obs.Obs.prof) file
         | None -> ());
+        let audit_failed =
+          match audit with
+          | None -> false
+          | Some a ->
+              let report = Audit.finish a in
+              Format.printf "%a" Audit.pp_report report;
+              not (Audit.ok report)
+        in
         (* A schedule that leaves a site crashed or a partition standing
            cannot converge; only all-clear runs gate the exit status. *)
         let expect_convergence =
@@ -553,7 +596,8 @@ let run_cmd =
           | Some s -> Schedule.all_clear s
           | None -> true
         in
-        if expect_convergence && not r.Scenario.converged then exit 2
+        if audit_failed || (expect_convergence && not r.Scenario.converged)
+        then exit 2
   in
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
@@ -563,7 +607,7 @@ let run_cmd =
       $ abort_arg $ placement_arg $ shards_arg $ replication_arg $ faults_arg
       $ checkpoint_interval_arg $ checkpoint_retain_arg $ trace_file_arg
       $ trace_format_arg $ print_metrics_arg $ metrics_file_arg
-      $ series_file_arg $ series_interval_arg $ prof_file_arg)
+      $ series_file_arg $ series_interval_arg $ prof_file_arg $ audit_flag_arg)
 
 (* --- nemesis --- *)
 
@@ -842,6 +886,211 @@ let read_trace_jsonl file =
        with End_of_file -> ());
       (List.rev !records, !bad))
 
+(* --- audit --- *)
+
+let audit_cmd =
+  let doc =
+    "Certify the paper's guarantees over a run.  With --trace, replay a \
+     recorded JSONL dump through the auditor; otherwise drive live \
+     seeded-nemesis runs (every method with -m all, optionally repeated \
+     under ring-sharded partial replication with --sharded) with the \
+     auditor tapped into the event stream.  Checks exactly-once gap-free \
+     squeue delivery, in-order dense ORDUP apply streams, the epsilon \
+     bound and the reconstructed overlap behind every charge, crash \
+     discipline (no effects from down sites, complete log replay), \
+     checkpoint cuts, and the convergence certificate.  Exit status 2 \
+     when any invariant is violated; each violation pins the first \
+     offending trace event."
+  in
+  let all_method_arg =
+    let doc = "Method to audit, or 'all' for the whole registry." in
+    Arg.(value & opt string "all" & info [ "m"; "method" ] ~docv:"METHOD" ~doc)
+  in
+  let trace_in_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:"Audit a recorded JSONL trace dump instead of running live.")
+  in
+  let ledger_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "ledger" ] ~docv:"FILE"
+          ~doc:"Write the esr-audit/1 certificate of every audited run \
+                (violations, summary and the per-query epsilon ledger) to \
+                $(docv), one JSON document per line.")
+  in
+  let sharded_arg =
+    Arg.(
+      value & flag
+      & info [ "sharded" ]
+          ~doc:"Also audit each method under ring-sharded partial \
+                replication (placement ring, default shard count).")
+  in
+  let windows_arg =
+    Arg.(
+      value & opt int Nemesis.default_profile.Nemesis.max_faults
+      & info [ "windows" ] ~docv:"N" ~doc:"Fault windows to generate.")
+  in
+  let crash_bias_arg =
+    Arg.(
+      value
+      & opt float Nemesis.default_profile.Nemesis.crash_bias
+      & info [ "crash-bias" ] ~docv:"P"
+          ~doc:"Probability a window is a crash rather than a partition.")
+  in
+  let label_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "label" ] ~docv:"NAME"
+          ~doc:"Certificate label for --trace mode (default: file name).")
+  in
+  let run meth sites duration update_rate query_rate keys theta epsilon seed
+      windows crash_bias sharded checkpoint_interval checkpoint_retain
+      trace_in ledger_file label =
+    let certs = ref [] and failed = ref false in
+    let record report =
+      certs := report :: !certs;
+      if not (Audit.ok report) then failed := true
+    in
+    (match trace_in with
+    | Some file ->
+        let records, bad = read_trace_jsonl file in
+        if records = [] then begin
+          Printf.eprintf "audit: no parseable trace records in %s\n" file;
+          exit 1
+        end;
+        if bad > 0 then
+          Printf.eprintf "warning: %d unparseable trace lines skipped\n" bad;
+        let label =
+          match label with
+          | Some l -> l
+          | None -> Filename.remove_extension (Filename.basename file)
+        in
+        let report = Audit.audit_records ~label records in
+        Format.printf "%a" Audit.pp_report report;
+        record report
+    | None ->
+        let methods =
+          if String.lowercase_ascii meth = "all" then
+            List.map (fun (m : Intf.meta) -> m.Intf.name) Registry.metas
+          else [ meth ]
+        in
+        let profile =
+          {
+            Nemesis.default_profile with
+            Nemesis.max_faults = windows;
+            crash_bias;
+          }
+        in
+        let schedule =
+          Nemesis.generate ~profile ~seed ~sites ~duration:(duration *. 0.8) ()
+        in
+        Printf.printf "nemesis schedule (seed %d): %s\n" seed
+          (Schedule.to_spec schedule);
+        let placements = `Full :: (if sharded then [ `Ring ] else []) in
+        let t =
+          Tablefmt.create
+            ~title:
+              (Printf.sprintf "audit on %d sites (seed %d, %d windows)" sites
+                 seed windows)
+            ~headers:
+              [
+                "Method";
+                "Placement";
+                "Events";
+                "Queries";
+                "Windows";
+                "Exact";
+                "Violations";
+              ]
+        in
+        List.iter
+          (fun meth ->
+            List.iter
+              (fun placement ->
+                match
+                  prepare_scenario ~meth ~duration ~update_rate ~query_rate
+                    ~keys ~theta ~epsilon ~profile:"auto" ~loss:0.0
+                    ~latency:10.0 ~ordering:"sequencer" ~ritu_mode:"single"
+                    ~abort_p:0.0
+                with
+                | Error (`Msg m) ->
+                    prerr_endline m;
+                    exit 1
+                | Ok (spec, net_config, config) ->
+                    let placement_name, sharding =
+                      match placement with
+                      | `Full -> ("full", None)
+                      | `Ring ->
+                          ( "ring",
+                            make_sharding ~sites ~placement:"ring" ~shards:None
+                              ~replication:None )
+                    in
+                    let checkpoint =
+                      make_checkpoint ~interval:checkpoint_interval
+                        ~retain:checkpoint_retain
+                    in
+                    let obs = Obs.create ~tracing:true () in
+                    let audit =
+                      Audit.create
+                        ~label:
+                          (Printf.sprintf "%s/%s/seed%d" meth placement_name
+                             seed)
+                        ()
+                    in
+                    let r =
+                      Scenario.run ~seed ~config ~net_config ?sharding ~obs
+                        ~audit ?checkpoint ~faults:schedule ~sites
+                        ~method_name:meth spec
+                    in
+                    ignore r;
+                    let report = Audit.finish audit in
+                    record report;
+                    let s = report.Audit.summary in
+                    Tablefmt.add_row t
+                      [
+                        meth;
+                        placement_name;
+                        string_of_int s.Audit.s_events;
+                        string_of_int s.Audit.s_queries;
+                        string_of_int s.Audit.s_windows;
+                        string_of_int s.Audit.s_windows_exact;
+                        string_of_int (List.length report.Audit.violations);
+                      ];
+                    List.iter
+                      (fun v ->
+                        Format.eprintf "%s: %a@." report.Audit.label
+                          Audit.pp_violation v)
+                      report.Audit.violations)
+              placements)
+          methods;
+        Tablefmt.print t;
+        print_endline
+          (if !failed then "audit: VIOLATIONS found"
+           else "audit: all runs certified"));
+    (match ledger_file with
+    | Some file ->
+        with_out file (fun oc ->
+            List.iter
+              (fun report ->
+                output_string oc (Audit.report_to_json report);
+                output_char oc '\n')
+              (List.rev !certs));
+        Printf.printf "certificates -> %s\n" file
+    | None -> ());
+    if !failed then exit 2
+  in
+  Cmd.v (Cmd.info "audit" ~doc)
+    Term.(
+      const run $ all_method_arg $ sites_arg $ duration_arg $ update_rate_arg
+      $ query_rate_arg $ keys_arg $ theta_arg $ epsilon_arg $ seed_arg
+      $ windows_arg $ crash_bias_arg $ sharded_arg $ checkpoint_interval_arg
+      $ checkpoint_retain_arg $ trace_in_arg $ ledger_arg $ label_arg)
+
 let report_cmd =
   let doc =
     "Render a recorded run (a --trace JSONL dump, optionally with its \
@@ -879,6 +1128,15 @@ let report_cmd =
       & opt (some string) None
       & info [ "label" ] ~docv:"NAME" ~doc:"Report label (default: trace file name).")
   in
+  let audit_report_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "audit" ] ~docv:"FILE"
+          ~doc:"esr-audit/1 certificate matching the trace (from 'audit \
+                --ledger'; the first document when $(docv) holds several): \
+                adds the audit certificate and epsilon-ledger panel.")
+  in
   let html_arg =
     Arg.(
       value
@@ -894,7 +1152,8 @@ let report_cmd =
           ~doc:"Also write a Chrome trace enriched with span-tree flow \
                 events (MSet propagation arrows) to $(docv).")
   in
-  let run trace_file series_file profile_file label html_file chrome_file =
+  let run trace_file series_file profile_file label html_file chrome_file
+      audit_file =
     let records, bad = read_trace_jsonl trace_file in
     if records = [] then begin
       Printf.eprintf "report: no parseable trace records in %s\n" trace_file;
@@ -922,12 +1181,29 @@ let report_cmd =
               Printf.eprintf "report: %s: %s\n" f m;
               exit 1)
     in
+    let audit =
+      match audit_file with
+      | None -> None
+      | Some f -> (
+          let text = read_file f in
+          (* --ledger files hold one certificate per line; take the first. *)
+          let first =
+            match String.index_opt text '\n' with
+            | Some i -> String.sub text 0 i
+            | None -> text
+          in
+          match Audit.report_of_json first with
+          | Ok r -> Some r
+          | Error m ->
+              Printf.eprintf "report: %s: %s\n" f m;
+              exit 1)
+    in
     let label =
       match label with
       | Some l -> l
       | None -> Filename.remove_extension (Filename.basename trace_file)
     in
-    let input = Report.make ~label ?series ?profile records in
+    let input = Report.make ~label ?series ?profile ?audit records in
     print_string (Report.dashboard input);
     (match html_file with
     | Some f ->
@@ -958,7 +1234,7 @@ let report_cmd =
   Cmd.v (Cmd.info "report" ~doc)
     Term.(
       const run $ trace_arg $ series_arg $ profile_dump_arg $ label_arg
-      $ html_arg $ chrome_arg)
+      $ html_arg $ chrome_arg $ audit_report_arg)
 
 (* --- check --- *)
 
@@ -1022,6 +1298,7 @@ let main_cmd =
       methods_cmd;
       run_cmd;
       nemesis_cmd;
+      audit_cmd;
       trace_cmd;
       report_cmd;
       check_cmd;

@@ -14,10 +14,32 @@ type input = {
   records : Trace.record list;
   series : Series.dump option;
   profile : Prof.dump option;
+  audit : Audit.report option;
 }
 
-let make ?(label = "run") ?series ?profile records =
-  { label; records; series; profile }
+let make ?(label = "run") ?series ?profile ?audit records =
+  { label; records; series; profile; audit }
+
+(* Ring evictions make every derived view an under-count; say so loudly
+   rather than letting a truncated dump read as a complete run. *)
+let dropped_of records =
+  List.fold_left
+    (fun acc (r : Trace.record) ->
+      match r.Trace.ev with
+      | Trace.Trace_meta { dropped } -> acc + dropped
+      | _ -> acc)
+    0 records
+
+let partial_banner input =
+  let d = dropped_of input.records in
+  if d = 0 then None
+  else
+    Some
+      (Printf.sprintf
+         "WARNING: %d events dropped from the trace ring; span/audit results \
+          are partial (stream with a .jsonl --trace file to keep full \
+          history)"
+         d)
 
 let sites_of records =
   let open Trace in
@@ -29,7 +51,10 @@ let sites_of records =
       | Msg_sent { src; dst; _ }
       | Msg_dropped { src; dst; _ }
       | Msg_duplicated { src; dst; _ }
-      | Msg_delivered { src; dst; _ } ->
+      | Msg_delivered { src; dst; _ }
+      | Squeue_send { src; dst; _ }
+      | Squeue_delivered { src; dst; _ }
+      | Squeue_dup { src; dst; _ } ->
           see src;
           see dst
       | Crash { site } | Recover { site } -> see site
@@ -37,7 +62,9 @@ let sites_of records =
       | Update_committed { origin; _ }
       | Update_rejected { origin; _ } ->
           see origin
-      | Query_begin { site; _ } | Query_served { site; _ } -> see site
+      | Query_begin { site; _ } | Query_served { site; _ }
+      | Query_window { site; _ } | Query_window_closed { site; _ } ->
+          see site
       | Mset_enqueued { origin; _ } -> see origin
       | Mset_applied { site; _ }
       | Compensation_fired { site; _ }
@@ -355,10 +382,100 @@ let slowest_table spans =
     Some t
   end
 
+(* {2 Audit panel} *)
+
+let audit_tables input =
+  match input.audit with
+  | None -> []
+  | Some (r : Audit.report) ->
+      let s = r.Audit.summary in
+      let cert =
+        Tablefmt.create
+          ~title:(Printf.sprintf "Audit certificate: %s" r.Audit.label)
+          ~headers:[ "metric"; "value" ]
+      in
+      let row k v = Tablefmt.add_row cert [ k; v ] in
+      row "status"
+        (if Audit.ok r then "CERTIFIED"
+         else Printf.sprintf "%d VIOLATIONS" (List.length r.Audit.violations));
+      if Audit.partial r then
+        row "coverage"
+          (Printf.sprintf "PARTIAL (%d events dropped)" s.Audit.s_dropped);
+      row "events audited" (string_of_int s.Audit.s_events);
+      row "queries (bounded / at bound)"
+        (Printf.sprintf "%d (%d / %d)" s.Audit.s_queries s.Audit.s_bounded
+           s.Audit.s_at_bound);
+      row "inconsistency charged" (string_of_int s.Audit.s_charged_total);
+      row "query windows (exact overlap)"
+        (Printf.sprintf "%d (%d)" s.Audit.s_windows s.Audit.s_windows_exact);
+      row "crashes (max log / max replay)"
+        (Printf.sprintf "%d (%d / %d)" s.Audit.s_crashes s.Audit.s_max_crash_log
+           s.Audit.s_max_replay);
+      row "checkpoint cuts" (string_of_int s.Audit.s_cuts);
+      row "converged"
+        (match s.Audit.s_converged with
+        | Some ok -> Tablefmt.cell_bool ok
+        | None -> "n/a");
+      let ledger = r.Audit.ledger in
+      if ledger <> [] then begin
+        let n = List.length ledger in
+        let fsum f = List.fold_left (fun acc e -> acc +. f e) 0.0 ledger in
+        let charged_max =
+          List.fold_left (fun acc e -> Stdlib.max acc e.Audit.l_charged) 0 ledger
+        in
+        let oracle = List.filter_map (fun e -> e.Audit.l_oracle) ledger in
+        row "ledger: mean / max charged"
+          (Printf.sprintf "%s / %d"
+             (f2 (fsum (fun e -> float_of_int e.Audit.l_charged) /. float_of_int n))
+             charged_max);
+        row "ledger: reconstructed windows"
+          (string_of_int
+             (List.length
+                (List.filter (fun e -> e.Audit.l_reconstructed <> None) ledger)));
+        if oracle <> [] then
+          row "ledger: mean / max oracle distance"
+            (Printf.sprintf "%s / %s"
+               (f2
+                  (List.fold_left ( +. ) 0.0 oracle
+                  /. float_of_int (List.length oracle)))
+               (f2 (List.fold_left Float.max 0.0 oracle)))
+      end;
+      let tables = [ cert ] in
+      if r.Audit.violations = [] then tables
+      else begin
+        let vt =
+          Tablefmt.create ~title:"Audit violations (first event pinned)"
+            ~headers:[ "t (ms)"; "kind"; "invariant"; "event"; "detail" ]
+        in
+        List.iter
+          (fun (vi : Audit.violation) ->
+            Tablefmt.add_row vt
+              [
+                f2 vi.Audit.v_time;
+                Audit.kind_to_string vi.Audit.v_kind;
+                vi.Audit.v_invariant;
+                vi.Audit.v_event;
+                vi.Audit.v_detail;
+              ])
+          r.Audit.violations;
+        tables @ [ vt ]
+      end
+
 let dashboard input =
   let spans = Spans.reconstruct input.records in
   let b = Buffer.create 4096 in
+  (match partial_banner input with
+  | Some banner ->
+      Buffer.add_string b "!! ";
+      Buffer.add_string b banner;
+      Buffer.add_string b "\n\n"
+  | None -> ());
   Buffer.add_string b (Tablefmt.render (summary_table input spans));
+  List.iter
+    (fun t ->
+      Buffer.add_char b '\n';
+      Buffer.add_string b (Tablefmt.render t))
+    (audit_tables input);
   (match faults_table input with
   | Some t ->
       Buffer.add_char b '\n';
@@ -491,7 +608,16 @@ let html input =
     "<style>body{font-family:monospace;max-width:860px;margin:2em \
      auto;color:#222}h1{font-size:1.3em}h2{font-size:1.1em;margin-top:1.6em}pre{background:#f6f6f6;padding:8px;overflow-x:auto}</style></head><body>\n";
   out "<h1>esrsim report: %s</h1>\n" (html_escape input.label);
+  (match partial_banner input with
+  | Some banner ->
+      out
+        "<div style=\"background:#fdecea;border:1px solid \
+         #d62728;color:#a00;padding:10px;margin:10px 0;font-weight:bold\">&#9888; \
+         %s</div>\n"
+        (html_escape banner)
+  | None -> ());
   out "%s" (html_table (summary_table input spans));
+  List.iter (fun t -> out "%s" (html_table t)) (audit_tables input);
   (match input.series with
   | Some d when d.d_samples <> [] ->
       let cols = esr_columns d in

@@ -12,14 +12,21 @@ type input = {
   records : Trace.record list;
   series : Series.dump option;
   profile : Prof.dump option;
+  audit : Audit.report option;
 }
 
 val make :
   ?label:string ->
   ?series:Series.dump ->
   ?profile:Prof.dump ->
+  ?audit:Audit.report ->
   Trace.record list ->
   input
+
+val partial_banner : input -> string option
+(** Loud warning when the trace ring dropped events: every derived view
+    (spans, audit, counts) is an under-count.  Rendered at the top of
+    both the terminal dashboard and the HTML report. *)
 
 val sites_of : Trace.record list -> int
 (** Largest site id referenced, plus one. *)

@@ -122,7 +122,7 @@ let reconstruct records =
           close_update ~u ~origin (Committed time)
       | Update_rejected { u; origin; reason } ->
           close_update ~u ~origin (Rejected (time, reason))
-      | Mset_enqueued { et; origin; n_ops } ->
+      | Mset_enqueued { et; origin; n_ops; _ } ->
           if not (Hashtbl.mem msets_tbl et) then begin
             Hashtbl.replace msets_tbl et
               {
@@ -144,7 +144,7 @@ let reconstruct records =
                 sb.sb_msets <- et :: sb.sb_msets
             | None -> ()
           end
-      | Mset_applied { et; site; n_ops } ->
+      | Mset_applied { et; site; n_ops; _ } ->
           let mb =
             match Hashtbl.find_opt msets_tbl et with
             | Some mb -> mb

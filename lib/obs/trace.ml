@@ -17,18 +17,36 @@ type event =
       q : int;
       site : int;
       charged : int;
+      forced : int;
       epsilon : int option;
       consistent_path : bool;
       latency : float;
     }
-  | Mset_enqueued of { et : int; origin : int; n_ops : int }
-  | Mset_applied of { et : int; site : int; n_ops : int }
+  | Mset_enqueued of { et : int; origin : int; n_ops : int; keys : string list }
+  | Mset_applied of { et : int; site : int; n_ops : int; order : int option }
   | Compensation_fired of { et : int; site : int; kind : [ `Fast | `Full | `Revoke ] }
+  | Squeue_send of { src : int; dst : int; seq : int }
+  | Squeue_delivered of { src : int; dst : int; seq : int }
+  | Squeue_dup of { src : int; dst : int; seq : int }
+  | Query_window of {
+      w : int;
+      site : int;
+      point : int;
+      missing : int;
+      keys : string list;
+    }
+  | Query_window_closed of {
+      w : int;
+      site : int;
+      charged : int;
+      outcome : [ `Ok | `Fallback | `Killed ];
+    }
   | Volatile_dropped of {
       site : int;
       buffered : int;
       queries_failed : int;
       updates_rejected : int;
+      log : int;
     }
   | Recovery_replay of { site : int; n_actions : int }
   | Checkpoint_cut of { site : int; folded : int; reclaimed : int }
@@ -41,7 +59,10 @@ type event =
 type record = { time : float; ev : event }
 
 (* Ring buffer sink.  [buf] is allocated on the first emit of an enabled
-   sink, so a disabled sink (the default everywhere) costs one record. *)
+   sink, so a disabled sink (the default everywhere) costs one record.
+   [taps] see every record as it is emitted, before ring eviction can
+   touch it — a streaming consumer (file sink, auditor) is therefore
+   immune to ring wrap. *)
 type t = {
   enabled : bool;
   capacity : int;
@@ -49,29 +70,38 @@ type t = {
   mutable len : int;  (* valid records, <= capacity *)
   mutable head : int;  (* index of the oldest record *)
   mutable n_dropped : int;
+  mutable taps : (record -> unit) list;  (* attach order *)
 }
 
 let dummy = { time = 0.0; ev = Heal }
 
 let make ?(capacity = 262_144) ~enabled () =
   if capacity <= 0 then invalid_arg "Trace.make: capacity must be positive";
-  { enabled; capacity; buf = [||]; len = 0; head = 0; n_dropped = 0 }
+  { enabled; capacity; buf = [||]; len = 0; head = 0; n_dropped = 0; taps = [] }
 
 let[@inline] on t = t.enabled
 
+let attach t f =
+  if not t.enabled then invalid_arg "Trace.attach: sink is disabled";
+  t.taps <- t.taps @ [ f ]
+
 let emit t ~time ev =
   if t.enabled then begin
+    let r = { time; ev } in
     if Array.length t.buf = 0 then t.buf <- Array.make t.capacity dummy;
     if t.len < t.capacity then begin
-      t.buf.((t.head + t.len) mod t.capacity) <- { time; ev };
+      t.buf.((t.head + t.len) mod t.capacity) <- r;
       t.len <- t.len + 1
     end
     else begin
       (* Full: overwrite the oldest. *)
-      t.buf.(t.head) <- { time; ev };
+      t.buf.(t.head) <- r;
       t.head <- (t.head + 1) mod t.capacity;
       t.n_dropped <- t.n_dropped + 1
-    end
+    end;
+    match t.taps with
+    | [] -> ()
+    | taps -> List.iter (fun f -> f r) taps
   end
 
 let length t = t.len
@@ -113,6 +143,17 @@ let kind_of_string = function
   | "revoke" -> Some `Revoke
   | _ -> None
 
+let outcome_to_string = function
+  | `Ok -> "ok"
+  | `Fallback -> "fallback"
+  | `Killed -> "killed"
+
+let outcome_of_string = function
+  | "ok" -> Some `Ok
+  | "fallback" -> Some `Fallback
+  | "killed" -> Some `Killed
+  | _ -> None
+
 let type_name = function
   | Msg_sent _ -> "msg_sent"
   | Msg_dropped _ -> "msg_dropped"
@@ -130,6 +171,11 @@ let type_name = function
   | Mset_enqueued _ -> "mset_enqueued"
   | Mset_applied _ -> "mset_applied"
   | Compensation_fired _ -> "compensation_fired"
+  | Squeue_send _ -> "squeue_send"
+  | Squeue_delivered _ -> "squeue_delivered"
+  | Squeue_dup _ -> "squeue_dup"
+  | Query_window _ -> "query_window"
+  | Query_window_closed _ -> "query_window_closed"
   | Volatile_dropped _ -> "volatile_dropped"
   | Recovery_replay _ -> "recovery_replay"
   | Checkpoint_cut _ -> "checkpoint_cut"
@@ -176,6 +222,20 @@ let record_to_json r =
         Buffer.add_char b '"';
         Buffer.add_string b name;
         Buffer.add_string b "\":null"
+  in
+  let strs name vs =
+    field_sep ();
+    Buffer.add_char b '"';
+    Buffer.add_string b name;
+    Buffer.add_string b "\":[";
+    List.iteri
+      (fun i v ->
+        if i > 0 then Buffer.add_char b ',';
+        Buffer.add_char b '"';
+        buf_add_escaped b v;
+        Buffer.add_char b '"')
+      vs;
+    Buffer.add_char b ']'
   in
   Buffer.add_string b "{\"ts\":";
   Buffer.add_string b (float_repr r.time);
@@ -224,30 +284,51 @@ let record_to_json r =
       int "site" site;
       int "n_keys" n_keys;
       int_opt "epsilon" epsilon
-  | Query_served { q; site; charged; epsilon; consistent_path; latency } ->
+  | Query_served { q; site; charged; forced; epsilon; consistent_path; latency } ->
       int "q" q;
       int "site" site;
       int "charged" charged;
+      if forced > 0 then int "forced" forced;
       int_opt "epsilon" epsilon;
       boolean "consistent_path" consistent_path;
       num "latency" latency
-  | Mset_enqueued { et; origin; n_ops } ->
+  | Mset_enqueued { et; origin; n_ops; keys } ->
       int "et" et;
       int "origin" origin;
-      int "n_ops" n_ops
-  | Mset_applied { et; site; n_ops } ->
+      int "n_ops" n_ops;
+      strs "keys" keys
+  | Mset_applied { et; site; n_ops; order } ->
       int "et" et;
       int "site" site;
-      int "n_ops" n_ops
+      int "n_ops" n_ops;
+      int_opt "order" order
   | Compensation_fired { et; site; kind } ->
       int "et" et;
       int "site" site;
       str "kind" (kind_to_string kind)
-  | Volatile_dropped { site; buffered; queries_failed; updates_rejected } ->
+  | Squeue_send { src; dst; seq }
+  | Squeue_delivered { src; dst; seq }
+  | Squeue_dup { src; dst; seq } ->
+      int "src" src;
+      int "dst" dst;
+      int "seq" seq
+  | Query_window { w; site; point; missing; keys } ->
+      int "w" w;
+      int "site" site;
+      int "point" point;
+      int "missing" missing;
+      strs "keys" keys
+  | Query_window_closed { w; site; charged; outcome } ->
+      int "w" w;
+      int "site" site;
+      int "charged" charged;
+      str "outcome" (outcome_to_string outcome)
+  | Volatile_dropped { site; buffered; queries_failed; updates_rejected; log } ->
       int "site" site;
       int "buffered" buffered;
       int "queries_failed" queries_failed;
-      int "updates_rejected" updates_rejected
+      int "updates_rejected" updates_rejected;
+      int "log" log
   | Recovery_replay { site; n_actions } ->
       int "site" site;
       int "n_actions" n_actions
@@ -300,6 +381,22 @@ let record_of_json line =
         | Some Json.Null -> None
         | Some (Json.Num v) -> Some (int_of_float v)
         | _ -> raise (Parse ("missing nullable int field " ^ name))
+      in
+      (* Absent-tolerant: fields written only when nonzero. *)
+      let get_int_default name d =
+        match find name with
+        | Some (Json.Num v) -> int_of_float v
+        | _ -> d
+      in
+      let get_str_list name =
+        match find name with
+        | Some (Json.Arr items) ->
+            List.map
+              (function
+                | Json.Str s -> s
+                | _ -> raise (Parse ("bad string in " ^ name)))
+              items
+        | _ -> raise (Parse ("missing string list field " ^ name))
       in
       let msg_fields () = (get_int "src", get_int "dst", get_str "cls") in
       try
@@ -365,15 +462,27 @@ let record_of_json line =
                   q = get_int "q";
                   site = get_int "site";
                   charged = get_int "charged";
+                  forced = get_int_default "forced" 0;
                   epsilon = get_int_opt "epsilon";
                   consistent_path = get_bool "consistent_path";
                   latency = get_num "latency";
                 }
           | "mset_enqueued" ->
               Mset_enqueued
-                { et = get_int "et"; origin = get_int "origin"; n_ops = get_int "n_ops" }
+                {
+                  et = get_int "et";
+                  origin = get_int "origin";
+                  n_ops = get_int "n_ops";
+                  keys = get_str_list "keys";
+                }
           | "mset_applied" ->
-              Mset_applied { et = get_int "et"; site = get_int "site"; n_ops = get_int "n_ops" }
+              Mset_applied
+                {
+                  et = get_int "et";
+                  site = get_int "site";
+                  n_ops = get_int "n_ops";
+                  order = get_int_opt "order";
+                }
           | "compensation_fired" ->
               let kind =
                 match kind_of_string (get_str "kind") with
@@ -381,6 +490,30 @@ let record_of_json line =
                 | None -> raise (Parse "bad compensation kind")
               in
               Compensation_fired { et = get_int "et"; site = get_int "site"; kind }
+          | "squeue_send" ->
+              Squeue_send { src = get_int "src"; dst = get_int "dst"; seq = get_int "seq" }
+          | "squeue_delivered" ->
+              Squeue_delivered
+                { src = get_int "src"; dst = get_int "dst"; seq = get_int "seq" }
+          | "squeue_dup" ->
+              Squeue_dup { src = get_int "src"; dst = get_int "dst"; seq = get_int "seq" }
+          | "query_window" ->
+              Query_window
+                {
+                  w = get_int "w";
+                  site = get_int "site";
+                  point = get_int "point";
+                  missing = get_int "missing";
+                  keys = get_str_list "keys";
+                }
+          | "query_window_closed" ->
+              let outcome =
+                match outcome_of_string (get_str "outcome") with
+                | Some o -> o
+                | None -> raise (Parse "bad window outcome")
+              in
+              Query_window_closed
+                { w = get_int "w"; site = get_int "site"; charged = get_int "charged"; outcome }
           | "volatile_dropped" ->
               Volatile_dropped
                 {
@@ -388,6 +521,7 @@ let record_of_json line =
                   buffered = get_int "buffered";
                   queries_failed = get_int "queries_failed";
                   updates_rejected = get_int "updates_rejected";
+                  log = get_int "log";
                 }
           | "recovery_replay" ->
               Recovery_replay
@@ -407,6 +541,11 @@ let record_of_json line =
         Ok { time; ev }
       with Parse msg -> Error msg)
   | _ -> Error "not a JSON object"
+
+let file_sink t oc =
+  attach t (fun r ->
+      output_string oc (record_to_json r);
+      output_char oc '\n')
 
 let write_jsonl oc t =
   (* Evictions are not silent: a wrapped ring leads the dump with a
@@ -428,10 +567,13 @@ let write_jsonl oc t =
 let event_track ~sites = function
   | Msg_sent { src; _ } | Msg_dropped { src; _ } | Msg_duplicated { src; _ } -> src
   | Msg_delivered { dst; _ } -> dst
+  | Squeue_send { src; _ } -> src
+  | Squeue_delivered { dst; _ } | Squeue_dup { dst; _ } -> dst
   | Crash { site } | Recover { site } -> site
   | Update_begin { origin; _ } | Update_committed { origin; _ } | Update_rejected { origin; _ }
     -> origin
   | Query_begin { site; _ } | Query_served { site; _ } -> site
+  | Query_window { site; _ } | Query_window_closed { site; _ } -> site
   | Mset_enqueued { origin; _ } -> origin
   | Mset_applied { site; _ } | Compensation_fired { site; _ } -> site
   | Volatile_dropped { site; _ } | Recovery_replay { site; _ }

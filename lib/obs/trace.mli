@@ -41,18 +41,51 @@ type event =
       q : int;
       site : int;
       charged : int;  (** inconsistency units accumulated *)
+      forced : int;
+          (** units charged unconditionally by backward compensations
+              (§4.2) — only [charged - forced] is held to [epsilon] *)
       epsilon : int option;  (** the spec limit; [None] = unlimited *)
       consistent_path : bool;
       latency : float;
     }
-  | Mset_enqueued of { et : int; origin : int; n_ops : int }
-  | Mset_applied of { et : int; site : int; n_ops : int }
+  | Mset_enqueued of { et : int; origin : int; n_ops : int; keys : string list }
+      (** [keys] are the distinct keys the MSet writes — the auditor
+          reconstructs query/update overlap from them *)
+  | Mset_applied of { et : int; site : int; n_ops : int; order : int option }
+      (** [order] is the method's total-order position when one exists
+          (ORDUP sequencer tickets); [None] for unordered methods *)
   | Compensation_fired of { et : int; site : int; kind : [ `Fast | `Full | `Revoke ] }
+  | Squeue_send of { src : int; dst : int; seq : int }
+      (** a payload entered the (src,dst) session channel under dense
+          sequence number [seq] *)
+  | Squeue_delivered of { src : int; dst : int; seq : int }
+      (** the channel handed [seq] to the application exactly once *)
+  | Squeue_dup of { src : int; dst : int; seq : int }
+      (** a retransmitted/duplicated copy of [seq] was suppressed *)
+  | Query_window of {
+      w : int;  (** per-run window id, pairs with {!Query_window_closed} *)
+      site : int;
+      point : int;  (** the query's serialization point (ticket order) *)
+      missing : int;  (** lump charge for not-yet-applied earlier MSets *)
+      keys : string list;
+    }
+      (** an ORDUP optimistic query opened its inconsistency window *)
+  | Query_window_closed of {
+      w : int;
+      site : int;
+      charged : int;
+      outcome : [ `Ok | `Fallback | `Killed ];
+    }
+      (** the window closed: served optimistically ([`Ok]), fell back to
+          the consistent path on charge refusal ([`Fallback]), or died
+          with its site ([`Killed]) *)
   | Volatile_dropped of {
       site : int;
       buffered : int;  (** order-buffer MSets lost with volatile memory *)
       queries_failed : int;  (** parked/active queries failed degraded *)
       updates_rejected : int;  (** un-notified origin outcomes rejected *)
+      log : int;  (** durable-log length at the crash: the exact tail a
+                      subsequent {!Recovery_replay} must replay *)
     }  (** a site crash wiped its volatile state *)
   | Recovery_replay of { site : int; n_actions : int }
       (** recovery rebuilt the site image by replaying its durable log
@@ -85,6 +118,20 @@ val on : t -> bool
 val emit : t -> time:float -> event -> unit
 (** No-op on a disabled sink. *)
 
+val attach : t -> (record -> unit) -> unit
+(** [attach t f] registers a streaming tap: [f] sees every subsequent
+    record at emit time, before ring eviction — a tap observes the
+    complete event stream even when the ring wraps.  Taps run in attach
+    order.  Raises [Invalid_argument] on a disabled sink (the tap would
+    silently see nothing). *)
+
+val file_sink : t -> out_channel -> unit
+(** [file_sink t oc] attaches a write-through JSONL tap: every record is
+    appended to [oc] as it is emitted.  Unlike {!write_jsonl} on a
+    wrapped ring, the resulting file is complete — suitable for
+    day-horizon runs whose event count exceeds any ring capacity.  The
+    caller flushes/closes [oc] after the run. *)
+
 val length : t -> int
 val dropped : t -> int
 (** Records evicted because the ring wrapped. *)
@@ -95,6 +142,10 @@ val iter : t -> (record -> unit) -> unit
 val to_list : t -> record list
 
 (** {2 JSONL} *)
+
+val type_name : event -> string
+(** The stable [type] tag used in the JSONL encoding, e.g.
+    ["squeue_delivered"]. *)
 
 val record_to_json : record -> string
 (** One line, no trailing newline, valid JSON object. *)

@@ -109,7 +109,7 @@ let apply_mset_inner t site mset =
   if Trace.on trace then
     Trace.emit trace ~time:(Engine.now t.env.engine)
       (Trace.Mset_applied
-         { et = mset.et; site = site.id; n_ops = List.length mset.ops });
+         { et = mset.et; site = site.id; n_ops = List.length mset.ops; order = None });
   List.iter
     (fun (i : Intf.iop) ->
       (* Partial replication: a site executes only the ops on keys it
@@ -325,7 +325,13 @@ let submit_update t ~origin intents k =
             let trace = t.env.Intf.obs.Esr_obs.Obs.trace in
             if Trace.on trace then
               Trace.emit trace ~time:(Engine.now t.env.engine)
-                (Trace.Mset_enqueued { et; origin; n_ops = List.length ops });
+                (Trace.Mset_enqueued
+                   {
+                     et;
+                     origin;
+                     n_ops = List.length ops;
+                     keys = List.map (fun (i : Intf.iop) -> i.Intf.key) ops;
+                   });
             apply_mset t site mset;
             (* Interest routing: the MSet travels only to sites replicating
                a touched shard.  With the full map that is everybody. *)
@@ -376,6 +382,7 @@ let submit_query t ~site:site_id ~keys ~epsilon k =
       {
         Intf.values = List.map (fun key -> (key, Store.get site.store key)) keys;
         charged = 0;
+        forced = 0;
         consistent_path = false;
         started_at;
         served_at = Engine.now t.env.engine;
@@ -401,6 +408,7 @@ let submit_query t ~site:site_id ~keys ~epsilon k =
           {
             Intf.values = snapshot;
             charged = 0;
+            forced = 0;
             consistent_path = !waited;
             started_at;
             served_at = Engine.now t.env.engine;
@@ -417,6 +425,7 @@ let submit_query t ~site:site_id ~keys ~epsilon k =
               Intf.values =
                 List.map (fun key -> (key, Store.get site.store key)) keys;
               charged = 0;
+              forced = 0;
               consistent_path = false;
               started_at;
               served_at = Engine.now t.env.engine;
@@ -437,6 +446,7 @@ let submit_query t ~site:site_id ~keys ~epsilon k =
       {
         Intf.values = vs;
         charged = Epsilon.value eps;
+        forced = 0;
         consistent_path = consistent;
         started_at;
         served_at = Engine.now t.env.engine;
@@ -503,7 +513,7 @@ let on_crash t ~site:site_id =
     Recovery.emit_volatile_dropped ~obs:t.env.Intf.obs ~engine:t.env.Intf.engine
       ~site:site_id ~buffered:0
       ~queries_failed:(List.length pq + killed)
-      ~updates_rejected:(List.length pu)
+      ~updates_rejected:(List.length pu) ~log:(Hist.length site.hist)
   end
 
 let on_recover t ~site:site_id =

@@ -410,7 +410,7 @@ let execute_inner t site mset =
       if Trace.on trace then
         Trace.emit trace ~time:(Engine.now t.env.engine)
           (Trace.Mset_applied
-             { et = mset.et; site = site.id; n_ops = List.length ops });
+             { et = mset.et; site = site.id; n_ops = List.length ops; order = None });
       apply_entry_ops site entry;
       List.iter
         (fun (key, op) ->
@@ -590,7 +590,13 @@ let launch_step t ~origin ~saga ops ~on_decision =
   let trace = t.env.Intf.obs.Esr_obs.Obs.trace in
   if Trace.on trace then
     Trace.emit trace ~time:(Engine.now t.env.engine)
-      (Trace.Mset_enqueued { et; origin; n_ops = List.length ops });
+      (Trace.Mset_enqueued
+         {
+           et;
+           origin;
+           n_ops = List.length ops;
+           keys = List.map fst ops;
+         });
   t.undecided <- t.undecided + 1;
   let prof = t.env.Intf.obs.Esr_obs.Obs.prof in
   (match parts with
@@ -741,11 +747,12 @@ let submit_query t ~site:site_id ~keys ~epsilon k =
   let et = t.env.Intf.next_et () in
   let eps = Epsilon.create epsilon in
   let started_at = Engine.now t.env.engine in
-  let degraded vs =
+  let degraded ?(forced = 0) vs =
     k
       {
         Intf.values = vs;
         charged = Epsilon.value eps;
+        forced;
         consistent_path = false;
         started_at;
         served_at = Engine.now t.env.engine;
@@ -770,7 +777,7 @@ let submit_query t ~site:site_id ~keys ~epsilon k =
   let values = ref [] in
   let fail_degraded vs =
     site.active <- List.filter (fun a -> a != aq) site.active;
-    degraded vs
+    degraded ~forced:aq.aq_forced vs
   in
   (* Strict queries take an atomic snapshot once every key is free of
      undecided provisional updates (see the same reasoning in commu.ml). *)
@@ -792,6 +799,7 @@ let submit_query t ~site:site_id ~keys ~epsilon k =
           {
             Intf.values = snapshot;
             charged = Epsilon.value eps;
+            forced = aq.aq_forced;
             consistent_path = !waited;
             started_at;
             served_at = Engine.now t.env.engine;
@@ -819,7 +827,7 @@ let submit_query t ~site:site_id ~keys ~epsilon k =
       (* Crash mid-query: serve what was gathered, degraded.  The query
          skips the completed list — its outcome already reports the
          inconsistency. *)
-      degraded (List.rev !values)
+      degraded ~forced:aq.aq_forced (List.rev !values)
     else
     match remaining with
     | [] ->
@@ -830,6 +838,7 @@ let submit_query t ~site:site_id ~keys ~epsilon k =
           {
             Intf.values = List.rev !values;
             charged = Epsilon.value eps;
+            forced = aq.aq_forced;
             consistent_path = !waited;
             started_at;
             served_at = Engine.now t.env.engine;
@@ -901,7 +910,7 @@ let on_crash t ~site:site_id =
     Recovery.emit_volatile_dropped ~obs:t.env.Intf.obs ~engine:t.env.Intf.engine
       ~site:site_id ~buffered
       ~queries_failed:(List.length parked + killed)
-      ~updates_rejected:(List.length orphaned)
+      ~updates_rejected:(List.length orphaned) ~log:(Hist.length site.hist)
   end
 
 let on_recover t ~site:site_id =

@@ -272,6 +272,14 @@ let run_for t duration = Engine.run ~until:(now t +. duration) t.engine
 
 let sample_series t = Series.sample t.obs.Obs.series ~time:(now t)
 
+(* Tap the auditor into the run: it sees every trace record as it is
+   emitted (immune to ring eviction) and registers its [audit/] gauges.
+   Must run before {!arm_series} so the columns freeze into the series;
+   requires tracing on, since a disabled sink refuses taps. *)
+let attach_audit t (a : Esr_obs.Audit.t) =
+  Esr_obs.Audit.bind_metrics a t.obs.Obs.metrics;
+  Trace.attach t.obs.Obs.trace (Esr_obs.Audit.feed a)
+
 (* Pre-schedule sampling ticks on the engine at the series cadence, from
    the current virtual time up to [until].  Pre-scheduling (rather than a
    self-rescheduling event) keeps [Engine.run]'s drain semantics intact:
@@ -472,6 +480,7 @@ let submit_query t ~site ~keys ~epsilon k =
                q;
                site;
                charged = outcome.Intf.charged;
+               forced = outcome.Intf.forced;
                epsilon = eps;
                consistent_path = outcome.Intf.consistent_path;
                latency = outcome.Intf.served_at -. outcome.Intf.started_at;

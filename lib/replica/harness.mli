@@ -59,6 +59,13 @@ val sample_series : t -> unit
 (** Append one row to the bundle's {!Esr_obs.Series} at the current
     virtual time (no-op when the series is disabled). *)
 
+val attach_audit : t -> Esr_obs.Audit.t -> unit
+(** Tap the auditor into this run's trace sink and bind its [audit/]
+    instruments to the registry.  Call after {!create} and before
+    {!arm_series} (so the audit columns freeze into the series); the
+    trace must be enabled.  Never called on unaudited runs, keeping
+    their output byte-identical. *)
+
 val arm_series : t -> until:float -> unit
 (** Pre-schedule sampling ticks at the series cadence from now through
     [until].  Pre-scheduling keeps [Engine.run]'s drain semantics: the

@@ -46,7 +46,11 @@ type update_outcome =
 
 type query_outcome = {
   values : (string * Value.t) list;
-  charged : int;  (** inconsistency units accumulated (≤ the epsilon spec) *)
+  charged : int;  (** inconsistency units accumulated *)
+  forced : int;
+      (** units charged unconditionally by backward methods (§4.2
+          compensations); [charged - forced] stays ≤ the epsilon spec,
+          the forced remainder is the documented hazard *)
   consistent_path : bool;  (** true when the query fell back to the SR path *)
   started_at : float;
   served_at : float;

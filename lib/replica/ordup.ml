@@ -129,7 +129,12 @@ let apply_mset_inner t site mset =
   if Trace.on trace then
     Trace.emit trace ~time:(Engine.now t.env.engine)
       (Trace.Mset_applied
-         { et = mset.et; site = site.id; n_ops = List.length mset.ops });
+         {
+           et = mset.et;
+           site = site.id;
+           n_ops = List.length mset.ops;
+           order = (match mset.order with Ticket n -> Some n | Stamp _ -> None);
+         });
   List.iter
     (fun (i : Intf.iop) ->
       (* Union routing delivers the whole MSet to every interested site;
@@ -344,7 +349,13 @@ let submit_update t ~origin intents k =
       let trace = t.env.Intf.obs.Esr_obs.Obs.trace in
       if Trace.on trace then
         Trace.emit trace ~time:(Engine.now t.env.engine)
-          (Trace.Mset_enqueued { et; origin; n_ops = List.length ops });
+          (Trace.Mset_enqueued
+             {
+               et;
+               origin;
+               n_ops = List.length ops;
+               keys = List.map (fun (i : Intf.iop) -> i.Intf.key) ops;
+             });
       Hashtbl.replace t.pending_commits et (origin, k);
       (* Remote replicas get the MSet through the stable queues; the origin
          buffers it directly (local enqueue is not subject to the network). *)
@@ -373,7 +384,13 @@ let submit_update t ~origin intents k =
       let trace = t.env.Intf.obs.Esr_obs.Obs.trace in
       if Trace.on trace then
         Trace.emit trace ~time:(Engine.now t.env.engine)
-          (Trace.Mset_enqueued { et; origin; n_ops = List.length ops });
+          (Trace.Mset_enqueued
+             {
+               et;
+               origin;
+               n_ops = List.length ops;
+               keys = List.map (fun (i : Intf.iop) -> i.Intf.key) ops;
+             });
       Hashtbl.replace t.pending_commits et (origin, k);
       let prof = t.env.Intf.obs.Esr_obs.Obs.prof in
       match t.mode with
@@ -473,6 +490,7 @@ let submit_query t ~site:site_id ~keys ~epsilon k =
       {
         Intf.values;
         charged;
+        forced = 0;
         consistent_path = consistent;
         started_at;
         served_at = Engine.now t.env.engine;
@@ -518,21 +536,45 @@ let submit_query t ~site:site_id ~keys ~epsilon k =
       }
     in
     site.active <- aq :: site.active;
+    (* The query's inconsistency window, for the auditor's overlap
+       reconstruction: serialization point, lump charge, read set at open;
+       final charge and exit path at close.  Ticket orders only — Lamport
+       stamps have no integer point to reconstruct against. *)
+    let trace = t.env.Intf.obs.Esr_obs.Obs.trace in
+    let w = t.n_queries in
+    let windowed = Trace.on trace && (match q_order with Ticket _ -> true | Stamp _ -> false) in
+    if windowed then begin
+      match q_order with
+      | Ticket point ->
+          Trace.emit trace ~time:(Engine.now t.env.engine)
+            (Trace.Query_window { w; site = site_id; point; missing; keys })
+      | Stamp _ -> ()
+    end;
+    let close outcome =
+      if windowed then
+        Trace.emit trace ~time:(Engine.now t.env.engine)
+          (Trace.Query_window_closed
+             { w; site = site_id; charged = Epsilon.value eps; outcome })
+    in
     let values = ref [] in
     let rec step remaining =
-      if aq.aq_killed then
+      if aq.aq_killed then begin
         (* Crash mid-query: the remaining reads cannot happen; serve what
            was gathered, marked as the degraded (non-SR) path. *)
+        close `Killed;
         finish ~charged:(Epsilon.value eps) ~consistent:false
           (List.rev !values)
+      end
       else if aq.aq_failed then begin
         site.active <- List.filter (fun a -> a != aq) site.active;
+        close `Fallback;
         consistent_path ()
       end
       else
         match remaining with
         | [] ->
             site.active <- List.filter (fun a -> a != aq) site.active;
+            close `Ok;
             finish ~charged:(Epsilon.value eps) ~consistent:false
               (List.rev !values)
         | key :: rest ->
@@ -599,7 +641,7 @@ let on_crash t ~site:site_id =
       orphaned;
     Recovery.emit_volatile_dropped ~obs:t.env.Intf.obs ~engine:t.env.Intf.engine
       ~site:site_id ~buffered ~queries_failed
-      ~updates_rejected:(List.length orphaned)
+      ~updates_rejected:(List.length orphaned) ~log:(Hist.length site.hist)
   end
 
 let on_recover t ~site:site_id =

@@ -165,7 +165,8 @@ let rec receive t ~site:site_id msg =
       let trace = t.env.Intf.obs.Esr_obs.Obs.trace in
       if Trace.on trace then
         Trace.emit trace ~time:(Engine.now t.env.engine)
-          (Trace.Mset_applied { et; site = site_id; n_ops = List.length ops });
+          (Trace.Mset_applied
+             { et; site = site_id; n_ops = List.length ops; order = None });
       let apply () =
         List.iter
           (fun (key, op) ->
@@ -276,7 +277,13 @@ let submit_update t ~origin intents k =
     let trace = t.env.Intf.obs.Esr_obs.Obs.trace in
     if Trace.on trace then
       Trace.emit trace ~time:(Engine.now t.env.engine)
-        (Trace.Mset_enqueued { et; origin; n_ops = List.length ops });
+        (Trace.Mset_enqueued
+           {
+             et;
+             origin;
+             n_ops = List.length ops;
+             keys = List.map fst ops;
+           });
     Hashtbl.replace t.outcomes et (origin, k);
     let msg = Do_update { et; ops; origin } in
     if origin = primary then receive t ~site:primary msg
@@ -291,6 +298,7 @@ let submit_query t ~site:site_id ~keys ~epsilon k =
       {
         Intf.values;
         charged = 0;
+        forced = 0;
         consistent_path = consistent;
         started_at;
         served_at = Engine.now t.env.engine;
@@ -392,7 +400,7 @@ let on_crash t ~site:site_id =
     in
     Recovery.emit_volatile_dropped ~obs:t.env.Intf.obs ~engine:t.env.Intf.engine
       ~site:site_id ~buffered ~queries_failed:(List.length my_queries)
-      ~updates_rejected:(List.length my_updates)
+      ~updates_rejected:(List.length my_updates) ~log:(Hist.length site.hist)
   end
 
 let on_recover t ~site:site_id =

@@ -135,7 +135,7 @@ let rec receive t ~site:site_id msg =
         let trace = t.env.Intf.obs.Esr_obs.Obs.trace in
         if Trace.on trace then
           Trace.emit trace ~time:(Engine.now t.env.engine)
-            (Trace.Mset_applied { et; site = site.id; n_ops = 1 });
+            (Trace.Mset_applied { et; site = site.id; n_ops = 1; order = None });
         let install () =
           Hashtbl.replace site.versions key version;
           Store.set site.store key value;
@@ -288,7 +288,7 @@ let submit_update t ~origin intents notify =
       let trace = t.env.Intf.obs.Esr_obs.Obs.trace in
       if Trace.on trace then
         Trace.emit trace ~time:(Engine.now t.env.engine)
-          (Trace.Mset_enqueued { et; origin; n_ops = 1 });
+          (Trace.Mset_enqueued { et; origin; n_ops = 1; keys = [ key ] });
       let fail () =
         (* The outcome is uncertain (a quorum may still install the write)
            but the coordinating site is gone: report rejection. *)
@@ -329,6 +329,7 @@ let submit_query t ~site:site_id ~keys ~epsilon k =
       {
         Intf.values = List.map (fun key -> (key, Store.get site.store key)) keys;
         charged = 0;
+        forced = 0;
         consistent_path = false;
         started_at;
         served_at = Engine.now t.env.engine;
@@ -362,6 +363,7 @@ let submit_query t ~site:site_id ~keys ~epsilon k =
                   Intf.values =
                     List.sort (fun (a, _) (b, _) -> String.compare a b) !collected;
                   charged = 0;
+                  forced = 0;
                   consistent_path = true;
                   started_at;
                   served_at = Engine.now t.env.engine;
@@ -404,7 +406,7 @@ let on_crash t ~site:site_id =
       my_writes;
     Recovery.emit_volatile_dropped ~obs:t.env.Intf.obs ~engine:t.env.Intf.engine
       ~site:site_id ~buffered:0 ~queries_failed:!queries_failed
-      ~updates_rejected:!updates_rejected
+      ~updates_rejected:!updates_rejected ~log:(Hist.length site.hist)
   end
 
 let on_recover t ~site:site_id =

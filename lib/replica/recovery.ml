@@ -56,12 +56,12 @@ let replay_site ?ckpt ?keyspace ?size ~obs ~engine ~site hist =
       store
 
 let emit_volatile_dropped ~(obs : Esr_obs.Obs.t) ~engine ~site ~buffered
-    ~queries_failed ~updates_rejected =
+    ~queries_failed ~updates_rejected ~log =
   let trace = obs.Esr_obs.Obs.trace in
   if Trace.on trace then
     Trace.emit trace
       ~time:(Esr_sim.Engine.now engine)
-      (Trace.Volatile_dropped { site; buffered; queries_failed; updates_rejected })
+      (Trace.Volatile_dropped { site; buffered; queries_failed; updates_rejected; log })
 
 (** Per-site durable receipt journal.  A record is appended when the
     transport hands a message up (before it enters any volatile buffer)

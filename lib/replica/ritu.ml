@@ -99,7 +99,12 @@ let apply_mset_inner t site mset =
   if Trace.on trace then
     Trace.emit trace ~time:(Engine.now t.env.engine)
       (Trace.Mset_applied
-         { et = mset.et; site = site.id; n_ops = List.length mset.writes });
+         {
+           et = mset.et;
+           site = site.id;
+           n_ops = List.length mset.writes;
+           order = None;
+         });
   note_watermark site ~origin:mset.origin mset.stamp;
   let stamp = mset.stamp in
   List.iter
@@ -223,7 +228,13 @@ let submit_update t ~origin intents k =
     let trace = t.env.Intf.obs.Esr_obs.Obs.trace in
     if Trace.on trace then
       Trace.emit trace ~time:(Engine.now t.env.engine)
-        (Trace.Mset_enqueued { et; origin; n_ops = List.length writes });
+        (Trace.Mset_enqueued
+           {
+             et;
+             origin;
+             n_ops = List.length writes;
+             keys = List.map (fun (_, key, _) -> key) writes;
+           });
     apply_mset t site mset;
     let propagate () =
       if t.full then Squeue.broadcast t.fabric ~src:origin (Update mset)
@@ -281,6 +292,7 @@ let submit_query t ~site:site_id ~keys ~epsilon k =
       {
         Intf.values = List.map (fun key -> (key, Store.get site.store key)) keys;
         charged = 0;
+        forced = 0;
         consistent_path = false;
         started_at;
         served_at = Engine.now t.env.engine;
@@ -292,6 +304,7 @@ let submit_query t ~site:site_id ~keys ~epsilon k =
     {
       Intf.values;
       charged = Epsilon.value eps;
+      forced = 0;
       consistent_path = Epsilon.value eps = 0;
       started_at;
       served_at = Engine.now t.env.engine;
@@ -319,6 +332,7 @@ let on_crash t ~site:site_id =
        both rebuilt from the durable log on recovery.  Nothing to fail. *)
     Recovery.emit_volatile_dropped ~obs:t.env.Intf.obs ~engine:t.env.Intf.engine
       ~site:site_id ~buffered:0 ~queries_failed:0 ~updates_rejected:0
+      ~log:(Hist.length site.hist)
   end
 
 let on_recover t ~site:site_id =

@@ -229,7 +229,7 @@ let rec receive t ~site:site_id msg =
             if Trace.on trace then
               Trace.emit trace ~time:(Engine.now t.env.engine)
                 (Trace.Mset_applied
-                   { et; site = site.id; n_ops = List.length ops });
+                   { et; site = site.id; n_ops = List.length ops; order = None });
             let apply () =
               List.iter
                 (fun (key, op) ->
@@ -365,7 +365,13 @@ let submit_update t ~origin intents notify =
     let trace = t.env.Intf.obs.Esr_obs.Obs.trace in
     if Trace.on trace then
       Trace.emit trace ~time:(Engine.now t.env.engine)
-        (Trace.Mset_enqueued { et; origin; n_ops = List.length ops });
+        (Trace.Mset_enqueued
+           {
+             et;
+             origin;
+             n_ops = List.length ops;
+             keys = List.map fst ops;
+           });
     let n = t.env.Intf.sites in
     let parts =
       if t.full then None
@@ -437,6 +443,7 @@ let submit_query t ~site:site_id ~keys ~epsilon k =
       {
         Intf.values = List.map (fun key -> (key, Store.get site.store key)) keys;
         charged = 0;
+        forced = 0;
         consistent_path = false;
         started_at;
         served_at = Engine.now t.env.engine;
@@ -468,6 +475,7 @@ let submit_query t ~site:site_id ~keys ~epsilon k =
                 {
                   Intf.values;
                   charged = 0;
+                  forced = 0;
                   consistent_path = true;
                   started_at;
                   served_at = Engine.now t.env.engine;
@@ -535,7 +543,7 @@ let on_crash t ~site:site_id =
       orphaned;
     Recovery.emit_volatile_dropped ~obs:t.env.Intf.obs ~engine:t.env.Intf.engine
       ~site:site_id ~buffered:0 ~queries_failed:(List.length waiting)
-      ~updates_rejected:(List.length orphaned)
+      ~updates_rejected:(List.length orphaned) ~log:(Hist.length site.hist)
   end
 
 let on_recover t ~site:site_id =

@@ -1,6 +1,7 @@
 module Net = Esr_sim.Net
 module Engine = Esr_sim.Engine
 module Prng = Esr_util.Prng
+module Trace = Esr_obs.Trace
 
 type mode = Unordered | Fifo
 
@@ -59,6 +60,7 @@ type 'a t = {
   mutable n_acks : int;
   mutable n_pending : int;
   journaled_by : int array;  (* cumulative per-src journal appends *)
+  trace : Trace.t;  (* session-layer events: send / first delivery / dup *)
 }
 
 let register_metrics t (m : Esr_obs.Metrics.t) =
@@ -70,25 +72,39 @@ let register_metrics t (m : Esr_obs.Metrics.t) =
   g "acks_received" (fun () -> float_of_int t.n_acks);
   g "pending" (fun () -> float_of_int t.n_pending)
 
+let[@inline] note_dup t ~src ~dst seq =
+  t.n_dup <- t.n_dup + 1;
+  if Trace.on t.trace then
+    Trace.emit t.trace
+      ~time:(Engine.now (Net.engine t.net))
+      (Trace.Squeue_dup { src; dst; seq })
+
+let[@inline] note_delivered t ~src ~dst seq =
+  t.n_delivered <- t.n_delivered + 1;
+  if Trace.on t.trace then
+    Trace.emit t.trace
+      ~time:(Engine.now (Net.engine t.net))
+      (Trace.Squeue_delivered { src; dst; seq })
+
 let deliver t ~dst ~src seq payload =
   let recv = t.recvs.(dst).(src) in
   match t.mode with
   | Unordered ->
       if seq < recv.seen_floor || Hashtbl.mem recv.seen seq then
-        t.n_dup <- t.n_dup + 1
+        note_dup t ~src ~dst seq
       else begin
         Hashtbl.replace recv.seen seq ();
-        t.n_delivered <- t.n_delivered + 1;
+        note_delivered t ~src ~dst seq;
         t.handler ~site:dst ~src payload
       end
   | Fifo ->
       if seq < recv.next_expected || Hashtbl.mem recv.reorder seq then
-        t.n_dup <- t.n_dup + 1
+        note_dup t ~src ~dst seq
       else if seq = recv.next_expected && Hashtbl.length recv.reorder = 0 then begin
         (* In-order fast path — the overwhelmingly common case on a
            healthy link: no reorder-buffer round trip, no allocation. *)
         recv.next_expected <- seq + 1;
-        t.n_delivered <- t.n_delivered + 1;
+        note_delivered t ~src ~dst seq;
         t.handler ~site:dst ~src payload
       end
       else begin
@@ -98,9 +114,10 @@ let deliver t ~dst ~src seq payload =
           match Hashtbl.find recv.reorder recv.next_expected with
           | exception Not_found -> ()
           | p ->
-              Hashtbl.remove recv.reorder recv.next_expected;
-              recv.next_expected <- recv.next_expected + 1;
-              t.n_delivered <- t.n_delivered + 1;
+              let seq = recv.next_expected in
+              Hashtbl.remove recv.reorder seq;
+              recv.next_expected <- seq + 1;
+              note_delivered t ~src ~dst seq;
               t.handler ~site:dst ~src p;
               drain ()
         in
@@ -241,6 +258,10 @@ let create ?(mode = Unordered) ?(retry_interval = 50.0) ?backoff ?obs net
       n_acks = 0;
       n_pending = 0;
       journaled_by = Array.make n 0;
+      trace =
+        (match obs with
+        | Some (o : Esr_obs.Obs.t) -> o.Esr_obs.Obs.trace
+        | None -> Trace.make ~capacity:1 ~enabled:false ());
     }
   in
   (match obs with
@@ -262,6 +283,10 @@ let send t ~src ~dst payload =
   t.n_enqueued <- t.n_enqueued + 1;
   t.n_pending <- t.n_pending + 1;
   t.journaled_by.(src) <- t.journaled_by.(src) + 1;
+  if Trace.on t.trace then
+    Trace.emit t.trace
+      ~time:(Engine.now (Net.engine t.net))
+      (Trace.Squeue_send { src; dst; seq });
   transmit t ~src ~dst seq payload;
   arm_timer t ~src ~dst
 

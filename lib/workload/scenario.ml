@@ -99,7 +99,7 @@ let gen_query_keys prng zipf ~key_cache (spec : Spec.t) =
   |> List.sort_uniq String.compare
 
 let run ?(seed = 42) ?config ?net_config ?partition ?faults ?flush_every
-    ?sharding ?obs ?checkpoint ~sites ~method_name (spec : Spec.t) =
+    ?sharding ?obs ?checkpoint ?audit ~sites ~method_name (spec : Spec.t) =
   let engine_hint =
     (* Expected arrivals; each spawns a handful of network events. *)
     let arrivals =
@@ -111,6 +111,11 @@ let run ?(seed = 42) ?config ?net_config ?partition ?faults ?flush_every
     Harness.create ?config ?net_config ?sharding ?obs ?checkpoint ~seed
       ~store_hint:spec.Spec.n_keys ~engine_hint ~sites ~method_name ()
   in
+  (* The auditor taps the trace stream before anything runs, and before
+     arming the series so its [audit/] columns freeze in. *)
+  (match audit with
+  | None -> ()
+  | Some a -> Harness.attach_audit harness a);
   let sharding = (Harness.env harness).Intf.sharding in
   let keyspace = (Harness.env harness).Intf.keyspace in
   let full = Esr_store.Sharding.is_full sharding in
@@ -217,6 +222,9 @@ let run ?(seed = 42) ?config ?net_config ?partition ?faults ?flush_every
         | Intf.Rejected _ -> incr rejected));
   schedule_arrivals ~rate:spec.Spec.query_rate ~fire:(fun () ->
       incr submitted_queries;
+      (* Harness query ids are dense from 0 in submission order, so the
+         id this submit will get is the tally before it. *)
+      let q = !submitted_queries - 1 in
       let submit_time = Engine.now engine in
       if in_window submit_time then incr w_qs;
       let site = Prng.int prng sites in
@@ -247,8 +255,11 @@ let run ?(seed = 42) ?config ?net_config ?partition ?faults ?flush_every
             | Spec.Blind_set -> `Mismatch
             | Spec.Additive | Spec.Mixed_arith _ -> `Distance
           in
-          Stats.add value_error
-            (Oracle.error ~metric oracle outcome.Intf.values);
+          let distance = Oracle.error ~metric oracle outcome.Intf.values in
+          Stats.add value_error distance;
+          (match audit with
+          | None -> ()
+          | Some a -> Esr_obs.Audit.note_oracle a ~q ~distance);
           if outcome.Intf.consistent_path then incr fallback_queries));
   let settled = Harness.settle harness in
   {

@@ -1,0 +1,240 @@
+(* Runtime consistency auditor: clean certification of live runs,
+   mutation self-tests (each injected corruption must surface as exactly
+   its invariant, pinned at the offending event), certificate round-trip,
+   and the paper §2.1 overlap example reconstructed from trace events. *)
+
+module Trace = Esr_obs.Trace
+module Audit = Esr_obs.Audit
+module Obs = Esr_obs.Obs
+module Spec = Esr_workload.Spec
+module Scenario = Esr_workload.Scenario
+module Epsilon = Esr_core.Epsilon
+module Hist = Esr_core.Hist
+module Esr_check = Esr_core.Esr_check
+module Nemesis = Esr_fault.Nemesis
+module Schedule = Esr_fault.Schedule
+module Sharding = Esr_store.Sharding
+
+let checki = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+let checks = Alcotest.(check string)
+
+let spec_for name ~duration =
+  {
+    Spec.duration;
+    update_rate = 0.06;
+    query_rate = 0.06;
+    n_keys = 16;
+    zipf_theta = 0.6;
+    ops_per_update = (if name = "QUORUM" then 1 else 2);
+    keys_per_query = 2;
+    epsilon = Epsilon.Limit 3;
+    profile =
+      (match name with
+      | "RITU" | "QUORUM" -> Spec.Blind_set
+      | _ -> Spec.Additive);
+  }
+
+(* One live nemesis run with the auditor tapped in; returns the raw
+   records (for offline mutation replays) and the sealed certificate. *)
+let run_audited ?sharding ~seed name =
+  let sites = 4 in
+  let schedule = Nemesis.generate ~seed ~sites ~duration:600.0 () in
+  let obs = Obs.create ~tracing:true () in
+  let audit = Audit.create ~label:name () in
+  let r =
+    Scenario.run ~seed:(seed + 1) ?sharding ~obs ~audit ~faults:schedule
+      ~sites ~method_name:name (spec_for name ~duration:800.0)
+  in
+  ignore r;
+  (Trace.to_list obs.Obs.trace, Audit.finish audit)
+
+let pp_violations (r : Audit.report) =
+  String.concat "; "
+    (List.map
+       (fun (v : Audit.violation) -> v.Audit.v_invariant ^ ": " ^ v.Audit.v_detail)
+       r.Audit.violations)
+
+(* --- clean certification of a live faulted run --- *)
+
+let test_live_run_certifies () =
+  let _, report = run_audited ~seed:7 "ORDUP" in
+  checkb "certified" true (Audit.ok report);
+  checkb "not partial" false (Audit.partial report);
+  let s = report.Audit.summary in
+  checkb "saw queries" true (s.Audit.s_queries > 0);
+  checkb "saw windows" true (s.Audit.s_windows > 0);
+  checki "every window reconstructed exactly" s.Audit.s_windows
+    s.Audit.s_windows_exact;
+  checkb "saw crashes" true (s.Audit.s_crashes > 0);
+  Alcotest.(check (option bool)) "converged" (Some true) s.Audit.s_converged;
+  checki "ledger covers every query" s.Audit.s_queries
+    (List.length report.Audit.ledger);
+  checkb "oracle distances noted" true
+    (List.exists (fun (e : Audit.entry) -> e.Audit.l_oracle <> None)
+       report.Audit.ledger)
+
+(* --- mutation self-tests: the gate cannot pass vacuously --- *)
+
+let first_violation name records =
+  let report = Audit.audit_records ~label:name records in
+  checkb (name ^ " flags the corruption") false (Audit.ok report);
+  List.hd report.Audit.violations
+
+let test_mutations () =
+  let records, baseline = run_audited ~seed:11 "ORDUP" in
+  checkb "baseline certifies" true (Audit.ok baseline);
+  (* Replaying a delivered seq must read as a double delivery. *)
+  let v = first_violation "replay" (Audit.Mutate.replay_delivery records) in
+  checks "replay kind" "delivery" (Audit.kind_to_string v.Audit.v_kind);
+  checks "replay invariant" "squeue-double-delivery" v.Audit.v_invariant;
+  checks "replay pinned event" "squeue_delivered" v.Audit.v_event;
+  (* Swapping two tickets in one site's stream must read as a gap at the
+     first out-of-order execution. *)
+  let v = first_violation "reorder" (Audit.Mutate.reorder_stream records) in
+  checks "reorder kind" "ordering" (Audit.kind_to_string v.Audit.v_kind);
+  checks "reorder invariant" "ordup-stream-gap" v.Audit.v_invariant;
+  checks "reorder pinned event" "mset_applied" v.Audit.v_event;
+  (* Bumping a charge past its epsilon must read as a bound violation. *)
+  let v = first_violation "overcharge" (Audit.Mutate.overcharge records) in
+  checks "overcharge kind" "epsilon" (Audit.kind_to_string v.Audit.v_kind);
+  checks "overcharge invariant" "epsilon-exceeded" v.Audit.v_invariant;
+  checks "overcharge pinned event" "query_served" v.Audit.v_event
+
+(* --- certificate JSON round-trip --- *)
+
+let test_certificate_roundtrip () =
+  let records, clean = run_audited ~seed:3 "ORDUP" in
+  let dirty = Audit.audit_records ~label:"dirty" (Audit.Mutate.overcharge records) in
+  List.iter
+    (fun (r : Audit.report) ->
+      match Audit.report_of_json (Audit.report_to_json r) with
+      | Error m -> Alcotest.failf "%s did not parse back: %s" r.Audit.label m
+      | Ok r' ->
+          checks (r.Audit.label ^ " round-trips")
+            (Audit.report_to_json r) (Audit.report_to_json r'))
+    [ clean; dirty ];
+  (match Audit.report_of_json "{\"schema\":\"other/1\"}" with
+  | Ok _ -> Alcotest.fail "accepted a foreign schema"
+  | Error _ -> ())
+
+(* --- paper §2.1: overlap reconstructed from trace events --- *)
+
+(* L1 = R1(a) W1(b) W2(b) R3(a) W2(a) R3(b).  U1 completes before the
+   query ET3 starts; U2 interleaves it.  In trace vocabulary: U1 is
+   applied (ticket 1) before Q3's window opens at point 1, U2's apply
+   (ticket 2, keys overlapping Q3's read set) lands inside the window,
+   and the query is served charged 1 — exactly |overlap(Q3)| = |{U2}|. *)
+let paper_log = "R1(a) W1(b) W2(b) R3(a) W2(a) R3(b)"
+
+let paper_records ~charged =
+  let r time ev = { Trace.time; ev } in
+  [
+    r 0.0 (Trace.Mset_enqueued { et = 1; origin = 0; n_ops = 2; keys = [ "a"; "b" ] });
+    r 1.0 (Trace.Mset_applied { et = 1; site = 0; n_ops = 2; order = Some 1 });
+    r 2.0 (Trace.Query_begin { q = 0; site = 0; n_keys = 2; epsilon = Some 5 });
+    r 2.0
+      (Trace.Query_window
+         { w = 0; site = 0; point = 1; missing = 0; keys = [ "a"; "b" ] });
+    r 3.0 (Trace.Mset_enqueued { et = 2; origin = 1; n_ops = 2; keys = [ "b"; "a" ] });
+    r 4.0 (Trace.Mset_applied { et = 2; site = 0; n_ops = 2; order = Some 2 });
+    r 5.0 (Trace.Query_window_closed { w = 0; site = 0; charged; outcome = `Ok });
+    r 5.0
+      (Trace.Query_served
+         {
+           q = 0;
+           site = 0;
+           charged;
+           forced = 0;
+           epsilon = Some 5;
+           consistent_path = false;
+           latency = 3.0;
+         });
+    r 6.0 (Trace.Converged { ok = true });
+  ]
+
+let test_paper_overlap_example () =
+  let bound =
+    List.length (Esr_check.overlap (Hist.of_string paper_log) ~query:3)
+  in
+  checki "ESR-check bound for Q3" 1 bound;
+  (* Charging exactly the overlap certifies... *)
+  let report = Audit.audit_records ~label:"L1" (paper_records ~charged:bound) in
+  checkb "charge = overlap certifies" true (Audit.ok report);
+  checki "one window, reconstructed exactly" 1
+    report.Audit.summary.Audit.s_windows_exact;
+  (match report.Audit.ledger with
+  | [ e ] ->
+      checki "ledger charge" bound e.Audit.l_charged;
+      Alcotest.(check (option int))
+        "ledger reconstruction" (Some bound) e.Audit.l_reconstructed
+  | l -> Alcotest.failf "expected 1 ledger entry, got %d" (List.length l));
+  (* ...and any other charge is caught as an overlap mismatch. *)
+  let report = Audit.audit_records ~label:"L1-bad" (paper_records ~charged:0) in
+  checkb "charge <> overlap flagged" false (Audit.ok report);
+  checks "mismatch invariant" "charge-overlap-mismatch"
+    (List.hd report.Audit.violations).Audit.v_invariant
+
+(* --- partial traces audit in relaxed mode --- *)
+
+let test_relaxed_partial () =
+  let records, _ = run_audited ~seed:5 "COMMU" in
+  let truncated =
+    { Trace.time = 0.0; ev = Trace.Trace_meta { dropped = 123 } } :: records
+  in
+  let report = Audit.audit_records ~label:"partial" truncated in
+  checkb "still certifies" true (Audit.ok report);
+  checkb "marked partial" true (Audit.partial report);
+  checki "dropped count surfaced" 123 report.Audit.summary.Audit.s_dropped
+
+(* --- the headline property: every method audits clean --- *)
+
+let methods = [ "ORDUP"; "COMMU"; "RITU"; "COMPE"; "2PC"; "QUORUM"; "QUASI" ]
+
+let prop_nemesis_audits_clean name =
+  QCheck.Test.make
+    ~name:
+      (Printf.sprintf "%s audits clean under any all-clear nemesis" name)
+    ~count:6
+    QCheck.(pair (int_range 0 9999) bool)
+    (fun (seed, sharded) ->
+      let sharding =
+        if sharded then Some (Sharding.create ~policy:Sharding.Ring ~sites:4 ())
+        else None
+      in
+      let _, report = run_audited ?sharding ~seed name in
+      Audit.ok report
+      || QCheck.Test.fail_reportf "seed %d (%s placement): %s" seed
+           (if sharded then "ring" else "full")
+           (pp_violations report))
+
+let () =
+  Alcotest.run "esr_audit"
+    [
+      ( "certify",
+        [
+          Alcotest.test_case "live ORDUP nemesis run certifies" `Quick
+            test_live_run_certifies;
+          Alcotest.test_case "partial trace relaxes, still certifies" `Quick
+            test_relaxed_partial;
+        ] );
+      ( "mutations",
+        [
+          Alcotest.test_case "each corruption trips its invariant" `Quick
+            test_mutations;
+        ] );
+      ( "certificate",
+        [
+          Alcotest.test_case "JSON round-trip" `Quick
+            test_certificate_roundtrip;
+        ] );
+      ( "paper",
+        [
+          Alcotest.test_case "§2.1 overlap example reconstructs" `Quick
+            test_paper_overlap_example;
+        ] );
+      ( "audit-property",
+        List.map
+          (fun name -> QCheck_alcotest.to_alcotest (prop_nemesis_audits_clean name))
+          methods );
+    ]

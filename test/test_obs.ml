@@ -93,6 +93,7 @@ let vocabulary : Trace.record list =
            q = 3;
            site = 2;
            charged = 2;
+           forced = 0;
            epsilon = Some 5;
            consistent_path = false;
            latency = 12.5;
@@ -103,12 +104,28 @@ let vocabulary : Trace.record list =
            q = 4;
            site = 0;
            charged = 0;
+           forced = 0;
            epsilon = None;
            consistent_path = true;
            latency = 99.0;
          });
-    r 9.0 (Trace.Mset_enqueued { et = 7; origin = 1; n_ops = 3 });
-    r 9.5 (Trace.Mset_applied { et = 7; site = 2; n_ops = 3 });
+    r 9.0
+      (Trace.Mset_enqueued
+         { et = 7; origin = 1; n_ops = 3; keys = [ "k0"; "k1"; "k2" ] });
+    r 9.25 (Trace.Mset_enqueued { et = 9; origin = 0; n_ops = 1; keys = [] });
+    r 9.5 (Trace.Mset_applied { et = 7; site = 2; n_ops = 3; order = Some 4 });
+    r 9.75 (Trace.Mset_applied { et = 9; site = 0; n_ops = 1; order = None });
+    r 9.8 (Trace.Squeue_send { src = 0; dst = 2; seq = 17 });
+    r 9.85 (Trace.Squeue_delivered { src = 0; dst = 2; seq = 17 });
+    r 9.9 (Trace.Squeue_dup { src = 0; dst = 2; seq = 17 });
+    r 9.92
+      (Trace.Query_window
+         { w = 3; site = 2; point = 5; missing = 1; keys = [ "a"; "b" ] });
+    r 9.94 (Trace.Query_window_closed { w = 3; site = 2; charged = 2; outcome = `Ok });
+    r 9.96
+      (Trace.Query_window_closed { w = 4; site = 1; charged = 1; outcome = `Fallback });
+    r 9.98
+      (Trace.Query_window_closed { w = 5; site = 0; charged = 0; outcome = `Killed });
     r 10.0 (Trace.Compensation_fired { et = 7; site = 1; kind = `Fast });
     r 10.5 (Trace.Compensation_fired { et = 7; site = 1; kind = `Full });
     r 11.0 (Trace.Compensation_fired { et = 7; site = 1; kind = `Revoke });
